@@ -1,0 +1,238 @@
+// Benchmarks regenerating the paper's evaluation at testing.B scale: one
+// benchmark family per figure. These run each system's transaction loop on
+// a preloaded structure with the paper's workload parameters scaled to
+// laptop size; cmd/medley-bench performs the full thread sweeps.
+package medley_test
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"medley/internal/harness"
+	"medley/internal/montage"
+	"medley/internal/onefile"
+	"medley/internal/tpcc"
+)
+
+// benchKeyRange and benchPreload are scaled-down versions of the paper's
+// 1M/0.5M microbenchmark parameters so the preload fits in benchmark time.
+const (
+	benchKeyRange = 1 << 16
+	benchPreload  = 1 << 15
+	benchBuckets  = 1 << 16
+)
+
+// benchLoop preloads sys and measures b.N transactions of the given mix.
+func benchLoop(b *testing.B, sys harness.System, ratio harness.Ratio) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]uint64, benchPreload)
+	for i := range keys {
+		keys[i] = uint64(rng.Int63n(benchKeyRange))
+	}
+	sys.Preload(keys)
+	stop := sys.Start()
+	defer stop()
+	w := sys.NewWorker()
+	ops := make([]harness.Op, 0, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 1 + rng.Intn(10)
+		ops = ops[:0]
+		for j := 0; j < n; j++ {
+			var kind harness.OpKind
+			total := ratio.Get + ratio.Insert + ratio.Remove
+			x := rng.Intn(total)
+			switch {
+			case x < ratio.Get:
+				kind = harness.OpGet
+			case x < ratio.Get+ratio.Insert:
+				kind = harness.OpInsert
+			default:
+				kind = harness.OpRemove
+			}
+			ops = append(ops, harness.Op{Kind: kind, Key: uint64(rng.Int63n(benchKeyRange)), Val: rng.Uint64()})
+		}
+		w.Do(ops)
+	}
+}
+
+// ratioFor maps the benchmark suffix to the paper's mixes.
+func ratioFor(name string) harness.Ratio {
+	switch name {
+	case "W": // write-only 0:1:1
+		return harness.Ratio{Get: 0, Insert: 1, Remove: 1}
+	case "M": // mixed 2:1:1
+		return harness.Ratio{Get: 2, Insert: 1, Remove: 1}
+	default: // read-mostly 18:1:1
+		return harness.Ratio{Get: 18, Insert: 1, Remove: 1}
+	}
+}
+
+// ---- Figure 7: transactional hash tables ----
+
+func BenchmarkFig7_Medley_W(b *testing.B) {
+	benchLoop(b, harness.NewMedleyHash(benchBuckets), ratioFor("W"))
+}
+func BenchmarkFig7_Medley_M(b *testing.B) {
+	benchLoop(b, harness.NewMedleyHash(benchBuckets), ratioFor("M"))
+}
+func BenchmarkFig7_Medley_R(b *testing.B) {
+	benchLoop(b, harness.NewMedleyHash(benchBuckets), ratioFor("R"))
+}
+
+func fig7Montage() harness.System {
+	return harness.NewMontage(harness.MontageOpts{
+		Buckets: benchBuckets, RegionWords: 1 << 24,
+		WriteBackLatency: 300 * time.Nanosecond, FenceLatency: 100 * time.Nanosecond,
+		StoreLatency: 60 * time.Nanosecond,
+	})
+}
+
+func BenchmarkFig7_TxMontage_W(b *testing.B) { benchLoop(b, fig7Montage(), ratioFor("W")) }
+func BenchmarkFig7_TxMontage_M(b *testing.B) { benchLoop(b, fig7Montage(), ratioFor("M")) }
+func BenchmarkFig7_TxMontage_R(b *testing.B) { benchLoop(b, fig7Montage(), ratioFor("R")) }
+
+func BenchmarkFig7_OneFile_W(b *testing.B) {
+	benchLoop(b, harness.NewOneFile(harness.OneFileOpts{Buckets: benchBuckets}), ratioFor("W"))
+}
+func BenchmarkFig7_OneFile_M(b *testing.B) {
+	benchLoop(b, harness.NewOneFile(harness.OneFileOpts{Buckets: benchBuckets}), ratioFor("M"))
+}
+func BenchmarkFig7_OneFile_R(b *testing.B) {
+	benchLoop(b, harness.NewOneFile(harness.OneFileOpts{Buckets: benchBuckets}), ratioFor("R"))
+}
+
+func fig7POneFile() harness.System {
+	return harness.NewOneFile(harness.OneFileOpts{
+		Buckets: benchBuckets, Persistent: true, RegionWords: 1 << 22,
+		WriteBackLatency: 300 * time.Nanosecond, FenceLatency: 100 * time.Nanosecond,
+	})
+}
+
+func BenchmarkFig7_POneFile_W(b *testing.B) { benchLoop(b, fig7POneFile(), ratioFor("W")) }
+func BenchmarkFig7_POneFile_R(b *testing.B) { benchLoop(b, fig7POneFile(), ratioFor("R")) }
+
+// ---- Figure 8: transactional skiplists ----
+
+func BenchmarkFig8_Medley_W(b *testing.B) { benchLoop(b, harness.NewMedleySkip(), ratioFor("W")) }
+func BenchmarkFig8_Medley_M(b *testing.B) { benchLoop(b, harness.NewMedleySkip(), ratioFor("M")) }
+func BenchmarkFig8_Medley_R(b *testing.B) { benchLoop(b, harness.NewMedleySkip(), ratioFor("R")) }
+
+func fig8Montage() harness.System {
+	return harness.NewMontage(harness.MontageOpts{
+		Skiplist: true, RegionWords: 1 << 24,
+		WriteBackLatency: 300 * time.Nanosecond, FenceLatency: 100 * time.Nanosecond,
+		StoreLatency: 60 * time.Nanosecond,
+	})
+}
+
+func BenchmarkFig8_TxMontage_W(b *testing.B) { benchLoop(b, fig8Montage(), ratioFor("W")) }
+func BenchmarkFig8_TxMontage_R(b *testing.B) { benchLoop(b, fig8Montage(), ratioFor("R")) }
+
+func BenchmarkFig8_OneFile_W(b *testing.B) {
+	benchLoop(b, harness.NewOneFile(harness.OneFileOpts{Skiplist: true}), ratioFor("W"))
+}
+func BenchmarkFig8_OneFile_R(b *testing.B) {
+	benchLoop(b, harness.NewOneFile(harness.OneFileOpts{Skiplist: true}), ratioFor("R"))
+}
+
+func fig8POneFile() harness.System {
+	return harness.NewOneFile(harness.OneFileOpts{
+		Skiplist: true, Persistent: true, RegionWords: 1 << 22,
+		WriteBackLatency: 300 * time.Nanosecond, FenceLatency: 100 * time.Nanosecond,
+	})
+}
+
+func BenchmarkFig8_POneFile_W(b *testing.B) { benchLoop(b, fig8POneFile(), ratioFor("W")) }
+
+func BenchmarkFig8_TDSL_W(b *testing.B) { benchLoop(b, harness.NewTDSL(), ratioFor("W")) }
+func BenchmarkFig8_TDSL_M(b *testing.B) { benchLoop(b, harness.NewTDSL(), ratioFor("M")) }
+func BenchmarkFig8_TDSL_R(b *testing.B) { benchLoop(b, harness.NewTDSL(), ratioFor("R")) }
+
+func BenchmarkFig8_LFTT_W(b *testing.B) { benchLoop(b, harness.NewLFTT(), ratioFor("W")) }
+func BenchmarkFig8_LFTT_M(b *testing.B) { benchLoop(b, harness.NewLFTT(), ratioFor("M")) }
+func BenchmarkFig8_LFTT_R(b *testing.B) { benchLoop(b, harness.NewLFTT(), ratioFor("R")) }
+
+// ---- Figure 9: TPC-C subset ----
+
+func benchTPCC(b *testing.B, mk func() tpcc.Backend) {
+	b.Helper()
+	scale := tpcc.Scale{Warehouses: 2, Districts: 4, Customers: 30, Items: 200}
+	back := mk()
+	if err := tpcc.Load(back, scale); err != nil {
+		b.Fatal(err)
+	}
+	var stopAdv func()
+	if mb, ok := back.(*tpcc.MontageBackend); ok {
+		stopAdv = mb.StartAdvancer(20 * time.Millisecond)
+		defer stopAdv()
+	}
+	d := tpcc.NewDriver(back, scale, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9_TPCC_Medley(b *testing.B) {
+	benchTPCC(b, func() tpcc.Backend { return tpcc.NewMedleyBackend() })
+}
+func BenchmarkFig9_TPCC_TxMontage(b *testing.B) {
+	benchTPCC(b, func() tpcc.Backend {
+		return tpcc.NewMontageBackend(montage.NewSystem(montage.Config{
+			RegionWords:      1 << 24,
+			WriteBackLatency: 300 * time.Nanosecond,
+			FenceLatency:     100 * time.Nanosecond,
+			StoreLatency:     60 * time.Nanosecond,
+		}))
+	})
+}
+func BenchmarkFig9_TPCC_OneFile(b *testing.B) {
+	benchTPCC(b, func() tpcc.Backend { return tpcc.NewOneFileBackend(onefile.New(), "OneFile") })
+}
+func BenchmarkFig9_TPCC_TDSL(b *testing.B) {
+	benchTPCC(b, func() tpcc.Backend { return tpcc.NewTDSLBackend() })
+}
+
+// ---- Figure 10: latency decomposition ----
+
+func BenchmarkFig10a_Original_W(b *testing.B) {
+	benchLoop(b, harness.NewOriginalSkip(), ratioFor("W"))
+}
+func BenchmarkFig10a_Original_M(b *testing.B) {
+	benchLoop(b, harness.NewOriginalSkip(), ratioFor("M"))
+}
+func BenchmarkFig10a_Original_R(b *testing.B) {
+	benchLoop(b, harness.NewOriginalSkip(), ratioFor("R"))
+}
+
+func BenchmarkFig10a_TxOff_W(b *testing.B) { benchLoop(b, harness.NewTxOffSkip(), ratioFor("W")) }
+func BenchmarkFig10a_TxOff_M(b *testing.B) { benchLoop(b, harness.NewTxOffSkip(), ratioFor("M")) }
+func BenchmarkFig10a_TxOff_R(b *testing.B) { benchLoop(b, harness.NewTxOffSkip(), ratioFor("R")) }
+
+func BenchmarkFig10a_TxOn_W(b *testing.B) { benchLoop(b, harness.NewMedleySkip(), ratioFor("W")) }
+func BenchmarkFig10a_TxOn_M(b *testing.B) { benchLoop(b, harness.NewMedleySkip(), ratioFor("M")) }
+func BenchmarkFig10a_TxOn_R(b *testing.B) { benchLoop(b, harness.NewMedleySkip(), ratioFor("R")) }
+
+func fig10bNVM() harness.System {
+	return harness.NewMontage(harness.MontageOpts{
+		Skiplist: true, RegionWords: 1 << 24, PersistOff: true,
+		StoreLatency: 60 * time.Nanosecond,
+	})
+}
+
+func BenchmarkFig10b_NVMTransient_W(b *testing.B) { benchLoop(b, fig10bNVM(), ratioFor("W")) }
+func BenchmarkFig10b_NVMTransient_R(b *testing.B) { benchLoop(b, fig10bNVM(), ratioFor("R")) }
+
+func BenchmarkFig10c_TxMontage_W(b *testing.B) { benchLoop(b, fig8Montage(), ratioFor("W")) }
+func BenchmarkFig10c_TxMontage_R(b *testing.B) { benchLoop(b, fig8Montage(), ratioFor("R")) }
+
+// guard against compiler eliding the workloads entirely.
+var sink atomic.Uint64
+
+func init() { sink.Store(1) }

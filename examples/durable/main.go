@@ -1,0 +1,87 @@
+// Durable: txMontage end to end — ACID transactions over simulated
+// persistent memory, with a crash in the middle. Transactions committed in
+// a persisted epoch survive; the unsynced suffix is lost as a group,
+// exactly the buffered durable strict serializability of the paper's
+// Section 4.
+//
+//	go run ./examples/durable
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"medley"
+	"medley/internal/structures/mhash"
+)
+
+func main() {
+	sys := medley.NewMontage(medley.MontageConfig{RegionWords: 1 << 18})
+	mgr := medley.NewTxManager()
+	idx := mhash.NewMap[medley.PEntry[uint64]](mgr, 256)
+	store := medley.NewPStore[uint64](sys, idx, medley.U64Codec())
+
+	tx := mgr.Register()
+	h := sys.Wrap(tx) // txMontage: epoch validation joins the MCNS read set
+
+	// Two durable transactions.
+	must(tx.RunRetry(func() error {
+		store.Put(h, 1, 100)
+		store.Put(h, 2, 200)
+		return nil
+	}))
+	must(tx.RunRetry(func() error {
+		v1, _ := store.Get(h, 1)
+		store.Put(h, 1, v1-50)
+		store.Put(h, 3, 50)
+		return nil
+	}))
+	sys.Sync() // make everything so far durable
+
+	// A third transaction commits in DRAM but its epoch never persists.
+	must(tx.RunRetry(func() error {
+		store.Put(h, 4, 400)
+		store.Put(h, 1, 0)
+		return nil
+	}))
+
+	fmt.Println("pre-crash state (DRAM view):")
+	dump(store, h)
+
+	rec := sys.CrashAndRecover()
+	fmt.Printf("\n-- CRASH -- recovered %d payloads from persisted epoch %d\n\n",
+		len(rec), sys.PersistedEpoch())
+
+	// Post-crash: fresh threads, fresh index, rebuilt from payloads.
+	mgr2 := medley.NewTxManager()
+	idx2 := mhash.NewMap[medley.PEntry[uint64]](mgr2, 256)
+	store2 := medley.RebuildPStore(sys, idx2, medley.U64Codec(), rec)
+	h2 := sys.Wrap(mgr2.Register())
+
+	fmt.Println("post-recovery state:")
+	dump(store2, h2)
+
+	if v, ok := store2.Get(h2, 1); !ok || v != 50 {
+		log.Fatalf("expected key 1 = 50 (synced state), got %d,%v", v, ok)
+	}
+	if _, ok := store2.Get(h2, 4); ok {
+		log.Fatal("unsynced transaction leaked across the crash")
+	}
+	fmt.Println("\nbuffered durable strict serializability holds ✓")
+}
+
+func dump(store *medley.PStore[uint64], h *medley.MontageHandle) {
+	for k := uint64(1); k <= 4; k++ {
+		if v, ok := store.Get(h, k); ok {
+			fmt.Printf("  key %d = %d\n", k, v)
+		} else {
+			fmt.Printf("  key %d = <absent>\n", k)
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: the paper's Figure 3 — transfer money between accounts held
+// in two different lock-free hash tables, atomically, with Medley.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"medley"
+)
+
+var errInsufficient = errors.New("insufficient funds")
+
+// transfer moves v from account a1 in ht1 to account a2 in ht2 as one
+// strictly serializable transaction (the paper's doTx, Figure 3).
+func transfer(tx *medley.Tx, ht1, ht2 *medley.HashMap[int], v int, a1, a2 uint64) error {
+	return tx.RunRetry(func() error {
+		v1, ok := ht1.Get(tx, a1)
+		if !ok || v1 < v {
+			return errInsufficient // business abort: rolled back, not retried
+		}
+		v2, _ := ht2.Get(tx, a2)
+		ht1.Put(tx, a1, v1-v)
+		ht2.Put(tx, a2, v+v2)
+		return nil
+	})
+}
+
+func main() {
+	mgr := medley.NewTxManager()
+	checking := medley.NewHashMap[int](mgr, 1<<10)
+	savings := medley.NewHashMap[int](mgr, 1<<10)
+
+	// Non-transactional use: pass a nil *Tx.
+	checking.Put(nil, 1, 100)
+
+	tx := mgr.Register() // one Tx per goroutine
+	if err := transfer(tx, checking, savings, 30, 1, 1); err != nil {
+		log.Fatalf("transfer failed: %v", err)
+	}
+	c, _ := checking.Get(nil, 1)
+	s, _ := savings.Get(nil, 1)
+	fmt.Printf("after transfer: checking=%d savings=%d\n", c, s)
+
+	if err := transfer(tx, checking, savings, 1000, 1, 1); !errors.Is(err, errInsufficient) {
+		log.Fatalf("overdraft should fail, got %v", err)
+	}
+	c, _ = checking.Get(nil, 1)
+	s, _ = savings.Get(nil, 1)
+	fmt.Printf("after rejected overdraft: checking=%d savings=%d\n", c, s)
+
+	st := mgr.Stats()
+	fmt.Printf("transactions: %d begun, %d committed, %d aborted\n",
+		st.Begins, st.Commits, st.Aborts)
+}

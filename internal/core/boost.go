@@ -1,0 +1,71 @@
+package core
+
+import "sync"
+
+// This file implements the transactional-boosting hook that the paper's
+// Composable base class exposes (Section 3.1): a way to incorporate
+// lock-based operations into Medley transactions, following Herlihy &
+// Koskinen's transactional boosting. A boosted operation acquires a
+// semantic lock, performs its (blocking) work eagerly, and registers an
+// inverse; if the transaction aborts, inverses run in reverse order before
+// the locks release. Using boosted operations forfeits nonblocking
+// progress for the enclosing transaction, exactly as the paper notes.
+
+// boostState tracks a transaction's boosted locks and compensation.
+type boostState struct {
+	locks    []sync.Locker
+	inverses []func()
+}
+
+// Boost executes a lock-based operation inside the current transaction:
+// lock is held until the transaction finishes, apply runs immediately, and
+// inverse undoes apply if the transaction aborts. Locks are acquired in
+// call order; callers are responsible for a consistent global order across
+// transactions (or for using try-lock wrappers) to avoid deadlock.
+//
+// Outside a transaction, apply simply runs under the lock.
+func (tx *Tx) Boost(lock sync.Locker, apply func(), inverse func()) {
+	if !tx.InTx() {
+		lock.Lock()
+		defer lock.Unlock()
+		apply()
+		return
+	}
+	if tx.boost == nil {
+		tx.boost = &boostState{}
+	}
+	// A semantic lock is held for the whole transaction; re-boosting
+	// through a lock this transaction already owns must not re-acquire it.
+	held := false
+	for _, l := range tx.boost.locks {
+		if l == lock {
+			held = true
+			break
+		}
+	}
+	if !held {
+		lock.Lock()
+		tx.boost.locks = append(tx.boost.locks, lock)
+	}
+	apply()
+	tx.boost.inverses = append(tx.boost.inverses, inverse)
+}
+
+// settleBoost runs abort compensation (in reverse order) when needed and
+// releases every boosted lock. Called from settle.
+func (tx *Tx) settleBoost(committed bool) {
+	b := tx.boost
+	if b == nil {
+		return
+	}
+	if !committed {
+		for i := len(b.inverses) - 1; i >= 0; i-- {
+			b.inverses[i]()
+		}
+	}
+	for i := len(b.locks) - 1; i >= 0; i-- {
+		b.locks[i].Unlock()
+	}
+	b.locks = b.locks[:0]
+	b.inverses = b.inverses[:0]
+}

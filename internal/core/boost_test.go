@@ -1,0 +1,111 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// boostedCounter is a deliberately lock-based structure.
+type boostedCounter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func TestBoostCommitAndAbort(t *testing.T) {
+	mgr := NewTxManager()
+	tx := mgr.Register()
+	c := &boostedCounter{}
+	o := NewCASObj[int](0)
+
+	// Commit: boosted increment composes with a Medley write.
+	err := tx.Run(func() error {
+		tx.Boost(&c.mu, func() { c.n++ }, func() { c.n-- })
+		if !o.NbtcCAS(tx, 0, 1, true, true) {
+			t.Fatal("CAS failed")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if c.n != 1 || o.Load() != 1 {
+		t.Fatalf("state = (%d,%d), want (1,1)", c.n, o.Load())
+	}
+
+	// Abort: the inverse must undo the eager boosted effect.
+	_ = tx.Run(func() error {
+		tx.Boost(&c.mu, func() { c.n += 10 }, func() { c.n -= 10 })
+		tx.Boost(&c.mu, func() { c.n *= 2 }, func() { c.n /= 2 })
+		tx.Abort()
+		return nil
+	})
+	if c.n != 1 {
+		t.Fatalf("abort compensation failed: n = %d, want 1", c.n)
+	}
+	// The lock must be free again.
+	if !c.mu.TryLock() {
+		t.Fatal("boosted lock leaked")
+	}
+	c.mu.Unlock()
+}
+
+func TestBoostOutsideTx(t *testing.T) {
+	mgr := NewTxManager()
+	tx := mgr.Register()
+	c := &boostedCounter{}
+	tx.Boost(&c.mu, func() { c.n = 5 }, func() { c.n = 0 })
+	if c.n != 5 {
+		t.Fatal("boost outside tx did not apply")
+	}
+	if !c.mu.TryLock() {
+		t.Fatal("lock held after non-tx boost")
+	}
+	c.mu.Unlock()
+}
+
+func TestBoostInverseOrder(t *testing.T) {
+	mgr := NewTxManager()
+	tx := mgr.Register()
+	var mu1, mu2 sync.Mutex
+	var log []string
+	_ = tx.Run(func() error {
+		tx.Boost(&mu1, func() { log = append(log, "a") }, func() { log = append(log, "-a") })
+		tx.Boost(&mu2, func() { log = append(log, "b") }, func() { log = append(log, "-b") })
+		tx.Abort()
+		return nil
+	})
+	want := []string{"a", "b", "-b", "-a"}
+	if len(log) != 4 {
+		t.Fatalf("log = %v", log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v (inverses in reverse order)", log, want)
+		}
+	}
+}
+
+// TestBoostSemanticExclusion: two transactions boosting the same lock
+// serialize on it, so their eager effects never interleave.
+func TestBoostSemanticExclusion(t *testing.T) {
+	mgr := NewTxManager()
+	c := &boostedCounter{}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tx := mgr.Register()
+			for i := 0; i < 200; i++ {
+				_ = tx.RunRetry(func() error {
+					tx.Boost(&c.mu, func() { c.n++ }, func() { c.n-- })
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if c.n != 800 {
+		t.Fatalf("n = %d, want 800", c.n)
+	}
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// cell is the unit of state held by a CASObj. Cells are immutable after
+// publication; every successful CAS installs a freshly allocated cell, so
+// pointer identity of a cell is unforgeable evidence that a slot has not
+// changed (the role played by the 64-bit counter in the paper's 128-bit
+// CASObj).
+//
+// A cell with desc == nil is a value cell holding the slot's real value.
+// A cell with desc != nil is a descriptor cell: a critical CAS of the
+// transaction identified by (desc, serial) has been installed; val is the
+// speculative new value and prev the displaced value cell. slot points back
+// at the owning CASObj so that any thread holding the cell can uninstall it.
+type cell[T comparable] struct {
+	val    T
+	desc   *Desc
+	serial uint64
+	prev   *cell[T]
+	slot   *CASObj[T]
+}
+
+// helpFinalize gets a foreign descriptor out of the way, following the
+// paper's tryFinalize (Fig. 6): load the status word first, then confirm
+// the cell is still installed — which proves the loaded word's serial is
+// this installation's serial — then drive the transaction to a terminal
+// state and uninstall this one cell.
+func (c *cell[T]) helpFinalize() {
+	d := c.desc
+	st := d.status.Load()
+	if c.slot.state.Load() != c {
+		return // already uninstalled; st may belong to a later serial
+	}
+	st, ok := d.finalize(st, c.serial)
+	if !ok {
+		return
+	}
+	c.uninstall(statusOf(st) == StatusCommitted)
+}
+
+// uninstall replaces this installed descriptor cell with its outcome: a
+// fresh value cell carrying the speculative value on commit, or the
+// displaced cell on abort. Competing uninstalls (owner and helpers) race on
+// the same expected cell; exactly one wins and the rest are no-ops.
+func (c *cell[T]) uninstall(committed bool) {
+	if committed {
+		c.slot.state.CompareAndSwap(c, &cell[T]{val: c.val, slot: c.slot})
+	} else {
+		c.slot.state.CompareAndSwap(c, c.prev)
+	}
+}
+
+// validFor reports whether the slot still holds this cell, or holds a
+// descriptor cell of the validating transaction itself that displaced this
+// cell (a read followed by the same transaction's own write).
+func (c *cell[T]) validFor(d *Desc, serial uint64) bool {
+	cur := c.slot.state.Load()
+	if cur == c {
+		return true
+	}
+	return cur != nil && cur.desc == d && cur.serial == serial && cur.prev == c
+}
+
+// CASObj is a transactional shared word: the augmented atomic object of the
+// paper's Figure 1. It may be embedded directly in node structures; the
+// zero value is ready to use and holds the zero value of T.
+//
+// T must be comparable; it is typically a pointer, or a small struct of a
+// pointer and a mark bit for structures that tag their links.
+type CASObj[T comparable] struct {
+	state atomic.Pointer[cell[T]]
+}
+
+// NewCASObj returns a CASObj initialized to v.
+func NewCASObj[T comparable](v T) *CASObj[T] {
+	o := new(CASObj[T])
+	o.Init(v)
+	return o
+}
+
+// Init sets the initial value without synchronization. It must only be used
+// before the object is shared (e.g., in constructors), like a plain store
+// to a not-yet-published atomic.
+func (o *CASObj[T]) Init(v T) {
+	o.state.Store(&cell[T]{val: v, slot: o})
+}
+
+// loadCell returns the current cell, lazily installing a zero-value cell in
+// a zero-valued CASObj.
+func (o *CASObj[T]) loadCell() *cell[T] {
+	c := o.state.Load()
+	if c != nil {
+		return c
+	}
+	nc := &cell[T]{slot: o}
+	if o.state.CompareAndSwap(nil, nc) {
+		return nc
+	}
+	return o.state.Load()
+}
+
+// resolve returns the current value cell, finalizing and uninstalling any
+// foreign descriptor cells it encounters along the way.
+func (o *CASObj[T]) resolve() *cell[T] {
+	for i := 0; ; i++ {
+		c := o.loadCell()
+		if c.desc == nil {
+			return c
+		}
+		c.helpFinalize()
+		if i == debugWedgeThreshold {
+			panic("medley: resolve wedged (invariant violation): " + o.debugState(nil))
+		}
+	}
+}
+
+// Load is the regular atomic load. It never returns a speculative value: a
+// descriptor encountered here is eagerly finalized, per the paper's
+// nbtcLoad fallback (readers do not publish metadata, so this costs nothing
+// in the common case).
+func (o *CASObj[T]) Load() T {
+	return o.resolve().val
+}
+
+// Store is the regular atomic store, implemented as a swap loop so that it
+// composes correctly with installed descriptors.
+func (o *CASObj[T]) Store(v T) {
+	for {
+		c := o.resolve()
+		if o.state.CompareAndSwap(c, &cell[T]{val: v, slot: o}) {
+			return
+		}
+	}
+}
+
+// CAS is the regular atomic compare-and-swap on values.
+func (o *CASObj[T]) CAS(expected, desired T) bool {
+	for {
+		c := o.resolve()
+		if c.val != expected {
+			return false
+		}
+		if o.state.CompareAndSwap(c, &cell[T]{val: desired, slot: o}) {
+			return true
+		}
+	}
+}
+
+// NbtcLoad is the transactional load of the paper's Figure 5. Inside a
+// transaction it returns the speculative value if the slot holds this
+// transaction's own descriptor (starting the speculation interval),
+// finalizes foreign descriptors, and otherwise returns the current value
+// together with a ReadWitness that the caller may pass to Tx.AddToReadSet
+// if this load turns out to be the linearization point of a read-only
+// operation. Outside a transaction it degrades to Load.
+func (o *CASObj[T]) NbtcLoad(tx *Tx) (T, ReadWitness) {
+	if !tx.InTx() {
+		c := o.resolve()
+		return c.val, c
+	}
+	tx.checkDoomed()
+	for i := 0; ; i++ {
+		c := o.loadCell()
+		if c.desc == nil {
+			return c.val, c
+		}
+		if c.desc == tx.desc && c.serial == tx.serial {
+			tx.startSpec()
+			return c.val, alwaysValid{}
+		}
+		c.helpFinalize()
+		tx.mgr.helpEvents.Add(1)
+		if i == debugWedgeThreshold {
+			panic("medley: NbtcLoad wedged (invariant violation): " + o.debugState(tx))
+		}
+	}
+}
+
+// NbtcCAS is the transactional CAS of the paper's Figure 5. linPt marks a
+// CAS that, if successful, is the operation's linearization point; pubPt
+// marks the operation's publication point (the first CAS that could commit
+// the operation to success — a linearizing CAS is always also a publication
+// point). Critical CASes — those inside the speculation interval — install
+// a descriptor cell that takes effect only when the whole transaction
+// commits; CASes outside the interval (e.g., helping) execute immediately.
+// Outside a transaction NbtcCAS degrades to CAS.
+func (o *CASObj[T]) NbtcCAS(tx *Tx, expected, desired T, linPt, pubPt bool) bool {
+	if !tx.InTx() {
+		return o.CAS(expected, desired)
+	}
+	tx.checkDoomed()
+	d := tx.desc
+	for i := 0; ; i++ {
+		if i == debugWedgeThreshold {
+			panic("medley: NbtcCAS wedged (invariant violation): " + o.debugState(tx))
+		}
+		cur := o.loadCell()
+		if cur.desc != nil {
+			if cur.desc != d || cur.serial != tx.serial {
+				cur.helpFinalize()
+				tx.mgr.helpEvents.Add(1)
+				continue
+			}
+			// Our own descriptor: the speculation interval covers this
+			// access. Compare against the speculative value and, on match,
+			// replace our own cell in place (prev still names the original
+			// displaced value cell, so abort restores pre-transaction
+			// state).
+			tx.startSpec()
+			if cur.val != expected {
+				return false
+			}
+			nc := &cell[T]{val: desired, desc: d, serial: tx.serial, prev: cur.prev, slot: o}
+			if o.state.CompareAndSwap(cur, nc) {
+				tx.addWrite(nc)
+				if linPt {
+					tx.endSpec()
+				}
+				return true
+			}
+			// A helper finalized us concurrently; loop to rediscover state.
+			continue
+		}
+		if cur.val != expected {
+			return false
+		}
+		if pubPt {
+			tx.startSpec()
+		}
+		if !tx.inSpec {
+			// Non-critical CAS (helping work before the speculation
+			// interval): execute immediately.
+			if o.state.CompareAndSwap(cur, &cell[T]{val: desired, slot: o}) {
+				return true
+			}
+			continue
+		}
+		nc := &cell[T]{val: desired, desc: d, serial: tx.serial, prev: cur, slot: o}
+		if o.state.CompareAndSwap(cur, nc) {
+			tx.addWrite(nc)
+			if linPt {
+				tx.endSpec()
+			}
+			return true
+		}
+		// As in the paper, a failed install is reported to the data
+		// structure, whose own retry loop re-runs planning.
+		return false
+	}
+}
+
+// debugWedgeThreshold turns a silently spinning retry loop — which would
+// indicate a broken invariant (e.g., an orphaned descriptor cell) — into a
+// diagnosable panic. Legitimate contention never approaches this count on
+// a single slot within one call.
+const debugWedgeThreshold = 200_000_000
+
+// debugState renders the slot's current cell for wedge diagnostics.
+func (o *CASObj[T]) debugState(tx *Tx) string {
+	c := o.state.Load()
+	if c == nil {
+		return "<nil cell>"
+	}
+	if c.desc == nil {
+		return fmt.Sprintf("value{%v}", c.val)
+	}
+	own := tx.InTx() && c.desc == tx.desc && c.serial == tx.serial
+	st := c.desc.status.Load()
+	return fmt.Sprintf("desc{val=%v serial=%d own=%v status(serial=%d,st=%d)}",
+		c.val, c.serial, own, serialOf(st), statusOf(st))
+}

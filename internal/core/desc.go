@@ -1,0 +1,145 @@
+package core
+
+import "sync/atomic"
+
+// Transaction status codes, stored in the low two bits of a descriptor's
+// status word. The remaining 62 bits hold the descriptor's serial number,
+// exactly as in Figure 4 of the paper (we fold the thread id into the serial
+// space since descriptors are per-Tx and never migrate).
+const (
+	// StatusInPrep is the initial state: the transaction is installing
+	// descriptor cells and may still grow its read and write sets.
+	StatusInPrep = uint64(0)
+	// StatusInProg means the owner has called End and the transaction is
+	// ready to commit pending read-set validation; helpers may push it to
+	// Committed or Aborted.
+	StatusInProg = uint64(1)
+	// StatusCommitted is terminal: installed cells resolve to their new
+	// values.
+	StatusCommitted = uint64(2)
+	// StatusAborted is terminal: installed cells resolve to their displaced
+	// old values.
+	StatusAborted = uint64(3)
+)
+
+const statusMask = uint64(3)
+
+func packStatus(serial, status uint64) uint64 { return serial<<2 | status }
+func serialOf(word uint64) uint64             { return word >> 2 }
+func statusOf(word uint64) uint64             { return word & statusMask }
+
+// ReadWitness is the evidence returned by CASObj.NbtcLoad that lets the
+// transaction validate, at commit time, that the loaded value still governs
+// the slot. It corresponds to the {addr, val, cnt} read-set entries of the
+// paper; here validity is pointer identity of the immutable cell (or
+// identity of the displaced cell when the transaction has since installed
+// its own descriptor over the same slot, which the paper's transfer example
+// performs via get(a2) followed by put(a2)).
+//
+// A ReadWitness is opaque; pass it to Tx.AddToReadSet from the linearizing
+// load of a read-only operation.
+type ReadWitness interface {
+	validFor(d *Desc, serial uint64) bool
+}
+
+// writeCell is an installed descriptor cell recorded in the owner's write
+// set so the owner can uninstall everything on commit or abort. Helpers
+// never touch the write set: the cell itself carries enough state
+// (slot back-pointer, speculative value, displaced cell) for a helper to
+// uninstall the one cell it encountered.
+type writeCell interface {
+	uninstall(committed bool)
+}
+
+// alwaysValid is the witness returned when a transaction loads a slot that
+// currently holds its own descriptor: no validation is needed because the
+// installed descriptor itself guards the slot through commit.
+type alwaysValid struct{}
+
+func (alwaysValid) validFor(*Desc, uint64) bool { return true }
+
+// checkWitness adapts an arbitrary validation predicate into the read set.
+// txMontage uses this to fold the persistence-epoch check into MCNS commit.
+type checkWitness struct{ f func() bool }
+
+func (w checkWitness) validFor(*Desc, uint64) bool { return w.f() }
+
+// publishedReads is the owner's read set as published (with a release
+// store) immediately before the InPrep→InProg transition, so that helpers
+// observing InProg can validate on the owner's behalf. The slice is frozen:
+// the owner allocates a fresh backing array every transaction and never
+// mutates a published one.
+type publishedReads struct {
+	serial  uint64
+	entries []ReadWitness
+}
+
+// Desc is a transaction descriptor: the target of the pointers installed in
+// CASObjs by critical CASes, and the carrier of the status word on which
+// MCNS linearizes. One Desc belongs to exactly one Tx and is reused across
+// that Tx's transactions, distinguished by serial number.
+type Desc struct {
+	status   atomic.Uint64 // serial<<2 | status
+	reads    atomic.Pointer[publishedReads]
+	tid      int
+	mgr      *TxManager
+	_padding [5]uint64 // keep descriptors on distinct cache lines
+}
+
+// stsCAS attempts the expected→desired status transition carrying the full
+// status word (serial included) so a helper can never affect a later
+// transaction that reuses this descriptor.
+func (d *Desc) stsCAS(word, expected, desired uint64) bool {
+	base := word &^ statusMask
+	return d.status.CompareAndSwap(base|expected, base|desired)
+}
+
+// validatePublished re-checks the published read set for the given serial.
+// It returns false both on genuine invalidation and when the publication is
+// stale (the owner has moved on), in which case the caller's subsequent
+// status reload bails out on the serial mismatch.
+func (d *Desc) validatePublished(serial uint64) bool {
+	rp := d.reads.Load()
+	if rp == nil || rp.serial != serial {
+		return false
+	}
+	for _, w := range rp.entries {
+		if !w.validFor(d, serial) {
+			return false
+		}
+	}
+	return true
+}
+
+// finalize drives the descriptor, observed with status word st carrying
+// serial, to a terminal state: abort if InPrep (eager contention
+// management), help validate and commit if InProg. It returns the terminal
+// status word for that serial, or (0, false) if the owner has already moved
+// to a later serial (in which case every cell of the old serial has been
+// uninstalled and the caller's pending CAS will fail harmlessly).
+func (d *Desc) finalize(st, serial uint64) (uint64, bool) {
+	if serialOf(st) != serial {
+		return 0, false
+	}
+	if statusOf(st) == StatusInPrep {
+		if d.stsCAS(st, StatusInPrep, StatusAborted) {
+			d.mgr.abortsByOthers.Add(1)
+		}
+		st = d.status.Load()
+		if serialOf(st) != serial {
+			return 0, false
+		}
+	}
+	if statusOf(st) == StatusInProg {
+		if d.validatePublished(serial) {
+			d.stsCAS(st, StatusInProg, StatusCommitted)
+		} else {
+			d.stsCAS(st, StatusInProg, StatusAborted)
+		}
+		st = d.status.Load()
+		if serialOf(st) != serial {
+			return 0, false
+		}
+	}
+	return st, true
+}

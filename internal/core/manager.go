@@ -1,0 +1,55 @@
+package core
+
+import "sync/atomic"
+
+// TxManager holds metadata shared among all Composable structures intended
+// for use in the same transactions (the paper's TxManager). Structures
+// constructed against the same manager may participate in the same
+// transaction; the manager also aggregates statistics.
+type TxManager struct {
+	nextTID atomic.Int64
+
+	// Statistics (monotonic counters).
+	begins         atomic.Uint64
+	commits        atomic.Uint64
+	aborts         atomic.Uint64
+	abortsByOthers atomic.Uint64 // eager contention-management aborts inflicted
+	helpEvents     atomic.Uint64 // foreign descriptors finalized during ops
+}
+
+// NewTxManager creates a transaction manager.
+func NewTxManager() *TxManager {
+	return &TxManager{}
+}
+
+// Register creates a fresh per-goroutine transaction context. Each worker
+// goroutine must use its own Tx; the Tx (and its descriptor) is reused
+// across that goroutine's transactions.
+func (m *TxManager) Register() *Tx {
+	tid := int(m.nextTID.Add(1) - 1)
+	d := &Desc{tid: tid, mgr: m}
+	// Serial 0 with a terminal status so stale references can never
+	// mistake the pristine descriptor for an in-flight transaction.
+	d.status.Store(packStatus(0, StatusAborted))
+	return &Tx{mgr: m, desc: d}
+}
+
+// Stats is a snapshot of manager counters.
+type Stats struct {
+	Begins         uint64 // transactions started
+	Commits        uint64 // transactions committed
+	Aborts         uint64 // transactions aborted (any cause)
+	AbortsByOthers uint64 // aborts inflicted by eager contention management
+	HelpEvents     uint64 // foreign descriptors finalized while operating
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *TxManager) Stats() Stats {
+	return Stats{
+		Begins:         m.begins.Load(),
+		Commits:        m.commits.Load(),
+		Aborts:         m.aborts.Load(),
+		AbortsByOthers: m.abortsByOthers.Load(),
+		HelpEvents:     m.helpEvents.Load(),
+	}
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// ErrTxAborted is returned by Tx.End / Tx.Run when the transaction aborted,
+// whether explicitly (Tx.Abort), by failed read validation, or by a
+// conflicting transaction's eager contention management.
+var ErrTxAborted = errors.New("medley: transaction aborted")
+
+// abortSignal is the panic payload used by Tx.Abort to unwind out of
+// arbitrarily deep data structure code, mirroring the paper's
+// TransactionAborted exception. Tx.Run recovers it.
+type abortSignal struct{}
+
+// Tx is a per-goroutine transaction context. It owns one Desc, reused
+// across transactions and distinguished by serial number. A Tx must not be
+// shared between goroutines.
+//
+// Most data structure operations accept a *Tx; a nil *Tx (or one with no
+// transaction open) elides all instrumentation, so the same structure can
+// be used transactionally and non-transactionally.
+type Tx struct {
+	mgr    *TxManager
+	desc   *Desc
+	serial uint64
+	active bool
+	inSpec bool
+
+	reads     []ReadWitness // fresh backing array per transaction (published)
+	writes    []writeCell   // owner-only
+	cleanups  []func()      // post-commit work (addToCleanups)
+	allocUndo []func()      // tNew compensation on abort
+
+	beginHooks  []func(*Tx)       // run at Begin; txMontage hooks the epoch here
+	finishHooks []func(*Tx, bool) // run after settle; arg is committed
+	smr         Retirer           // optional SMR domain for Retire
+	boost       *boostState       // transactional-boosting locks/inverses
+
+	rng *rand.Rand // backoff randomization for RunRetry
+}
+
+// InTx reports whether a transaction is currently open. It is safe to call
+// on a nil Tx.
+func (tx *Tx) InTx() bool { return tx != nil && tx.active }
+
+// OpStart marks the beginning of a data structure operation, the analogue
+// of declaring the paper's OpStarter. It resets per-operation speculation
+// state. Safe on a nil Tx.
+func (tx *Tx) OpStart() {
+	if tx.InTx() {
+		tx.inSpec = false
+	}
+}
+
+// Manager returns the TxManager this Tx is registered with, or nil.
+func (tx *Tx) Manager() *TxManager {
+	if tx == nil {
+		return nil
+	}
+	return tx.mgr
+}
+
+func (tx *Tx) startSpec() { tx.inSpec = true }
+func (tx *Tx) endSpec()   { tx.inSpec = false }
+
+// checkDoomed aborts (with unwinding) a transaction that a conflicting
+// thread has already aborted via eager contention management. The paper's
+// design lets a doomed transaction run to txEnd; detecting the abort at the
+// next critical access instead costs one load of our own (cache-hot) status
+// word and prevents a doomed transaction from continuing to install
+// descriptors that knock out viable ones — the livelock amplifier of eager
+// contention management. It is the same early-exit license the paper grants
+// via validateReads.
+func (tx *Tx) checkDoomed() {
+	st := tx.desc.status.Load()
+	if serialOf(st) == tx.serial && statusOf(st) == StatusAborted {
+		tx.Abort()
+	}
+}
+
+// InSpeculation reports whether the current operation is inside its
+// speculation interval. Exposed for structures with multi-CAS speculation
+// intervals (publication point before linearization point).
+func (tx *Tx) InSpeculation() bool { return tx.InTx() && tx.inSpec }
+
+func (tx *Tx) addWrite(w writeCell) { tx.writes = append(tx.writes, w) }
+
+// AddToReadSet registers the witness of a linearizing load for commit-time
+// validation (the paper's addToReadSet). Calling it outside a transaction,
+// or with a nil witness, is a no-op.
+func (tx *Tx) AddToReadSet(w ReadWitness) {
+	if !tx.InTx() || w == nil {
+		return
+	}
+	tx.reads = append(tx.reads, w)
+}
+
+// AddReadCheck registers an arbitrary predicate to be validated along with
+// the read set at commit, both by the owner and by helping threads.
+// txMontage uses this to require that the transaction commit in the epoch
+// observed at Begin.
+func (tx *Tx) AddReadCheck(f func() bool) {
+	if !tx.InTx() {
+		return
+	}
+	tx.reads = append(tx.reads, checkWitness{f})
+}
+
+// Defer registers post-critical cleanup work to run after the transaction
+// commits (the paper's addToCleanups). Outside a transaction the work runs
+// immediately, which is what a non-transactional operation wants.
+func (tx *Tx) Defer(f func()) {
+	if !tx.InTx() {
+		f()
+		return
+	}
+	tx.cleanups = append(tx.cleanups, f)
+}
+
+// OnAbortUndo registers compensation to run if the transaction aborts; tNew
+// uses it to release speculatively allocated blocks. Outside a transaction
+// it is a no-op.
+func (tx *Tx) OnAbortUndo(f func()) {
+	if !tx.InTx() {
+		return
+	}
+	tx.allocUndo = append(tx.allocUndo, f)
+}
+
+// OnBegin registers a hook invoked at every subsequent Begin on this Tx.
+func (tx *Tx) OnBegin(f func(*Tx)) {
+	tx.beginHooks = append(tx.beginHooks, f)
+}
+
+// OnFinish registers a hook invoked after every transaction on this Tx
+// settles (post-cleanup), with the commit outcome. txMontage uses it to
+// announce that the transaction's epoch work is complete.
+func (tx *Tx) OnFinish(f func(*Tx, bool)) {
+	tx.finishHooks = append(tx.finishHooks, f)
+}
+
+// Begin opens a transaction (the paper's txBegin): bumps the serial number,
+// resets the descriptor to InPrep, and clears per-transaction state.
+func (tx *Tx) Begin() {
+	if tx.active {
+		panic("medley: Begin inside an open transaction")
+	}
+	tx.serial++
+	tx.desc.status.Store(packStatus(tx.serial, StatusInPrep))
+	// The read set gets a fresh backing array every transaction because the
+	// previous one may have been published to helpers.
+	tx.reads = make([]ReadWitness, 0, 8)
+	tx.writes = tx.writes[:0]
+	tx.cleanups = tx.cleanups[:0]
+	tx.allocUndo = tx.allocUndo[:0]
+	tx.inSpec = false
+	tx.active = true
+	tx.mgr.begins.Add(1)
+	for _, f := range tx.beginHooks {
+		f(tx)
+	}
+}
+
+// ValidateReads re-checks all reads made so far, for callers that want
+// opacity-style early aborts (the paper's optional validateReads). It
+// returns false if the transaction is doomed; the caller would then
+// typically invoke Abort.
+func (tx *Tx) ValidateReads() bool {
+	if !tx.InTx() {
+		return true
+	}
+	for _, w := range tx.reads {
+		if !w.validFor(tx.desc, tx.serial) {
+			return false
+		}
+	}
+	return true
+}
+
+// End attempts to commit (the paper's txEnd). On success it uninstalls all
+// descriptor cells with their new values and runs deferred cleanups; on
+// failure it rolls back and returns ErrTxAborted.
+func (tx *Tx) End() error {
+	if !tx.active {
+		panic("medley: End without Begin")
+	}
+	d := tx.desc
+	// Publish the read set so helpers that observe InProg can validate on
+	// our behalf, then announce readiness.
+	d.reads.Store(&publishedReads{serial: tx.serial, entries: tx.reads})
+	if !d.stsCAS(packStatus(tx.serial, StatusInPrep), StatusInPrep, StatusInProg) {
+		return tx.settle()
+	}
+	word := packStatus(tx.serial, StatusInProg)
+	if tx.ValidateReads() {
+		d.stsCAS(word, StatusInProg, StatusCommitted)
+	} else {
+		d.stsCAS(word, StatusInProg, StatusAborted)
+	}
+	return tx.settle()
+}
+
+// Abort explicitly aborts the open transaction (the paper's txAbort) and
+// unwinds to the enclosing Run via panic; use AbortNow for the
+// non-unwinding variant with explicit Begin/End.
+func (tx *Tx) Abort() {
+	tx.AbortNow()
+	panic(abortSignal{})
+}
+
+// AbortNow aborts the open transaction and returns (no unwinding). It is a
+// no-op if no transaction is open.
+func (tx *Tx) AbortNow() {
+	if !tx.active {
+		return
+	}
+	st := tx.desc.status.Load()
+	if serialOf(st) == tx.serial && statusOf(st) == StatusInPrep {
+		tx.desc.stsCAS(st, StatusInPrep, StatusAborted)
+	}
+	_ = tx.settle()
+}
+
+// settle drives the descriptor to a terminal state if it is not already
+// there, then uninstalls every installed cell accordingly, runs cleanups or
+// compensation, gathers statistics, and closes the transaction. It returns
+// nil iff the transaction committed. Note that a helper may have committed
+// us even while the owner was trying to abort-from-InProg; the terminal
+// status word is the single source of truth.
+func (tx *Tx) settle() error {
+	d := tx.desc
+	st := d.status.Load()
+	if serialOf(st) != tx.serial {
+		panic("medley: descriptor serial advanced under an open transaction")
+	}
+	switch statusOf(st) {
+	case StatusInPrep:
+		d.stsCAS(st, StatusInPrep, StatusAborted)
+	case StatusInProg:
+		// Owner reaches here only from AbortNow between setReady and the
+		// commit CAS racing a helper; help the validation to a decision.
+		if d.validatePublished(tx.serial) {
+			d.stsCAS(st, StatusInProg, StatusCommitted)
+		} else {
+			d.stsCAS(st, StatusInProg, StatusAborted)
+		}
+	}
+	st = d.status.Load()
+	committed := statusOf(st) == StatusCommitted
+	for _, w := range tx.writes {
+		w.uninstall(committed)
+	}
+	tx.settleBoost(committed)
+	tx.active = false
+	tx.inSpec = false
+	if committed {
+		for _, f := range tx.cleanups {
+			f()
+		}
+		tx.mgr.commits.Add(1)
+		for _, f := range tx.finishHooks {
+			f(tx, true)
+		}
+		return nil
+	}
+	for _, f := range tx.allocUndo {
+		f()
+	}
+	tx.mgr.aborts.Add(1)
+	for _, f := range tx.finishHooks {
+		f(tx, false)
+	}
+	return ErrTxAborted
+}
+
+// Run executes fn inside a transaction: Begin, fn, End. If fn calls
+// Tx.Abort the unwind is caught here and ErrTxAborted is returned. If fn
+// returns a non-nil error the transaction is aborted and that error is
+// returned. Run does not retry; see RunRetry.
+func (tx *Tx) Run(fn func() error) (err error) {
+	tx.Begin()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); ok {
+				err = ErrTxAborted
+				return
+			}
+			tx.AbortNow()
+			panic(r)
+		}
+	}()
+	if ferr := fn(); ferr != nil {
+		tx.AbortNow()
+		return ferr
+	}
+	return tx.End()
+}
+
+// RunRetry executes fn as with Run, retrying on ErrTxAborted with
+// randomized exponential backoff until it commits or fn returns a different
+// error. This is the catch-block retry loop of the paper's Figure 3,
+// packaged for convenience.
+func (tx *Tx) RunRetry(fn func() error) error {
+	backoff := time.Microsecond
+	const maxBackoff = 128 * time.Microsecond
+	for {
+		err := tx.Run(fn)
+		if !errors.Is(err, ErrTxAborted) {
+			return err
+		}
+		if tx.rng == nil {
+			tx.rng = rand.New(rand.NewSource(int64(tx.desc.tid)*2654435761 + 1))
+		}
+		time.Sleep(time.Duration(tx.rng.Int63n(int64(backoff)) + 1))
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+// TNew allocates a block inside a transaction (the paper's tNew). Under
+// Go's garbage collector no explicit compensation is required for plain
+// heap blocks, so this is an ordinary allocation whose reference is simply
+// dropped on abort; it exists so transformed structures read like the
+// paper's, and so allocators with real side effects (e.g., persistent
+// payloads) have a single choke point to hook via Tx.OnAbortUndo.
+func TNew[T any](tx *Tx) *T {
+	return new(T)
+}
+
+// TDelete logically deletes a block at commit (the paper's tDelete):
+// deferred to post-commit cleanup inside a transaction, immediate outside.
+// del is invoked when the deletion takes effect.
+func TDelete(tx *Tx, del func()) {
+	tx.Defer(del)
+}
+
+// Retirer is the safe-memory-reclamation hook consumed by Tx.Retire; an
+// *ebr.Handle satisfies it.
+type Retirer interface {
+	Retire(free func())
+}
+
+// SetSMR attaches a safe-memory-reclamation handle (typically an
+// *ebr.Handle) to this Tx. When set, Tx.Retire routes unlinked blocks
+// through it; when unset, retirement falls back to dropping the reference
+// and letting the garbage collector reclaim it.
+func (tx *Tx) SetSMR(r Retirer) { tx.smr = r }
+
+// Retire is the paper's tRetire: schedule a block for safe reclamation once
+// the enclosing transaction commits (immediately when no transaction is
+// open). Safe on a nil Tx.
+func (tx *Tx) Retire(free func()) {
+	if tx == nil {
+		free()
+		return
+	}
+	do := free
+	if tx.smr != nil {
+		r := tx.smr
+		do = func() { r.Retire(free) }
+	}
+	tx.Defer(do)
+}

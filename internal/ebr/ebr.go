@@ -1,0 +1,178 @@
+// Package ebr implements epoch-based reclamation (EBR), the safe-memory-
+// reclamation scheme used by the paper's data structures (following Fraser's
+// thesis and Hart et al., JPDC 2007).
+//
+// Under Go's garbage collector, reclamation of plain heap nodes is handled
+// by the runtime, so retiring a node is *logically* sufficient for safety.
+// This package nevertheless implements the full protocol — per-thread epoch
+// announcement, three-generation limbo lists, and deferred reclamation
+// callbacks — for two reasons: the protocol's bookkeeping cost is part of
+// what the paper measures, and structures that hold resources other than
+// memory (persistent payloads in txMontage) need a real deferred-free
+// mechanism with grace-period semantics.
+package ebr
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// generations is the classic three-epoch limbo depth: a block retired in
+// epoch e may be freed once the global epoch reaches e+2, at which point no
+// thread can still be in a critical section that began in epoch e.
+const generations = 3
+
+// Manager is a global EBR domain. All threads operating on structures that
+// share retired blocks must use handles from the same Manager.
+type Manager struct {
+	globalEpoch atomic.Uint64
+
+	mu      sync.Mutex // guards handles registry only
+	handles []*Handle
+
+	// Stats.
+	retired   atomic.Uint64
+	reclaimed atomic.Uint64
+	advances  atomic.Uint64
+
+	// advanceEvery triggers an epoch-advance attempt after this many
+	// retires on a single handle.
+	advanceEvery int
+}
+
+// New creates an EBR domain. advanceEvery controls how many retires a
+// thread accumulates before attempting to advance the global epoch
+// (a typical value is 64; 0 selects the default).
+func New(advanceEvery int) *Manager {
+	if advanceEvery <= 0 {
+		advanceEvery = 64
+	}
+	m := &Manager{advanceEvery: advanceEvery}
+	m.globalEpoch.Store(generations) // start above limbo depth
+	return m
+}
+
+// Handle is a per-goroutine participant in the EBR protocol. A Handle must
+// not be used from multiple goroutines simultaneously.
+type Handle struct {
+	mgr *Manager
+
+	// localEpoch is the announced epoch; the low bit is the "active"
+	// (in-critical-section) flag, as in Fraser's design.
+	localEpoch atomic.Uint64
+
+	limbo        [generations][]func()
+	limboEpochs  [generations]uint64
+	sinceAdvance int
+}
+
+// Register creates a handle for the calling goroutine.
+func (m *Manager) Register() *Handle {
+	h := &Handle{mgr: m}
+	h.localEpoch.Store(m.globalEpoch.Load() << 1) // inactive
+	m.mu.Lock()
+	m.handles = append(m.handles, h)
+	m.mu.Unlock()
+	return h
+}
+
+// Enter begins a critical section: the handle announces the current global
+// epoch and is counted as a potential holder of references retired since.
+func (h *Handle) Enter() {
+	e := h.mgr.globalEpoch.Load()
+	h.localEpoch.Store(e<<1 | 1)
+}
+
+// Exit ends the critical section.
+func (h *Handle) Exit() {
+	h.localEpoch.Store(h.localEpoch.Load() &^ 1)
+}
+
+// Retire registers free to be invoked once two epoch advances guarantee no
+// reader can still hold a reference obtained before the retire.
+func (h *Handle) Retire(free func()) {
+	m := h.mgr
+	e := m.globalEpoch.Load()
+	slot := int(e % generations)
+	if h.limboEpochs[slot] != e {
+		h.flushSlot(slot)
+		h.limboEpochs[slot] = e
+	}
+	h.limbo[slot] = append(h.limbo[slot], free)
+	m.retired.Add(1)
+	h.sinceAdvance++
+	if h.sinceAdvance >= m.advanceEvery {
+		h.sinceAdvance = 0
+		h.TryAdvance()
+	}
+}
+
+// flushSlot frees everything in a limbo slot that belonged to an epoch now
+// at least two advances old.
+func (h *Handle) flushSlot(slot int) {
+	if len(h.limbo[slot]) == 0 {
+		return
+	}
+	for _, f := range h.limbo[slot] {
+		f()
+	}
+	h.mgr.reclaimed.Add(uint64(len(h.limbo[slot])))
+	h.limbo[slot] = h.limbo[slot][:0]
+}
+
+// TryAdvance attempts to advance the global epoch: it succeeds only if
+// every active handle has announced the current epoch. On success, blocks
+// retired two epochs ago become reclaimable and this handle frees its own
+// expired limbo.
+func (h *Handle) TryAdvance() bool {
+	m := h.mgr
+	e := m.globalEpoch.Load()
+	m.mu.Lock()
+	for _, other := range m.handles {
+		le := other.localEpoch.Load()
+		if le&1 == 1 && le>>1 != e {
+			m.mu.Unlock()
+			return false
+		}
+	}
+	m.mu.Unlock()
+	if m.globalEpoch.CompareAndSwap(e, e+1) {
+		m.advances.Add(1)
+	}
+	// Whether we or a racer advanced, expired limbo can be flushed.
+	ne := m.globalEpoch.Load()
+	for s := 0; s < generations; s++ {
+		if h.limboEpochs[s]+2 <= ne {
+			h.flushSlot(s)
+		}
+	}
+	return true
+}
+
+// Drain reclaims all limbo on this handle unconditionally. Only safe when
+// the caller knows no other thread holds references (e.g., tests and
+// shutdown).
+func (h *Handle) Drain() {
+	for s := 0; s < generations; s++ {
+		h.flushSlot(s)
+		h.limboEpochs[s] = 0
+	}
+}
+
+// Stats is a snapshot of domain counters.
+type Stats struct {
+	Epoch     uint64
+	Retired   uint64
+	Reclaimed uint64
+	Advances  uint64
+}
+
+// Stats returns a snapshot of the domain's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Epoch:     m.globalEpoch.Load(),
+		Retired:   m.retired.Load(),
+		Reclaimed: m.reclaimed.Load(),
+		Advances:  m.advances.Load(),
+	}
+}

@@ -1,0 +1,134 @@
+package ebr
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRetireNotFreedWhileReaderActive(t *testing.T) {
+	m := New(1)
+	reader := m.Register()
+	writer := m.Register()
+
+	reader.Enter() // reader pins current epoch
+
+	freed := false
+	writer.Retire(func() { freed = true })
+	for i := 0; i < 10; i++ {
+		writer.TryAdvance()
+	}
+	if freed {
+		t.Fatal("block freed while a reader from its epoch is still active")
+	}
+
+	reader.Exit()
+	for i := 0; i < 4; i++ {
+		writer.TryAdvance()
+		writer.Retire(func() {}) // churn slots
+	}
+	if !freed {
+		t.Fatal("block never freed after reader exited and epochs advanced")
+	}
+}
+
+func TestGracePeriodTwoEpochs(t *testing.T) {
+	m := New(1000000) // no auto-advance
+	h := m.Register()
+	e0 := m.Stats().Epoch
+
+	freed := false
+	h.Retire(func() { freed = true })
+
+	if !h.TryAdvance() {
+		t.Fatal("advance 1 failed with no active readers")
+	}
+	if freed {
+		t.Fatalf("freed after one advance (epoch %d -> %d)", e0, m.Stats().Epoch)
+	}
+	if !h.TryAdvance() {
+		t.Fatal("advance 2 failed")
+	}
+	if !freed {
+		t.Fatal("not freed after two advances")
+	}
+}
+
+func TestAdvanceBlockedByLaggard(t *testing.T) {
+	m := New(1)
+	active := m.Register()
+	other := m.Register()
+
+	active.Enter()
+	other.Enter()
+	other.Exit()
+	if !other.TryAdvance() {
+		t.Fatal("advance should succeed while all active handles announce current epoch")
+	}
+	// Now 'active' is pinned at the old epoch and still active: no advance.
+	if other.TryAdvance() {
+		t.Fatal("advance should fail with an active laggard")
+	}
+	active.Exit()
+	if !other.TryAdvance() {
+		t.Fatal("advance should succeed after laggard exits")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	m := New(1000000)
+	h := m.Register()
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		h.Retire(func() { n.Add(1) })
+	}
+	h.Drain()
+	if n.Load() != 100 {
+		t.Fatalf("Drain freed %d, want 100", n.Load())
+	}
+	st := m.Stats()
+	if st.Retired != 100 || st.Reclaimed != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentRetireReclaimAll(t *testing.T) {
+	m := New(8)
+	const goroutines = 6
+	const perG = 500
+	var freed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := m.Register()
+			for i := 0; i < perG; i++ {
+				h.Enter()
+				h.Retire(func() { freed.Add(1) })
+				h.Exit()
+			}
+			h.Drain()
+		}()
+	}
+	wg.Wait()
+	if freed.Load() != goroutines*perG {
+		t.Fatalf("freed %d, want %d", freed.Load(), goroutines*perG)
+	}
+}
+
+func TestEpochMonotonic(t *testing.T) {
+	m := New(1)
+	h := m.Register()
+	last := m.Stats().Epoch
+	for i := 0; i < 50; i++ {
+		h.Enter()
+		h.Exit()
+		h.TryAdvance()
+		e := m.Stats().Epoch
+		if e < last {
+			t.Fatalf("epoch went backwards: %d -> %d", last, e)
+		}
+		last = e
+	}
+}

@@ -1,0 +1,188 @@
+// Package harness drives the paper's evaluation (Section 6): the
+// microbenchmark of Figures 7, 8 and 10 (1M key space, 0.5M preload,
+// transactions of 1-10 uniform-random operations with a configurable
+// get:insert:remove ratio) and the TPC-C subset of Figure 9, over every
+// system under test.
+package harness
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// OpKind enumerates microbenchmark operations.
+type OpKind uint8
+
+// Operation kinds in the paper's get:insert:remove mixes.
+const (
+	OpGet OpKind = iota
+	OpInsert
+	OpRemove
+)
+
+// Op is one operation of a generated transaction.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	Val  uint64
+}
+
+// Worker executes transactions for one goroutine.
+type Worker interface {
+	// Do executes ops as one atomic transaction, retrying conflict aborts
+	// internally until commit.
+	Do(ops []Op)
+}
+
+// System is one concurrency-control system under the microbenchmark.
+type System interface {
+	Name() string
+	// Preload inserts the initial key-value pairs (non-transactionally or
+	// in bulk transactions, system's choice).
+	Preload(keys []uint64)
+	NewWorker() Worker
+	// Start launches any background machinery (epoch advancers, index
+	// maintenance) and returns a stop function.
+	Start() (stop func())
+}
+
+// Ratio is a get:insert:remove mix. The paper uses 0:1:1, 2:1:1 and 18:1:1.
+type Ratio struct {
+	Get, Insert, Remove int
+}
+
+func (r Ratio) String() string {
+	return itoa(r.Get) + ":" + itoa(r.Insert) + ":" + itoa(r.Remove)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// PaperRatios are the three workload mixes of Figures 7, 8 and 10.
+var PaperRatios = []Ratio{{0, 1, 1}, {2, 1, 1}, {18, 1, 1}}
+
+// Config parameterizes one microbenchmark run.
+type Config struct {
+	Threads  int
+	Duration time.Duration
+	KeyRange uint64 // paper: 1M
+	Preload  int    // paper: 0.5M
+	TxMin    int    // paper: 1
+	TxMax    int    // paper: 10
+	Ratio    Ratio
+	Seed     int64
+}
+
+// PaperConfig returns the paper's microbenchmark parameters at the given
+// thread count and duration.
+func PaperConfig(threads int, d time.Duration, ratio Ratio) Config {
+	return Config{
+		Threads: threads, Duration: d,
+		KeyRange: 1 << 20, Preload: 1 << 19,
+		TxMin: 1, TxMax: 10,
+		Ratio: ratio, Seed: 42,
+	}
+}
+
+// Result is one measured point.
+type Result struct {
+	System     string
+	Ratio      string
+	Threads    int
+	Txns       uint64
+	Ops        uint64
+	Elapsed    time.Duration
+	Throughput float64 // txn/s
+	LatencyNs  float64 // avg per-transaction latency per thread
+}
+
+// Run measures sys under cfg.
+func Run(sys System, cfg Config) Result {
+	if cfg.TxMin <= 0 {
+		cfg.TxMin = 1
+	}
+	if cfg.TxMax < cfg.TxMin {
+		cfg.TxMax = cfg.TxMin
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	keys := make([]uint64, cfg.Preload)
+	for i := range keys {
+		keys[i] = uint64(rng.Int63n(int64(cfg.KeyRange)))
+	}
+	sys.Preload(keys)
+	stop := sys.Start()
+	defer stop()
+
+	var txns, opsDone atomic.Uint64
+	var stopFlag atomic.Bool
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			w := sys.NewWorker()
+			r := rand.New(rand.NewSource(seed))
+			ops := make([]Op, 0, cfg.TxMax)
+			var localTx, localOps uint64
+			<-start
+			for !stopFlag.Load() {
+				n := cfg.TxMin + r.Intn(cfg.TxMax-cfg.TxMin+1)
+				ops = ops[:0]
+				for i := 0; i < n; i++ {
+					ops = append(ops, Op{
+						Kind: pickKind(r, cfg.Ratio),
+						Key:  uint64(r.Int63n(int64(cfg.KeyRange))),
+						Val:  r.Uint64(),
+					})
+				}
+				w.Do(ops)
+				localTx++
+				localOps += uint64(n)
+			}
+			txns.Add(localTx)
+			opsDone.Add(localOps)
+		}(cfg.Seed + int64(t)*7919)
+	}
+	begin := time.Now()
+	close(start)
+	time.Sleep(cfg.Duration)
+	stopFlag.Store(true)
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	res := Result{
+		System: sys.Name(), Ratio: cfg.Ratio.String(), Threads: cfg.Threads,
+		Txns: txns.Load(), Ops: opsDone.Load(), Elapsed: elapsed,
+	}
+	if elapsed > 0 && res.Txns > 0 {
+		res.Throughput = float64(res.Txns) / elapsed.Seconds()
+		res.LatencyNs = float64(cfg.Threads) * float64(elapsed.Nanoseconds()) / float64(res.Txns)
+	}
+	return res
+}
+
+func pickKind(r *rand.Rand, ratio Ratio) OpKind {
+	total := ratio.Get + ratio.Insert + ratio.Remove
+	x := r.Intn(total)
+	if x < ratio.Get {
+		return OpGet
+	}
+	if x < ratio.Get+ratio.Insert {
+		return OpInsert
+	}
+	return OpRemove
+}

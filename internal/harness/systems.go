@@ -1,0 +1,523 @@
+package harness
+
+import (
+	"time"
+
+	"medley/internal/core"
+	"medley/internal/ebr"
+	"medley/internal/lftt"
+	"medley/internal/montage"
+	"medley/internal/onefile"
+	"medley/internal/pmem"
+	"medley/internal/structures/fraserskip"
+	"medley/internal/structures/mhash"
+	"medley/internal/structures/plainskip"
+	"medley/internal/tdsl"
+)
+
+// kv64 is the shape shared by all Medley maps with uint64 values.
+type kv64 interface {
+	Get(tx *core.Tx, key uint64) (uint64, bool)
+	Put(tx *core.Tx, key uint64, val uint64) (uint64, bool)
+	Insert(tx *core.Tx, key uint64, val uint64) bool
+	Remove(tx *core.Tx, key uint64) (uint64, bool)
+}
+
+// ---------------------------------------------------------------- Medley
+
+// MedleySystem benchmarks Medley over either structure.
+type MedleySystem struct {
+	name string
+	mgr  *core.TxManager
+	m    kv64
+	smr  *ebr.Manager
+}
+
+// NewMedleyHash is the Figure 7 Medley configuration (Michael's hash
+// table, 1M buckets in the paper).
+func NewMedleyHash(buckets int) *MedleySystem {
+	mgr := core.NewTxManager()
+	return &MedleySystem{name: "Medley-hash", mgr: mgr,
+		m: mhash.NewMap[uint64](mgr, buckets), smr: ebr.New(256)}
+}
+
+// NewMedleySkip is the Figure 8 Medley configuration (Fraser's skiplist).
+func NewMedleySkip() *MedleySystem {
+	mgr := core.NewTxManager()
+	return &MedleySystem{name: "Medley-skip", mgr: mgr,
+		m: fraserskip.New[uint64](mgr), smr: ebr.New(256)}
+}
+
+// Name implements System.
+func (s *MedleySystem) Name() string { return s.name }
+
+// Manager exposes the TxManager for statistics.
+func (s *MedleySystem) Manager() *core.TxManager { return s.mgr }
+
+// Start implements System.
+func (s *MedleySystem) Start() (stop func()) { return func() {} }
+
+// Preload implements System.
+func (s *MedleySystem) Preload(keys []uint64) {
+	for _, k := range keys {
+		s.m.Put(nil, k, k)
+	}
+}
+
+type medleyWorker struct {
+	s  *MedleySystem
+	tx *core.Tx
+	h  *ebr.Handle
+}
+
+// NewWorker implements System.
+func (s *MedleySystem) NewWorker() Worker {
+	tx := s.mgr.Register()
+	h := s.smr.Register()
+	tx.SetSMR(h)
+	return &medleyWorker{s: s, tx: tx, h: h}
+}
+
+func (w *medleyWorker) Do(ops []Op) {
+	w.h.Enter()
+	_ = w.tx.RunRetry(func() error {
+		for _, op := range ops {
+			switch op.Kind {
+			case OpGet:
+				w.s.m.Get(w.tx, op.Key)
+			case OpInsert:
+				w.s.m.Put(w.tx, op.Key, op.Val)
+			case OpRemove:
+				w.s.m.Remove(w.tx, op.Key)
+			}
+		}
+		return nil
+	})
+	w.h.Exit()
+}
+
+// -------------------------------------------------------------- txMontage
+
+// MontageSystem benchmarks txMontage (or its persistence-off NVM variant)
+// over either index structure.
+type MontageSystem struct {
+	name       string
+	mgr        *core.TxManager
+	sys        *montage.System
+	store      *montage.PStore[uint64]
+	persistOff bool
+	advEvery   time.Duration
+}
+
+// MontageOpts selects the txMontage benchmark variant.
+type MontageOpts struct {
+	Skiplist         bool // index: skiplist (Fig. 8) vs hash (Fig. 7)
+	Buckets          int
+	RegionWords      int
+	WriteBackLatency time.Duration // per line, models clwb on Optane
+	FenceLatency     time.Duration
+	StoreLatency     time.Duration // per payload word store (NVM media)
+	PersistOff       bool          // Figure 10b: payloads on NVM, no epochs
+	AdvanceEvery     time.Duration // epoch length (paper: ~10-100ms)
+}
+
+// NewMontage creates a txMontage benchmark system.
+func NewMontage(o MontageOpts) *MontageSystem {
+	if o.RegionWords == 0 {
+		o.RegionWords = 1 << 26
+	}
+	if o.AdvanceEvery == 0 {
+		o.AdvanceEvery = 20 * time.Millisecond
+	}
+	mgr := core.NewTxManager()
+	sys := montage.NewSystem(montage.Config{
+		RegionWords:      o.RegionWords,
+		WriteBackLatency: o.WriteBackLatency,
+		FenceLatency:     o.FenceLatency,
+		StoreLatency:     o.StoreLatency,
+	})
+	var idx montage.Index[montage.Entry[uint64]]
+	name := "txMontage-hash"
+	if o.Skiplist {
+		idx = fraserskip.New[montage.Entry[uint64]](mgr)
+		name = "txMontage-skip"
+	} else {
+		if o.Buckets == 0 {
+			o.Buckets = 1 << 20
+		}
+		idx = mhash.NewMap[montage.Entry[uint64]](mgr, o.Buckets)
+	}
+	if o.PersistOff {
+		name += "-persistOff"
+	}
+	return &MontageSystem{
+		name: name, mgr: mgr, sys: sys,
+		store:      montage.NewPStore[uint64](sys, idx, montage.U64Codec()),
+		persistOff: o.PersistOff,
+		advEvery:   o.AdvanceEvery,
+	}
+}
+
+// Name implements System.
+func (s *MontageSystem) Name() string { return s.name }
+
+// Manager exposes the TxManager for statistics.
+func (s *MontageSystem) Manager() *core.TxManager { return s.mgr }
+
+// Start implements System.
+func (s *MontageSystem) Start() (stop func()) {
+	if s.persistOff {
+		return func() {}
+	}
+	return s.sys.StartAdvancer(s.advEvery)
+}
+
+// Preload implements System.
+func (s *MontageSystem) Preload(keys []uint64) {
+	w := s.NewWorker().(*montageWorker)
+	for _, k := range keys {
+		key := k
+		_ = w.h.Tx().RunRetry(func() error {
+			s.store.Put(w.h, key, key)
+			return nil
+		})
+	}
+	if !s.persistOff {
+		s.sys.Sync()
+	}
+}
+
+type montageWorker struct {
+	s *MontageSystem
+	h *montage.Handle
+}
+
+// NewWorker implements System.
+func (s *MontageSystem) NewWorker() Worker {
+	tx := s.mgr.Register()
+	var h *montage.Handle
+	if s.persistOff {
+		h = s.sys.WrapTransient(tx)
+	} else {
+		h = s.sys.Wrap(tx)
+	}
+	return &montageWorker{s: s, h: h}
+}
+
+func (w *montageWorker) Do(ops []Op) {
+	_ = w.h.Tx().RunRetry(func() error {
+		for _, op := range ops {
+			switch op.Kind {
+			case OpGet:
+				w.s.store.Get(w.h, op.Key)
+			case OpInsert:
+				w.s.store.Put(w.h, op.Key, op.Val)
+			case OpRemove:
+				w.s.store.Remove(w.h, op.Key)
+			}
+		}
+		return nil
+	})
+}
+
+// ---------------------------------------------------------------- OneFile
+
+type ofMap interface {
+	Get(tx *onefile.Tx, key uint64) (uint64, bool)
+	Put(tx *onefile.Tx, key uint64, val uint64) (uint64, bool)
+	Remove(tx *onefile.Tx, key uint64) (uint64, bool)
+}
+
+// OneFileSystem benchmarks transient or persistent OneFile over either
+// structure.
+type OneFileSystem struct {
+	name string
+	stm  *onefile.STM
+	m    ofMap
+}
+
+// OneFileOpts selects the OneFile benchmark variant.
+type OneFileOpts struct {
+	Skiplist         bool
+	Buckets          int
+	Persistent       bool // POneFile: eager per-commit persistence
+	RegionWords      int
+	WriteBackLatency time.Duration
+	FenceLatency     time.Duration
+}
+
+// NewOneFile creates a OneFile benchmark system.
+func NewOneFile(o OneFileOpts) *OneFileSystem {
+	var stm *onefile.STM
+	name := "OneFile"
+	if o.Persistent {
+		if o.RegionWords == 0 {
+			o.RegionWords = 1 << 24
+		}
+		stm = onefile.NewPersistent(pmem.Config{
+			Words:            o.RegionWords,
+			WriteBackLatency: o.WriteBackLatency,
+			FenceLatency:     o.FenceLatency,
+		}).STM
+		name = "POneFile"
+	} else {
+		stm = onefile.New()
+	}
+	var m ofMap
+	if o.Skiplist {
+		m = onefile.NewSkiplist(stm)
+		name += "-skip"
+	} else {
+		if o.Buckets == 0 {
+			o.Buckets = 1 << 20
+		}
+		m = onefile.NewHashMap(stm, o.Buckets)
+		name += "-hash"
+	}
+	return &OneFileSystem{name: name, stm: stm, m: m}
+}
+
+// Name implements System.
+func (s *OneFileSystem) Name() string { return s.name }
+
+// Start implements System.
+func (s *OneFileSystem) Start() (stop func()) { return func() {} }
+
+// Preload implements System.
+func (s *OneFileSystem) Preload(keys []uint64) {
+	const batch = 128
+	for i := 0; i < len(keys); i += batch {
+		end := i + batch
+		if end > len(keys) {
+			end = len(keys)
+		}
+		part := keys[i:end]
+		_ = s.stm.WriteTx(func(tx *onefile.Tx) error {
+			for _, k := range part {
+				s.m.Put(tx, k, k)
+			}
+			return nil
+		})
+	}
+}
+
+type onefileWorker struct{ s *OneFileSystem }
+
+// NewWorker implements System.
+func (s *OneFileSystem) NewWorker() Worker { return &onefileWorker{s} }
+
+func (w *onefileWorker) Do(ops []Op) {
+	readOnly := true
+	for _, op := range ops {
+		if op.Kind != OpGet {
+			readOnly = false
+			break
+		}
+	}
+	body := func(tx *onefile.Tx) error {
+		for _, op := range ops {
+			switch op.Kind {
+			case OpGet:
+				w.s.m.Get(tx, op.Key)
+			case OpInsert:
+				w.s.m.Put(tx, op.Key, op.Val)
+			case OpRemove:
+				w.s.m.Remove(tx, op.Key)
+			}
+		}
+		return nil
+	}
+	if readOnly {
+		_ = w.s.stm.ReadTx(body)
+	} else {
+		_ = w.s.stm.WriteTx(body)
+	}
+}
+
+// ------------------------------------------------------------------ TDSL
+
+// TDSLSystem benchmarks the TDSL skiplist.
+type TDSLSystem struct{ sl *tdsl.Skiplist }
+
+// NewTDSL creates the TDSL benchmark system.
+func NewTDSL() *TDSLSystem { return &TDSLSystem{sl: tdsl.New()} }
+
+// Name implements System.
+func (s *TDSLSystem) Name() string { return "TDSL-skip" }
+
+// Start implements System.
+func (s *TDSLSystem) Start() (stop func()) { return func() {} }
+
+// Preload implements System.
+func (s *TDSLSystem) Preload(keys []uint64) {
+	for i := 0; i < len(keys); i += 64 {
+		end := min(i+64, len(keys))
+		part := keys[i:end]
+		_ = tdsl.RunRetry(func(tx *tdsl.Tx) error {
+			for _, k := range part {
+				tx.Put(s.sl, k, k)
+			}
+			return nil
+		})
+	}
+}
+
+type tdslWorker struct{ s *TDSLSystem }
+
+// NewWorker implements System.
+func (s *TDSLSystem) NewWorker() Worker { return &tdslWorker{s} }
+
+func (w *tdslWorker) Do(ops []Op) {
+	_ = tdsl.RunRetry(func(tx *tdsl.Tx) error {
+		for _, op := range ops {
+			switch op.Kind {
+			case OpGet:
+				tx.Get(w.s.sl, op.Key)
+			case OpInsert:
+				tx.Put(w.s.sl, op.Key, op.Val)
+			case OpRemove:
+				tx.Remove(w.s.sl, op.Key)
+			}
+		}
+		return nil
+	})
+}
+
+// ------------------------------------------------------------------ LFTT
+
+// LFTTSystem benchmarks the LFTT skiplist (static transactions).
+type LFTTSystem struct{ sl *lftt.Skiplist }
+
+// NewLFTT creates the LFTT benchmark system.
+func NewLFTT() *LFTTSystem { return &LFTTSystem{sl: lftt.New()} }
+
+// Name implements System.
+func (s *LFTTSystem) Name() string { return "LFTT-skip" }
+
+// Start implements System.
+func (s *LFTTSystem) Start() (stop func()) { return func() {} }
+
+// Preload implements System.
+func (s *LFTTSystem) Preload(keys []uint64) {
+	for _, k := range keys {
+		s.sl.Insert(k, k)
+	}
+}
+
+type lfttWorker struct {
+	s   *LFTTSystem
+	buf []lftt.Op
+}
+
+// NewWorker implements System.
+func (s *LFTTSystem) NewWorker() Worker { return &lfttWorker{s: s} }
+
+func (w *lfttWorker) Do(ops []Op) {
+	w.buf = w.buf[:0]
+	for _, op := range ops {
+		k := lftt.OpGet
+		switch op.Kind {
+		case OpInsert:
+			k = lftt.OpInsert
+		case OpRemove:
+			k = lftt.OpRemove
+		}
+		w.buf = append(w.buf, lftt.Op{Kind: k, Key: op.Key, Val: op.Val})
+	}
+	w.s.sl.Execute(w.buf)
+}
+
+// --------------------------------------------- Figure 10 latency variants
+
+// OriginalSkipSystem is Fraser's untransformed skiplist ("Original" in
+// Figure 10): operations execute directly, one group of 1-10 counted as a
+// "transaction" for latency comparability.
+type OriginalSkipSystem struct{ sl *plainskip.List[uint64] }
+
+// NewOriginalSkip creates the Figure 10 Original configuration.
+func NewOriginalSkip() *OriginalSkipSystem {
+	return &OriginalSkipSystem{sl: plainskip.New[uint64]()}
+}
+
+// Name implements System.
+func (s *OriginalSkipSystem) Name() string { return "Original-skip" }
+
+// Start implements System.
+func (s *OriginalSkipSystem) Start() (stop func()) { return func() {} }
+
+// Preload implements System.
+func (s *OriginalSkipSystem) Preload(keys []uint64) {
+	for _, k := range keys {
+		s.sl.Put(k, k)
+	}
+}
+
+type originalWorker struct{ s *OriginalSkipSystem }
+
+// NewWorker implements System.
+func (s *OriginalSkipSystem) NewWorker() Worker { return &originalWorker{s} }
+
+func (w *originalWorker) Do(ops []Op) {
+	for _, op := range ops {
+		switch op.Kind {
+		case OpGet:
+			w.s.sl.Get(op.Key)
+		case OpInsert:
+			w.s.sl.Put(op.Key, op.Val)
+		case OpRemove:
+			w.s.sl.Remove(op.Key)
+		}
+	}
+}
+
+// TxOffSkipSystem is the NBTC-transformed skiplist with transactions off
+// ("TxOff" in Figure 10): the transformed code paths run, but outside any
+// transaction, so all instrumentation is dynamically elided.
+type TxOffSkipSystem struct {
+	mgr *core.TxManager
+	sl  *fraserskip.List[uint64]
+}
+
+// NewTxOffSkip creates the Figure 10 TxOff configuration.
+func NewTxOffSkip() *TxOffSkipSystem {
+	mgr := core.NewTxManager()
+	return &TxOffSkipSystem{mgr: mgr, sl: fraserskip.New[uint64](mgr)}
+}
+
+// Name implements System.
+func (s *TxOffSkipSystem) Name() string { return "TxOff-skip" }
+
+// Start implements System.
+func (s *TxOffSkipSystem) Start() (stop func()) { return func() {} }
+
+// Preload implements System.
+func (s *TxOffSkipSystem) Preload(keys []uint64) {
+	for _, k := range keys {
+		s.sl.Put(nil, k, k)
+	}
+}
+
+type txoffWorker struct{ s *TxOffSkipSystem }
+
+// NewWorker implements System.
+func (s *TxOffSkipSystem) NewWorker() Worker { return &txoffWorker{s} }
+
+func (w *txoffWorker) Do(ops []Op) {
+	for _, op := range ops {
+		switch op.Kind {
+		case OpGet:
+			w.s.sl.Get(nil, op.Key)
+		case OpInsert:
+			w.s.sl.Put(nil, op.Key, op.Val)
+		case OpRemove:
+			w.s.sl.Remove(nil, op.Key)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,7 @@
+package montage
+
+import "errors"
+
+// errInsufficient is a business-rule failure: aborts the transaction via
+// Run without being retried by RunRetry.
+var errInsufficient = errors.New("insufficient funds")

@@ -1,0 +1,347 @@
+package onefile
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"medley/internal/pmem"
+)
+
+func TestWordBasics(t *testing.T) {
+	s := New()
+	w := NewWord[uint64](7)
+	err := s.ReadTx(func(tx *Tx) error {
+		if Read(tx, w) != 7 {
+			t.Fatal("read wrong")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteTx(func(tx *Tx) error {
+		Write(tx, w, uint64(9))
+		if Read(tx, w) != 9 {
+			t.Fatal("own write invisible")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.ReadTx(func(tx *Tx) error {
+		if Read(tx, w) != 9 {
+			t.Fatal("committed write invisible")
+		}
+		return nil
+	})
+}
+
+func TestWriteTxAtomic(t *testing.T) {
+	s := New()
+	a := NewWord[uint64](0)
+	b := NewWord[uint64](0)
+	var wg sync.WaitGroup
+	iters := 2000
+	if testing.Short() {
+		iters = 300
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				_ = s.WriteTx(func(tx *Tx) error {
+					va := Read(tx, a)
+					vb := Read(tx, b)
+					Write(tx, a, va+1)
+					Write(tx, b, vb+1)
+					return nil
+				})
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var torn int
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = s.ReadTx(func(tx *Tx) error {
+				if Read(tx, a) != Read(tx, b) {
+					torn++
+				}
+				return nil
+			})
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	if torn != 0 {
+		t.Fatalf("%d torn snapshots", torn)
+	}
+	_ = s.ReadTx(func(tx *Tx) error {
+		if Read(tx, a) != uint64(4*iters) {
+			t.Fatalf("a = %d, want %d", Read(tx, a), 4*iters)
+		}
+		return nil
+	})
+}
+
+func TestUserAbortError(t *testing.T) {
+	s := New()
+	w := NewWord[uint64](1)
+	myErr := errors.New("nope")
+	err := s.WriteTx(func(tx *Tx) error {
+		Write(tx, w, uint64(2))
+		return myErr
+	})
+	if !errors.Is(err, myErr) {
+		t.Fatalf("err = %v", err)
+	}
+	_ = s.ReadTx(func(tx *Tx) error {
+		if Read(tx, w) != 1 {
+			t.Fatal("aborted write leaked")
+		}
+		return nil
+	})
+}
+
+func TestHashMapSequentialVsReference(t *testing.T) {
+	s := New()
+	m := NewHashMap(s, 64)
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		k := uint64(rng.Intn(128))
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Uint64()
+			_ = s.WriteTx(func(tx *Tx) error { m.Put(tx, k, v); return nil })
+			ref[k] = v
+		case 1:
+			_ = s.WriteTx(func(tx *Tx) error { m.Remove(tx, k); return nil })
+			delete(ref, k)
+		default:
+			var v uint64
+			var ok bool
+			_ = s.ReadTx(func(tx *Tx) error { v, ok = m.Get(tx, k); return nil })
+			rv, had := ref[k]
+			if ok != had || (ok && v != rv) {
+				t.Fatalf("Get(%d) = %d,%v want %d,%v", k, v, ok, rv, had)
+			}
+		}
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(ref))
+	}
+}
+
+func TestSkiplistQuickVsReference(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+		Val  uint16
+	}
+	f := func(ops []op) bool {
+		s := New()
+		sl := NewSkiplist(s)
+		ref := map[uint64]uint64{}
+		for _, o := range ops {
+			k := uint64(o.Key % 48)
+			switch o.Kind % 4 {
+			case 0:
+				_ = s.WriteTx(func(tx *Tx) error { sl.Put(tx, k, uint64(o.Val)); return nil })
+				ref[k] = uint64(o.Val)
+			case 1:
+				_ = s.WriteTx(func(tx *Tx) error { sl.Remove(tx, k); return nil })
+				delete(ref, k)
+			case 2:
+				var ins bool
+				_ = s.WriteTx(func(tx *Tx) error { ins = sl.Insert(tx, k, uint64(o.Val)); return nil })
+				if _, had := ref[k]; ins == had {
+					return false
+				} else if ins {
+					ref[k] = uint64(o.Val)
+				}
+			default:
+				var v uint64
+				var ok bool
+				_ = s.ReadTx(func(tx *Tx) error { v, ok = sl.Get(tx, k); return nil })
+				rv, had := ref[k]
+				if ok != had || (ok && v != rv) {
+					return false
+				}
+			}
+		}
+		return sl.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentTransfersConserve(t *testing.T) {
+	s := New()
+	m := NewHashMap(s, 64)
+	const nAccounts = 16
+	const initial = 500
+	_ = s.WriteTx(func(tx *Tx) error {
+		for k := uint64(0); k < nAccounts; k++ {
+			m.Put(tx, k, initial)
+		}
+		return nil
+	})
+	var wg sync.WaitGroup
+	iters := 800
+	if testing.Short() {
+		iters = 150
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				a := uint64(rng.Intn(nAccounts))
+				b := uint64(rng.Intn(nAccounts))
+				if a == b {
+					continue
+				}
+				amt := uint64(rng.Intn(9) + 1)
+				_ = s.WriteTx(func(tx *Tx) error {
+					va, _ := m.Get(tx, a)
+					if va < amt {
+						return nil // skip, commit empty
+					}
+					vb, _ := m.Get(tx, b)
+					m.Put(tx, a, va-amt)
+					m.Put(tx, b, vb+amt)
+					return nil
+				})
+			}
+		}(int64(g) + 77)
+	}
+	wg.Wait()
+	var total uint64
+	_ = s.ReadTx(func(tx *Tx) error {
+		total = 0
+		for k := uint64(0); k < nAccounts; k++ {
+			v, _ := m.Get(tx, k)
+			total += v
+		}
+		return nil
+	})
+	if total != nAccounts*initial {
+		t.Fatalf("total = %d, want %d", total, nAccounts*initial)
+	}
+}
+
+func TestSkiplistTransactionalCompose(t *testing.T) {
+	s := New()
+	s1 := NewSkiplist(s)
+	s2 := NewSkiplist(s)
+	_ = s.WriteTx(func(tx *Tx) error { s1.Put(tx, 1, 100); return nil })
+	err := s.WriteTx(func(tx *Tx) error {
+		v, ok := s1.Get(tx, 1)
+		if !ok || v < 30 {
+			return errors.New("insufficient")
+		}
+		s1.Put(tx, 1, v-30)
+		v2, _ := s2.Get(tx, 2)
+		s2.Put(tx, 2, v2+30)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.ReadTx(func(tx *Tx) error {
+		if v, _ := s1.Get(tx, 1); v != 70 {
+			t.Fatalf("s1[1] = %d", v)
+		}
+		if v, _ := s2.Get(tx, 2); v != 30 {
+			t.Fatalf("s2[2] = %d", v)
+		}
+		return nil
+	})
+}
+
+func TestPersistentSTMTrafficAndRecovery(t *testing.T) {
+	p := NewPersistent(pmem.Config{Words: 1 << 16})
+	m := NewHashMap(p.STM, 64)
+	_ = p.WriteTx(func(tx *Tx) error {
+		m.Put(tx, 1, 11)
+		m.Put(tx, 2, 22)
+		return nil
+	})
+	st := p.Region.Stats()
+	if st.WriteBackLines == 0 || st.Fences < 3 {
+		t.Fatalf("no persistence traffic: %+v", st)
+	}
+	// Simulate a crash right after the log was made durable but before it
+	// was retired: recovery must replay it idempotently.
+	_ = p.WriteTx(func(tx *Tx) error { m.Put(tx, 3, 33); return nil })
+	if n := p.RecoverLog(); n != 0 {
+		t.Fatalf("retired log replayed %d entries, want 0", n)
+	}
+}
+
+func TestPersistentLatencySlowsCommit(t *testing.T) {
+	fast := NewPersistent(pmem.Config{Words: 1 << 14})
+	slow := NewPersistent(pmem.Config{
+		Words:            1 << 14,
+		WriteBackLatency: 50 * time.Microsecond,
+		FenceLatency:     20 * time.Microsecond,
+	})
+	run := func(p *PSTM) time.Duration {
+		m := NewHashMap(p.STM, 16)
+		start := time.Now()
+		for i := 0; i < 50; i++ {
+			k := uint64(i)
+			_ = p.WriteTx(func(tx *Tx) error { m.Put(tx, k, k); return nil })
+		}
+		return time.Since(start)
+	}
+	tf, ts := run(fast), run(slow)
+	if ts < 3*tf {
+		t.Fatalf("latency injection ineffective: fast=%v slow=%v", tf, ts)
+	}
+}
+
+func TestHelpCompletesStalledCommit(t *testing.T) {
+	// Publish a descriptor and take the sequence lock as a "stalled" writer
+	// would, then verify another thread's transaction completes it.
+	s := New()
+	w := NewWord[uint64](1)
+	d := &desc{start: 0, commit: 2, writes: map[word]any{word(w): uint64(5)}}
+	if !s.cur.CompareAndSwap(nil, d) || !s.seq.CompareAndSwap(0, 1) {
+		t.Fatal("setup failed")
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- s.WriteTx(func(tx *Tx) error {
+			Write(tx, w, Read(tx, w)+1)
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("helper did not complete stalled commit (not lock-free)")
+	}
+	_ = s.ReadTx(func(tx *Tx) error {
+		if Read(tx, w) != 6 {
+			t.Fatalf("w = %d, want 6 (5 from stalled tx, +1)", Read(tx, w))
+		}
+		return nil
+	})
+}

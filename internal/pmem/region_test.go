@@ -1,0 +1,124 @@
+package pmem
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStoreNotDurableWithoutWriteBack(t *testing.T) {
+	r := New(Config{Words: 64})
+	r.Store(3, 42)
+	if r.Load(3) != 42 {
+		t.Fatal("volatile store lost")
+	}
+	r.Crash()
+	if r.Load(3) != 0 {
+		t.Fatal("un-written-back store survived a crash")
+	}
+}
+
+func TestWriteBackMakesDurable(t *testing.T) {
+	r := New(Config{Words: 64})
+	r.Store(3, 42)
+	r.Store(10, 7)
+	r.WriteBack(3, 1)
+	r.Fence()
+	r.Crash()
+	if r.Load(3) != 42 {
+		t.Fatal("written-back store lost")
+	}
+	if r.Load(10) != 0 {
+		t.Fatal("unrelated store survived")
+	}
+}
+
+func TestRangeWriteBack(t *testing.T) {
+	r := New(Config{Words: 128})
+	for i := 16; i < 32; i++ {
+		r.Store(i, uint64(i))
+	}
+	r.WriteBack(16, 16)
+	r.Fence()
+	r.Crash()
+	for i := 16; i < 32; i++ {
+		if r.Load(i) != uint64(i) {
+			t.Fatalf("word %d lost", i)
+		}
+	}
+}
+
+func TestCrashIdempotent(t *testing.T) {
+	r := New(Config{Words: 16})
+	r.Store(1, 9)
+	r.WriteBack(1, 1)
+	r.Crash()
+	r.Crash()
+	if r.Load(1) != 9 {
+		t.Fatal("double crash corrupted persisted state")
+	}
+	if r.Stats().Crashes != 2 {
+		t.Fatal("crash counter wrong")
+	}
+}
+
+func TestPersistedLoadMatchesPostCrash(t *testing.T) {
+	r := New(Config{Words: 16})
+	r.Store(5, 11)
+	r.WriteBack(5, 1)
+	r.Store(5, 99) // newer volatile value, not persisted
+	if r.PersistedLoad(5) != 11 {
+		t.Fatal("PersistedLoad disagrees with media")
+	}
+	if r.Load(5) != 99 {
+		t.Fatal("volatile view clobbered by PersistedLoad")
+	}
+}
+
+func TestConcurrentDisjointStores(t *testing.T) {
+	r := New(Config{Words: 1024})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < 128; i++ {
+				r.Store(base*128+i, uint64(base))
+				r.WriteBack(base*128+i, 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	r.Crash()
+	for g := 0; g < 8; g++ {
+		for i := 0; i < 128; i++ {
+			if r.Load(g*128+i) != uint64(g) {
+				t.Fatalf("word %d wrong after concurrent flush", g*128+i)
+			}
+		}
+	}
+}
+
+func TestCASOnVolatile(t *testing.T) {
+	r := New(Config{Words: 8})
+	if !r.CAS(0, 0, 5) || r.CAS(0, 0, 6) {
+		t.Fatal("CAS semantics wrong")
+	}
+	if r.Load(0) != 5 {
+		t.Fatal("CAS result wrong")
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	r := New(Config{Words: 64, WriteBackLatency: 200 * time.Microsecond, FenceLatency: 100 * time.Microsecond})
+	start := time.Now()
+	r.WriteBack(0, 8) // one line
+	r.Fence()
+	if elapsed := time.Since(start); elapsed < 250*time.Microsecond {
+		t.Fatalf("latency not injected: %v", elapsed)
+	}
+	st := r.Stats()
+	if st.WriteBackLines != 1 || st.Fences != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,330 @@
+// Package fraserskip implements Fraser's CAS-based lock-free skiplist
+// (Practical Lock-Freedom, Cambridge 2003), NBTC-transformed for Medley.
+//
+// Linearization follows Fraser's design: an operation linearizes on a
+// single CAS at the bottom (level-0) list — linking a node in (insert),
+// marking a node's level-0 successor (remove), or marking with a spliced
+// replacement (put on an existing key, the same trick as Michael's hash
+// table in the paper's Figure 2). All index-level (level > 0) work is
+// performance-only: towers are built and torn down post-linearization, so
+// the NBTC transform defers them to post-commit cleanup, and readers treat
+// the index as a hint that is repaired en passant.
+package fraserskip
+
+import (
+	"math/bits"
+	"math/rand/v2"
+
+	"medley/internal/core"
+	"sync/atomic"
+)
+
+// MaxLevel matches the paper's experimental configuration ("each skiplist
+// has up to 20 levels").
+const MaxLevel = 20
+
+// ref is a level-0 link: successor plus logical-deletion mark. Index levels
+// reuse the type with mark always false.
+type ref[V any] struct {
+	node *node[V]
+	mark bool
+}
+
+type node[V any] struct {
+	key   uint64
+	val   V
+	level int         // tower height, 1..MaxLevel
+	dead  atomic.Bool // set post-commit; index-level hygiene only
+	next  []core.CASObj[ref[V]]
+}
+
+// List is an NBTC-transformed Fraser skiplist mapping uint64 keys to V.
+type List[V any] struct {
+	head *node[V] // sentinel, full height, key ignored
+	mgr  *core.TxManager
+}
+
+// New creates an empty skiplist attached to mgr.
+func New[V any](mgr *core.TxManager) *List[V] {
+	h := &node[V]{level: MaxLevel, next: make([]core.CASObj[ref[V]], MaxLevel)}
+	return &List[V]{head: h, mgr: mgr}
+}
+
+// Manager returns the TxManager this skiplist participates in.
+func (s *List[V]) Manager() *core.TxManager { return s.mgr }
+
+// randomLevel draws a geometric(1/2) height in [1, MaxLevel].
+func randomLevel() int {
+	l := bits.TrailingZeros64(rand.Uint64()|1<<(MaxLevel-1)) + 1
+	return l
+}
+
+// searchResult is the postcondition of search at level 0: pred.next[0] held
+// {curr, unmarked}; curr is the first node with key >= the search key (nil
+// at the end). predW / currW witness the loads of pred.next[0] and
+// curr.next[0].
+type searchResult[V any] struct {
+	pred  *node[V]
+	curr  *node[V]
+	next  *node[V]
+	found bool
+	predW core.ReadWitness
+	currW core.ReadWitness
+}
+
+// search locates key. The index levels are a best-effort fast path: the
+// descent repairs dead towers opportunistically and hands the level-0
+// stage a starting predecessor. The level-0 stage is exact Michael-style
+// traversal (the same discipline as mhash, whose anchors — bucket heads —
+// are immortal): whenever the inherited anchor proves stale (its link is
+// marked, or an unlink CAS fails), the walk restarts from the list head at
+// level 0, which is immortal and therefore always converges. All loads go
+// through NbtcLoad so a transaction observes its own speculative links;
+// helper unlinks go through NbtcCAS with no lin/pub flags.
+func (s *List[V]) search(tx *core.Tx, key uint64) searchResult[V] {
+	pred := s.head
+	// Fast-path descent. Each dead tower gets one repair attempt; on CAS
+	// failure we walk through it (hint quality only — level 0 decides).
+	for l := MaxLevel - 1; l >= 1; l-- {
+		for {
+			cr, _ := pred.next[l].NbtcLoad(tx)
+			curr := cr.node
+			if curr == nil {
+				break
+			}
+			nr0, _ := curr.next[0].NbtcLoad(tx)
+			if curr.dead.Load() || nr0.mark {
+				// curr is logically deleted (lazy flag, committed mark with
+				// pending cleanup, or this transaction's own speculative
+				// mark): swing pred past its tower, best effort.
+				sr, _ := curr.next[l].NbtcLoad(tx)
+				if pred.next[l].NbtcCAS(tx, ref[V]{curr, false}, ref[V]{sr.node, false}, false, false) {
+					continue
+				}
+				// Repair raced; fall through the dead node as a mere hint.
+			}
+			if curr.key < key {
+				pred = curr
+				continue
+			}
+			break
+		}
+	}
+	// Exact level-0 stage.
+	for attempt := 0; ; attempt++ {
+		prev := pred
+		if attempt > 0 {
+			prev = s.head // inherited anchor proved stale: immortal restart
+		}
+		cr, prevW := prev.next[0].NbtcLoad(tx)
+		if cr.mark {
+			// The anchor itself is deleted; only possible for an inherited
+			// (non-head) anchor.
+			continue
+		}
+		curr := cr.node
+		ok := true
+		for ok {
+			if curr == nil {
+				return searchResult[V]{pred: prev, predW: prevW}
+			}
+			nr, currW := curr.next[0].NbtcLoad(tx)
+			if nr.mark {
+				if prev.next[0].NbtcCAS(tx, ref[V]{curr, false}, ref[V]{nr.node, false}, false, false) {
+					curr = nr.node
+					continue
+				}
+				ok = false // lost an unlink race: restart from the head
+				break
+			}
+			if curr.key >= key {
+				return searchResult[V]{
+					pred: prev, curr: curr, next: nr.node,
+					found: curr.key == key,
+					predW: prevW, currW: currW,
+				}
+			}
+			prev = curr
+			prevW = currW
+			curr = nr.node
+		}
+	}
+}
+
+// Get returns the value bound to key; see mhash for the witness discipline
+// (curr.next[0] when present, pred.next[0] when absent).
+func (s *List[V]) Get(tx *core.Tx, key uint64) (V, bool) {
+	tx.OpStart()
+	r := s.search(tx, key)
+	if r.found {
+		tx.AddToReadSet(r.currW)
+		return r.curr.val, true
+	}
+	tx.AddToReadSet(r.predW)
+	var zero V
+	return zero, false
+}
+
+// Contains reports presence with the same evidence as Get.
+func (s *List[V]) Contains(tx *core.Tx, key uint64) bool {
+	_, ok := s.Get(tx, key)
+	return ok
+}
+
+// Put binds key to val, inserting or replacing; returns the prior value if
+// any. One linearizing CAS on the level-0 list in either path.
+func (s *List[V]) Put(tx *core.Tx, key uint64, val V) (V, bool) {
+	tx.OpStart()
+	n := &node[V]{key: key, val: val, level: randomLevel()}
+	n.next = make([]core.CASObj[ref[V]], n.level)
+	for {
+		r := s.search(tx, key)
+		if r.found {
+			victim, next := r.curr, r.next
+			n.next[0].Init(ref[V]{next, false})
+			if victim.next[0].NbtcCAS(tx, ref[V]{next, false}, ref[V]{n, true}, true, true) {
+				tx.Retire(func() {})
+				tx.Defer(func() { s.finishReplace(victim, n, key) })
+				return victim.val, true
+			}
+		} else {
+			n.next[0].Init(ref[V]{r.curr, false})
+			if r.pred.next[0].NbtcCAS(tx, ref[V]{r.curr, false}, ref[V]{n, false}, true, true) {
+				tx.Defer(func() { s.buildTower(n, key) })
+				var zero V
+				return zero, false
+			}
+		}
+	}
+}
+
+// Insert adds key only if absent; a failed insert is a read-only outcome.
+func (s *List[V]) Insert(tx *core.Tx, key uint64, val V) bool {
+	tx.OpStart()
+	n := &node[V]{key: key, val: val, level: randomLevel()}
+	n.next = make([]core.CASObj[ref[V]], n.level)
+	for {
+		r := s.search(tx, key)
+		if r.found {
+			tx.AddToReadSet(r.currW)
+			return false
+		}
+		n.next[0].Init(ref[V]{r.curr, false})
+		if r.pred.next[0].NbtcCAS(tx, ref[V]{r.curr, false}, ref[V]{n, false}, true, true) {
+			tx.Defer(func() { s.buildTower(n, key) })
+			return true
+		}
+	}
+}
+
+// Remove deletes key; the linearization point is the marking CAS on the
+// victim's level-0 link.
+func (s *List[V]) Remove(tx *core.Tx, key uint64) (V, bool) {
+	tx.OpStart()
+	for {
+		r := s.search(tx, key)
+		if !r.found {
+			tx.AddToReadSet(r.predW)
+			var zero V
+			return zero, false
+		}
+		victim, next := r.curr, r.next
+		if victim.next[0].NbtcCAS(tx, ref[V]{next, false}, ref[V]{next, true}, true, true) {
+			tx.Retire(func() {})
+			tx.Defer(func() { s.finishRemove(victim, key) })
+			return victim.val, true
+		}
+	}
+}
+
+// finishRemove is post-commit cleanup: flag the tower dead and repair the
+// index and level-0 list by re-searching.
+func (s *List[V]) finishRemove(victim *node[V], key uint64) {
+	victim.dead.Store(true)
+	s.search(nil, key)
+}
+
+// finishReplace is post-commit cleanup for the update path: retire the old
+// tower and raise the replacement's.
+func (s *List[V]) finishReplace(victim, n *node[V], key uint64) {
+	victim.dead.Store(true)
+	s.search(nil, key) // unlink victim at level 0 and in the index
+	s.buildTower(n, key)
+}
+
+// buildTower links a committed node into index levels 1..level-1. Purely
+// performance work: a failure at any level simply leaves a shorter tower.
+func (s *List[V]) buildTower(n *node[V], key uint64) {
+	for l := 1; l < n.level; l++ {
+		for attempt := 0; attempt < 4; attempt++ {
+			if n.dead.Load() {
+				return
+			}
+			pred, succ := s.indexPosition(l, key, n)
+			if pred == nil {
+				return
+			}
+			n.next[l].Store(ref[V]{succ, false})
+			if pred.next[l].CAS(ref[V]{succ, false}, ref[V]{n, false}) {
+				break
+			}
+		}
+	}
+}
+
+// indexPosition finds (pred, succ) for key at index level l, skipping dead
+// towers and the node being linked. Returns pred == nil if the position is
+// unavailable: the node is already linked, or a node with the SAME key
+// occupies the position. The same-key refusal is load-bearing: it keeps
+// every index link strictly key-increasing, so no cycle can ever form even
+// when the tower builds of a replaced node and its replacement race (a
+// same-key back-link between the two would otherwise wedge search forever).
+func (s *List[V]) indexPosition(l int, key uint64, self *node[V]) (*node[V], *node[V]) {
+	pred := s.head
+	for lvl := MaxLevel - 1; lvl >= l; lvl-- {
+		for {
+			cr := pred.next[lvl].Load()
+			curr := cr.node
+			if curr == nil || curr == self || curr.key >= key {
+				break
+			}
+			pred = curr
+		}
+	}
+	cr := pred.next[l].Load()
+	if cr.node == self {
+		return nil, nil // already linked at this level
+	}
+	if cr.node != nil && cr.node.key == key {
+		return nil, nil // a same-key replace chain holds this position
+	}
+	return pred, cr.node
+}
+
+// Len counts unmarked level-0 nodes; not linearizable, for tests.
+func (s *List[V]) Len() int {
+	n := 0
+	cr := s.head.next[0].Load()
+	for c := cr.node; c != nil; {
+		nr := c.next[0].Load()
+		if !nr.mark {
+			n++
+		}
+		c = nr.node
+	}
+	return n
+}
+
+// Range iterates a non-linearizable ascending snapshot; for tests.
+func (s *List[V]) Range(fn func(key uint64, val V) bool) {
+	cr := s.head.next[0].Load()
+	for c := cr.node; c != nil; {
+		nr := c.next[0].Load()
+		if !nr.mark {
+			if !fn(c.key, c.val) {
+				return
+			}
+		}
+		c = nr.node
+	}
+}

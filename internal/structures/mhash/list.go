@@ -1,0 +1,227 @@
+// Package mhash implements Michael's lock-free list-based set and chained
+// hash table (SPAA 2002), NBTC-transformed per Figure 2 of the Medley paper
+// so that operations compose into Medley transactions.
+//
+// Keys are uint64 (the paper's microbenchmarks use 8-byte integer keys and
+// values); values are generic. A put on an existing key replaces the node —
+// marking the victim's next pointer with the replacement spliced behind it
+// in a single linearizing CAS, exactly as in the paper's Figure 2.
+package mhash
+
+import (
+	"medley/internal/core"
+)
+
+// ref is the content of a list link: a successor pointer plus Michael's
+// logical-deletion mark. Packing both into one CASObj value preserves the
+// algorithm's key property that a marked node's link can no longer change
+// (every CAS expects mark == false).
+type ref[V any] struct {
+	node *node[V]
+	mark bool
+}
+
+// node is a list cell. key and val are immutable after insertion; updates
+// replace the node.
+type node[V any] struct {
+	key  uint64
+	val  V
+	next core.CASObj[ref[V]]
+}
+
+// List is one NBTC-transformed Michael list (a sorted set keyed by uint64).
+// It is the building block of Map and is usable on its own.
+type List[V any] struct {
+	head core.CASObj[ref[V]]
+	mgr  *core.TxManager
+}
+
+// NewList creates an empty list attached to mgr.
+func NewList[V any](mgr *core.TxManager) *List[V] {
+	return &List[V]{mgr: mgr}
+}
+
+// Manager returns the TxManager this list participates in.
+func (l *List[V]) Manager() *core.TxManager { return l.mgr }
+
+// findResult carries the postcondition of find: prev is the link whose
+// value is {curr, unmarked}; curr is the first node with key >= the search
+// key (nil at end of list); next is curr's observed successor. prevWitness
+// and currWitness are the read evidence for the loads of prev and
+// curr.next respectively.
+type findResult[V any] struct {
+	prev        *core.CASObj[ref[V]]
+	curr        *node[V]
+	next        *node[V]
+	found       bool
+	prevWitness core.ReadWitness
+	currWitness core.ReadWitness
+}
+
+// find locates key from the list head, unlinking marked nodes it passes
+// (Michael's helping). Unlinks go through NbtcCAS with no lin/pub flags:
+// outside a speculation interval they execute immediately as in the
+// original algorithm; inside one (i.e., after this transaction has seen its
+// own speculative value) they are treated as critical, which is the
+// conservative instrumentation the paper describes.
+func (l *List[V]) find(tx *core.Tx, key uint64) findResult[V] {
+retry:
+	for {
+		prev := &l.head
+		cr, prevW := prev.NbtcLoad(tx)
+		curr := cr.node
+		for {
+			if curr == nil {
+				return findResult[V]{prev: prev, prevWitness: prevW}
+			}
+			nr, currW := curr.next.NbtcLoad(tx)
+			if nr.mark {
+				// curr is logically deleted; unlink it. The successor nr.node
+				// may be a replacement node carrying the same key.
+				if !prev.NbtcCAS(tx, ref[V]{curr, false}, ref[V]{nr.node, false}, false, false) {
+					continue retry
+				}
+				tx.Retire(func() {})
+				curr = nr.node
+				continue
+			}
+			if curr.key >= key {
+				return findResult[V]{
+					prev: prev, curr: curr, next: nr.node,
+					found:       curr.key == key,
+					prevWitness: prevW, currWitness: currW,
+				}
+			}
+			prev = &curr.next
+			prevW = currW
+			curr = nr.node
+		}
+	}
+}
+
+// Get returns the value bound to key. Its linearizing load is the load of
+// curr.next when the key is present (the word a committed replace or remove
+// must change) and the load of prev when absent (the word an insert into
+// the gap must change); the corresponding witness joins the read set.
+func (l *List[V]) Get(tx *core.Tx, key uint64) (V, bool) {
+	tx.OpStart()
+	r := l.find(tx, key)
+	if r.found {
+		tx.AddToReadSet(r.currWitness)
+		return r.curr.val, true
+	}
+	tx.AddToReadSet(r.prevWitness)
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is present, with the same read evidence as
+// Get.
+func (l *List[V]) Contains(tx *core.Tx, key uint64) bool {
+	_, ok := l.Get(tx, key)
+	return ok
+}
+
+// Put binds key to val, inserting or replacing. It returns the previous
+// value, if any. The linearization point is a single CAS in both paths:
+// marking the victim's next with the replacement spliced in (update), or
+// linking the new node (insert).
+func (l *List[V]) Put(tx *core.Tx, key uint64, val V) (V, bool) {
+	tx.OpStart()
+	newNode := &node[V]{key: key, val: val}
+	for {
+		r := l.find(tx, key)
+		if r.found {
+			curr, next, prev := r.curr, r.next, r.prev
+			newNode.next.Init(ref[V]{next, false})
+			if curr.next.NbtcCAS(tx, ref[V]{next, false}, ref[V]{newNode, true}, true, true) {
+				tx.Retire(func() {})
+				tx.Defer(func() {
+					// Unlink the replaced node; on failure a later find
+					// performs the unlink on our behalf.
+					prev.CAS(ref[V]{curr, false}, ref[V]{newNode, false})
+				})
+				return curr.val, true
+			}
+		} else {
+			newNode.next.Init(ref[V]{r.curr, false})
+			if r.prev.NbtcCAS(tx, ref[V]{r.curr, false}, ref[V]{newNode, false}, true, true) {
+				var zero V
+				return zero, false
+			}
+		}
+	}
+}
+
+// Insert adds key only if absent, returning false when the key already
+// exists. A failed insert is a read-only outcome whose evidence is the
+// observation of the existing node.
+func (l *List[V]) Insert(tx *core.Tx, key uint64, val V) bool {
+	tx.OpStart()
+	newNode := &node[V]{key: key, val: val}
+	for {
+		r := l.find(tx, key)
+		if r.found {
+			tx.AddToReadSet(r.currWitness)
+			return false
+		}
+		newNode.next.Init(ref[V]{r.curr, false})
+		if r.prev.NbtcCAS(tx, ref[V]{r.curr, false}, ref[V]{newNode, false}, true, true) {
+			return true
+		}
+	}
+}
+
+// Remove deletes key, returning the removed value. A failed remove (key
+// absent) is a read-only outcome witnessed on prev. The linearization point
+// of a successful remove is the marking CAS on curr.next.
+func (l *List[V]) Remove(tx *core.Tx, key uint64) (V, bool) {
+	tx.OpStart()
+	for {
+		r := l.find(tx, key)
+		if !r.found {
+			tx.AddToReadSet(r.prevWitness)
+			var zero V
+			return zero, false
+		}
+		curr, next, prev := r.curr, r.next, r.prev
+		if curr.next.NbtcCAS(tx, ref[V]{next, false}, ref[V]{next, true}, true, true) {
+			tx.Retire(func() {})
+			tx.Defer(func() {
+				prev.CAS(ref[V]{curr, false}, ref[V]{next, false})
+			})
+			return curr.val, true
+		}
+	}
+}
+
+// Len counts unmarked nodes; it is not linearizable and is intended for
+// tests and diagnostics.
+func (l *List[V]) Len() int {
+	n := 0
+	cr := l.head.Load()
+	for c := cr.node; c != nil; {
+		nr := c.next.Load()
+		if !nr.mark {
+			n++
+		}
+		c = nr.node
+	}
+	return n
+}
+
+// Range invokes fn over a non-linearizable snapshot of unmarked nodes in
+// ascending key order, stopping if fn returns false. For tests and
+// diagnostics.
+func (l *List[V]) Range(fn func(key uint64, val V) bool) {
+	cr := l.head.Load()
+	for c := cr.node; c != nil; {
+		nr := c.next.Load()
+		if !nr.mark {
+			if !fn(c.key, c.val) {
+				return
+			}
+		}
+		c = nr.node
+	}
+}

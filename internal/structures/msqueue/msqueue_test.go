@@ -1,0 +1,343 @@
+package msqueue
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"medley/internal/core"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	mgr := core.NewTxManager()
+	q := New[int](mgr)
+	if _, ok := q.Dequeue(nil); ok {
+		t.Fatal("empty dequeue succeeded")
+	}
+	for i := 0; i < 10; i++ {
+		q.Enqueue(nil, i)
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", q.Len())
+	}
+	if v, ok := q.Peek(nil); !ok || v != 0 {
+		t.Fatalf("Peek = %d,%v", v, ok)
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := q.Dequeue(nil)
+		if !ok || v != i {
+			t.Fatalf("Dequeue = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(nil); ok {
+		t.Fatal("drained queue still yields")
+	}
+}
+
+func TestTxEnqueueDequeueAtomic(t *testing.T) {
+	mgr := core.NewTxManager()
+	q := New[int](mgr)
+	tx := mgr.Register()
+	err := tx.Run(func() error {
+		q.Enqueue(tx, 1)
+		q.Enqueue(tx, 2)
+		q.Enqueue(tx, 3)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := q.Drain(); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Drain = %v, want [1 2 3]", got)
+	}
+}
+
+func TestTxAbortedEnqueueLeavesNothing(t *testing.T) {
+	mgr := core.NewTxManager()
+	q := New[int](mgr)
+	tx := mgr.Register()
+	_ = tx.Run(func() error {
+		q.Enqueue(tx, 1)
+		q.Enqueue(tx, 2)
+		tx.Abort()
+		return nil
+	})
+	if q.Len() != 0 {
+		t.Fatalf("aborted enqueues leaked: Len = %d", q.Len())
+	}
+	q.Enqueue(nil, 9)
+	if got := q.Drain(); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("queue unusable after abort: %v", got)
+	}
+}
+
+func TestTxDequeueOwnEnqueue(t *testing.T) {
+	// Second operation depends on the first within one transaction: the
+	// complication of Section 2.2 in the paper.
+	mgr := core.NewTxManager()
+	q := New[int](mgr)
+	tx := mgr.Register()
+	err := tx.Run(func() error {
+		q.Enqueue(tx, 42)
+		v, ok := q.Dequeue(tx)
+		if !ok || v != 42 {
+			t.Fatalf("Dequeue own enqueue = %d,%v", v, ok)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after self-consuming tx: %d", q.Len())
+	}
+}
+
+func TestTxMoveBetweenQueues(t *testing.T) {
+	mgr := core.NewTxManager()
+	q1 := New[int](mgr)
+	q2 := New[int](mgr)
+	tx := mgr.Register()
+	q1.Enqueue(nil, 7)
+	err := tx.RunRetry(func() error {
+		v, ok := q1.Dequeue(tx)
+		if !ok {
+			tx.Abort()
+		}
+		q2.Enqueue(tx, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("move: %v", err)
+	}
+	if q1.Len() != 0 || q2.Len() != 1 {
+		t.Fatalf("lens = %d,%d want 0,1", q1.Len(), q2.Len())
+	}
+	// Empty-source move must abort atomically.
+	err = tx.Run(func() error {
+		v, ok := q1.Dequeue(tx)
+		if !ok {
+			tx.Abort()
+		}
+		q2.Enqueue(tx, v)
+		return nil
+	})
+	if !errors.Is(err, core.ErrTxAborted) {
+		t.Fatalf("empty move = %v, want abort", err)
+	}
+	if q2.Len() != 1 {
+		t.Fatalf("q2 polluted by aborted move: %d", q2.Len())
+	}
+}
+
+func TestEmptyDequeueValidation(t *testing.T) {
+	// A transaction that observed emptiness must abort if an enqueue
+	// commits before it does.
+	mgr := core.NewTxManager()
+	q := New[int](mgr)
+	tx := mgr.Register()
+	err := tx.Run(func() error {
+		if _, ok := q.Dequeue(tx); ok {
+			t.Fatal("queue not empty")
+		}
+		q.Enqueue(nil, 5) // concurrent committed enqueue
+		return nil
+	})
+	if !errors.Is(err, core.ErrTxAborted) {
+		t.Fatalf("tx with stale emptiness = %v, want abort", err)
+	}
+}
+
+func TestConcurrentEnqueueDequeue(t *testing.T) {
+	mgr := core.NewTxManager()
+	q := New[uint64](mgr)
+	const producers = 3
+	const consumers = 3
+	perP := 2000
+	if testing.Short() {
+		perP = 300
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var got []uint64
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				q.Enqueue(nil, base+uint64(i))
+			}
+		}(uint64(p) << 32)
+	}
+	var consumed sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		consumed.Add(1)
+		go func() {
+			defer consumed.Done()
+			var local []uint64
+			for {
+				v, ok := q.Dequeue(nil)
+				if ok {
+					local = append(local, v)
+					continue
+				}
+				select {
+				case <-stop:
+					for {
+						v, ok := q.Dequeue(nil)
+						if !ok {
+							break
+						}
+						local = append(local, v)
+					}
+					mu.Lock()
+					got = append(got, local...)
+					mu.Unlock()
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	consumed.Wait()
+	if len(got) != producers*perP {
+		t.Fatalf("consumed %d, want %d", len(got), producers*perP)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	for p := 0; p < producers; p++ {
+		for i := 0; i < perP; i++ {
+			want := uint64(p)<<32 + uint64(i)
+			if got[p*perP+i] != want {
+				t.Fatalf("missing or duplicated element near %d", want)
+			}
+		}
+	}
+}
+
+func TestConcurrentTransactionalBatches(t *testing.T) {
+	// Each transaction enqueues a pair (x, x+1); pairs must drain as
+	// adjacent elements (transactional atomicity of composed enqueues).
+	mgr := core.NewTxManager()
+	q := New[uint64](mgr)
+	const goroutines = 4
+	perG := 300
+	if testing.Short() {
+		perG = 50
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			tx := mgr.Register()
+			for i := 0; i < perG; i++ {
+				x := base + uint64(i)*2
+				_ = tx.RunRetry(func() error {
+					q.Enqueue(tx, x)
+					q.Enqueue(tx, x+1)
+					return nil
+				})
+			}
+		}(uint64(g) << 40)
+	}
+	wg.Wait()
+	out := q.Drain()
+	if len(out) != goroutines*perG*2 {
+		t.Fatalf("drained %d, want %d", len(out), goroutines*perG*2)
+	}
+	for i := 0; i < len(out); i += 2 {
+		if out[i+1] != out[i]+1 || out[i]%2 != 0 {
+			t.Fatalf("pair torn at %d: %d then %d", i, out[i], out[i+1])
+		}
+	}
+}
+
+func TestQuickTxQueueSemantics(t *testing.T) {
+	// Property: a sequence of committed transactions, each enqueueing and/or
+	// dequeueing, behaves like the same script on a slice-backed queue.
+	type step struct {
+		Enq  bool
+		Val  uint8
+		Deq  bool
+		Both bool
+	}
+	f := func(script []step) bool {
+		mgr := core.NewTxManager()
+		q := New[int](mgr)
+		tx := mgr.Register()
+		var ref []int
+		for _, s := range script {
+			err := tx.Run(func() error {
+				if s.Enq || s.Both {
+					q.Enqueue(tx, int(s.Val))
+				}
+				if s.Deq || s.Both {
+					q.Dequeue(tx)
+				}
+				return nil
+			})
+			if err != nil {
+				return false // single-threaded: must always commit
+			}
+			if s.Enq || s.Both {
+				ref = append(ref, int(s.Val))
+			}
+			if (s.Deq || s.Both) && len(ref) > 0 {
+				ref = ref[1:]
+			}
+		}
+		got := q.Drain()
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStressMixedTxAndPlain(t *testing.T) {
+	mgr := core.NewTxManager()
+	q := New[int](mgr)
+	iters := 2000
+	if testing.Short() {
+		iters = 300
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			tx := mgr.Register()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				if rng.Intn(2) == 0 {
+					q.Enqueue(nil, i)
+					q.Dequeue(nil)
+				} else {
+					_ = tx.RunRetry(func() error {
+						q.Enqueue(tx, i)
+						q.Dequeue(tx)
+						return nil
+					})
+				}
+			}
+		}(int64(g) + 5)
+	}
+	wg.Wait()
+	if q.Len() != 0 {
+		t.Fatalf("balanced ops left %d elements", q.Len())
+	}
+}

@@ -1,0 +1,343 @@
+// Package nmbst implements an NBTC-transformed lock-free external binary
+// search tree in the style of Natarajan & Mittal (PPoPP 2014): an
+// edge-based design in which deletion first flags the edge to the victim
+// leaf, then freezes the sibling edge with a tag, and finally splices the
+// sibling up to the grandparent.
+//
+// The BST is the paper's example of an operation with a distinct
+// publication point: the flag CAS makes the deletion visible (other
+// updaters may help complete it) before the splice CAS linearizes it. Under
+// NBTC the speculation interval therefore spans from the flag (pubPt) to
+// the splice (linPt), and all three CASes of a deletion commit atomically
+// with the rest of the transaction.
+//
+// Like the original, the tree is leaf-oriented: internal nodes route, keys
+// live in leaves, and every internal node has exactly two children. GC
+// replaces the original's epoch-based reclamation; fresh-cell identity in
+// the Medley core replaces its pointer-packing of flag/tag bits.
+package nmbst
+
+import (
+	"medley/internal/core"
+)
+
+// Key-space sentinels, mirroring the inf0/inf1/inf2 construction of the
+// original: user keys must be at most MaxKey.
+const (
+	inf0 = ^uint64(0) - 2
+	inf1 = ^uint64(0) - 1
+	inf2 = ^uint64(0)
+	// MaxKey is the largest user key the tree accepts.
+	MaxKey = inf0 - 1
+)
+
+// edge is the value of a child pointer: target node plus the deletion
+// protocol bits. flag marks an edge to a leaf being deleted; tag freezes a
+// sibling edge while its subtree is spliced up.
+type edge[V any] struct {
+	n    *node[V]
+	flag bool
+	tag  bool
+}
+
+type node[V any] struct {
+	key      uint64
+	val      V
+	internal bool
+	left     core.CASObj[edge[V]]
+	right    core.CASObj[edge[V]]
+}
+
+func (n *node[V]) child(k uint64) *core.CASObj[edge[V]] {
+	if k < n.key {
+		return &n.left
+	}
+	return &n.right
+}
+
+// Tree is an NBTC-transformed external BST mapping uint64 keys (≤ MaxKey)
+// to V.
+type Tree[V any] struct {
+	root *node[V]
+	mgr  *core.TxManager
+}
+
+// New creates an empty tree attached to mgr.
+func New[V any](mgr *core.TxManager) *Tree[V] {
+	s := &node[V]{key: inf1, internal: true}
+	s.left.Init(edge[V]{n: &node[V]{key: inf0}})
+	s.right.Init(edge[V]{n: &node[V]{key: inf1}})
+	r := &node[V]{key: inf2, internal: true}
+	r.left.Init(edge[V]{n: s})
+	r.right.Init(edge[V]{n: &node[V]{key: inf2}})
+	return &Tree[V]{root: r, mgr: mgr}
+}
+
+// Manager returns the TxManager this tree participates in.
+func (t *Tree[V]) Manager() *core.TxManager { return t.mgr }
+
+// seekResult is the position of key: gp --gpEdge--> p --pEdge--> leaf, with
+// the witnessed load of pEdge (the linearizing load of read-only
+// outcomes). pEdgeVal carries the flag observed on the leaf edge.
+type seekResult[V any] struct {
+	gp     *node[V]
+	gpEdge *core.CASObj[edge[V]]
+	gpVal  edge[V]
+	p      *node[V]
+	pEdge  *core.CASObj[edge[V]]
+	pVal   edge[V]
+	leaf   *node[V]
+	pW     core.ReadWitness
+	found  bool
+}
+
+// seek descends from the root to the leaf governing key, helping any
+// foreign pending deletion it encounters (flagged or tagged edges), except
+// a deletion identified by (ownP, ownLeaf), which belongs to the calling
+// operation itself.
+func (t *Tree[V]) seek(tx *core.Tx, key uint64, ownP, ownLeaf *node[V]) seekResult[V] {
+retry:
+	for {
+		var r seekResult[V]
+		r.p = t.root
+		r.pEdge = t.root.child(key)
+		var pV edge[V]
+		pV, r.pW = r.pEdge.NbtcLoad(tx)
+		r.pVal = pV
+		r.leaf = pV.n
+		for r.leaf.internal {
+			r.gp, r.gpEdge, r.gpVal = r.p, r.pEdge, r.pVal
+			r.p = r.leaf
+			r.pEdge = r.p.child(key)
+			pV, r.pW = r.pEdge.NbtcLoad(tx)
+			r.pVal = pV
+			r.leaf = pV.n
+		}
+		if (r.pVal.flag || r.pVal.tag) && !(r.p == ownP && r.leaf == ownLeaf) {
+			// A foreign deletion is pending at our destination; help it
+			// finish and retry. (Tagged leaf edges occur transiently when
+			// the sibling of a pending delete is itself a leaf.)
+			if r.pVal.flag {
+				t.helpDelete(tx, r.gp, r.gpEdge, r.p, r.leaf)
+			} else {
+				t.helpTagged(tx, r.gp, r.gpEdge, r.gpVal)
+			}
+			continue retry
+		}
+		r.found = r.leaf.key == key
+		return r
+	}
+}
+
+// helpDelete completes a deletion whose flag is set on p's edge to leaf:
+// freeze p's other edge with a tag, then splice the sibling into gp. Safe
+// to run concurrently by any number of helpers; every CAS tolerates having
+// already been done.
+func (t *Tree[V]) helpDelete(tx *core.Tx, gp *node[V], gpEdge *core.CASObj[edge[V]], p, leaf *node[V]) {
+	if gp == nil || gpEdge == nil {
+		return // flags directly under the root never happen: sentinels are never deleted
+	}
+	sibEdge := &p.right
+	if !leafIsLeft(p, leaf, tx) {
+		sibEdge = &p.left
+	}
+	// Freeze the sibling edge: tag it if clean; a flag (competing deletion
+	// of the sibling leaf) freezes it just as well.
+	var sv edge[V]
+	for {
+		sv, _ = sibEdge.NbtcLoad(tx)
+		if sv.flag || sv.tag {
+			break
+		}
+		if sibEdge.NbtcCAS(tx, sv, edge[V]{sv.n, false, true}, false, false) {
+			sv.tag = true
+			break
+		}
+	}
+	// Splice: gp's edge to p becomes an edge to the frozen sibling.
+	gpEdge.NbtcCAS(tx, edge[V]{p, false, false}, edge[V]{sv.n, false, false}, false, false)
+}
+
+// helpTagged resolves an encountered tagged edge by re-running the
+// deletion that owns it: the tag's owner flagged p's other edge, so locate
+// that flag and help. gpEdge/gpVal address the tagged edge's parent edge.
+func (t *Tree[V]) helpTagged(tx *core.Tx, gp *node[V], gpEdge *core.CASObj[edge[V]], gpVal edge[V]) {
+	// The tagged edge hangs off gpVal.n's parent p = the node whose other
+	// edge is flagged. Our caller found the tag on p's edge, with p
+	// reachable from gp; the flagged edge is p's other child.
+	p := gpVal.n
+	if p == nil || !p.internal {
+		return
+	}
+	lv, _ := p.left.NbtcLoad(tx)
+	rv, _ := p.right.NbtcLoad(tx)
+	if lv.flag && lv.n != nil && !lv.n.internal {
+		t.helpDelete(tx, gp, gpEdge, p, lv.n)
+	} else if rv.flag && rv.n != nil && !rv.n.internal {
+		t.helpDelete(tx, gp, gpEdge, p, rv.n)
+	}
+}
+
+// leafIsLeft reports which side of p holds leaf, reading through any
+// installed descriptors.
+func leafIsLeft[V any](p *node[V], leaf *node[V], tx *core.Tx) bool {
+	lv, _ := p.left.NbtcLoad(tx)
+	return lv.n == leaf
+}
+
+// Get returns the value bound to key; the witnessed load of the leaf edge
+// is the linearization point (a committed replace or delete of that leaf
+// must change the edge, and an insert of key must replace it with an
+// internal node).
+func (t *Tree[V]) Get(tx *core.Tx, key uint64) (V, bool) {
+	tx.OpStart()
+	r := t.seek(tx, key, nil, nil)
+	tx.AddToReadSet(r.pW)
+	if r.found {
+		return r.leaf.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports presence with the same evidence as Get.
+func (t *Tree[V]) Contains(tx *core.Tx, key uint64) bool {
+	_, ok := t.Get(tx, key)
+	return ok
+}
+
+// Put binds key to val, inserting or replacing; one linearizing CAS on the
+// leaf edge in either path.
+func (t *Tree[V]) Put(tx *core.Tx, key uint64, val V) (V, bool) {
+	tx.OpStart()
+	for {
+		r := t.seek(tx, key, nil, nil)
+		if r.found {
+			newLeaf := &node[V]{key: key, val: val}
+			if r.pEdge.NbtcCAS(tx, edge[V]{r.leaf, false, false}, edge[V]{newLeaf, false, false}, true, true) {
+				tx.Retire(func() {})
+				return r.leaf.val, true
+			}
+			continue
+		}
+		if t.insertAt(tx, r, key, val) {
+			var zero V
+			return zero, false
+		}
+	}
+}
+
+// Insert adds key only if absent; a failed insert is a read-only outcome.
+func (t *Tree[V]) Insert(tx *core.Tx, key uint64, val V) bool {
+	tx.OpStart()
+	for {
+		r := t.seek(tx, key, nil, nil)
+		if r.found {
+			tx.AddToReadSet(r.pW)
+			return false
+		}
+		if t.insertAt(tx, r, key, val) {
+			return true
+		}
+	}
+}
+
+// insertAt replaces the reached leaf with an internal node holding the old
+// leaf and the new one in key order.
+func (t *Tree[V]) insertAt(tx *core.Tx, r seekResult[V], key uint64, val V) bool {
+	newLeaf := &node[V]{key: key, val: val}
+	in := &node[V]{internal: true}
+	if key < r.leaf.key {
+		in.key = r.leaf.key
+		in.left.Init(edge[V]{n: newLeaf})
+		in.right.Init(edge[V]{n: r.leaf})
+	} else {
+		in.key = key
+		in.left.Init(edge[V]{n: r.leaf})
+		in.right.Init(edge[V]{n: newLeaf})
+	}
+	return r.pEdge.NbtcCAS(tx, edge[V]{r.leaf, false, false}, edge[V]{in, false, false}, true, true)
+}
+
+// Remove deletes key. Protocol: flag the leaf edge (publication point),
+// freeze the sibling edge with a tag, splice the sibling into the
+// grandparent (linearization point). All three CASes are critical inside a
+// transaction and commit together.
+func (t *Tree[V]) Remove(tx *core.Tx, key uint64) (V, bool) {
+	tx.OpStart()
+	var ownP, ownLeaf *node[V]
+	var val V
+	for {
+		r := t.seek(tx, key, ownP, ownLeaf)
+		if ownP == nil {
+			if !r.found {
+				tx.AddToReadSet(r.pW)
+				var zero V
+				return zero, false
+			}
+			val = r.leaf.val
+			// Publication point: flag the edge to the victim leaf.
+			if !r.pEdge.NbtcCAS(tx, edge[V]{r.leaf, false, false}, edge[V]{r.leaf, true, false}, false, true) {
+				continue
+			}
+			ownP, ownLeaf = r.p, r.leaf
+		} else if r.p != ownP || r.leaf != ownLeaf {
+			// Our flagged leaf is no longer where we left it: some helper
+			// completed the splice on our behalf (only possible outside a
+			// transaction, where the flag is immediately visible).
+			return val, true
+		}
+		// Freeze the sibling edge, then splice (linearization point).
+		sibEdge := &ownP.right
+		if !leafIsLeft(ownP, ownLeaf, tx) {
+			sibEdge = &ownP.left
+		}
+		var sv edge[V]
+		for {
+			sv, _ = sibEdge.NbtcLoad(tx)
+			if sv.flag || sv.tag {
+				break
+			}
+			if sibEdge.NbtcCAS(tx, sv, edge[V]{sv.n, false, true}, false, false) {
+				break
+			}
+		}
+		if r.gpEdge.NbtcCAS(tx, edge[V]{ownP, false, false}, edge[V]{sv.n, false, false}, true, true) {
+			tx.Retire(func() {})
+			tx.Retire(func() {})
+			return val, true
+		}
+		// Splice failed: the grandparent edge changed (e.g., another
+		// deletion restructured above us). Re-seek and retry; the flag
+		// keeps our victim frozen.
+	}
+}
+
+// Len counts leaves with user keys; not linearizable, for tests.
+func (t *Tree[V]) Len() int {
+	n := 0
+	t.Range(func(uint64, V) bool { n++; return true })
+	return n
+}
+
+// Range iterates a non-linearizable snapshot of user entries in key order;
+// for tests.
+func (t *Tree[V]) Range(fn func(key uint64, val V) bool) {
+	var walk func(nd *node[V]) bool
+	walk = func(nd *node[V]) bool {
+		if nd == nil {
+			return true
+		}
+		if !nd.internal {
+			if nd.key <= MaxKey {
+				return fn(nd.key, nd.val)
+			}
+			return true
+		}
+		if !walk(nd.left.Load().n) {
+			return false
+		}
+		return walk(nd.right.Load().n)
+	}
+	walk(t.root)
+}

@@ -1,0 +1,374 @@
+package nmbst
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"medley/internal/core"
+)
+
+func TestSequentialBasics(t *testing.T) {
+	mgr := core.NewTxManager()
+	tr := New[string](mgr)
+	if _, ok := tr.Get(nil, 5); ok {
+		t.Fatal("empty Get found")
+	}
+	if _, repl := tr.Put(nil, 5, "five"); repl {
+		t.Fatal("fresh Put replaced")
+	}
+	if v, ok := tr.Get(nil, 5); !ok || v != "five" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	if old, repl := tr.Put(nil, 5, "FIVE"); !repl || old != "five" {
+		t.Fatalf("replace = %q,%v", old, repl)
+	}
+	if !tr.Insert(nil, 3, "three") || tr.Insert(nil, 3, "x") {
+		t.Fatal("Insert semantics broken")
+	}
+	if v, ok := tr.Remove(nil, 3); !ok || v != "three" {
+		t.Fatalf("Remove = %q,%v", v, ok)
+	}
+	if _, ok := tr.Remove(nil, 3); ok {
+		t.Fatal("double Remove succeeded")
+	}
+	if v, ok := tr.Remove(nil, 5); !ok || v != "FIVE" {
+		t.Fatalf("Remove(5) = %q,%v", v, ok)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	// Tree must remain usable after shrinking to empty.
+	if !tr.Insert(nil, 9, "nine") {
+		t.Fatal("insert after empty failed")
+	}
+	if v, ok := tr.Get(nil, 9); !ok || v != "nine" {
+		t.Fatalf("Get(9) = %q,%v", v, ok)
+	}
+}
+
+func TestInOrderTraversal(t *testing.T) {
+	mgr := core.NewTxManager()
+	tr := New[int](mgr)
+	rng := rand.New(rand.NewSource(1))
+	ref := map[uint64]int{}
+	for i := 0; i < 2000; i++ {
+		k := uint64(rng.Intn(3000))
+		v := rng.Int()
+		tr.Put(nil, k, v)
+		ref[k] = v
+	}
+	var prev uint64
+	first := true
+	count := 0
+	tr.Range(func(k uint64, v int) bool {
+		if !first && k <= prev {
+			t.Fatalf("order violated: %d after %d", k, prev)
+		}
+		if ref[k] != v {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		prev, first = k, false
+		count++
+		return true
+	})
+	if count != len(ref) {
+		t.Fatalf("Range saw %d, want %d", count, len(ref))
+	}
+}
+
+func TestQuickVsReference(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+		Val  uint16
+	}
+	f := func(ops []op) bool {
+		mgr := core.NewTxManager()
+		tr := New[uint16](mgr)
+		ref := map[uint64]uint16{}
+		for _, o := range ops {
+			k := uint64(o.Key % 40)
+			switch o.Kind % 4 {
+			case 0:
+				tr.Put(nil, k, o.Val)
+				ref[k] = o.Val
+			case 1:
+				v, ok := tr.Remove(nil, k)
+				rv, had := ref[k]
+				if ok != had || (ok && v != rv) {
+					return false
+				}
+				delete(ref, k)
+			case 2:
+				ins := tr.Insert(nil, k, o.Val)
+				_, had := ref[k]
+				if ins == had {
+					return false
+				}
+				if ins {
+					ref[k] = o.Val
+				}
+			default:
+				v, ok := tr.Get(nil, k)
+				rv, had := ref[k]
+				if ok != had || (ok && v != rv) {
+					return false
+				}
+			}
+		}
+		return tr.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransactionalComposition(t *testing.T) {
+	mgr := core.NewTxManager()
+	t1 := New[int](mgr)
+	t2 := New[int](mgr)
+	tx := mgr.Register()
+	t1.Put(nil, 1, 100)
+	err := tx.Run(func() error {
+		v, ok := t1.Get(tx, 1)
+		if !ok || v < 40 {
+			tx.Abort()
+		}
+		t1.Put(tx, 1, v-40)
+		v2, _ := t2.Get(tx, 9)
+		t2.Put(tx, 9, v2+40)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("transfer: %v", err)
+	}
+	if v, _ := t1.Get(nil, 1); v != 60 {
+		t.Fatalf("t1[1] = %d", v)
+	}
+	if v, _ := t2.Get(nil, 9); v != 40 {
+		t.Fatalf("t2[9] = %d", v)
+	}
+}
+
+func TestTxRemoveAtomicMultiCAS(t *testing.T) {
+	// Remove spans three CASes (flag, tag, splice); abort must roll back
+	// all of them.
+	mgr := core.NewTxManager()
+	tr := New[int](mgr)
+	tx := mgr.Register()
+	for k := uint64(1); k <= 7; k++ {
+		tr.Put(nil, k, int(k))
+	}
+	_ = tx.Run(func() error {
+		if _, ok := tr.Remove(tx, 4); !ok {
+			t.Fatal("Remove failed")
+		}
+		if _, ok := tr.Get(tx, 4); ok {
+			t.Fatal("own remove invisible to self")
+		}
+		tx.Abort()
+		return nil
+	})
+	if v, ok := tr.Get(nil, 4); !ok || v != 4 {
+		t.Fatalf("aborted remove leaked: %d,%v", v, ok)
+	}
+	if tr.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", tr.Len())
+	}
+	// And the committed version takes effect.
+	if err := tx.Run(func() error {
+		_, ok := tr.Remove(tx, 4)
+		if !ok {
+			t.Fatal("Remove failed")
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if _, ok := tr.Get(nil, 4); ok {
+		t.Fatal("committed remove had no effect")
+	}
+}
+
+func TestTxInsertRemoveSameKey(t *testing.T) {
+	mgr := core.NewTxManager()
+	tr := New[int](mgr)
+	tx := mgr.Register()
+	err := tx.Run(func() error {
+		if !tr.Insert(tx, 5, 50) {
+			t.Fatal("Insert failed")
+		}
+		if v, ok := tr.Get(tx, 5); !ok || v != 50 {
+			t.Fatal("own insert invisible")
+		}
+		if _, ok := tr.Remove(tx, 5); !ok {
+			t.Fatal("remove of own insert failed")
+		}
+		if _, ok := tr.Get(tx, 5); ok {
+			t.Fatal("removed key still visible")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+}
+
+func TestStaleReadAborts(t *testing.T) {
+	mgr := core.NewTxManager()
+	tr := New[int](mgr)
+	tx := mgr.Register()
+	tr.Put(nil, 5, 50)
+	err := tx.Run(func() error {
+		if _, ok := tr.Get(tx, 5); !ok {
+			t.Fatal("Get missing")
+		}
+		tr.Put(nil, 5, 51)
+		return nil
+	})
+	if !errors.Is(err, core.ErrTxAborted) {
+		t.Fatalf("stale read committed: %v", err)
+	}
+}
+
+func TestConcurrentMixed(t *testing.T) {
+	mgr := core.NewTxManager()
+	tr := New[uint64](mgr)
+	const goroutines = 6
+	iters := 2000
+	if testing.Short() {
+		iters = 300
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				k := uint64(rng.Intn(200))
+				switch rng.Intn(3) {
+				case 0:
+					tr.Put(nil, k, k*7)
+				case 1:
+					tr.Remove(nil, k)
+				default:
+					if v, ok := tr.Get(nil, k); ok && v != k*7 {
+						t.Errorf("Get(%d) = %d", k, v)
+					}
+				}
+			}
+		}(int64(g) + 23)
+	}
+	wg.Wait()
+	var prev uint64
+	first := true
+	tr.Range(func(k uint64, v uint64) bool {
+		if !first && k <= prev {
+			t.Fatalf("order violated after churn")
+		}
+		prev, first = k, false
+		return true
+	})
+}
+
+func TestConcurrentSiblingDeletes(t *testing.T) {
+	// Stress the double-delete conflict: pairs of adjacent keys removed by
+	// different goroutines.
+	mgr := core.NewTxManager()
+	tr := New[int](mgr)
+	const pairs = 200
+	for k := uint64(0); k < pairs*2; k++ {
+		tr.Put(nil, k, int(k))
+	}
+	var wg sync.WaitGroup
+	for side := 0; side < 2; side++ {
+		wg.Add(1)
+		go func(off uint64) {
+			defer wg.Done()
+			for p := uint64(0); p < pairs; p++ {
+				if _, ok := tr.Remove(nil, p*2+off); !ok {
+					t.Errorf("remove %d failed", p*2+off)
+				}
+			}
+		}(uint64(side))
+	}
+	wg.Wait()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+}
+
+func TestConcurrentTransactionalConservation(t *testing.T) {
+	mgr := core.NewTxManager()
+	tr := New[int](mgr)
+	const nAccounts = 16
+	const initial = 400
+	for k := uint64(0); k < nAccounts; k++ {
+		tr.Put(nil, k, initial)
+	}
+	const goroutines = 5
+	iters := 500
+	if testing.Short() {
+		iters = 100
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			tx := mgr.Register()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				a := uint64(rng.Intn(nAccounts))
+				b := uint64(rng.Intn(nAccounts))
+				if a == b {
+					continue
+				}
+				amt := rng.Intn(7) + 1
+				_ = tx.RunRetry(func() error {
+					va, ok := tr.Get(tx, a)
+					if !ok || va < amt {
+						return errInsufficient
+					}
+					vb, _ := tr.Get(tx, b)
+					tr.Put(tx, a, va-amt)
+					tr.Put(tx, b, vb+amt)
+					return nil
+				})
+			}
+		}(int64(g)*13 + 7)
+	}
+	wg.Wait()
+	total := 0
+	for k := uint64(0); k < nAccounts; k++ {
+		v, ok := tr.Get(nil, k)
+		if !ok || v < 0 {
+			t.Fatalf("account %d = %d,%v", k, v, ok)
+		}
+		total += v
+	}
+	if total != nAccounts*initial {
+		t.Fatalf("total = %d, want %d", total, nAccounts*initial)
+	}
+}
+
+func TestMaxKeyBoundary(t *testing.T) {
+	mgr := core.NewTxManager()
+	tr := New[int](mgr)
+	if !tr.Insert(nil, MaxKey, 1) {
+		t.Fatal("MaxKey insert failed")
+	}
+	if v, ok := tr.Get(nil, MaxKey); !ok || v != 1 {
+		t.Fatalf("Get(MaxKey) = %d,%v", v, ok)
+	}
+	if _, ok := tr.Remove(nil, MaxKey); !ok {
+		t.Fatal("MaxKey remove failed")
+	}
+}

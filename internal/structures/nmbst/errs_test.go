@@ -1,0 +1,7 @@
+package nmbst
+
+import "errors"
+
+// errInsufficient is a business-rule failure: returned from a transaction
+// body so Run aborts the transaction but RunRetry does not retry it.
+var errInsufficient = errors.New("insufficient funds")

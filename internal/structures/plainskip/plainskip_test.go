@@ -1,0 +1,114 @@
+package plainskip
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialVsReference(t *testing.T) {
+	s := New[uint64]()
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 4000; i++ {
+		k := uint64(rng.Intn(300))
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Uint64()
+			_, repl := s.Put(k, v)
+			if _, had := ref[k]; repl != had {
+				t.Fatalf("Put(%d) replace mismatch", k)
+			}
+			ref[k] = v
+		case 1:
+			v, ok := s.Remove(k)
+			rv, had := ref[k]
+			if ok != had || (ok && v != rv) {
+				t.Fatalf("Remove(%d) mismatch", k)
+			}
+			delete(ref, k)
+		default:
+			v, ok := s.Get(k)
+			rv, had := ref[k]
+			if ok != had || (ok && v != rv) {
+				t.Fatalf("Get(%d) mismatch", k)
+			}
+		}
+	}
+	if s.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(ref))
+	}
+}
+
+func TestQuickInsertSemantics(t *testing.T) {
+	f := func(keys []uint8) bool {
+		s := New[int]()
+		seen := map[uint64]bool{}
+		for _, k8 := range keys {
+			k := uint64(k8 % 64)
+			got := s.Insert(k, int(k))
+			if got == seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	s := New[uint64]()
+	var wg sync.WaitGroup
+	iters := 3000
+	if testing.Short() {
+		iters = 400
+	}
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				k := uint64(rng.Intn(256))
+				switch rng.Intn(3) {
+				case 0:
+					s.Put(k, k*11)
+				case 1:
+					s.Remove(k)
+				default:
+					if v, ok := s.Get(k); ok && v != k*11 {
+						t.Errorf("Get(%d) = %d", k, v)
+					}
+				}
+			}
+		}(int64(g) + 31)
+	}
+	wg.Wait()
+}
+
+func TestConcurrentDisjointExact(t *testing.T) {
+	s := New[uint64]()
+	const goroutines = 4
+	const per = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for k := base; k < base+per; k++ {
+				s.Insert(k, k)
+			}
+			for k := base; k < base+per; k += 2 {
+				s.Remove(k)
+			}
+		}(uint64(g) * 1000)
+	}
+	wg.Wait()
+	if s.Len() != goroutines*per/2 {
+		t.Fatalf("Len = %d, want %d", s.Len(), goroutines*per/2)
+	}
+}

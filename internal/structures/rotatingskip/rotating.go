@@ -1,0 +1,292 @@
+// Package rotatingskip implements an NBTC-transformed variant of the
+// rotating skiplist of Dick, Fekete and Gramoli (CCPE 2016).
+//
+// The defining property of the rotating skiplist — and the one that makes
+// its NBTC transform trivial once the data level is transformed — is that
+// no CAS is ever performed on index levels: all synchronization happens on
+// the bottom-level linked list, while the index is maintained by background
+// "rotation" work that readers treat purely as a hint. We preserve exactly
+// that split: the data level is a Michael-style lock-free sorted list with
+// the same immediately identifiable linearization points as mhash, and the
+// index is an immutable sorted sample of the list, rebuilt off the critical
+// path (amortized by update count, or by an optional background
+// maintenance goroutine standing in for the original's wheel rotation).
+// Searches binary-search the index for a starting hint and fall back to the
+// list head whenever the hint has died.
+package rotatingskip
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"medley/internal/core"
+)
+
+type ref[V any] struct {
+	node *node[V]
+	mark bool
+}
+
+type node[V any] struct {
+	key  uint64
+	val  V
+	next core.CASObj[ref[V]]
+}
+
+// indexEntry samples one live node at rebuild time.
+type indexEntry[V any] struct {
+	key  uint64
+	node *node[V]
+}
+
+// List is an NBTC-transformed rotating skiplist mapping uint64 keys to V.
+type List[V any] struct {
+	head core.CASObj[ref[V]]
+	mgr  *core.TxManager
+
+	index       atomic.Pointer[[]indexEntry[V]]
+	updates     atomic.Uint64 // modifications since last rebuild
+	rebuildMask uint64        // rebuild when updates & mask == 0
+	sampleEvery int
+}
+
+// New creates an empty list attached to mgr. The index is resampled every
+// 256 updates, taking every 8th node, mirroring the density of a two-level
+// skiplist wheel.
+func New[V any](mgr *core.TxManager) *List[V] {
+	l := &List[V]{mgr: mgr, rebuildMask: 255, sampleEvery: 8}
+	empty := make([]indexEntry[V], 0)
+	l.index.Store(&empty)
+	return l
+}
+
+// Manager returns the TxManager this list participates in.
+func (l *List[V]) Manager() *core.TxManager { return l.mgr }
+
+// StartMaintenance launches a background goroutine that rebuilds the index
+// every interval, standing in for the rotating skiplist's background wheel
+// rotation. The returned stop function terminates it.
+func (l *List[V]) StartMaintenance(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				l.Maintain()
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// Maintain rebuilds the index snapshot immediately.
+func (l *List[V]) Maintain() {
+	var idx []indexEntry[V]
+	i := 0
+	cr := l.head.Load()
+	for c := cr.node; c != nil; {
+		nr := c.next.Load()
+		if !nr.mark {
+			if i%l.sampleEvery == 0 {
+				idx = append(idx, indexEntry[V]{key: c.key, node: c})
+			}
+			i++
+		}
+		c = nr.node
+	}
+	l.index.Store(&idx)
+}
+
+// noteUpdate counts a modification and amortizes index rebuilds.
+func (l *List[V]) noteUpdate() {
+	if l.updates.Add(1)&l.rebuildMask == 0 {
+		l.Maintain()
+	}
+}
+
+// startFrom picks the index hint: the CASObj to begin the level-0 search
+// at. It verifies liveness by loading the hint node's link (through
+// NbtcLoad, so a transaction's own speculative links are read rather than
+// finalized); a dead hint falls back toward earlier entries and finally the
+// head.
+func (l *List[V]) startFrom(tx *core.Tx, key uint64) *core.CASObj[ref[V]] {
+	idx := *l.index.Load()
+	// Largest sampled key strictly below key (strictly, so the hint node
+	// itself may be unlinked without hiding key).
+	i := sort.Search(len(idx), func(i int) bool { return idx[i].key >= key })
+	for i--; i >= 0; i-- {
+		n := idx[i].node
+		if r, _ := n.next.NbtcLoad(tx); !r.mark {
+			return &n.next
+		}
+	}
+	return &l.head
+}
+
+type findResult[V any] struct {
+	prev  *core.CASObj[ref[V]]
+	curr  *node[V]
+	next  *node[V]
+	found bool
+	prevW core.ReadWitness
+	currW core.ReadWitness
+}
+
+// find runs the Michael-style mark-aware search from the index hint.
+func (l *List[V]) find(tx *core.Tx, key uint64) findResult[V] {
+	start := l.startFrom(tx, key)
+retry:
+	for {
+		prev := start
+		cr, prevW := prev.NbtcLoad(tx)
+		if cr.mark {
+			// The hint died between selection and load; restart from head.
+			start = &l.head
+			continue retry
+		}
+		curr := cr.node
+		for {
+			if curr == nil {
+				return findResult[V]{prev: prev, prevW: prevW}
+			}
+			nr, currW := curr.next.NbtcLoad(tx)
+			if nr.mark {
+				if !prev.NbtcCAS(tx, ref[V]{curr, false}, ref[V]{nr.node, false}, false, false) {
+					continue retry
+				}
+				curr = nr.node
+				continue
+			}
+			if curr.key >= key {
+				return findResult[V]{
+					prev: prev, curr: curr, next: nr.node,
+					found: curr.key == key,
+					prevW: prevW, currW: currW,
+				}
+			}
+			prev = &curr.next
+			prevW = currW
+			curr = nr.node
+		}
+	}
+}
+
+// Get returns the value bound to key (witness discipline as in mhash).
+func (l *List[V]) Get(tx *core.Tx, key uint64) (V, bool) {
+	tx.OpStart()
+	r := l.find(tx, key)
+	if r.found {
+		tx.AddToReadSet(r.currW)
+		return r.curr.val, true
+	}
+	tx.AddToReadSet(r.prevW)
+	var zero V
+	return zero, false
+}
+
+// Contains reports presence with the same evidence as Get.
+func (l *List[V]) Contains(tx *core.Tx, key uint64) bool {
+	_, ok := l.Get(tx, key)
+	return ok
+}
+
+// Put binds key to val, inserting or replacing.
+func (l *List[V]) Put(tx *core.Tx, key uint64, val V) (V, bool) {
+	tx.OpStart()
+	n := &node[V]{key: key, val: val}
+	for {
+		r := l.find(tx, key)
+		if r.found {
+			victim, next, prev := r.curr, r.next, r.prev
+			n.next.Init(ref[V]{next, false})
+			if victim.next.NbtcCAS(tx, ref[V]{next, false}, ref[V]{n, true}, true, true) {
+				tx.Retire(func() {})
+				tx.Defer(func() {
+					prev.CAS(ref[V]{victim, false}, ref[V]{n, false})
+					l.noteUpdate()
+				})
+				return victim.val, true
+			}
+		} else {
+			n.next.Init(ref[V]{r.curr, false})
+			if r.prev.NbtcCAS(tx, ref[V]{r.curr, false}, ref[V]{n, false}, true, true) {
+				tx.Defer(func() { l.noteUpdate() })
+				var zero V
+				return zero, false
+			}
+		}
+	}
+}
+
+// Insert adds key only if absent.
+func (l *List[V]) Insert(tx *core.Tx, key uint64, val V) bool {
+	tx.OpStart()
+	n := &node[V]{key: key, val: val}
+	for {
+		r := l.find(tx, key)
+		if r.found {
+			tx.AddToReadSet(r.currW)
+			return false
+		}
+		n.next.Init(ref[V]{r.curr, false})
+		if r.prev.NbtcCAS(tx, ref[V]{r.curr, false}, ref[V]{n, false}, true, true) {
+			tx.Defer(func() { l.noteUpdate() })
+			return true
+		}
+	}
+}
+
+// Remove deletes key.
+func (l *List[V]) Remove(tx *core.Tx, key uint64) (V, bool) {
+	tx.OpStart()
+	for {
+		r := l.find(tx, key)
+		if !r.found {
+			tx.AddToReadSet(r.prevW)
+			var zero V
+			return zero, false
+		}
+		victim, next, prev := r.curr, r.next, r.prev
+		if victim.next.NbtcCAS(tx, ref[V]{next, false}, ref[V]{next, true}, true, true) {
+			tx.Retire(func() {})
+			tx.Defer(func() {
+				prev.CAS(ref[V]{victim, false}, ref[V]{next, false})
+				l.noteUpdate()
+			})
+			return victim.val, true
+		}
+	}
+}
+
+// Len counts unmarked nodes; not linearizable, for tests.
+func (l *List[V]) Len() int {
+	n := 0
+	cr := l.head.Load()
+	for c := cr.node; c != nil; {
+		nr := c.next.Load()
+		if !nr.mark {
+			n++
+		}
+		c = nr.node
+	}
+	return n
+}
+
+// Range iterates a non-linearizable ascending snapshot; for tests.
+func (l *List[V]) Range(fn func(key uint64, val V) bool) {
+	cr := l.head.Load()
+	for c := cr.node; c != nil; {
+		nr := c.next.Load()
+		if !nr.mark {
+			if !fn(c.key, c.val) {
+				return
+			}
+		}
+		c = nr.node
+	}
+}

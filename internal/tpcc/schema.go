@@ -1,0 +1,130 @@
+// Package tpcc implements the subset of TPC-C the paper evaluates
+// (Section 6.1): the newOrder and payment transactions in a 1:1 ratio,
+// following Yu et al.'s DBx1000 methodology — these are the two dominant
+// transactions and neither performs a range query, which the skiplists do
+// not support.
+//
+// Tables are ordered maps from packed uint64 keys to row handles. Rows are
+// immutable [4]uint64 records in a lock-free append-only arena shared by
+// all backends, so every backend (Medley, txMontage, OneFile, TDSL) pays
+// the same indirection and the comparison isolates concurrency control, as
+// in the paper's setup. Row updates replace the handle transactionally.
+package tpcc
+
+import "sync/atomic"
+
+// Table indices.
+const (
+	TWarehouse = iota
+	TDistrict
+	TCustomer
+	TItem
+	TStock
+	TOrder
+	TNewOrder
+	TOrderLine
+	NumTables
+)
+
+// Key packing: fields are small per TPC-C scale rules.
+// warehouse: w
+// district:  w<<8 | d
+// customer:  w<<24 | d<<16 | c
+// item:      i
+// stock:     w<<32 | i
+// order:     w<<40 | d<<32 | o
+// orderline: w<<48 | d<<40 | o<<8 | ol
+
+// WarehouseKey packs a warehouse id.
+func WarehouseKey(w uint64) uint64 { return w }
+
+// DistrictKey packs (warehouse, district).
+func DistrictKey(w, d uint64) uint64 { return w<<8 | d }
+
+// CustomerKey packs (warehouse, district, customer).
+func CustomerKey(w, d, c uint64) uint64 { return w<<24 | d<<16 | c }
+
+// ItemKey packs an item id.
+func ItemKey(i uint64) uint64 { return i }
+
+// StockKey packs (warehouse, item).
+func StockKey(w, i uint64) uint64 { return w<<32 | i }
+
+// OrderKey packs (warehouse, district, order).
+func OrderKey(w, d, o uint64) uint64 { return w<<40 | d<<32 | o }
+
+// OrderLineKey packs (warehouse, district, order, line).
+func OrderLineKey(w, d, o, ol uint64) uint64 { return w<<48 | d<<40 | o<<8 | ol }
+
+// Row is a fixed-width immutable record; field meaning depends on table:
+//
+//	warehouse: [ytd, tax‰, 0, 0]
+//	district:  [ytd, tax‰, nextOID, 0]
+//	customer:  [balance, ytdPayment, paymentCnt, 0]
+//	item:      [price, imID, 0, 0]
+//	stock:     [quantity, ytd, orderCnt, remoteCnt]
+//	order:     [customer, olCnt, entryDate, 0]
+//	neworder:  [0, 0, 0, 0]
+//	orderline: [item, quantity, amount, supplyW]
+//
+// Monetary amounts are in cents.
+type Row [4]uint64
+
+const (
+	arenaMaxWorkers = 128
+	arenaChunkBits  = 14
+	arenaChunkSize  = 1 << arenaChunkBits
+	arenaMaxChunks  = 1 << 12
+)
+
+type arenaChunk [arenaChunkSize]Row
+
+// Arena is a lock-free append-only row store. Each worker appends only to
+// its own lane; any worker may read any handle. Publication happens-before
+// is provided by the transactional table stores that carry handles.
+type Arena struct {
+	lanes [arenaMaxWorkers][arenaMaxChunks]atomic.Pointer[arenaChunk]
+	nextW atomic.Int64
+}
+
+// NewArena creates an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// Writer returns an append lane for one worker goroutine.
+func (a *Arena) Writer() *ArenaWriter {
+	w := int(a.nextW.Add(1) - 1)
+	if w >= arenaMaxWorkers {
+		panic("tpcc: too many arena writers")
+	}
+	return &ArenaWriter{a: a, lane: w}
+}
+
+// Get resolves a handle to its row.
+func (a *Arena) Get(h uint64) Row {
+	lane := int(h >> 40)
+	idx := h & (1<<40 - 1)
+	chunk := a.lanes[lane][idx>>arenaChunkBits].Load()
+	return chunk[idx&(arenaChunkSize-1)]
+}
+
+// ArenaWriter is a single goroutine's append lane.
+type ArenaWriter struct {
+	a    *Arena
+	lane int
+	n    uint64
+}
+
+// Put appends a row and returns its handle.
+func (w *ArenaWriter) Put(r Row) uint64 {
+	ci := w.n >> arenaChunkBits
+	slot := &w.a.lanes[w.lane][ci]
+	chunk := slot.Load()
+	if chunk == nil {
+		chunk = new(arenaChunk)
+		slot.Store(chunk)
+	}
+	chunk[w.n&(arenaChunkSize-1)] = r
+	h := uint64(w.lane)<<40 | w.n
+	w.n++
+	return h
+}

@@ -1,0 +1,261 @@
+package tpcc
+
+import (
+	"sync"
+	"testing"
+
+	"medley/internal/montage"
+	"medley/internal/onefile"
+)
+
+func smallScale() Scale {
+	return Scale{Warehouses: 2, Districts: 2, Customers: 10, Items: 50}
+}
+
+func backends(t *testing.T) []Backend {
+	t.Helper()
+	return []Backend{
+		NewMedleyBackend(),
+		NewMontageBackend(montage.NewSystem(montage.Config{RegionWords: 1 << 20})),
+		NewOneFileBackend(onefile.New(), "OneFile"),
+		NewTDSLBackend(),
+	}
+}
+
+func TestLoadAllBackends(t *testing.T) {
+	sc := smallScale()
+	for _, b := range backends(t) {
+		if err := Load(b, sc); err != nil {
+			t.Fatalf("%s: load: %v", b.Name(), err)
+		}
+		w := b.NewWorker()
+		err := w.Run(func(c Ctx) error {
+			if _, ok := c.Get(TWarehouse, WarehouseKey(1)); !ok {
+				t.Errorf("%s: warehouse 1 missing", b.Name())
+			}
+			if _, ok := c.Get(TDistrict, DistrictKey(2, 2)); !ok {
+				t.Errorf("%s: district 2/2 missing", b.Name())
+			}
+			if _, ok := c.Get(TStock, StockKey(1, 50)); !ok {
+				t.Errorf("%s: stock 1/50 missing", b.Name())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: verify: %v", b.Name(), err)
+		}
+	}
+}
+
+func TestNewOrderEffects(t *testing.T) {
+	sc := smallScale()
+	for _, b := range backends(t) {
+		if err := Load(b, sc); err != nil {
+			t.Fatalf("%s: load: %v", b.Name(), err)
+		}
+		w := b.NewWorker()
+		items := []OrderItem{{Item: 1, SupplyW: 1, Qty: 3}, {Item: 2, SupplyW: 1, Qty: 5}}
+		if err := NewOrder(w, 1, 1, 1, items); err != nil {
+			t.Fatalf("%s: newOrder: %v", b.Name(), err)
+		}
+		err := w.Run(func(c Ctx) error {
+			dh, _ := c.Get(TDistrict, DistrictKey(1, 1))
+			if got := b.Arena().Get(dh)[2]; got != 2 {
+				t.Errorf("%s: nextOID = %d, want 2", b.Name(), got)
+			}
+			if _, ok := c.Get(TOrder, OrderKey(1, 1, 1)); !ok {
+				t.Errorf("%s: order row missing", b.Name())
+			}
+			if _, ok := c.Get(TNewOrder, OrderKey(1, 1, 1)); !ok {
+				t.Errorf("%s: new-order row missing", b.Name())
+			}
+			if _, ok := c.Get(TOrderLine, OrderLineKey(1, 1, 1, 1)); !ok {
+				t.Errorf("%s: order line missing", b.Name())
+			}
+			sh, _ := c.Get(TStock, StockKey(1, 1))
+			if got := b.Arena().Get(sh)[2]; got != 1 {
+				t.Errorf("%s: stock orderCnt = %d, want 1", b.Name(), got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: verify: %v", b.Name(), err)
+		}
+	}
+}
+
+func TestPaymentEffects(t *testing.T) {
+	sc := smallScale()
+	for _, b := range backends(t) {
+		if err := Load(b, sc); err != nil {
+			t.Fatalf("%s: load: %v", b.Name(), err)
+		}
+		w := b.NewWorker()
+		if err := Payment(w, 1, 1, 1, 12345); err != nil {
+			t.Fatalf("%s: payment: %v", b.Name(), err)
+		}
+		err := w.Run(func(c Ctx) error {
+			wh, _ := c.Get(TWarehouse, WarehouseKey(1))
+			if got := b.Arena().Get(wh)[0]; got != 30000000+12345 {
+				t.Errorf("%s: warehouse ytd = %d", b.Name(), got)
+			}
+			ch, _ := c.Get(TCustomer, CustomerKey(1, 1, 1))
+			crow := b.Arena().Get(ch)
+			if crow[1] != 12345 || crow[2] != 1 {
+				t.Errorf("%s: customer row = %v", b.Name(), crow)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: verify: %v", b.Name(), err)
+		}
+	}
+}
+
+// TestConcurrentMixConsistency runs the 1:1 mix concurrently on every
+// backend and checks TPC-C's money/order-count invariants afterwards.
+func TestConcurrentMixConsistency(t *testing.T) {
+	sc := smallScale()
+	iters := 150
+	if testing.Short() {
+		iters = 40
+	}
+	for _, b := range backends(t) {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			if err := Load(b, sc); err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			newOrders := 0
+			payments := 0
+			var paid uint64
+			for g := 0; g < 3; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					d := NewDriver(b, sc, seed)
+					localNO, localPay := 0, 0
+					var localPaid uint64
+					for i := 0; i < iters; i++ {
+						isNO, err := d.Step()
+						if err != nil {
+							t.Errorf("step: %v", err)
+							return
+						}
+						if isNO {
+							localNO++
+						} else {
+							localPay++
+						}
+						_ = localPaid
+					}
+					mu.Lock()
+					newOrders += localNO
+					payments += localPay
+					paid += localPaid
+					mu.Unlock()
+				}(int64(g) + 9)
+			}
+			wg.Wait()
+
+			// Invariant 1: sum over districts of (nextOID - 1) == total
+			// committed newOrder transactions.
+			w := b.NewWorker()
+			totalOrders := uint64(0)
+			err := w.Run(func(c Ctx) error {
+				totalOrders = 0
+				for wh := 1; wh <= sc.Warehouses; wh++ {
+					for d := 1; d <= sc.Districts; d++ {
+						dh, ok := c.Get(TDistrict, DistrictKey(uint64(wh), uint64(d)))
+						if !ok {
+							t.Fatal("district missing")
+						}
+						totalOrders += b.Arena().Get(dh)[2] - 1
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			if totalOrders != uint64(newOrders) {
+				t.Fatalf("order ids allocated = %d, committed newOrders = %d", totalOrders, newOrders)
+			}
+
+			// Invariant 2: every allocated order id has order, new-order and
+			// first order line rows.
+			err = w.Run(func(c Ctx) error {
+				for wh := 1; wh <= sc.Warehouses; wh++ {
+					for d := 1; d <= sc.Districts; d++ {
+						dh, _ := c.Get(TDistrict, DistrictKey(uint64(wh), uint64(d)))
+						next := b.Arena().Get(dh)[2]
+						for o := uint64(1); o < next; o++ {
+							if _, ok := c.Get(TOrder, OrderKey(uint64(wh), uint64(d), o)); !ok {
+								t.Fatalf("order %d/%d/%d missing", wh, d, o)
+							}
+							if _, ok := c.Get(TNewOrder, OrderKey(uint64(wh), uint64(d), o)); !ok {
+								t.Fatalf("new-order %d/%d/%d missing", wh, d, o)
+							}
+							oh, _ := c.Get(TOrder, OrderKey(uint64(wh), uint64(d), o))
+							olCnt := b.Arena().Get(oh)[1]
+							for ol := uint64(0); ol < olCnt; ol++ {
+								if _, ok := c.Get(TOrderLine, OrderLineKey(uint64(wh), uint64(d), o, ol)); !ok {
+									t.Fatalf("order line %d/%d/%d/%d missing", wh, d, o, ol)
+								}
+							}
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("verify2: %v", err)
+			}
+
+			// Invariant 3: warehouse ytd - initial == sum of district ytd
+			// deltas (payments applied atomically).
+			err = w.Run(func(c Ctx) error {
+				for wh := 1; wh <= sc.Warehouses; wh++ {
+					whh, _ := c.Get(TWarehouse, WarehouseKey(uint64(wh)))
+					wytd := b.Arena().Get(whh)[0] - 30000000
+					var dsum uint64
+					for d := 1; d <= sc.Districts; d++ {
+						dhh, _ := c.Get(TDistrict, DistrictKey(uint64(wh), uint64(d)))
+						dsum += b.Arena().Get(dhh)[0] - 3000000
+					}
+					if wytd != dsum {
+						t.Fatalf("warehouse %d ytd delta %d != district sum %d", wh, wytd, dsum)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("verify3: %v", err)
+			}
+		})
+	}
+}
+
+func TestMontageTPCCDurability(t *testing.T) {
+	sc := Scale{Warehouses: 1, Districts: 2, Customers: 5, Items: 20}
+	sys := montage.NewSystem(montage.Config{RegionWords: 1 << 20})
+	b := NewMontageBackend(sys)
+	if err := Load(b, sc); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	w := b.NewWorker()
+	if err := NewOrder(w, 1, 1, 1, []OrderItem{{Item: 1, SupplyW: 1, Qty: 2}}); err != nil {
+		t.Fatalf("newOrder: %v", err)
+	}
+	sys.Sync()
+	rec := sys.CrashAndRecover()
+	// Count of live payloads: every table row that should exist.
+	// 20 items + 1 warehouse + 2 districts + 10 customers + 20 stock +
+	// 1 order + 1 neworder + 1 orderline = 56.
+	want := 20 + 1 + 2 + 10 + 20 + 1 + 1 + 1
+	if len(rec) != want {
+		t.Fatalf("recovered %d payloads, want %d", len(rec), want)
+	}
+}

@@ -1,0 +1,231 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Scale holds the (scaled-down) TPC-C cardinalities.
+type Scale struct {
+	Warehouses int
+	Districts  int // per warehouse (TPC-C: 10)
+	Customers  int // per district (TPC-C: 3000)
+	Items      int // (TPC-C: 100000)
+}
+
+// DefaultScale is a laptop-scale configuration preserving the TPC-C access
+// skew structure (per-district sequences, per-warehouse stock).
+func DefaultScale() Scale {
+	return Scale{Warehouses: 4, Districts: 10, Customers: 100, Items: 1000}
+}
+
+// errRowMissing indicates a corrupted load; it aborts without retry.
+var errRowMissing = errors.New("tpcc: row missing")
+
+// Load populates the database per TPC-C's initial state.
+func Load(b Backend, sc Scale) error {
+	w := b.NewWorker()
+	aw := w.Writer()
+	// Items (shared, read-only).
+	for i := 1; i <= sc.Items; i++ {
+		h := aw.Put(Row{uint64(100 + i%9900), uint64(i), 0, 0}) // price cents
+		key := ItemKey(uint64(i))
+		if err := w.Run(func(c Ctx) error { c.Put(TItem, key, h); return nil }); err != nil {
+			return err
+		}
+	}
+	for wh := 1; wh <= sc.Warehouses; wh++ {
+		whu := uint64(wh)
+		h := aw.Put(Row{30000000, 100, 0, 0})
+		if err := w.Run(func(c Ctx) error { c.Put(TWarehouse, WarehouseKey(whu), h); return nil }); err != nil {
+			return err
+		}
+		for d := 1; d <= sc.Districts; d++ {
+			du := uint64(d)
+			dh := aw.Put(Row{3000000, 150, 1, 0}) // nextOID = 1
+			if err := w.Run(func(c Ctx) error { c.Put(TDistrict, DistrictKey(whu, du), dh); return nil }); err != nil {
+				return err
+			}
+			for cst := 1; cst <= sc.Customers; cst++ {
+				cu := uint64(cst)
+				ch := aw.Put(Row{0, 0, 0, 0})
+				if err := w.Run(func(c Ctx) error {
+					c.Put(TCustomer, CustomerKey(whu, du, cu), ch)
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		for i := 1; i <= sc.Items; i++ {
+			iu := uint64(i)
+			sh := aw.Put(Row{uint64(10 + i%91), 0, 0, 0})
+			if err := w.Run(func(c Ctx) error { c.Put(TStock, StockKey(whu, iu), sh); return nil }); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// OrderItem is one line of a newOrder request.
+type OrderItem struct {
+	Item    uint64
+	SupplyW uint64
+	Qty     uint64
+}
+
+// NewOrder executes the TPC-C newOrder transaction: allocate the district's
+// next order id, create the order and its new-order entry, and for each
+// line read the item, update the stock, and create the order line.
+func NewOrder(w Worker, whID, dID, cID uint64, items []OrderItem) error {
+	aw := w.Writer()
+	return w.Run(func(c Ctx) error {
+		dk := DistrictKey(whID, dID)
+		dh, ok := c.Get(TDistrict, dk)
+		if !ok {
+			return fmt.Errorf("%w: district %d/%d", errRowMissing, whID, dID)
+		}
+		drow := dRow(c, dh)
+		oid := drow[2]
+		c.Put(TDistrict, dk, aw.Put(Row{drow[0], drow[1], oid + 1, 0}))
+
+		if _, ok := c.Get(TWarehouse, WarehouseKey(whID)); !ok {
+			return fmt.Errorf("%w: warehouse %d", errRowMissing, whID)
+		}
+		if _, ok := c.Get(TCustomer, CustomerKey(whID, dID, cID)); !ok {
+			return fmt.Errorf("%w: customer %d", errRowMissing, cID)
+		}
+
+		c.Insert(TOrder, OrderKey(whID, dID, oid),
+			aw.Put(Row{cID, uint64(len(items)), 0, 0}))
+		c.Insert(TNewOrder, OrderKey(whID, dID, oid), aw.Put(Row{}))
+
+		for ol, it := range items {
+			ih, ok := c.Get(TItem, ItemKey(it.Item))
+			if !ok {
+				return fmt.Errorf("%w: item %d", errRowMissing, it.Item)
+			}
+			price := rowField(c, ih, 0)
+			sk := StockKey(it.SupplyW, it.Item)
+			sh, ok := c.Get(TStock, sk)
+			if !ok {
+				return fmt.Errorf("%w: stock %d/%d", errRowMissing, it.SupplyW, it.Item)
+			}
+			srow := dRow(c, sh)
+			qty := srow[0]
+			if qty >= it.Qty+10 {
+				qty -= it.Qty
+			} else {
+				qty = qty + 91 - it.Qty
+			}
+			remote := srow[3]
+			if it.SupplyW != whID {
+				remote++
+			}
+			c.Put(TStock, sk, aw.Put(Row{qty, srow[1] + it.Qty, srow[2] + 1, remote}))
+			amount := it.Qty * price
+			c.Insert(TOrderLine, OrderLineKey(whID, dID, oid, uint64(ol)),
+				aw.Put(Row{it.Item, it.Qty, amount, it.SupplyW}))
+		}
+		return nil
+	})
+}
+
+// Payment executes the TPC-C payment transaction: update warehouse and
+// district year-to-date totals and the customer's balance.
+func Payment(w Worker, whID, dID, cID uint64, amount uint64) error {
+	aw := w.Writer()
+	return w.Run(func(c Ctx) error {
+		wk := WarehouseKey(whID)
+		wh, ok := c.Get(TWarehouse, wk)
+		if !ok {
+			return fmt.Errorf("%w: warehouse %d", errRowMissing, whID)
+		}
+		wrow := dRow(c, wh)
+		c.Put(TWarehouse, wk, aw.Put(Row{wrow[0] + amount, wrow[1], 0, 0}))
+
+		dk := DistrictKey(whID, dID)
+		dh, ok := c.Get(TDistrict, dk)
+		if !ok {
+			return fmt.Errorf("%w: district %d/%d", errRowMissing, whID, dID)
+		}
+		drow := dRow(c, dh)
+		c.Put(TDistrict, dk, aw.Put(Row{drow[0] + amount, drow[1], drow[2], 0}))
+
+		ck := CustomerKey(whID, dID, cID)
+		ch, ok := c.Get(TCustomer, ck)
+		if !ok {
+			return fmt.Errorf("%w: customer %d", errRowMissing, cID)
+		}
+		crow := dRow(c, ch)
+		c.Put(TCustomer, ck, aw.Put(Row{crow[0] - amount, crow[1] + amount, crow[2] + 1, 0}))
+		return nil
+	})
+}
+
+// ctxArena recovers the arena through the worker-bound Ctx implementations;
+// each Ctx here is also its Worker, so expose helpers instead.
+func dRow(c Ctx, h uint64) Row { return arenaOf(c).Get(h) }
+
+func rowField(c Ctx, h uint64, f int) uint64 { return arenaOf(c).Get(h)[f] }
+
+func arenaOf(c Ctx) *Arena {
+	switch w := c.(type) {
+	case *medleyWorker:
+		return w.b.arena
+	case *montageWorker:
+		return w.b.arena
+	case *onefileWorker:
+		return w.b.arena
+	case *tdslWorker:
+		return w.b.arena
+	default:
+		panic("tpcc: unknown ctx")
+	}
+}
+
+// Driver generates the paper's transaction mix: newOrder and payment 1:1.
+type Driver struct {
+	sc  Scale
+	rng *rand.Rand
+	w   Worker
+}
+
+// NewDriver creates a per-goroutine driver.
+func NewDriver(b Backend, sc Scale, seed int64) *Driver {
+	return &Driver{sc: sc, rng: rand.New(rand.NewSource(seed)), w: b.NewWorker()}
+}
+
+// Step runs one transaction of the 1:1 mix and reports which kind ran.
+func (d *Driver) Step() (isNewOrder bool, err error) {
+	whID := uint64(d.rng.Intn(d.sc.Warehouses) + 1)
+	dID := uint64(d.rng.Intn(d.sc.Districts) + 1)
+	cID := uint64(d.rng.Intn(d.sc.Customers) + 1)
+	if d.rng.Intn(2) == 0 {
+		n := d.rng.Intn(11) + 5 // 5..15 lines per TPC-C
+		items := make([]OrderItem, n)
+		seen := map[uint64]bool{}
+		for i := range items {
+			it := uint64(d.rng.Intn(d.sc.Items) + 1)
+			for seen[it] {
+				it = uint64(d.rng.Intn(d.sc.Items) + 1)
+			}
+			seen[it] = true
+			sw := whID
+			if d.sc.Warehouses > 1 && d.rng.Intn(100) == 0 { // 1% remote
+				for {
+					sw = uint64(d.rng.Intn(d.sc.Warehouses) + 1)
+					if sw != whID {
+						break
+					}
+				}
+			}
+			items[i] = OrderItem{Item: it, SupplyW: sw, Qty: uint64(d.rng.Intn(10) + 1)}
+		}
+		return true, NewOrder(d.w, whID, dID, cID, items)
+	}
+	amount := uint64(d.rng.Intn(500000) + 100)
+	return false, Payment(d.w, whID, dID, cID, amount)
+}
