@@ -232,6 +232,71 @@ func BenchmarkFig10b_NVMTransient_R(b *testing.B) { benchLoop(b, fig10bNVM(), ra
 func BenchmarkFig10c_TxMontage_W(b *testing.B) { benchLoop(b, fig8Montage(), ratioFor("W")) }
 func BenchmarkFig10c_TxMontage_R(b *testing.B) { benchLoop(b, fig8Montage(), ratioFor("R")) }
 
+// ---- Workload-engine scenarios (beyond the paper's figures) ----
+
+// benchScenario preloads sys and measures b.N transactions drawn from the
+// named scenario's steady-state mix — the per-transaction cost view of the
+// thread sweeps cmd/medley-bench -scenario performs.
+func benchScenario(b *testing.B, sys harness.System, name string) {
+	b.Helper()
+	sc, err := harness.LookupScenario(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]uint64, benchPreload)
+	for i := range keys {
+		keys[i] = uint64(rng.Int63n(benchKeyRange))
+	}
+	sys.Preload(keys)
+	stop := sys.Start()
+	defer stop()
+	w := sys.NewWorker()
+	mix := sc.Phases[len(sc.Phases)-1].Mix
+	for _, ph := range sc.Phases {
+		if ph.Measure {
+			mix = ph.Mix
+			break
+		}
+	}
+	gen := harness.NewTxGen(sc.Dist, benchKeyRange, mix, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Do(gen.Next())
+	}
+}
+
+func BenchmarkScenario_ZipfianMixed_Medley(b *testing.B) {
+	benchScenario(b, harness.NewMedleyHash(benchBuckets), "zipfian-mixed")
+}
+func BenchmarkScenario_ZipfianMixed_OneFile(b *testing.B) {
+	benchScenario(b, harness.NewOneFile(harness.OneFileOpts{Buckets: benchBuckets}), "zipfian-mixed")
+}
+func BenchmarkScenario_HotspotReadMostly_Medley(b *testing.B) {
+	benchScenario(b, harness.NewMedleyHash(benchBuckets), "hotspot-readmostly")
+}
+func BenchmarkScenario_Transfer_Medley(b *testing.B) {
+	benchScenario(b, harness.NewMedleyHash(benchBuckets), "transfer")
+}
+func BenchmarkScenario_TpccMini_Medley(b *testing.B) {
+	benchScenario(b, harness.NewMedleyHash(benchBuckets), "tpcc-mini")
+}
+
+// BenchmarkTxGen isolates workload generation itself, which must stay far
+// cheaper than any system's transaction path for measurements to be about
+// the systems.
+func BenchmarkTxGen(b *testing.B) {
+	gen := harness.NewTxGen(harness.Dist{Kind: harness.DistZipfian, Theta: 1.2}, benchKeyRange,
+		harness.Mix{Ratio: harness.Ratio{Get: 2, Insert: 1, Remove: 1}, TxMin: 1, TxMax: 10,
+			Mixed: 2, Transfer: 1, Order: 1}, 42)
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n += len(gen.Next())
+	}
+	sink.Add(uint64(n))
+}
+
 // guard against compiler eliding the workloads entirely.
 var sink atomic.Uint64
 

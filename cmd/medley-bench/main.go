@@ -1,5 +1,7 @@
-// Command medley-bench regenerates every table and figure of the paper's
-// evaluation (Section 6):
+// Command medley-bench regenerates the paper's evaluation (Section 6) and
+// runs the workload engine's scenario suite beyond it.
+//
+// Figure mode reproduces the paper's plots:
 //
 //	-fig 7    transactional hash-table throughput (Medley, txMontage,
 //	          OneFile, POneFile) at each get:insert:remove ratio
@@ -14,6 +16,18 @@
 // count, matching the shape of the paper's plots. Absolute numbers depend
 // on the host (the paper used 2x20-core Xeon + Optane; see EXPERIMENTS.md);
 // the orderings and ratios are the reproduction target.
+//
+// Scenario mode drives any registered system through a named workload
+// scenario (key distribution x transaction mix x phase script):
+//
+//	medley-bench -scenario zipfian-mixed -json
+//	medley-bench -scenario list
+//	medley-bench -scenario tpcc-mini -systems medley-hash,onefile-hash,tdsl
+//
+// -json emits a machine-readable Report (see internal/harness/report.go)
+// with throughput, abort rate and p50/p99 latency per system, phase and
+// thread count; -out writes it to a file (conventionally
+// BENCH_<scenario>.json) instead of stdout.
 package main
 
 import (
@@ -34,6 +48,12 @@ import (
 
 var (
 	figFlag      = flag.String("fig", "all", "figure to regenerate: 7, 8, 9, 10a, 10b, 10c, all")
+	scenarioFlag = flag.String("scenario", "", "run a workload scenario instead of a figure ('list' to enumerate)")
+	systemsFlag  = flag.String("systems", "medley-hash,medley-skip,onefile-hash,tdsl,lftt",
+		"comma-separated systems for -scenario ('list' to enumerate)")
+	jsonFlag     = flag.Bool("json", false, "emit the scenario report as JSON")
+	outFlag      = flag.String("out", "", "write the JSON report to this file (e.g. BENCH_zipfian-mixed.json)")
+	seedFlag     = flag.Int64("seed", 42, "workload generator seed")
 	threadsFlag  = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
 	durationFlag = flag.Duration("duration", 2*time.Second, "measurement duration per point")
 	keyRange     = flag.Int("keyrange", 1<<20, "microbenchmark key space (paper: 1M)")
@@ -53,7 +73,17 @@ func main() {
 		*buckets = 1 << 12
 		*durationFlag = 300 * time.Millisecond
 	}
+	if *systemsFlag == "list" {
+		for _, n := range systemNames() {
+			fmt.Println(" ", n)
+		}
+		return
+	}
 	threads := parseThreads(*threadsFlag)
+	if *scenarioFlag != "" {
+		runScenario(*scenarioFlag, threads)
+		return
+	}
 	switch *figFlag {
 	case "7":
 		fig7(threads)

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"medley/internal/harness"
+)
+
+// systemRegistry maps -systems names to constructors. Every system under
+// the microbenchmark is available to every scenario; constructors read the
+// shared sizing flags so -short scales scenario runs too.
+var systemRegistry = map[string]func() harness.System{
+	"medley-hash":    func() harness.System { return harness.NewMedleyHash(*buckets) },
+	"medley-skip":    func() harness.System { return harness.NewMedleySkip() },
+	"txmontage-hash": func() harness.System { return harness.NewMontage(montageOpts(false)) },
+	"txmontage-skip": func() harness.System { return harness.NewMontage(montageOpts(true)) },
+	"onefile-hash": func() harness.System {
+		return harness.NewOneFile(harness.OneFileOpts{Buckets: *buckets})
+	},
+	"onefile-skip": func() harness.System {
+		return harness.NewOneFile(harness.OneFileOpts{Skiplist: true})
+	},
+	"ponefile-hash": func() harness.System {
+		return harness.NewOneFile(harness.OneFileOpts{
+			Buckets: *buckets, Persistent: true, RegionWords: 1 << 24,
+			WriteBackLatency: *nvmWB, FenceLatency: *nvmFence,
+		})
+	},
+	"ponefile-skip": func() harness.System {
+		return harness.NewOneFile(harness.OneFileOpts{
+			Skiplist: true, Persistent: true, RegionWords: 1 << 24,
+			WriteBackLatency: *nvmWB, FenceLatency: *nvmFence,
+		})
+	},
+	"tdsl":       func() harness.System { return harness.NewTDSL() },
+	"lftt":       func() harness.System { return harness.NewLFTT() },
+	"plain-skip": func() harness.System { return harness.NewOriginalSkip() },
+	"txoff-skip": func() harness.System { return harness.NewTxOffSkip() },
+}
+
+func montageOpts(skiplist bool) harness.MontageOpts {
+	return harness.MontageOpts{
+		Skiplist: skiplist, Buckets: *buckets, RegionWords: 1 << 26,
+		WriteBackLatency: *nvmWB, FenceLatency: *nvmFence, StoreLatency: *nvmStore,
+	}
+}
+
+func systemNames() []string {
+	names := make([]string, 0, len(systemRegistry))
+	for n := range systemRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// runScenario is the -scenario entry point: every selected system, every
+// thread count, one Report.
+func runScenario(name string, threads []int) {
+	if name == "list" {
+		for _, n := range harness.ScenarioNames() {
+			sc, _ := harness.LookupScenario(n)
+			fmt.Printf("  %-20s %s\n", n, sc.Description)
+		}
+		return
+	}
+	sc, err := harness.LookupScenario(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var mks []func() harness.System
+	for _, part := range strings.Split(*systemsFlag, ",") {
+		n := strings.TrimSpace(part)
+		mk, ok := systemRegistry[n]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown system %q (known: %s)\n", n, strings.Join(systemNames(), ", "))
+			os.Exit(2)
+		}
+		mks = append(mks, mk)
+	}
+
+	rep := harness.NewReport(name, threads, *durationFlag, uint64(*keyRange), *preload, *seedFlag)
+	for _, mk := range mks {
+		for _, th := range threads {
+			res := harness.RunScenario(mk(), sc, harness.EngineConfig{
+				Threads: th, Duration: *durationFlag,
+				KeyRange: uint64(*keyRange), Preload: *preload, Seed: *seedFlag,
+			})
+			rep.Add(res)
+			if !*jsonFlag {
+				printScenarioResult(res)
+			}
+		}
+	}
+	if !*jsonFlag && *outFlag == "" {
+		return
+	}
+	w := os.Stdout
+	if *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func printScenarioResult(res harness.ScenarioResult) {
+	m := res.Measured
+	fmt.Printf("%-20s %-24s threads=%-3d throughput=%12.0f txn/s  abort=%6.2f%%  p50=%8.0fns  p99=%8.0fns\n",
+		res.Scenario, res.System, res.Threads, m.Throughput, 100*m.AbortRate, m.P50LatencyNs, m.P99LatencyNs)
+	if len(res.Phases) > 1 {
+		for _, ph := range res.Phases {
+			fmt.Printf("  phase %-12s throughput=%12.0f txn/s  abort=%6.2f%%  p50=%8.0fns  p99=%8.0fns\n",
+				ph.Phase, ph.Throughput, 100*ph.AbortRate, ph.P50LatencyNs, ph.P99LatencyNs)
+		}
+	}
+}

@@ -173,7 +173,7 @@ func (o *CASObj[T]) NbtcLoad(tx *Tx) (T, ReadWitness) {
 			return c.val, alwaysValid{}
 		}
 		c.helpFinalize()
-		tx.mgr.helpEvents.Add(1)
+		tx.desc.shard.HelpEvents.Add(1)
 		if i == debugWedgeThreshold {
 			panic("medley: NbtcLoad wedged (invariant violation): " + o.debugState(tx))
 		}
@@ -202,7 +202,7 @@ func (o *CASObj[T]) NbtcCAS(tx *Tx, expected, desired T, linPt, pubPt bool) bool
 		if cur.desc != nil {
 			if cur.desc != d || cur.serial != tx.serial {
 				cur.helpFinalize()
-				tx.mgr.helpEvents.Add(1)
+				tx.desc.shard.HelpEvents.Add(1)
 				continue
 			}
 			// Our own descriptor: the speculation interval covers this

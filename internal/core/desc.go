@@ -83,7 +83,8 @@ type Desc struct {
 	reads    atomic.Pointer[publishedReads]
 	tid      int
 	mgr      *TxManager
-	_padding [5]uint64 // keep descriptors on distinct cache lines
+	shard    *StatShard // owner's statistics shard
+	_padding [4]uint64  // keep descriptors on distinct cache lines
 }
 
 // stsCAS attempts the expected→desired status transition carrying the full
@@ -123,7 +124,7 @@ func (d *Desc) finalize(st, serial uint64) (uint64, bool) {
 	}
 	if statusOf(st) == StatusInPrep {
 		if d.stsCAS(st, StatusInPrep, StatusAborted) {
-			d.mgr.abortsByOthers.Add(1)
+			d.shard.AbortsByOthers.Add(1)
 		}
 		st = d.status.Load()
 		if serialOf(st) != serial {

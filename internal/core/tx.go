@@ -159,7 +159,7 @@ func (tx *Tx) Begin() {
 	tx.allocUndo = tx.allocUndo[:0]
 	tx.inSpec = false
 	tx.active = true
-	tx.mgr.begins.Add(1)
+	tx.desc.shard.Begins.Add(1)
 	for _, f := range tx.beginHooks {
 		f(tx)
 	}
@@ -261,7 +261,7 @@ func (tx *Tx) settle() error {
 		for _, f := range tx.cleanups {
 			f()
 		}
-		tx.mgr.commits.Add(1)
+		tx.desc.shard.Commits.Add(1)
 		for _, f := range tx.finishHooks {
 			f(tx, true)
 		}
@@ -270,7 +270,7 @@ func (tx *Tx) settle() error {
 	for _, f := range tx.allocUndo {
 		f()
 	}
-	tx.mgr.aborts.Add(1)
+	tx.desc.shard.Aborts.Add(1)
 	for _, f := range tx.finishHooks {
 		f(tx, false)
 	}

@@ -1,0 +1,317 @@
+package harness
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the execution half of the workload engine: it runs a
+// Scenario's phase script against a System, with every per-transaction
+// counter and latency sample kept in a per-worker shard so that the
+// harness adds no shared-memory traffic of its own to the measurement.
+
+// TxStatser is implemented by systems that can report cumulative
+// commit/abort counters; the engine differences snapshots around each
+// phase to compute abort rates. Systems that cannot abort simply don't
+// implement it.
+type TxStatser interface {
+	TxStats() (commits, aborts uint64)
+}
+
+// EngineConfig parameterizes one scenario run.
+type EngineConfig struct {
+	Threads  int
+	Duration time.Duration // total, sliced across phases by weight
+	KeyRange uint64
+	Preload  int
+	Seed     int64
+
+	// MaxLatencySamples bounds each worker's latency reservoir
+	// (default 4096). Reservoir sampling keeps the samples uniform over
+	// the phase regardless of its length.
+	MaxLatencySamples int
+
+	// LatencyEvery times every Nth transaction (default 4): clock reads
+	// cost tens of nanoseconds, so timing every transaction would tax the
+	// fastest systems most and compress cross-system ratios.
+	LatencyEvery int
+}
+
+// PhaseResult is the measurement of one phase (or the aggregate of the
+// measured phases).
+type PhaseResult struct {
+	Phase      string
+	Txns       uint64
+	Ops        uint64
+	Aborts     uint64
+	Elapsed    time.Duration
+	Throughput float64 // committed txn/s
+	AbortRate  float64 // aborted attempts / total attempts, 0 if unknown
+
+	AvgLatencyNs float64
+	P50LatencyNs float64
+	P99LatencyNs float64
+}
+
+// ScenarioResult is one (system, scenario, thread count) measurement.
+type ScenarioResult struct {
+	Scenario string
+	System   string
+	Threads  int
+	Phases   []PhaseResult
+	// Measured aggregates the phases marked Measure (all phases when none
+	// are marked) and is the headline number of the run.
+	Measured PhaseResult
+}
+
+// workerShard is one worker's slice of the harness's own statistics,
+// padded so that concurrently running workers never write the same cache
+// line. Counters are plain: only the owning worker writes them, and the
+// engine reads them after the phase barrier.
+type workerShard struct {
+	txns    uint64
+	ops     uint64
+	samples []int64 // latency reservoir, ns
+	seen    int64   // transactions offered to the reservoir
+	r       *rand.Rand
+	_       [40]byte
+}
+
+func (w *workerShard) record(d time.Duration, max int) {
+	w.seen++
+	if len(w.samples) < max {
+		w.samples = append(w.samples, int64(d))
+		return
+	}
+	if j := w.r.Int63n(w.seen); j < int64(max) {
+		w.samples[j] = int64(d)
+	}
+}
+
+// RunScenario executes sc against sys: preload once, then each phase in
+// order, workers created fresh per phase. It is deterministic in
+// cfg.Seed up to scheduling (the generators are; the interleaving is not).
+func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.MaxLatencySamples <= 0 {
+		cfg.MaxLatencySamples = 4096
+	}
+	if cfg.KeyRange == 0 {
+		cfg.KeyRange = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	keys := make([]uint64, cfg.Preload)
+	for i := range keys {
+		keys[i] = uint64(rng.Int63n(int64(cfg.KeyRange)))
+	}
+	sys.Preload(keys)
+	stop := sys.Start()
+	defer stop()
+
+	totalWeight := 0.0
+	for _, ph := range sc.Phases {
+		if ph.Weight > 0 {
+			totalWeight += ph.Weight
+		} else {
+			totalWeight += 1
+		}
+	}
+
+	res := ScenarioResult{Scenario: sc.Name, System: sys.Name(), Threads: cfg.Threads}
+	var agg PhaseResult
+	agg.Phase = "measured"
+	var parts []phaseSamples
+	anyMeasured := false
+	for _, ph := range sc.Phases {
+		if ph.Measure {
+			anyMeasured = true
+		}
+	}
+
+	for pi, ph := range sc.Phases {
+		w := ph.Weight
+		if w <= 0 {
+			w = 1
+		}
+		d := time.Duration(float64(cfg.Duration) * w / totalWeight)
+		pr, samples := runPhase(sys, sc, ph, pi, cfg, d)
+		res.Phases = append(res.Phases, pr)
+		if ph.Measure || !anyMeasured {
+			agg.Txns += pr.Txns
+			agg.Ops += pr.Ops
+			agg.Aborts += pr.Aborts
+			agg.Elapsed += pr.Elapsed
+			parts = append(parts, phaseSamples{samples: samples, txns: pr.Txns})
+		}
+	}
+	finishAggregate(&agg, parts)
+	res.Measured = agg
+	return res
+}
+
+// runPhase spawns cfg.Threads workers for one phase and collects their
+// shards. The returned samples back the scenario-level aggregate.
+func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig, d time.Duration) (PhaseResult, []int64) {
+	var aborts0 uint64
+	statser, hasStats := sys.(TxStatser)
+	if hasStats {
+		_, aborts0 = statser.TxStats()
+	}
+
+	every := cfg.LatencyEvery
+	if every <= 0 {
+		every = 4
+	}
+	shards := make([]*workerShard, cfg.Threads)
+	var stopFlag atomic.Bool
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for t := 0; t < cfg.Threads; t++ {
+		seed := cfg.Seed + int64(phaseIdx)*104729 + int64(t)*7919
+		shard := &workerShard{r: rand.New(rand.NewSource(seed ^ 0x5DEECE66D))}
+		shards[t] = shard
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := sys.NewWorker()
+			gen := NewTxGen(sc.Dist, cfg.KeyRange, ph.Mix, seed)
+			tick := 0
+			<-start
+			for !stopFlag.Load() {
+				ops := gen.Next()
+				if tick++; tick >= every {
+					tick = 0
+					t0 := time.Now()
+					w.Do(ops)
+					shard.record(time.Since(t0), cfg.MaxLatencySamples)
+				} else {
+					w.Do(ops)
+				}
+				shard.txns++
+				shard.ops += uint64(len(ops))
+			}
+		}()
+	}
+	begin := time.Now()
+	close(start)
+	time.Sleep(d)
+	stopFlag.Store(true)
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	pr := PhaseResult{Phase: ph.Name, Elapsed: elapsed}
+	var samples []int64
+	for _, s := range shards {
+		pr.Txns += s.txns
+		pr.Ops += s.ops
+		samples = append(samples, s.samples...)
+	}
+	if hasStats {
+		_, aborts1 := statser.TxStats()
+		pr.Aborts = aborts1 - aborts0
+	}
+	finishPhaseResult(&pr, samples)
+	return pr, samples
+}
+
+// finishPhaseResult derives rates and percentiles; samples is consumed
+// (sorted in place).
+func finishPhaseResult(pr *PhaseResult, samples []int64) {
+	if pr.Elapsed > 0 {
+		pr.Throughput = float64(pr.Txns) / pr.Elapsed.Seconds()
+	}
+	if total := pr.Txns + pr.Aborts; total > 0 {
+		pr.AbortRate = float64(pr.Aborts) / float64(total)
+	}
+	if len(samples) == 0 {
+		return
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum int64
+	for _, s := range samples {
+		sum += s
+	}
+	pr.AvgLatencyNs = float64(sum) / float64(len(samples))
+	pr.P50LatencyNs = float64(percentile(samples, 50))
+	pr.P99LatencyNs = float64(percentile(samples, 99))
+}
+
+// percentile is nearest-rank over a sorted slice.
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// phaseSamples pairs one measured phase's latency reservoir with the
+// transaction count it represents.
+type phaseSamples struct {
+	samples []int64
+	txns    uint64
+}
+
+type weightedSample struct {
+	ns int64
+	w  float64
+}
+
+// finishAggregate derives the scenario-level aggregate. Each phase's
+// reservoir is capped at the same size regardless of how many
+// transactions the phase ran, so samples are weighted by the transaction
+// count they stand for — otherwise a slow, low-throughput phase would
+// dominate the headline percentiles far beyond its share of the run.
+func finishAggregate(pr *PhaseResult, parts []phaseSamples) {
+	if pr.Elapsed > 0 {
+		pr.Throughput = float64(pr.Txns) / pr.Elapsed.Seconds()
+	}
+	if total := pr.Txns + pr.Aborts; total > 0 {
+		pr.AbortRate = float64(pr.Aborts) / float64(total)
+	}
+	var all []weightedSample
+	var totalW, weightedSum float64
+	for _, p := range parts {
+		if len(p.samples) == 0 || p.txns == 0 {
+			continue
+		}
+		w := float64(p.txns) / float64(len(p.samples))
+		for _, s := range p.samples {
+			all = append(all, weightedSample{ns: s, w: w})
+			weightedSum += float64(s) * w
+		}
+		totalW += float64(p.txns)
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ns < all[j].ns })
+	pr.AvgLatencyNs = weightedSum / totalW
+	pr.P50LatencyNs = float64(weightedPercentile(all, totalW, 0.50))
+	pr.P99LatencyNs = float64(weightedPercentile(all, totalW, 0.99))
+}
+
+// weightedPercentile returns the smallest sample whose cumulative weight
+// reaches p of totalW; all must be sorted by ns.
+func weightedPercentile(all []weightedSample, totalW, p float64) int64 {
+	target := p * totalW
+	var cum float64
+	for _, s := range all {
+		cum += s.w
+		if cum >= target {
+			return s.ns
+		}
+	}
+	return all[len(all)-1].ns
+}

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+func tinyEngineConfig(threads int) EngineConfig {
+	return EngineConfig{
+		Threads: threads, Duration: 60 * time.Millisecond,
+		KeyRange: 1 << 10, Preload: 1 << 9, Seed: 7,
+	}
+}
+
+func TestRunScenarioAllBuiltinsOnMedley(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		sc, err := LookupScenario(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := RunScenario(NewMedleyHash(1<<10), sc, tinyEngineConfig(2))
+		if res.Scenario != name || res.System != "Medley-hash" {
+			t.Fatalf("%s: bad labels %+v", name, res)
+		}
+		if len(res.Phases) != len(sc.Phases) {
+			t.Fatalf("%s: %d phase results for %d phases", name, len(res.Phases), len(sc.Phases))
+		}
+		m := res.Measured
+		if m.Txns == 0 || m.Throughput <= 0 {
+			t.Errorf("%s: no progress: %+v", name, m)
+		}
+		if m.P50LatencyNs <= 0 || m.P99LatencyNs < m.P50LatencyNs {
+			t.Errorf("%s: bad percentiles p50=%f p99=%f", name, m.P50LatencyNs, m.P99LatencyNs)
+		}
+		if m.AvgLatencyNs <= 0 {
+			t.Errorf("%s: no average latency", name)
+		}
+	}
+}
+
+func TestRunScenarioCompetitorsReportAborts(t *testing.T) {
+	sc, err := LookupScenario("zipfian-mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range []System{
+		NewOneFile(OneFileOpts{Buckets: 1 << 10}),
+		NewTDSL(),
+		NewLFTT(),
+	} {
+		if _, ok := sys.(TxStatser); !ok {
+			t.Fatalf("%s does not implement TxStatser", sys.Name())
+		}
+		res := RunScenario(sys, sc, tinyEngineConfig(2))
+		if res.Measured.Txns == 0 {
+			t.Fatalf("%s: no transactions", sys.Name())
+		}
+		if res.Measured.AbortRate < 0 || res.Measured.AbortRate >= 1 {
+			t.Fatalf("%s: abort rate %f out of range", sys.Name(), res.Measured.AbortRate)
+		}
+	}
+}
+
+func TestRunScenarioPhaseIsolation(t *testing.T) {
+	sc, err := LookupScenario("load-mixed-drain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunScenario(NewMedleyHash(1<<10), sc, tinyEngineConfig(2))
+	names := []string{"load", "mixed", "drain"}
+	for i, ph := range res.Phases {
+		if ph.Phase != names[i] {
+			t.Fatalf("phase %d = %q, want %q", i, ph.Phase, names[i])
+		}
+		if ph.Txns == 0 {
+			t.Fatalf("phase %q made no progress", ph.Phase)
+		}
+	}
+	// The aggregate covers exactly the measured phase.
+	if res.Measured.Txns != res.Phases[1].Txns {
+		t.Fatalf("aggregate %d txns, measured phase %d", res.Measured.Txns, res.Phases[1].Txns)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := make([]int64, 100)
+	for i := range sorted {
+		sorted[i] = int64(i + 1)
+	}
+	cases := []struct {
+		p    int
+		want int64
+	}{{50, 50}, {99, 99}, {100, 100}, {1, 1}}
+	for _, c := range cases {
+		if got := percentile(sorted, c.p); got != c.want {
+			t.Fatalf("p%d of 1..100 = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if got := percentile([]int64{7}, 99); got != 7 {
+		t.Fatalf("p99 of singleton = %d", got)
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Fatalf("p50 of empty = %d", got)
+	}
+}
+
+func TestWeightedPercentileWeighsByTxns(t *testing.T) {
+	// Slow phase: 4 samples of 1000ns standing for 4 txns. Fast phase:
+	// 4 samples of 10ns standing for 996 txns. Unweighted concatenation
+	// would put p50 at 1000ns; weighting must keep it at 10ns.
+	var pr PhaseResult
+	pr.Txns = 1000
+	pr.Elapsed = time.Second
+	finishAggregate(&pr, []phaseSamples{
+		{samples: []int64{1000, 1000, 1000, 1000}, txns: 4},
+		{samples: []int64{10, 10, 10, 10}, txns: 996},
+	})
+	if pr.P50LatencyNs != 10 {
+		t.Fatalf("weighted p50 = %f, want 10", pr.P50LatencyNs)
+	}
+	if pr.P99LatencyNs != 10 {
+		t.Fatalf("weighted p99 = %f, want 10 (slow phase is only 0.4%% of txns)", pr.P99LatencyNs)
+	}
+	if pr.AvgLatencyNs >= 100 {
+		t.Fatalf("weighted avg = %f, want ~14", pr.AvgLatencyNs)
+	}
+}
+
+func TestWorkerShardReservoirBounded(t *testing.T) {
+	sc := Scenario{
+		Name: "bounded", Dist: Dist{Kind: DistUniform},
+		Phases: []Phase{{Name: "m", Weight: 1, Measure: true,
+			Mix: Mix{Ratio: Ratio{Get: 1}, TxMin: 1, TxMax: 1, Mixed: 1}}},
+	}
+	cfg := tinyEngineConfig(2)
+	cfg.MaxLatencySamples = 64
+	res := RunScenario(NewOriginalSkip(), sc, cfg)
+	if res.Measured.Txns < 64 {
+		t.Skip("machine too slow to fill the reservoir")
+	}
+	if res.Measured.P50LatencyNs <= 0 {
+		t.Fatal("reservoir produced no percentile")
+	}
+}

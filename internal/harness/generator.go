@@ -1,0 +1,140 @@
+package harness
+
+import "math/rand"
+
+// This file holds the key-distribution generators of the workload engine.
+// A KeyGen produces the keys a worker touches; which distribution it draws
+// from determines where contention concentrates, which is what separates
+// the systems under test once raw throughput is equal (eager contention
+// management vs. serialized writers vs. lock-based commit all degrade
+// differently under skew).
+
+// KeyGen produces keys in [0, KeyRange). Implementations are per-worker:
+// they own their *rand.Rand and are not safe for concurrent use, which is
+// exactly what keeps generation off the coherence bus during measurement.
+type KeyGen interface {
+	Next() uint64
+}
+
+// Dist is a declarative key-distribution spec, the serializable half of a
+// KeyGen. The zero value is uniform.
+type Dist struct {
+	Kind DistKind
+
+	// Theta is the Zipf exponent for DistZipfian and DistLatest
+	// (s in math/rand.Zipf terms; must be > 1, default 1.2).
+	Theta float64
+
+	// HotFrac and HotOpFrac parameterize DistHotspot: HotOpFrac of
+	// operations land uniformly in the first HotFrac of the key space
+	// (defaults 0.1 and 0.9 — a 90/10 hotspot).
+	HotFrac, HotOpFrac float64
+}
+
+// DistKind enumerates the built-in key distributions.
+type DistKind uint8
+
+// Key distributions of the workload engine.
+const (
+	DistUniform DistKind = iota // uniform over the key space
+	DistZipfian                 // Zipf ranks scattered over the key space
+	DistLatest                  // Zipf ranks anchored at the top of the key space
+	DistHotspot                 // two-tier uniform: hot range vs. the rest
+)
+
+func (k DistKind) String() string {
+	switch k {
+	case DistZipfian:
+		return "zipfian"
+	case DistLatest:
+		return "latest"
+	case DistHotspot:
+		return "hotspot"
+	default:
+		return "uniform"
+	}
+}
+
+// NewKeyGen builds the generator described by d over keyRange keys, drawing
+// from r. The same (d, keyRange, seed) always yields the same key sequence.
+func NewKeyGen(d Dist, keyRange uint64, r *rand.Rand) KeyGen {
+	if keyRange == 0 {
+		keyRange = 1
+	}
+	switch d.Kind {
+	case DistZipfian, DistLatest:
+		theta := d.Theta
+		if theta <= 1 {
+			theta = 1.2
+		}
+		z := rand.NewZipf(r, theta, 1, keyRange-1)
+		if d.Kind == DistLatest {
+			return &latestGen{z: z, keyRange: keyRange}
+		}
+		return &zipfGen{z: z, keyRange: keyRange}
+	case DistHotspot:
+		hf, hof := d.HotFrac, d.HotOpFrac
+		if hf <= 0 || hf >= 1 {
+			hf = 0.1
+		}
+		if hof <= 0 || hof >= 1 {
+			hof = 0.9
+		}
+		hot := uint64(float64(keyRange) * hf)
+		if hot == 0 {
+			hot = 1
+		}
+		return &hotspotGen{r: r, keyRange: keyRange, hot: hot, hotOp: hof}
+	default:
+		return &uniformGen{r: r, keyRange: keyRange}
+	}
+}
+
+type uniformGen struct {
+	r        *rand.Rand
+	keyRange uint64
+}
+
+func (g *uniformGen) Next() uint64 { return uint64(g.r.Int63n(int64(g.keyRange))) }
+
+// zipfGen scatters Zipf ranks across the key space with a Fibonacci-hash
+// scramble (YCSB's trick), so the handful of hot keys are not neighbours —
+// adjacent hot keys would privilege ordered structures (skiplists, BSTs)
+// with shared search paths and distort the comparison against hash tables.
+type zipfGen struct {
+	z        *rand.Zipf
+	keyRange uint64
+}
+
+func scramble(rank, keyRange uint64) uint64 {
+	return (rank * 0x9E3779B97F4A7C15) % keyRange
+}
+
+func (g *zipfGen) Next() uint64 { return scramble(g.z.Uint64(), g.keyRange) }
+
+// latestGen anchors the Zipf head at the highest keys, approximating
+// YCSB's "latest" distribution over this harness's fixed key space: the
+// top of the range plays the role of the most recently inserted records.
+type latestGen struct {
+	z        *rand.Zipf
+	keyRange uint64
+}
+
+func (g *latestGen) Next() uint64 { return g.keyRange - 1 - g.z.Uint64() }
+
+type hotspotGen struct {
+	r        *rand.Rand
+	keyRange uint64
+	hot      uint64  // size of the hot prefix
+	hotOp    float64 // fraction of draws landing in it
+}
+
+func (g *hotspotGen) Next() uint64 {
+	if g.r.Float64() < g.hotOp {
+		return uint64(g.r.Int63n(int64(g.hot)))
+	}
+	if g.hot == g.keyRange {
+		return uint64(g.r.Int63n(int64(g.keyRange)))
+	}
+	return g.hot + uint64(g.r.Int63n(int64(g.keyRange-g.hot)))
+}

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+)
+
+const genKeyRange = 1 << 16
+
+func draw(t *testing.T, d Dist, seed int64, n int) []uint64 {
+	t.Helper()
+	g := NewKeyGen(d, genKeyRange, rand.New(rand.NewSource(seed)))
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = g.Next()
+		if out[i] >= genKeyRange {
+			t.Fatalf("%v: key %d out of range", d, out[i])
+		}
+	}
+	return out
+}
+
+func allDists() []Dist {
+	return []Dist{
+		{Kind: DistUniform},
+		{Kind: DistZipfian, Theta: 1.2},
+		{Kind: DistLatest, Theta: 1.2},
+		{Kind: DistHotspot, HotFrac: 0.1, HotOpFrac: 0.9},
+	}
+}
+
+func TestKeyGenDeterministicSeeding(t *testing.T) {
+	for _, d := range allDists() {
+		a := draw(t, d, 7, 10_000)
+		b := draw(t, d, 7, 10_000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same seed diverged at %d: %d vs %d", d.Kind, i, a[i], b[i])
+			}
+		}
+		c := draw(t, d, 8, 10_000)
+		same := 0
+		for i := range a {
+			if a[i] == c[i] {
+				same++
+			}
+		}
+		if same == len(a) {
+			t.Fatalf("%s: different seeds produced identical sequences", d.Kind)
+		}
+	}
+}
+
+// topShare returns the fraction of draws taken by the most frequent key.
+func topShare(keys []uint64) float64 {
+	freq := map[uint64]int{}
+	max := 0
+	for _, k := range keys {
+		freq[k]++
+		if freq[k] > max {
+			max = freq[k]
+		}
+	}
+	return float64(max) / float64(len(keys))
+}
+
+func TestUniformHasNoHotKey(t *testing.T) {
+	keys := draw(t, Dist{Kind: DistUniform}, 1, 100_000)
+	if s := topShare(keys); s > 0.005 {
+		t.Fatalf("uniform hottest key takes %.3f of draws", s)
+	}
+}
+
+func TestZipfianIsSkewed(t *testing.T) {
+	keys := draw(t, Dist{Kind: DistZipfian, Theta: 1.2}, 1, 100_000)
+	if s := topShare(keys); s < 0.02 {
+		t.Fatalf("zipfian hottest key takes only %.4f of draws, want noticeable skew", s)
+	}
+	// The scramble must spread hot ranks: the hottest key should not be 0.
+	freq := map[uint64]int{}
+	for _, k := range keys {
+		freq[k]++
+	}
+	distinct := len(freq)
+	if distinct < 100 {
+		t.Fatalf("zipfian produced only %d distinct keys", distinct)
+	}
+}
+
+func TestLatestFavorsHighKeys(t *testing.T) {
+	keys := draw(t, Dist{Kind: DistLatest, Theta: 1.2}, 1, 100_000)
+	high := 0
+	for _, k := range keys {
+		if k >= genKeyRange/2 {
+			high++
+		}
+	}
+	if frac := float64(high) / float64(len(keys)); frac < 0.9 {
+		t.Fatalf("latest put only %.2f of draws in the top half", frac)
+	}
+}
+
+func TestHotspotHitsHotRange(t *testing.T) {
+	d := Dist{Kind: DistHotspot, HotFrac: 0.1, HotOpFrac: 0.9}
+	keys := draw(t, d, 1, 100_000)
+	hotLimit := uint64(float64(genKeyRange) * d.HotFrac)
+	hot := 0
+	for _, k := range keys {
+		if k < hotLimit {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(len(keys))
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hotspot hit rate %.3f, want ~%.2f", frac, d.HotOpFrac)
+	}
+}
+
+func TestKeyGenDegenerateRanges(t *testing.T) {
+	for _, d := range allDists() {
+		g := NewKeyGen(d, 1, rand.New(rand.NewSource(3)))
+		for i := 0; i < 100; i++ {
+			if k := g.Next(); k != 0 {
+				t.Fatalf("%s over 1 key produced %d", d.Kind, k)
+			}
+		}
+	}
+}

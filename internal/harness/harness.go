@@ -1,14 +1,17 @@
-// Package harness drives the paper's evaluation (Section 6): the
-// microbenchmark of Figures 7, 8 and 10 (1M key space, 0.5M preload,
-// transactions of 1-10 uniform-random operations with a configurable
-// get:insert:remove ratio) and the TPC-C subset of Figure 9, over every
-// system under test.
+// Package harness is the workload engine behind cmd/medley-bench. It
+// drives the paper's evaluation (Section 6) — the microbenchmark of
+// Figures 7, 8 and 10 (1M key space, 0.5M preload, transactions of 1-10
+// uniform-random operations with a configurable get:insert:remove ratio)
+// and the TPC-C subset of Figure 9 — and generalizes it into pluggable
+// scenarios: key-distribution generators (generator.go), transaction
+// mixes with multi-key compositions and working-set phases (scenario.go),
+// a phase-scripted measurement engine with per-worker statistics shards
+// and latency reservoirs (engine.go), and machine-readable reports
+// (report.go), over every system under test (systems.go).
 package harness
 
 import (
 	"math/rand"
-	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -104,75 +107,38 @@ type Result struct {
 	Threads    int
 	Txns       uint64
 	Ops        uint64
+	Aborts     uint64
 	Elapsed    time.Duration
-	Throughput float64 // txn/s
-	LatencyNs  float64 // avg per-transaction latency per thread
+	Throughput float64 // committed txn/s
+	AbortRate  float64 // aborted attempts / total attempts, 0 if unknown
+	LatencyNs  float64 // avg per-transaction latency (sampled)
+	P50Ns      float64
+	P99Ns      float64
 }
 
-// Run measures sys under cfg.
+// Run measures sys under cfg: the paper's microbenchmark loop, expressed
+// as a single-phase uniform scenario on the workload engine. RunScenario
+// is the general entry point.
 func Run(sys System, cfg Config) Result {
-	if cfg.TxMin <= 0 {
-		cfg.TxMin = 1
+	sc := Scenario{
+		Name: "uniform-" + cfg.Ratio.String(),
+		Dist: Dist{Kind: DistUniform},
+		Phases: []Phase{{
+			Name: "mixed", Weight: 1, Measure: true,
+			Mix: Mix{Ratio: cfg.Ratio, TxMin: cfg.TxMin, TxMax: cfg.TxMax, Mixed: 1},
+		}},
 	}
-	if cfg.TxMax < cfg.TxMin {
-		cfg.TxMax = cfg.TxMin
+	r := RunScenario(sys, sc, EngineConfig{
+		Threads: cfg.Threads, Duration: cfg.Duration,
+		KeyRange: cfg.KeyRange, Preload: cfg.Preload, Seed: cfg.Seed,
+	})
+	m := r.Measured
+	return Result{
+		System: r.System, Ratio: cfg.Ratio.String(), Threads: cfg.Threads,
+		Txns: m.Txns, Ops: m.Ops, Aborts: m.Aborts, Elapsed: m.Elapsed,
+		Throughput: m.Throughput, AbortRate: m.AbortRate,
+		LatencyNs: m.AvgLatencyNs, P50Ns: m.P50LatencyNs, P99Ns: m.P99LatencyNs,
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	keys := make([]uint64, cfg.Preload)
-	for i := range keys {
-		keys[i] = uint64(rng.Int63n(int64(cfg.KeyRange)))
-	}
-	sys.Preload(keys)
-	stop := sys.Start()
-	defer stop()
-
-	var txns, opsDone atomic.Uint64
-	var stopFlag atomic.Bool
-	var wg sync.WaitGroup
-	start := make(chan struct{})
-	for t := 0; t < cfg.Threads; t++ {
-		wg.Add(1)
-		go func(seed int64) {
-			defer wg.Done()
-			w := sys.NewWorker()
-			r := rand.New(rand.NewSource(seed))
-			ops := make([]Op, 0, cfg.TxMax)
-			var localTx, localOps uint64
-			<-start
-			for !stopFlag.Load() {
-				n := cfg.TxMin + r.Intn(cfg.TxMax-cfg.TxMin+1)
-				ops = ops[:0]
-				for i := 0; i < n; i++ {
-					ops = append(ops, Op{
-						Kind: pickKind(r, cfg.Ratio),
-						Key:  uint64(r.Int63n(int64(cfg.KeyRange))),
-						Val:  r.Uint64(),
-					})
-				}
-				w.Do(ops)
-				localTx++
-				localOps += uint64(n)
-			}
-			txns.Add(localTx)
-			opsDone.Add(localOps)
-		}(cfg.Seed + int64(t)*7919)
-	}
-	begin := time.Now()
-	close(start)
-	time.Sleep(cfg.Duration)
-	stopFlag.Store(true)
-	wg.Wait()
-	elapsed := time.Since(begin)
-
-	res := Result{
-		System: sys.Name(), Ratio: cfg.Ratio.String(), Threads: cfg.Threads,
-		Txns: txns.Load(), Ops: opsDone.Load(), Elapsed: elapsed,
-	}
-	if elapsed > 0 && res.Txns > 0 {
-		res.Throughput = float64(res.Txns) / elapsed.Seconds()
-		res.LatencyNs = float64(cfg.Threads) * float64(elapsed.Nanoseconds()) / float64(res.Txns)
-	}
-	return res
 }
 
 func pickKind(r *rand.Rand, ratio Ratio) OpKind {

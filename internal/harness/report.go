@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+)
+
+// This file defines the machine-readable benchmark report emitted by
+// cmd/medley-bench -json. The schema is the contract that makes the
+// repository's performance trajectory trackable across PRs: drivers write
+// one Report per run (conventionally to BENCH_<scenario>.json), and each
+// record carries throughput, abort rate and latency percentiles.
+
+// LatencySummary is the latency digest of one record, in nanoseconds.
+type LatencySummary struct {
+	AvgNs float64 `json:"avg_ns"`
+	P50Ns float64 `json:"p50_ns"`
+	P99Ns float64 `json:"p99_ns"`
+}
+
+// Record is one (system, scenario, phase, thread count) measurement.
+type Record struct {
+	System    string         `json:"system"`
+	Scenario  string         `json:"scenario"`
+	Phase     string         `json:"phase"`
+	Threads   int            `json:"threads"`
+	Txns      uint64         `json:"txns"`
+	Ops       uint64         `json:"ops"`
+	Aborts    uint64         `json:"aborts"`
+	ElapsedNs int64          `json:"elapsed_ns"`
+	TxnPerSec float64        `json:"throughput_txn_per_sec"`
+	AbortRate float64        `json:"abort_rate"`
+	Latency   LatencySummary `json:"latency"`
+}
+
+// ReportConfig echoes the run parameters into the report so a stored
+// BENCH_*.json is self-describing.
+type ReportConfig struct {
+	Threads    []int  `json:"threads"`
+	DurationNs int64  `json:"duration_ns"`
+	KeyRange   uint64 `json:"key_range"`
+	Preload    int    `json:"preload"`
+	Seed       int64  `json:"seed"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Benchmark string       `json:"benchmark"` // always "medley-bench"
+	Scenario  string       `json:"scenario"`
+	Config    ReportConfig `json:"config"`
+	Results   []Record     `json:"results"`
+}
+
+// NewReport seeds a report for one scenario run.
+func NewReport(scenario string, threads []int, duration time.Duration, keyRange uint64, preload int, seed int64) *Report {
+	return &Report{
+		Benchmark: "medley-bench",
+		Scenario:  scenario,
+		Config: ReportConfig{
+			Threads: threads, DurationNs: int64(duration),
+			KeyRange: keyRange, Preload: preload, Seed: seed,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+		},
+	}
+}
+
+// Add converts a ScenarioResult into records: one per phase plus the
+// measured aggregate, so phase == "measured" is a stable cross-scenario
+// selector for the headline number regardless of phase count.
+func (rep *Report) Add(res ScenarioResult) {
+	for _, ph := range res.Phases {
+		rep.Results = append(rep.Results, recordOf(res, ph))
+	}
+	rep.Results = append(rep.Results, recordOf(res, res.Measured))
+}
+
+func recordOf(res ScenarioResult, ph PhaseResult) Record {
+	return Record{
+		System: res.System, Scenario: res.Scenario, Phase: ph.Phase,
+		Threads: res.Threads, Txns: ph.Txns, Ops: ph.Ops, Aborts: ph.Aborts,
+		ElapsedNs: int64(ph.Elapsed), TxnPerSec: ph.Throughput,
+		AbortRate: ph.AbortRate,
+		Latency: LatencySummary{
+			AvgNs: ph.AvgLatencyNs, P50Ns: ph.P50LatencyNs, P99Ns: ph.P99LatencyNs,
+		},
+	}
+}
+
+// WriteJSON emits the report, indented, to w.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,248 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// This file defines the scenario layer of the workload engine: what a
+// transaction looks like (Mix), how the workload evolves over a run
+// (Phase), and the named combinations the benchmark driver exposes
+// (Scenario, Scenarios). The engine in engine.go executes them; the
+// generators in generator.go supply the keys.
+
+// Mix describes the transaction population of one phase. Three transaction
+// shapes are drawn by weight:
+//
+//   - Mixed: TxMin..TxMax independent single-key operations in the
+//     get:insert:remove proportions of Ratio — the paper's microbenchmark
+//     transaction.
+//   - Transfer: the bank-transfer composition from the package example:
+//     read two keys, write two keys, all-or-nothing.
+//   - Order: a TPC-C-mini new-order composition: one customer read, three
+//     item read-update pairs, and one order-line insert into a disjoint
+//     key region.
+//
+// A zero Mix (all weights zero) defaults to Mixed only.
+type Mix struct {
+	Ratio        Ratio // single-key op proportions within a Mixed transaction
+	TxMin, TxMax int   // Mixed transaction length bounds (paper: 1..10)
+
+	Mixed    int // weight of Mixed transactions
+	Transfer int // weight of Transfer transactions
+	Order    int // weight of Order transactions
+}
+
+// shapeWeights returns the normalized weights, applying the Mixed default.
+func (m Mix) shapeWeights() (mixed, transfer, order int) {
+	mixed, transfer, order = m.Mixed, m.Transfer, m.Order
+	if mixed+transfer+order == 0 {
+		mixed = 1
+	}
+	return
+}
+
+// Phase is one stage of a scenario. Weights slice the run's total duration,
+// so a scenario's wall-clock cost is independent of its phase count.
+type Phase struct {
+	Name    string
+	Weight  float64 // share of total duration (normalized across phases)
+	Mix     Mix
+	Measure bool // include in the scenario's headline aggregate
+}
+
+// Scenario is a named, self-contained workload: a key distribution plus a
+// phase script. Scenarios are pure data — the engine owns execution — so
+// adding a scenario never touches the engine or the systems under test.
+type Scenario struct {
+	Name        string
+	Description string
+	Dist        Dist
+	Phases      []Phase
+}
+
+// orderLineBit tags the keys that Order transactions insert order lines
+// under, keeping them disjoint from the item/customer key space without a
+// second structure.
+const orderLineBit = uint64(1) << 62
+
+// TxGen generates the transactions of one phase for one worker. It is
+// deterministic in its seed and, like KeyGen, single-goroutine by design.
+type TxGen struct {
+	r        *rand.Rand
+	kg       KeyGen
+	mix      Mix
+	keyRange uint64
+	buf      []Op
+}
+
+// NewTxGen builds a per-worker transaction generator: keys from dist over
+// keyRange, shapes and lengths from mix, everything derived from seed.
+func NewTxGen(dist Dist, keyRange uint64, mix Mix, seed int64) *TxGen {
+	if mix.TxMin <= 0 {
+		mix.TxMin = 1
+	}
+	if mix.TxMax < mix.TxMin {
+		mix.TxMax = mix.TxMin
+	}
+	if mix.Ratio.Get+mix.Ratio.Insert+mix.Ratio.Remove == 0 {
+		mix.Ratio = Ratio{Get: 2, Insert: 1, Remove: 1}
+	}
+	if keyRange == 0 {
+		keyRange = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	return &TxGen{r: r, kg: NewKeyGen(dist, keyRange, r), mix: mix, keyRange: keyRange,
+		buf: make([]Op, 0, 16)}
+}
+
+// Next returns the next transaction's operations. The slice is reused by
+// the following call; workers consume it before generating again.
+func (g *TxGen) Next() []Op {
+	mixed, transfer, order := g.mix.shapeWeights()
+	g.buf = g.buf[:0]
+	x := g.r.Intn(mixed + transfer + order)
+	switch {
+	case x < mixed:
+		n := g.mix.TxMin + g.r.Intn(g.mix.TxMax-g.mix.TxMin+1)
+		for i := 0; i < n; i++ {
+			g.buf = append(g.buf, Op{
+				Kind: pickKind(g.r, g.mix.Ratio),
+				Key:  g.kg.Next(),
+				Val:  g.r.Uint64(),
+			})
+		}
+	case x < mixed+transfer:
+		from := g.kg.Next()
+		to := g.kg.Next()
+		if to == from {
+			to = (from + 1) % g.keyRange
+		}
+		amount := g.r.Uint64() % 128
+		g.buf = append(g.buf,
+			Op{Kind: OpGet, Key: from},
+			Op{Kind: OpGet, Key: to},
+			Op{Kind: OpInsert, Key: from, Val: amount},
+			Op{Kind: OpInsert, Key: to, Val: amount},
+		)
+	default:
+		customer := g.kg.Next()
+		g.buf = append(g.buf, Op{Kind: OpGet, Key: customer})
+		for i := 0; i < 3; i++ {
+			item := g.kg.Next()
+			g.buf = append(g.buf,
+				Op{Kind: OpGet, Key: item},
+				Op{Kind: OpInsert, Key: item, Val: g.r.Uint64()},
+			)
+		}
+		g.buf = append(g.buf, Op{
+			Kind: OpInsert,
+			Key:  orderLineBit | (g.r.Uint64() &^ orderLineBit),
+			Val:  customer,
+		})
+	}
+	return g.buf
+}
+
+// ---------------------------------------------------------------- registry
+
+// paperMix is the paper's microbenchmark transaction shape at the given
+// single-key ratio.
+func paperMix(r Ratio) Mix { return Mix{Ratio: r, TxMin: 1, TxMax: 10, Mixed: 1} }
+
+// onePhase wraps a mix as a single measured phase.
+func onePhase(m Mix) []Phase {
+	return []Phase{{Name: "mixed", Weight: 1, Mix: m, Measure: true}}
+}
+
+// builtin is the scenario registry. Keys are the -scenario names of
+// cmd/medley-bench; EXPERIMENTS.md documents how they map to the paper's
+// figures and beyond.
+var builtin = map[string]Scenario{
+	"uniform-mixed": {
+		Description: "paper microbenchmark: uniform keys, 2:1:1 get:insert:remove, 1-10 ops/txn",
+		Dist:        Dist{Kind: DistUniform},
+		Phases:      onePhase(paperMix(Ratio{Get: 2, Insert: 1, Remove: 1})),
+	},
+	"uniform-readmostly": {
+		Description: "paper microbenchmark: uniform keys, 18:1:1",
+		Dist:        Dist{Kind: DistUniform},
+		Phases:      onePhase(paperMix(Ratio{Get: 18, Insert: 1, Remove: 1})),
+	},
+	"uniform-writeheavy": {
+		Description: "paper microbenchmark: uniform keys, 0:1:1",
+		Dist:        Dist{Kind: DistUniform},
+		Phases:      onePhase(paperMix(Ratio{Get: 0, Insert: 1, Remove: 1})),
+	},
+	"zipfian-mixed": {
+		Description: "skewed contention: Zipf(1.2) scrambled keys, 2:1:1",
+		Dist:        Dist{Kind: DistZipfian, Theta: 1.2},
+		Phases:      onePhase(paperMix(Ratio{Get: 2, Insert: 1, Remove: 1})),
+	},
+	"zipfian-readmostly": {
+		Description: "skewed read-mostly: Zipf(1.2) scrambled keys, 18:1:1",
+		Dist:        Dist{Kind: DistZipfian, Theta: 1.2},
+		Phases:      onePhase(paperMix(Ratio{Get: 18, Insert: 1, Remove: 1})),
+	},
+	"latest-mixed": {
+		Description: "recency skew: Zipf head at the newest keys, 2:1:1",
+		Dist:        Dist{Kind: DistLatest, Theta: 1.2},
+		Phases:      onePhase(paperMix(Ratio{Get: 2, Insert: 1, Remove: 1})),
+	},
+	"hotspot-readmostly": {
+		Description: "90% of ops on 10% of keys, 18:1:1",
+		Dist:        Dist{Kind: DistHotspot, HotFrac: 0.1, HotOpFrac: 0.9},
+		Phases:      onePhase(paperMix(Ratio{Get: 18, Insert: 1, Remove: 1})),
+	},
+	"transfer": {
+		Description: "bank transfers: 2-key read-modify-write compositions, uniform keys",
+		Dist:        Dist{Kind: DistUniform},
+		Phases:      onePhase(Mix{Transfer: 1}),
+	},
+	"tpcc-mini": {
+		Description: "order entry: 8-op new-order-style compositions, Zipf item popularity",
+		Dist:        Dist{Kind: DistZipfian, Theta: 1.2},
+		Phases:      onePhase(Mix{Order: 1}),
+	},
+	"composed-mixed": {
+		Description: "mixed population: microbenchmark, transfer and order txns 2:1:1",
+		Dist:        Dist{Kind: DistZipfian, Theta: 1.2},
+		Phases: onePhase(Mix{
+			Ratio: Ratio{Get: 2, Insert: 1, Remove: 1}, TxMin: 1, TxMax: 10,
+			Mixed: 2, Transfer: 1, Order: 1,
+		}),
+	},
+	"load-mixed-drain": {
+		Description: "working-set lifecycle: insert-only load, 2:1:1 steady state, remove-heavy drain",
+		Dist:        Dist{Kind: DistUniform},
+		Phases: []Phase{
+			{Name: "load", Weight: 0.25,
+				Mix: Mix{Ratio: Ratio{Get: 0, Insert: 1, Remove: 0}, TxMin: 1, TxMax: 10, Mixed: 1}},
+			{Name: "mixed", Weight: 0.5,
+				Mix: paperMix(Ratio{Get: 2, Insert: 1, Remove: 1}), Measure: true},
+			{Name: "drain", Weight: 0.25,
+				Mix: Mix{Ratio: Ratio{Get: 1, Insert: 0, Remove: 4}, TxMin: 1, TxMax: 10, Mixed: 1}},
+		},
+	},
+}
+
+// LookupScenario returns the named built-in scenario.
+func LookupScenario(name string) (Scenario, error) {
+	sc, ok := builtin[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("unknown scenario %q (known: %v)", name, ScenarioNames())
+	}
+	sc.Name = name
+	return sc, nil
+}
+
+// ScenarioNames lists the built-in scenarios in stable order.
+func ScenarioNames() []string {
+	names := make([]string, 0, len(builtin))
+	for n := range builtin {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,6 +1,9 @@
 package harness
 
 import (
+	"errors"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"medley/internal/core"
@@ -53,6 +56,12 @@ func (s *MedleySystem) Name() string { return s.name }
 
 // Manager exposes the TxManager for statistics.
 func (s *MedleySystem) Manager() *core.TxManager { return s.mgr }
+
+// TxStats implements TxStatser from the manager's sharded counters.
+func (s *MedleySystem) TxStats() (commits, aborts uint64) {
+	st := s.mgr.Stats()
+	return st.Commits, st.Aborts
+}
 
 // Start implements System.
 func (s *MedleySystem) Start() (stop func()) { return func() {} }
@@ -163,6 +172,12 @@ func (s *MontageSystem) Name() string { return s.name }
 
 // Manager exposes the TxManager for statistics.
 func (s *MontageSystem) Manager() *core.TxManager { return s.mgr }
+
+// TxStats implements TxStatser from the manager's sharded counters.
+func (s *MontageSystem) TxStats() (commits, aborts uint64) {
+	st := s.mgr.Stats()
+	return st.Commits, st.Aborts
+}
 
 // Start implements System.
 func (s *MontageSystem) Start() (stop func()) {
@@ -280,6 +295,12 @@ func NewOneFile(o OneFileOpts) *OneFileSystem {
 // Name implements System.
 func (s *OneFileSystem) Name() string { return s.name }
 
+// TxStats implements TxStatser; OneFile restarts play the role of aborts.
+func (s *OneFileSystem) TxStats() (commits, aborts uint64) {
+	st := s.stm.Stats()
+	return st.Commits, st.Restarts
+}
+
 // Start implements System.
 func (s *OneFileSystem) Start() (stop func()) { return func() {} }
 
@@ -336,14 +357,33 @@ func (w *onefileWorker) Do(ops []Op) {
 
 // ------------------------------------------------------------------ TDSL
 
-// TDSLSystem benchmarks the TDSL skiplist.
-type TDSLSystem struct{ sl *tdsl.Skiplist }
+// TDSLSystem benchmarks the TDSL skiplist. The library itself keeps no
+// counters, so each worker counts commits and aborts in its own padded
+// shard and TxStats folds them — the same no-shared-hot-word discipline as
+// core.TxManager.
+type TDSLSystem struct {
+	sl      *tdsl.Skiplist
+	mu      sync.Mutex
+	workers []*tdslWorker
+}
 
 // NewTDSL creates the TDSL benchmark system.
 func NewTDSL() *TDSLSystem { return &TDSLSystem{sl: tdsl.New()} }
 
 // Name implements System.
 func (s *TDSLSystem) Name() string { return "TDSL-skip" }
+
+// TxStats implements TxStatser by summing the per-worker shards.
+func (s *TDSLSystem) TxStats() (commits, aborts uint64) {
+	s.mu.Lock()
+	workers := s.workers
+	s.mu.Unlock()
+	for _, w := range workers {
+		commits += w.commits.Load()
+		aborts += w.aborts.Load()
+	}
+	return commits, aborts
+}
 
 // Start implements System.
 func (s *TDSLSystem) Start() (stop func()) { return func() {} }
@@ -362,25 +402,45 @@ func (s *TDSLSystem) Preload(keys []uint64) {
 	}
 }
 
-type tdslWorker struct{ s *TDSLSystem }
+type tdslWorker struct {
+	s               *TDSLSystem
+	tx              *tdsl.Tx
+	commits, aborts atomic.Uint64
+	_               [112]byte // keep worker shards on distinct cache lines
+}
 
 // NewWorker implements System.
-func (s *TDSLSystem) NewWorker() Worker { return &tdslWorker{s} }
+func (s *TDSLSystem) NewWorker() Worker {
+	w := &tdslWorker{s: s, tx: tdsl.NewTx()}
+	s.mu.Lock()
+	s.workers = append(s.workers, w)
+	s.mu.Unlock()
+	return w
+}
 
 func (w *tdslWorker) Do(ops []Op) {
-	_ = tdsl.RunRetry(func(tx *tdsl.Tx) error {
+	for {
+		w.tx.Reset()
 		for _, op := range ops {
 			switch op.Kind {
 			case OpGet:
-				tx.Get(w.s.sl, op.Key)
+				w.tx.Get(w.s.sl, op.Key)
 			case OpInsert:
-				tx.Put(w.s.sl, op.Key, op.Val)
+				w.tx.Put(w.s.sl, op.Key, op.Val)
 			case OpRemove:
-				tx.Remove(w.s.sl, op.Key)
+				w.tx.Remove(w.s.sl, op.Key)
 			}
 		}
-		return nil
-	})
+		err := w.tx.Commit()
+		if err == nil {
+			w.commits.Add(1)
+			return
+		}
+		if !errors.Is(err, tdsl.ErrAborted) {
+			return
+		}
+		w.aborts.Add(1)
+	}
 }
 
 // ------------------------------------------------------------------ LFTT
@@ -393,6 +453,9 @@ func NewLFTT() *LFTTSystem { return &LFTTSystem{sl: lftt.New()} }
 
 // Name implements System.
 func (s *LFTTSystem) Name() string { return "LFTT-skip" }
+
+// TxStats implements TxStatser from the skiplist's counters.
+func (s *LFTTSystem) TxStats() (commits, aborts uint64) { return s.sl.Stats() }
 
 // Start implements System.
 func (s *LFTTSystem) Start() (stop func()) { return func() {} }
