@@ -1,0 +1,104 @@
+// Command bench-schema validates BENCH_*.json benchmark reports against
+// the committed schema (testdata/bench_schema.json), failing on drift:
+// a report containing key paths the schema does not know, or missing
+// required paths, exits non-zero. CI runs it over freshly generated
+// reports so the JSON contract of internal/harness/report.go cannot
+// change without updating the schema in the same commit.
+//
+// With -fail-on-violations it additionally fails when any recoverable
+// crash record reports durability violations, which is what turns the
+// nightly crash-recover soak into a correctness gate.
+//
+//	bench-schema -schema testdata/bench_schema.json BENCH_*.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"medley/internal/harness"
+)
+
+var (
+	schemaFlag     = flag.String("schema", "testdata/bench_schema.json", "committed schema file")
+	violationsFlag = flag.Bool("fail-on-violations", false,
+		"also fail when a recoverable crash record reports durability violations")
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: bench-schema [-schema file] [-fail-on-violations] report.json...")
+		return 2
+	}
+	schema, err := harness.LoadSchema(*schemaFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+			continue
+		}
+		paths, err := harness.CanonicalPaths(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		for _, msg := range schema.Diff(paths) {
+			fmt.Fprintf(os.Stderr, "%s: schema drift: %s\n", path, msg)
+			failed = true
+		}
+		if *violationsFlag {
+			for _, msg := range durabilityViolations(data) {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", path, msg)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		return 1
+	}
+	fmt.Printf("bench-schema: %d report(s) OK\n", flag.NArg())
+	return 0
+}
+
+// durabilityViolations scans a report for recoverable crash records whose
+// verifier counted violations.
+func durabilityViolations(data []byte) []string {
+	var doc struct {
+		Results []struct {
+			System   string                  `json:"system"`
+			Phase    string                  `json:"phase"`
+			Threads  int                     `json:"threads"`
+			Recovery *harness.RecoveryRecord `json:"recovery"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return []string{err.Error()}
+	}
+	var out []string
+	for _, r := range doc.Results {
+		if r.Recovery == nil || !r.Recovery.Recoverable {
+			continue
+		}
+		if v := r.Recovery.Violations; v > 0 {
+			out = append(out, fmt.Sprintf(
+				"%s threads=%d: %d durability violations (missing=%d mismatched=%d leaked=%d)",
+				r.System, r.Threads, v, r.Recovery.MissingWrites,
+				r.Recovery.MismatchedWrites, r.Recovery.LeakedWrites))
+		}
+	}
+	return out
+}

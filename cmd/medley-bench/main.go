@@ -23,6 +23,12 @@
 //	medley-bench -scenario zipfian-mixed -json
 //	medley-bench -scenario list
 //	medley-bench -scenario tpcc-mini -systems medley-hash,onefile-hash,tdsl
+//	medley-bench -scenario crash-recover-zipfian -json
+//
+// The crash-recover-* scenarios crash the simulated NVM mid-run, time
+// recovery, and verify the recovered state against the committed-operation
+// model (see EXPERIMENTS.md). -systems defaults to "auto": the persistent
+// systems for crash scenarios, the historical transient set otherwise.
 //
 // -json emits a machine-readable Report (see internal/harness/report.go)
 // with throughput, abort rate and p50/p99 latency per system, phase and
@@ -49,8 +55,8 @@ import (
 var (
 	figFlag      = flag.String("fig", "all", "figure to regenerate: 7, 8, 9, 10a, 10b, 10c, all")
 	scenarioFlag = flag.String("scenario", "", "run a workload scenario instead of a figure ('list' to enumerate)")
-	systemsFlag  = flag.String("systems", "medley-hash,medley-skip,onefile-hash,tdsl,lftt",
-		"comma-separated systems for -scenario ('list' to enumerate)")
+	systemsFlag  = flag.String("systems", "auto",
+		"comma-separated systems for -scenario ('list' to enumerate, 'auto' picks a set fitting the scenario)")
 	jsonFlag     = flag.Bool("json", false, "emit the scenario report as JSON")
 	outFlag      = flag.String("out", "", "write the JSON report to this file (e.g. BENCH_zipfian-mixed.json)")
 	seedFlag     = flag.Int64("seed", 42, "workload generator seed")
@@ -62,10 +68,18 @@ var (
 	nvmWB        = flag.Duration("nvm-writeback", 300*time.Nanosecond, "injected NVM write-back latency per line")
 	nvmFence     = flag.Duration("nvm-fence", 100*time.Nanosecond, "injected NVM fence latency")
 	nvmStore     = flag.Duration("nvm-store", 60*time.Nanosecond, "injected NVM store latency per word")
+	advEvery     = flag.Duration("advance-every", 20*time.Millisecond, "txMontage epoch length (paper: ~10-100ms)")
 	short        = flag.Bool("short", false, "tiny configuration for smoke runs")
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main with a single exit point: every error path returns a
+// non-zero status (CI smoke depends on unknown -scenario/-systems/-fig
+// values failing the job, not just printing).
+func run() int {
 	flag.Parse()
 	if *short {
 		*keyRange = 1 << 12
@@ -77,12 +91,19 @@ func main() {
 		for _, n := range systemNames() {
 			fmt.Println(" ", n)
 		}
-		return
+		return 0
 	}
-	threads := parseThreads(*threadsFlag)
+	threads, err := parseThreads(*threadsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	if *scenarioFlag != "" {
-		runScenario(*scenarioFlag, threads)
-		return
+		if err := runScenario(*scenarioFlag, threads); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		return 0
 	}
 	switch *figFlag {
 	case "7":
@@ -106,21 +127,21 @@ func main() {
 		fig10("c", threads)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *figFlag)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
-func parseThreads(s string) []int {
+func parseThreads(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n <= 0 {
-			fmt.Fprintf(os.Stderr, "bad -threads %q\n", s)
-			os.Exit(2)
+			return nil, fmt.Errorf("bad -threads %q", s)
 		}
 		out = append(out, n)
 	}
-	return out
+	return out, nil
 }
 
 func cfg(th int, ratio harness.Ratio) harness.Config {

@@ -5,6 +5,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"medley/internal/harness"
 )
@@ -25,13 +26,13 @@ var systemRegistry = map[string]func() harness.System{
 	},
 	"ponefile-hash": func() harness.System {
 		return harness.NewOneFile(harness.OneFileOpts{
-			Buckets: *buckets, Persistent: true, RegionWords: 1 << 24,
+			Buckets: *buckets, Persistent: true, RegionWords: ponefileRegionWords(),
 			WriteBackLatency: *nvmWB, FenceLatency: *nvmFence,
 		})
 	},
 	"ponefile-skip": func() harness.System {
 		return harness.NewOneFile(harness.OneFileOpts{
-			Skiplist: true, Persistent: true, RegionWords: 1 << 24,
+			Skiplist: true, Persistent: true, RegionWords: ponefileRegionWords(),
 			WriteBackLatency: *nvmWB, FenceLatency: *nvmFence,
 		})
 	},
@@ -41,11 +42,44 @@ var systemRegistry = map[string]func() harness.System{
 	"txoff-skip": func() harness.System { return harness.NewTxOffSkip() },
 }
 
+// montageRegionWords sizes the simulated NVM with the key space (region
+// size never changes measured latencies, only footprint), so -short smoke
+// runs stop allocating paper-scale half-gigabyte regions.
+func montageRegionWords() int {
+	words := 1 << 22
+	if need := *keyRange << 6; need > words {
+		words = need
+	}
+	return words
+}
+
+// ponefileRegionWords sizes POneFile's region: home words for the object
+// graph plus the per-key durable directory, with room for the post-crash
+// rebuild to allocate a second generation of words.
+func ponefileRegionWords() int {
+	words := 1 << 20
+	if need := *keyRange << 5; need > words {
+		words = need
+	}
+	return words
+}
+
 func montageOpts(skiplist bool) harness.MontageOpts {
 	return harness.MontageOpts{
-		Skiplist: skiplist, Buckets: *buckets, RegionWords: 1 << 26,
+		Skiplist: skiplist, Buckets: *buckets, RegionWords: montageRegionWords(),
 		WriteBackLatency: *nvmWB, FenceLatency: *nvmFence, StoreLatency: *nvmStore,
+		AdvanceEvery: *advEvery,
 	}
+}
+
+// defaultSystems is the 'auto' system set: crash scenarios need the
+// persistent systems (plus one transient system to show the
+// recoverable: false path); everything else keeps the historical default.
+func defaultSystems(sc harness.Scenario) []string {
+	if sc.HasCrash() {
+		return []string{"txmontage-hash", "ponefile-hash", "medley-hash"}
+	}
+	return []string{"medley-hash", "medley-skip", "onefile-hash", "tdsl", "lftt"}
 }
 
 func systemNames() []string {
@@ -57,30 +91,45 @@ func systemNames() []string {
 	return names
 }
 
+// selectSystems resolves the -systems flag against the registry for the
+// given scenario.
+func selectSystems(sc harness.Scenario) ([]func() harness.System, error) {
+	names := defaultSystems(sc)
+	if *systemsFlag != "auto" {
+		names = nil
+		for _, part := range strings.Split(*systemsFlag, ",") {
+			names = append(names, strings.TrimSpace(part))
+		}
+	}
+	var mks []func() harness.System
+	for _, n := range names {
+		mk, ok := systemRegistry[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown system %q (known: %s)", n, strings.Join(systemNames(), ", "))
+		}
+		mks = append(mks, mk)
+	}
+	return mks, nil
+}
+
 // runScenario is the -scenario entry point: every selected system, every
-// thread count, one Report.
-func runScenario(name string, threads []int) {
+// thread count, one Report. Any error (unknown scenario, unknown system,
+// unwritable -out) propagates to main's non-zero exit.
+func runScenario(name string, threads []int) error {
 	if name == "list" {
 		for _, n := range harness.ScenarioNames() {
 			sc, _ := harness.LookupScenario(n)
-			fmt.Printf("  %-20s %s\n", n, sc.Description)
+			fmt.Printf("  %-26s %s\n", n, sc.Description)
 		}
-		return
+		return nil
 	}
 	sc, err := harness.LookupScenario(name)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return err
 	}
-	var mks []func() harness.System
-	for _, part := range strings.Split(*systemsFlag, ",") {
-		n := strings.TrimSpace(part)
-		mk, ok := systemRegistry[n]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown system %q (known: %s)\n", n, strings.Join(systemNames(), ", "))
-			os.Exit(2)
-		}
-		mks = append(mks, mk)
+	mks, err := selectSystems(sc)
+	if err != nil {
+		return err
 	}
 
 	rep := harness.NewReport(name, threads, *durationFlag, uint64(*keyRange), *preload, *seedFlag)
@@ -97,22 +146,26 @@ func runScenario(name string, threads []int) {
 		}
 	}
 	if !*jsonFlag && *outFlag == "" {
-		return
+		return nil
 	}
-	w := os.Stdout
-	if *outFlag != "" {
-		f, err := os.Create(*outFlag)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
+	return writeReport(rep)
+}
+
+// writeReport emits the JSON report to stdout or -out, surfacing close
+// errors (a truncated BENCH_*.json must fail the run, not pass silently).
+func writeReport(rep *harness.Report) error {
+	if *outFlag == "" {
+		return rep.WriteJSON(os.Stdout)
 	}
-	if err := rep.WriteJSON(w); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	f, err := os.Create(*outFlag)
+	if err != nil {
+		return err
 	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printScenarioResult(res harness.ScenarioResult) {
@@ -121,8 +174,19 @@ func printScenarioResult(res harness.ScenarioResult) {
 		res.Scenario, res.System, res.Threads, m.Throughput, 100*m.AbortRate, m.P50LatencyNs, m.P99LatencyNs)
 	if len(res.Phases) > 1 {
 		for _, ph := range res.Phases {
+			if ph.Crash {
+				continue // summarized by the recovery line below
+			}
 			fmt.Printf("  phase %-12s throughput=%12.0f txn/s  abort=%6.2f%%  p50=%8.0fns  p99=%8.0fns\n",
 				ph.Phase, ph.Throughput, 100*ph.AbortRate, ph.P50LatencyNs, ph.P99LatencyNs)
+		}
+	}
+	if r := res.Recovery; r != nil {
+		if !r.Recoverable {
+			fmt.Printf("  crash-recover       recoverable=false\n")
+		} else {
+			fmt.Printf("  crash-recover       recovered=%d/%d entries  violations=%d  recovery=%v\n",
+				r.Recovered, r.ModelEntries, r.Violations(), time.Duration(r.RecoveryNs))
 		}
 	}
 }

@@ -1,0 +1,309 @@
+package harness
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func crashEngineConfig(threads int) EngineConfig {
+	return EngineConfig{
+		Threads: threads, Duration: 120 * time.Millisecond,
+		KeyRange: 1 << 10, Preload: 1 << 8, Seed: 11,
+	}
+}
+
+func crashScenario(t *testing.T, name string) Scenario {
+	t.Helper()
+	sc, err := LookupScenario(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// requireCleanRecovery runs sys through a crash scenario and asserts the
+// recovered state matched the committed-operation model exactly.
+func requireCleanRecovery(t *testing.T, sys System, scenario string) {
+	t.Helper()
+	res := RunScenario(sys, crashScenario(t, scenario), crashEngineConfig(2))
+	r := res.Recovery
+	if r == nil {
+		t.Fatalf("%s: crash scenario produced no recovery result", sys.Name())
+	}
+	if !r.Recoverable {
+		t.Fatalf("%s: expected recoverable system", sys.Name())
+	}
+	if v := r.Violations(); v != 0 {
+		t.Fatalf("%s: %d durability violations (missing=%d mismatched=%d leaked=%d)",
+			sys.Name(), v, r.Missing, r.Mismatched, r.Leaked)
+	}
+	if r.RecoveryNs <= 0 {
+		t.Fatalf("%s: no recovery latency measured", sys.Name())
+	}
+	if r.Recovered != r.ModelEntries {
+		t.Fatalf("%s: recovered %d entries, model has %d", sys.Name(), r.Recovered, r.ModelEntries)
+	}
+	// The system must be healthy after recovery, not just correct.
+	post := res.Phases[len(res.Phases)-1]
+	if post.Phase != "post-mixed" || post.Txns == 0 {
+		t.Fatalf("%s: no post-crash progress: %+v", sys.Name(), post)
+	}
+}
+
+func TestMontageCrashRecoverNoViolations(t *testing.T) {
+	for _, scenario := range []string{
+		"crash-recover-uniform", "crash-recover-zipfian", "crash-recover-writeheavy",
+	} {
+		requireCleanRecovery(t, NewMontage(MontageOpts{
+			Buckets: 1 << 10, RegionWords: 1 << 22, AdvanceEvery: 5 * time.Millisecond,
+		}), scenario)
+	}
+}
+
+func TestMontageSkipCrashRecoverNoViolations(t *testing.T) {
+	requireCleanRecovery(t, NewMontage(MontageOpts{
+		Skiplist: true, RegionWords: 1 << 22, AdvanceEvery: 5 * time.Millisecond,
+	}), "crash-recover-zipfian")
+}
+
+func TestOneFileCrashRecoverNoViolations(t *testing.T) {
+	for _, scenario := range []string{"crash-recover-uniform", "crash-recover-zipfian"} {
+		requireCleanRecovery(t, NewOneFile(OneFileOpts{
+			Buckets: 1 << 10, Persistent: true, RegionWords: 1 << 20,
+		}), scenario)
+	}
+}
+
+func TestOneFileSkipCrashRecoverNoViolations(t *testing.T) {
+	requireCleanRecovery(t, NewOneFile(OneFileOpts{
+		Skiplist: true, Persistent: true, RegionWords: 1 << 20,
+	}), "crash-recover-uniform")
+}
+
+// TestNonPersistentReportsNotRecoverable covers both not-recoverable
+// shapes: a system without the capability interface (TDSL) and one that
+// implements it but runs with persistence off (txMontage persistOff).
+func TestNonPersistentReportsNotRecoverable(t *testing.T) {
+	for _, sys := range []System{
+		NewTDSL(),
+		NewMontage(MontageOpts{Buckets: 1 << 10, RegionWords: 1 << 22, PersistOff: true}),
+	} {
+		res := RunScenario(sys, crashScenario(t, "crash-recover-uniform"), crashEngineConfig(2))
+		r := res.Recovery
+		if r == nil {
+			t.Fatalf("%s: crash scenario produced no recovery result", sys.Name())
+		}
+		if r.Recoverable || r.Violations() != 0 || r.RecoveryNs != 0 {
+			t.Fatalf("%s: want clean recoverable=false result, got %+v", sys.Name(), r)
+		}
+		// The system keeps running: the scenario completes all phases.
+		if len(res.Phases) != 4 || res.Phases[3].Txns == 0 {
+			t.Fatalf("%s: scenario did not complete around the skipped crash: %+v", sys.Name(), res.Phases)
+		}
+	}
+}
+
+// ------------------------------------------------------- fault injection
+
+// faultyMapSystem is a locked-map System + Recoverable test double whose
+// recovery can be sabotaged: dropping a committed write, corrupting a
+// value, or leaking a key that was never committed. It proves the
+// verifier detects each class of durability violation rather than
+// vacuously reporting zero.
+type faultyMapSystem struct {
+	mu   sync.Mutex
+	m    map[uint64]uint64
+	seed int64
+
+	dropCommitted   bool // recovery loses one committed write
+	corruptValue    bool // recovery mangles one committed value
+	leakUncommitted bool // recovery resurrects a never-committed key
+}
+
+func newFaultyMapSystem(seed int64) *faultyMapSystem {
+	return &faultyMapSystem{m: make(map[uint64]uint64), seed: seed}
+}
+
+func (s *faultyMapSystem) Name() string { return "faulty-map" }
+func (s *faultyMapSystem) Preload(keys []uint64) {
+	for _, k := range keys {
+		s.m[k] = k
+	}
+}
+func (s *faultyMapSystem) Start() (stop func()) { return func() {} }
+
+type faultyWorker struct{ s *faultyMapSystem }
+
+func (s *faultyMapSystem) NewWorker() Worker { return &faultyWorker{s} }
+
+func (w *faultyWorker) Do(ops []Op) {
+	w.s.mu.Lock()
+	defer w.s.mu.Unlock()
+	for _, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			w.s.m[op.Key] = op.Val
+		case OpRemove:
+			delete(w.s.m, op.Key)
+		}
+	}
+}
+
+func (s *faultyMapSystem) CanRecover() bool { return true }
+func (s *faultyMapSystem) Persist()         {}
+
+func (s *faultyMapSystem) CrashAndRecover() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rng := rand.New(rand.NewSource(s.seed))
+	if s.dropCommitted || s.corruptValue {
+		keys := make([]uint64, 0, len(s.m))
+		for k := range s.m {
+			keys = append(keys, k)
+		}
+		if len(keys) > 0 {
+			victim := keys[rng.Intn(len(keys))]
+			if s.dropCommitted {
+				delete(s.m, victim)
+			} else {
+				s.m[victim] ^= 0xDEAD
+			}
+		}
+	}
+	if s.leakUncommitted {
+		// Keys >= KeyRange are never generated, so this key was never
+		// committed by any worker or preload.
+		s.m[1<<40|rng.Uint64()>>24] = 99
+	}
+	return len(s.m)
+}
+
+func (s *faultyMapSystem) Snapshot(fn func(key, val uint64) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range s.m {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// TestVerifierDetectsInjectedFaults seeds one fault of each class and
+// checks the matching violation counter fires — the acceptance proof that
+// a deliberately dropped committed write cannot slip past the verifier.
+func TestVerifierDetectsInjectedFaults(t *testing.T) {
+	cases := []struct {
+		name  string
+		mk    func() *faultyMapSystem
+		check func(t *testing.T, r *RecoveryResult)
+	}{
+		{"dropped committed write", func() *faultyMapSystem {
+			s := newFaultyMapSystem(42)
+			s.dropCommitted = true
+			return s
+		}, func(t *testing.T, r *RecoveryResult) {
+			if r.Missing == 0 {
+				t.Fatalf("dropped committed write not detected: %+v", r)
+			}
+		}},
+		{"corrupted committed value", func() *faultyMapSystem {
+			s := newFaultyMapSystem(43)
+			s.corruptValue = true
+			return s
+		}, func(t *testing.T, r *RecoveryResult) {
+			if r.Mismatched == 0 {
+				t.Fatalf("corrupted committed value not detected: %+v", r)
+			}
+		}},
+		{"leaked uncommitted write", func() *faultyMapSystem {
+			s := newFaultyMapSystem(44)
+			s.leakUncommitted = true
+			return s
+		}, func(t *testing.T, r *RecoveryResult) {
+			if r.Leaked == 0 {
+				t.Fatalf("leaked uncommitted write not detected: %+v", r)
+			}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res := RunScenario(c.mk(), crashScenario(t, "crash-recover-uniform"), crashEngineConfig(2))
+			if res.Recovery == nil || !res.Recovery.Recoverable {
+				t.Fatalf("no recovery result: %+v", res.Recovery)
+			}
+			if res.Recovery.Violations() == 0 {
+				t.Fatalf("verifier reported zero violations despite injected fault")
+			}
+			c.check(t, res.Recovery)
+		})
+	}
+}
+
+// TestVerifierCleanOnHonestSystem is the control for the fault-injection
+// tests: the same double with no fault injected verifies clean.
+func TestVerifierCleanOnHonestSystem(t *testing.T) {
+	res := RunScenario(newFaultyMapSystem(45), crashScenario(t, "crash-recover-uniform"), crashEngineConfig(4))
+	r := res.Recovery
+	if r == nil || !r.Recoverable {
+		t.Fatalf("no recovery result: %+v", r)
+	}
+	if v := r.Violations(); v != 0 {
+		t.Fatalf("honest system reported %d violations: %+v", v, r)
+	}
+	if r.ModelEntries == 0 || r.Recovered != r.ModelEntries {
+		t.Fatalf("model/recovered mismatch: %+v", r)
+	}
+}
+
+// ------------------------------------------------------------ partitioning
+
+func TestPartitionKeyOwnership(t *testing.T) {
+	const keyRange = 1 << 10
+	for _, threads := range []int{1, 2, 3, 4, 7, 8} {
+		for tid := 0; tid < threads; tid++ {
+			for k := uint64(0); k < keyRange; k += 13 {
+				p := partitionKey(k, tid, threads, keyRange)
+				if p >= keyRange {
+					t.Fatalf("threads=%d tid=%d k=%d: partitioned key %d out of range", threads, tid, k, p)
+				}
+				if p%uint64(threads) != uint64(tid) {
+					t.Fatalf("threads=%d tid=%d k=%d: key %d not in owner class", threads, tid, k, p)
+				}
+			}
+		}
+	}
+	// Degenerate range equal to thread count still stays in bounds.
+	if p := partitionKey(3, 3, 4, 4); p != 3 {
+		t.Fatalf("tight range: got %d", p)
+	}
+}
+
+// --------------------------------------------------------------- drain
+
+// TestDrainPhaseShrinksState drives a remove-heavy drain mix against a
+// live map and checks it actually empties state, covering the drain phase
+// of load-mixed-drain functionally rather than just structurally.
+func TestDrainPhaseShrinksState(t *testing.T) {
+	sys := newFaultyMapSystem(7) // honest double: a plain locked map
+	sc := Scenario{
+		Name: "drain-only",
+		Dist: Dist{Kind: DistUniform},
+		Phases: []Phase{{
+			Name: "drain", Weight: 1, Measure: true,
+			Mix: Mix{Ratio: Ratio{Get: 1, Insert: 0, Remove: 4}, TxMin: 1, TxMax: 10, Mixed: 1},
+		}},
+	}
+	cfg := crashEngineConfig(2)
+	res := RunScenario(sys, sc, cfg)
+	if res.Measured.Txns == 0 {
+		t.Fatal("drain phase made no progress")
+	}
+	sys.mu.Lock()
+	left := len(sys.m)
+	sys.mu.Unlock()
+	if left >= cfg.Preload/2 {
+		t.Fatalf("drain left %d of %d preloaded entries", left, cfg.Preload)
+	}
+}

@@ -44,6 +44,7 @@ type EngineConfig struct {
 // measured phases).
 type PhaseResult struct {
 	Phase      string
+	Crash      bool // crash phase: Elapsed is the recovery latency
 	Txns       uint64
 	Ops        uint64
 	Aborts     uint64
@@ -65,6 +66,9 @@ type ScenarioResult struct {
 	// Measured aggregates the phases marked Measure (all phases when none
 	// are marked) and is the headline number of the run.
 	Measured PhaseResult
+	// Recovery is set by crash scenarios: recovery metrics and durability
+	// verification for recoverable systems, Recoverable: false otherwise.
+	Recovery *RecoveryResult
 }
 
 // workerShard is one worker's slice of the harness's own statistics,
@@ -104,22 +108,49 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 	if cfg.KeyRange == 0 {
 		cfg.KeyRange = 1
 	}
+	// Crash scenarios verify recovered state against a ground-truth model
+	// of committed operations; see verify.go for the partitioning that
+	// makes the model exact.
+	rec, _ := sys.(Recoverable)
+	var vs *verifyState
+	if sc.HasCrash() {
+		if cfg.KeyRange < uint64(cfg.Threads) {
+			cfg.KeyRange = uint64(cfg.Threads)
+		}
+		vs = &verifyState{partition: true}
+		if rec != nil && rec.CanRecover() {
+			vs.journal = true
+			vs.model = make(map[uint64]modelVal, cfg.Preload)
+		}
+	}
+
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	keys := make([]uint64, cfg.Preload)
 	for i := range keys {
 		keys[i] = uint64(rng.Int63n(int64(cfg.KeyRange)))
 	}
 	sys.Preload(keys)
+	if vs != nil && vs.journal {
+		for _, k := range keys {
+			vs.model[k] = modelVal{val: k, present: true}
+		}
+	}
 	stop := sys.Start()
 	defer stop()
 
 	totalWeight := 0.0
 	for _, ph := range sc.Phases {
+		if ph.Kind == PhaseCrash {
+			continue
+		}
 		if ph.Weight > 0 {
 			totalWeight += ph.Weight
 		} else {
 			totalWeight += 1
 		}
+	}
+	if totalWeight == 0 {
+		totalWeight = 1
 	}
 
 	res := ScenarioResult{Scenario: sc.Name, System: sys.Name(), Threads: cfg.Threads}
@@ -134,12 +165,22 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 	}
 
 	for pi, ph := range sc.Phases {
+		if ph.Kind == PhaseCrash {
+			pr, rr := runCrashPhase(rec, vs, ph)
+			res.Phases = append(res.Phases, pr)
+			if res.Recovery == nil {
+				res.Recovery = &rr
+			} else {
+				res.Recovery.merge(rr)
+			}
+			continue
+		}
 		w := ph.Weight
 		if w <= 0 {
 			w = 1
 		}
 		d := time.Duration(float64(cfg.Duration) * w / totalWeight)
-		pr, samples := runPhase(sys, sc, ph, pi, cfg, d)
+		pr, samples := runPhase(sys, sc, ph, pi, cfg, d, vs)
 		res.Phases = append(res.Phases, pr)
 		if ph.Measure || !anyMeasured {
 			agg.Txns += pr.Txns
@@ -155,8 +196,11 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 }
 
 // runPhase spawns cfg.Threads workers for one phase and collects their
-// shards. The returned samples back the scenario-level aggregate.
-func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig, d time.Duration) (PhaseResult, []int64) {
+// shards. The returned samples back the scenario-level aggregate. In
+// crash scenarios (vs non-nil) write keys are partitioned per worker and,
+// on recoverable systems, committed effects are journaled and merged into
+// the ground-truth model at the phase barrier.
+func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig, d time.Duration, vs *verifyState) (PhaseResult, []int64) {
 	var aborts0 uint64
 	statser, hasStats := sys.(TxStatser)
 	if hasStats {
@@ -168,6 +212,10 @@ func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig,
 		every = 4
 	}
 	shards := make([]*workerShard, cfg.Threads)
+	var journals []map[uint64]modelVal
+	if vs != nil && vs.journal {
+		journals = make([]map[uint64]modelVal, cfg.Threads)
+	}
 	var stopFlag atomic.Bool
 	var wg sync.WaitGroup
 	start := make(chan struct{})
@@ -175,6 +223,12 @@ func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig,
 		seed := cfg.Seed + int64(phaseIdx)*104729 + int64(t)*7919
 		shard := &workerShard{r: rand.New(rand.NewSource(seed ^ 0x5DEECE66D))}
 		shards[t] = shard
+		var jm map[uint64]modelVal
+		if journals != nil {
+			jm = make(map[uint64]modelVal)
+			journals[t] = jm
+		}
+		tid := t
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -184,6 +238,13 @@ func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig,
 			<-start
 			for !stopFlag.Load() {
 				ops := gen.Next()
+				if vs != nil && vs.partition {
+					for i := range ops {
+						if ops[i].Kind != OpGet {
+							ops[i].Key = partitionKey(ops[i].Key, tid, cfg.Threads, cfg.KeyRange)
+						}
+					}
+				}
 				if tick++; tick >= every {
 					tick = 0
 					t0 := time.Now()
@@ -191,6 +252,9 @@ func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig,
 					shard.record(time.Since(t0), cfg.MaxLatencySamples)
 				} else {
 					w.Do(ops)
+				}
+				if jm != nil {
+					applyOps(jm, ops)
 				}
 				shard.txns++
 				shard.ops += uint64(len(ops))
@@ -211,12 +275,46 @@ func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig,
 		pr.Ops += s.ops
 		samples = append(samples, s.samples...)
 	}
+	// Worker write domains are disjoint (residue classes), so merging the
+	// journals is conflict-free.
+	for _, jm := range journals {
+		for k, v := range jm {
+			vs.model[k] = v
+		}
+	}
 	if hasStats {
 		_, aborts1 := statser.TxStats()
 		pr.Aborts = aborts1 - aborts0
 	}
 	finishPhaseResult(&pr, samples)
 	return pr, samples
+}
+
+// runCrashPhase executes a PhaseCrash phase: flush committed state, crash,
+// time recovery, and verify the recovered contents against the model. All
+// workers are stopped at this point (phases are barriers), so the model is
+// exactly the committed history and the snapshot is quiescent.
+func runCrashPhase(rec Recoverable, vs *verifyState, ph Phase) (PhaseResult, RecoveryResult) {
+	pr := PhaseResult{Phase: ph.Name, Crash: true}
+	if rec == nil || !rec.CanRecover() {
+		return pr, RecoveryResult{}
+	}
+	rec.Persist()
+	t0 := time.Now()
+	entries := rec.CrashAndRecover()
+	pr.Elapsed = time.Since(t0)
+	rr := RecoveryResult{
+		Recoverable: true,
+		RecoveryNs:  int64(pr.Elapsed),
+		Recovered:   entries,
+	}
+	got := make(map[uint64]uint64, entries)
+	rec.Snapshot(func(k, v uint64) bool {
+		got[k] = v
+		return true
+	})
+	diffModel(&rr, vs.model, got)
+	return pr, rr
 }
 
 // finishPhaseResult derives rates and percentiles; samples is consumed

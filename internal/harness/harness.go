@@ -6,8 +6,10 @@
 // scenarios: key-distribution generators (generator.go), transaction
 // mixes with multi-key compositions and working-set phases (scenario.go),
 // a phase-scripted measurement engine with per-worker statistics shards
-// and latency reservoirs (engine.go), and machine-readable reports
-// (report.go), over every system under test (systems.go).
+// and latency reservoirs (engine.go), crash–recovery verification of the
+// paper's durability claim (verify.go, the Recoverable capability in
+// systems.go), and machine-readable reports with a CI-pinned schema
+// (report.go, schema.go), over every system under test (systems.go).
 package harness
 
 import (

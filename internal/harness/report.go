@@ -20,6 +20,20 @@ type LatencySummary struct {
 	P99Ns float64 `json:"p99_ns"`
 }
 
+// RecoveryRecord is the recovery digest of a crash-phase record: how long
+// recovery took, how much came back, and whether the recovered state
+// matched the ground-truth model of committed operations (see verify.go).
+type RecoveryRecord struct {
+	Recoverable      bool   `json:"recoverable"`
+	RecoveryNs       int64  `json:"recovery_ns"`
+	RecoveredEntries int    `json:"recovered_entries"`
+	ModelEntries     int    `json:"model_entries"`
+	MissingWrites    uint64 `json:"missing_writes"`
+	MismatchedWrites uint64 `json:"mismatched_writes"`
+	LeakedWrites     uint64 `json:"leaked_writes"`
+	Violations       uint64 `json:"durability_violations"`
+}
+
 // Record is one (system, scenario, phase, thread count) measurement.
 type Record struct {
 	System    string         `json:"system"`
@@ -33,6 +47,8 @@ type Record struct {
 	TxnPerSec float64        `json:"throughput_txn_per_sec"`
 	AbortRate float64        `json:"abort_rate"`
 	Latency   LatencySummary `json:"latency"`
+	// Recovery is present only on crash-phase records of crash scenarios.
+	Recovery *RecoveryRecord `json:"recovery,omitempty"`
 }
 
 // ReportConfig echoes the run parameters into the report so a stored
@@ -69,12 +85,30 @@ func NewReport(scenario string, threads []int, duration time.Duration, keyRange 
 
 // Add converts a ScenarioResult into records: one per phase plus the
 // measured aggregate, so phase == "measured" is a stable cross-scenario
-// selector for the headline number regardless of phase count.
+// selector for the headline number regardless of phase count. Crash-phase
+// records carry the recovery digest.
 func (rep *Report) Add(res ScenarioResult) {
 	for _, ph := range res.Phases {
-		rep.Results = append(rep.Results, recordOf(res, ph))
+		rec := recordOf(res, ph)
+		if ph.Crash && res.Recovery != nil {
+			rec.Recovery = recoveryRecordOf(*res.Recovery)
+		}
+		rep.Results = append(rep.Results, rec)
 	}
 	rep.Results = append(rep.Results, recordOf(res, res.Measured))
+}
+
+func recoveryRecordOf(r RecoveryResult) *RecoveryRecord {
+	return &RecoveryRecord{
+		Recoverable:      r.Recoverable,
+		RecoveryNs:       r.RecoveryNs,
+		RecoveredEntries: r.Recovered,
+		ModelEntries:     r.ModelEntries,
+		MissingWrites:    r.Missing,
+		MismatchedWrites: r.Mismatched,
+		LeakedWrites:     r.Leaked,
+		Violations:       r.Violations(),
+	}
 }
 
 func recordOf(res ScenarioResult, ph PhaseResult) Record {

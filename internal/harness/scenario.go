@@ -43,11 +43,30 @@ func (m Mix) shapeWeights() (mixed, transfer, order int) {
 	return
 }
 
-// Phase is one stage of a scenario. Weights slice the run's total duration,
-// so a scenario's wall-clock cost is independent of its phase count.
+// PhaseKind selects what a phase does.
+type PhaseKind uint8
+
+// Phase kinds of the workload engine.
+const (
+	// PhaseRun generates and executes transactions for the phase's
+	// duration slice — the ordinary measurement phase.
+	PhaseRun PhaseKind = iota
+	// PhaseCrash takes no duration slice: the engine flushes committed
+	// state, simulates a full-system crash, times recovery, and verifies
+	// the recovered state against the ground-truth model of committed
+	// operations (see verify.go). On systems without durable state it
+	// records recoverable: false and leaves the system running.
+	PhaseCrash
+)
+
+// Phase is one stage of a scenario. Weights slice the run's total duration
+// across the PhaseRun phases, so a scenario's wall-clock cost is
+// independent of its phase count; PhaseCrash phases take no slice (their
+// elapsed time is the measured recovery latency).
 type Phase struct {
 	Name    string
-	Weight  float64 // share of total duration (normalized across phases)
+	Kind    PhaseKind
+	Weight  float64 // share of total duration (normalized across run phases)
 	Mix     Mix
 	Measure bool // include in the scenario's headline aggregate
 }
@@ -60,6 +79,18 @@ type Scenario struct {
 	Description string
 	Dist        Dist
 	Phases      []Phase
+}
+
+// HasCrash reports whether the scenario contains a crash phase. Crash
+// scenarios run with partitioned writes (see verify.go) on every system so
+// that all systems see the same workload whether or not they can recover.
+func (sc Scenario) HasCrash() bool {
+	for _, ph := range sc.Phases {
+		if ph.Kind == PhaseCrash {
+			return true
+		}
+	}
+	return false
 }
 
 // orderLineBit tags the keys that Order transactions insert order lines
@@ -156,6 +187,20 @@ func onePhase(m Mix) []Phase {
 	return []Phase{{Name: "mixed", Weight: 1, Mix: m, Measure: true}}
 }
 
+// crashPhases is the crash-recover phase script: populate, run the paper's
+// steady state, crash and verify, then keep running on the recovered
+// state. The crash phase both recovers and verifies; the post-crash mixed
+// phase shows whether the system is healthy (not just correct) afterwards.
+func crashPhases(ratio Ratio) []Phase {
+	return []Phase{
+		{Name: "load", Weight: 0.2,
+			Mix: Mix{Ratio: Ratio{Get: 0, Insert: 1, Remove: 0}, TxMin: 1, TxMax: 10, Mixed: 1}},
+		{Name: "mixed", Weight: 0.5, Mix: paperMix(ratio), Measure: true},
+		{Name: "crash", Kind: PhaseCrash},
+		{Name: "post-mixed", Weight: 0.3, Mix: paperMix(ratio), Measure: true},
+	}
+}
+
 // builtin is the scenario registry. Keys are the -scenario names of
 // cmd/medley-bench; EXPERIMENTS.md documents how they map to the paper's
 // figures and beyond.
@@ -212,6 +257,21 @@ var builtin = map[string]Scenario{
 			Ratio: Ratio{Get: 2, Insert: 1, Remove: 1}, TxMin: 1, TxMax: 10,
 			Mixed: 2, Transfer: 1, Order: 1,
 		}),
+	},
+	"crash-recover-uniform": {
+		Description: "durability: load, 2:1:1 steady state, crash + verified recovery, post-crash steady state; uniform keys",
+		Dist:        Dist{Kind: DistUniform},
+		Phases:      crashPhases(Ratio{Get: 2, Insert: 1, Remove: 1}),
+	},
+	"crash-recover-zipfian": {
+		Description: "durability under skew: crash + verified recovery with Zipf(1.2) keys, 2:1:1",
+		Dist:        Dist{Kind: DistZipfian, Theta: 1.2},
+		Phases:      crashPhases(Ratio{Get: 2, Insert: 1, Remove: 1}),
+	},
+	"crash-recover-writeheavy": {
+		Description: "durability under churn: crash + verified recovery at 0:1:1 (stresses payload retirement and block reuse)",
+		Dist:        Dist{Kind: DistUniform},
+		Phases:      crashPhases(Ratio{Get: 0, Insert: 1, Remove: 1}),
 	},
 	"load-mixed-drain": {
 		Description: "working-set lifecycle: insert-only load, 2:1:1 steady state, remove-heavy drain",

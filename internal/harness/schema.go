@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// This file defines the schema-drift check for BENCH_*.json reports. The
+// committed schema (testdata/bench_schema.json at the repository root)
+// lists every JSON key path a report may contain; CI regenerates reports
+// and fails when the emitted paths drift from the schema, so the report
+// contract of report.go cannot change silently under downstream tooling.
+
+// Schema is the committed bench report schema: required paths must appear
+// in every report, optional paths may (e.g. the recovery block, present
+// only on crash-phase records).
+type Schema struct {
+	Required []string `json:"required"`
+	Optional []string `json:"optional"`
+}
+
+// LoadSchema reads a Schema from path.
+func LoadSchema(path string) (Schema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Schema{}, err
+	}
+	var s Schema
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Schema{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// CanonicalPaths returns the sorted set of leaf key paths in a JSON
+// document: objects contribute ".key" segments, arrays a "[]" segment, and
+// only scalar leaves are recorded. Two reports with the same shape yield
+// the same path set regardless of record count or values.
+func CanonicalPaths(data []byte) ([]string, error) {
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	set := make(map[string]struct{})
+	walkPaths("", doc, set)
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func walkPaths(prefix string, v any, set map[string]struct{}) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, c := range t {
+			walkPaths(prefix+"."+k, c, set)
+		}
+	case []any:
+		for _, c := range t {
+			walkPaths(prefix+"[]", c, set)
+		}
+	default:
+		set[prefix] = struct{}{}
+	}
+}
+
+// Diff compares a document's canonical paths against the schema and
+// returns drift messages: paths the schema does not know, and required
+// paths the document lacks. An empty result means no drift.
+func (s Schema) Diff(paths []string) []string {
+	allowed := make(map[string]struct{}, len(s.Required)+len(s.Optional))
+	for _, p := range s.Required {
+		allowed[p] = struct{}{}
+	}
+	for _, p := range s.Optional {
+		allowed[p] = struct{}{}
+	}
+	seen := make(map[string]struct{}, len(paths))
+	var drift []string
+	for _, p := range paths {
+		seen[p] = struct{}{}
+		if _, ok := allowed[p]; !ok {
+			drift = append(drift, "unknown path "+p)
+		}
+	}
+	for _, p := range s.Required {
+		if _, ok := seen[p]; !ok {
+			drift = append(drift, "missing required path "+p)
+		}
+	}
+	return drift
+}

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// schemaReport builds a report exercising the full JSON surface: an
+// ordinary phase record plus a crash record with the recovery block.
+func schemaReport(withRecovery bool) *Report {
+	rep := NewReport("crash-recover-uniform", []int{2}, time.Second, 1<<10, 1<<8, 42)
+	res := sampleResult()
+	if withRecovery {
+		res.Phases = append(res.Phases, PhaseResult{Phase: "crash", Crash: true, Elapsed: time.Millisecond})
+		res.Recovery = &RecoveryResult{Recoverable: true, RecoveryNs: int64(time.Millisecond),
+			Recovered: 10, ModelEntries: 10}
+	}
+	rep.Add(res)
+	return rep
+}
+
+// TestBenchSchemaPinsReportShape is the in-repo half of the CI schema
+// gate: the committed schema's required paths must be exactly the shape
+// of a plain report, and required+optional exactly the shape with the
+// recovery block present. Changing report.go without regenerating
+// testdata/bench_schema.json fails here before it fails in CI.
+func TestBenchSchemaPinsReportShape(t *testing.T) {
+	schema, err := LoadSchema("../../testdata/bench_schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schema.Required) == 0 || len(schema.Optional) == 0 {
+		t.Fatalf("schema incomplete: %+v", schema)
+	}
+
+	pathsOf := func(rep *Report) []string {
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		paths, err := CanonicalPaths(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return paths
+	}
+
+	plain := pathsOf(schemaReport(false))
+	if got, want := len(plain), len(schema.Required); got != want {
+		t.Errorf("plain report emits %d paths, schema requires %d", got, want)
+	}
+	if drift := schema.Diff(plain); drift != nil {
+		t.Fatalf("plain report drifts from schema: %v", drift)
+	}
+
+	full := pathsOf(schemaReport(true))
+	if got, want := len(full), len(schema.Required)+len(schema.Optional); got != want {
+		t.Errorf("crash report emits %d paths, schema knows %d", got, want)
+	}
+	if drift := schema.Diff(full); drift != nil {
+		t.Fatalf("crash report drifts from schema: %v", drift)
+	}
+}
+
+func TestSchemaDiffDetectsDrift(t *testing.T) {
+	s := Schema{Required: []string{".a", ".b"}, Optional: []string{".c"}}
+	if drift := s.Diff([]string{".a", ".b", ".c"}); drift != nil {
+		t.Fatalf("clean document flagged: %v", drift)
+	}
+	if drift := s.Diff([]string{".a", ".b", ".d"}); len(drift) != 1 {
+		t.Fatalf("unknown path not flagged exactly once: %v", drift)
+	}
+	if drift := s.Diff([]string{".a"}); len(drift) != 1 {
+		t.Fatalf("missing required path not flagged exactly once: %v", drift)
+	}
+}
+
+func TestCanonicalPathsShapeInvariance(t *testing.T) {
+	a, err := CanonicalPaths([]byte(`{"x": [{"y": 1}, {"y": 2}], "z": "s"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CanonicalPaths([]byte(`{"x": [{"y": 9}], "z": "t"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 2 || len(b) != 2 || a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("same shape, different paths: %v vs %v", a, b)
+	}
+}

@@ -18,6 +18,31 @@ import (
 	"medley/internal/tdsl"
 )
 
+// Recoverable is the capability interface of systems whose committed
+// state survives a simulated power failure. The engine's crash phase
+// (engine.go) drives it: Persist, then CrashAndRecover under a timer, then
+// Snapshot for verification against the ground-truth model. Systems
+// without durable state simply don't implement it (Medley, TDSL, LFTT,
+// the plain structures) and the crash phase reports recoverable: false.
+type Recoverable interface {
+	// CanRecover reports whether this configuration actually persists
+	// (e.g. txMontage with persistence off implements the interface but
+	// cannot recover).
+	CanRecover() bool
+	// Persist makes every effect committed so far durable: an epoch sync
+	// for periodic persistence, a no-op for eager per-commit persistence.
+	Persist()
+	// CrashAndRecover simulates a full-system crash (volatile state lost,
+	// durable media kept) and rebuilds the system from the durable image,
+	// returning the number of recovered entries. Workers created before
+	// the crash are invalid afterwards; the engine creates workers fresh
+	// per phase.
+	CrashAndRecover() int
+	// Snapshot iterates the live key→value state. The engine calls it
+	// only at phase barriers, where it is exact.
+	Snapshot(fn func(key, val uint64) bool)
+}
+
 // kv64 is the shape shared by all Medley maps with uint64 values.
 type kv64 interface {
 	Get(tx *core.Tx, key uint64) (uint64, bool)
@@ -116,6 +141,8 @@ type MontageSystem struct {
 	store      *montage.PStore[uint64]
 	persistOff bool
 	advEvery   time.Duration
+	skiplist   bool // index kind, needed to rebuild after a crash
+	buckets    int
 }
 
 // MontageOpts selects the txMontage benchmark variant.
@@ -164,7 +191,45 @@ func NewMontage(o MontageOpts) *MontageSystem {
 		store:      montage.NewPStore[uint64](sys, idx, montage.U64Codec()),
 		persistOff: o.PersistOff,
 		advEvery:   o.AdvanceEvery,
+		skiplist:   o.Skiplist,
+		buckets:    o.Buckets,
 	}
+}
+
+// CanRecover implements Recoverable: the persistence-off variant keeps its
+// payloads on NVM but never epoch-tags or writes them back, so nothing
+// survives a crash.
+func (s *MontageSystem) CanRecover() bool { return !s.persistOff }
+
+// Persist implements Recoverable: one epoch sync makes everything
+// committed so far durable.
+func (s *MontageSystem) Persist() {
+	if !s.persistOff {
+		s.sys.Sync()
+	}
+}
+
+// CrashAndRecover implements Recoverable: crash the region, scan the
+// persisted payloads, and rebuild the transient index from them — exactly
+// the post-restart recovery path of nbMontage.
+func (s *MontageSystem) CrashAndRecover() int {
+	if s.persistOff {
+		return 0
+	}
+	payloads := s.sys.CrashAndRecover()
+	var idx montage.Index[montage.Entry[uint64]]
+	if s.skiplist {
+		idx = fraserskip.New[montage.Entry[uint64]](s.mgr)
+	} else {
+		idx = mhash.NewMap[montage.Entry[uint64]](s.mgr, s.buckets)
+	}
+	s.store = montage.RebuildPStore(s.sys, idx, montage.U64Codec(), payloads)
+	return len(payloads)
+}
+
+// Snapshot implements Recoverable.
+func (s *MontageSystem) Snapshot(fn func(key, val uint64) bool) {
+	s.store.Range(fn)
 }
 
 // Name implements System.
@@ -244,11 +309,17 @@ type ofMap interface {
 }
 
 // OneFileSystem benchmarks transient or persistent OneFile over either
-// structure.
+// structure. The persistent flavor wraps the structure in an
+// onefile.PMap, whose per-key durable directory is what makes post-crash
+// contents verifiable (see internal/onefile/pstm.go).
 type OneFileSystem struct {
-	name string
-	stm  *onefile.STM
-	m    ofMap
+	name     string
+	stm      *onefile.STM
+	m        ofMap
+	pstm     *onefile.PSTM // nil for the transient flavor
+	pmap     *onefile.PMap // nil for the transient flavor
+	skiplist bool
+	buckets  int
 }
 
 // OneFileOpts selects the OneFile benchmark variant.
@@ -264,32 +335,76 @@ type OneFileOpts struct {
 // NewOneFile creates a OneFile benchmark system.
 func NewOneFile(o OneFileOpts) *OneFileSystem {
 	var stm *onefile.STM
+	var pstm *onefile.PSTM
 	name := "OneFile"
 	if o.Persistent {
 		if o.RegionWords == 0 {
 			o.RegionWords = 1 << 24
 		}
-		stm = onefile.NewPersistent(pmem.Config{
+		pstm = onefile.NewPersistent(pmem.Config{
 			Words:            o.RegionWords,
 			WriteBackLatency: o.WriteBackLatency,
 			FenceLatency:     o.FenceLatency,
-		}).STM
+		})
+		stm = pstm.STM
 		name = "POneFile"
 	} else {
 		stm = onefile.New()
 	}
-	var m ofMap
+	var inner onefile.KV
 	if o.Skiplist {
-		m = onefile.NewSkiplist(stm)
+		inner = onefile.NewSkiplist(stm)
 		name += "-skip"
 	} else {
 		if o.Buckets == 0 {
 			o.Buckets = 1 << 20
 		}
-		m = onefile.NewHashMap(stm, o.Buckets)
+		inner = onefile.NewHashMap(stm, o.Buckets)
 		name += "-hash"
 	}
-	return &OneFileSystem{name: name, stm: stm, m: m}
+	s := &OneFileSystem{name: name, stm: stm, pstm: pstm,
+		skiplist: o.Skiplist, buckets: o.Buckets}
+	if pstm != nil {
+		s.pmap = onefile.NewPMap(pstm, inner)
+		s.m = s.pmap
+	} else {
+		s.m = inner
+	}
+	return s
+}
+
+// CanRecover implements Recoverable: only the persistent flavor has a
+// durable image.
+func (s *OneFileSystem) CanRecover() bool { return s.pstm != nil }
+
+// Persist implements Recoverable: POneFile persists eagerly at every
+// commit, so there is nothing pending at a barrier.
+func (s *OneFileSystem) Persist() {}
+
+// CrashAndRecover implements Recoverable: crash the region, replay any
+// crash-interrupted redo log, read the committed key→value map from the
+// persisted directory, and bulk-load a fresh structure from it. The
+// rebuild is non-transactional: the recovered data is already durable,
+// so recovery pays directory reads and DRAM construction, not a second
+// pass through the persist path.
+func (s *OneFileSystem) CrashAndRecover() int {
+	if s.pmap == nil {
+		return 0
+	}
+	var inner onefile.KV
+	if s.skiplist {
+		inner = onefile.NewSkiplist(s.stm)
+	} else {
+		inner = onefile.NewHashMap(s.stm, s.buckets)
+	}
+	return s.pmap.Recover(inner)
+}
+
+// Snapshot implements Recoverable.
+func (s *OneFileSystem) Snapshot(fn func(key, val uint64) bool) {
+	if s.pmap != nil {
+		s.pmap.Range(fn)
+	}
 }
 
 // Name implements System.

@@ -1,0 +1,127 @@
+package harness
+
+// This file is the crash–recovery verification layer of the workload
+// engine. The paper's headline property is nonblocking persistence: after
+// a crash, every committed transaction's effects are recoverable and no
+// aborted transaction's effects survive. The engine checks it end to end:
+// while a crash scenario runs, each worker journals the key→value effects
+// of its committed transactions; at the crash phase the journals are
+// merged into a ground-truth model, the system is flushed, crashed and
+// recovered, and the recovered state is compared against the model.
+//
+// Exactness of the model depends on write partitioning. Concurrent
+// workers racing on one key would leave the final committed value
+// schedule-dependent, so in crash scenarios the engine rewrites every
+// write's key into the worker's residue class (key ≡ worker id mod
+// threads). Each worker is then the sole writer of its keys, its journal
+// is authoritative for them, and the merged model is exact: a missing,
+// mismatched or resurrected key after recovery is a durability violation,
+// never scheduling noise. Reads are left unpartitioned so cross-worker
+// contention on the read path is preserved.
+
+// modelVal is one key's expected post-recovery state: a value, or
+// known-absent (present == false) when the last committed effect was a
+// remove.
+type modelVal struct {
+	val     uint64
+	present bool
+}
+
+// verifyState carries the crash-scenario machinery through a run: whether
+// writes are partitioned, whether workers journal, and the merged model.
+type verifyState struct {
+	partition bool // rewrite write keys into per-worker residue classes
+	journal   bool // record committed effects (recoverable systems only)
+	model     map[uint64]modelVal
+}
+
+// partitionKey maps k into worker tid's residue class modulo threads,
+// staying inside [0, keyRange). RunScenario guarantees keyRange >= threads
+// for crash scenarios, so the wrap below never underflows.
+func partitionKey(k uint64, tid, threads int, keyRange uint64) uint64 {
+	t := uint64(threads)
+	p := k - k%t + uint64(tid)
+	if p >= keyRange {
+		p -= t
+	}
+	return p
+}
+
+// applyOps folds one committed transaction's effects into a journal, in
+// operation order (a later op on the same key overrides an earlier one,
+// matching transactional semantics).
+func applyOps(j map[uint64]modelVal, ops []Op) {
+	for _, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			j[op.Key] = modelVal{val: op.Val, present: true}
+		case OpRemove:
+			j[op.Key] = modelVal{}
+		}
+	}
+}
+
+// RecoveryResult is the outcome of one crash phase: how recovery went and
+// whether the recovered state matches the ground-truth model.
+type RecoveryResult struct {
+	// Recoverable is false for systems that keep no durable state (or run
+	// with persistence off); all other fields are then zero.
+	Recoverable bool
+
+	// RecoveryNs is the wall time of crash + recovery (device reset, log
+	// replay or payload scan, index rebuild).
+	RecoveryNs int64
+
+	// Recovered counts the entries the system reported rebuilding;
+	// ModelEntries counts the keys the ground-truth model expects present.
+	Recovered    int
+	ModelEntries int
+
+	// Durability violations by kind: a committed write absent after
+	// recovery (Missing), present with the wrong value (Mismatched), or a
+	// key visible that the model says was never committed or was removed
+	// (Leaked — an aborted or unborn write surviving the crash).
+	Missing    uint64
+	Mismatched uint64
+	Leaked     uint64
+}
+
+// Violations is the total durability-violation count.
+func (r RecoveryResult) Violations() uint64 {
+	return r.Missing + r.Mismatched + r.Leaked
+}
+
+// merge folds a second crash phase's outcome into r (scenarios may crash
+// more than once; counts accumulate, entry counts track the last crash).
+func (r *RecoveryResult) merge(o RecoveryResult) {
+	r.Recoverable = r.Recoverable || o.Recoverable
+	r.RecoveryNs += o.RecoveryNs
+	r.Recovered = o.Recovered
+	r.ModelEntries = o.ModelEntries
+	r.Missing += o.Missing
+	r.Mismatched += o.Mismatched
+	r.Leaked += o.Leaked
+}
+
+// diffModel compares the recovered state against the ground-truth model
+// and fills r's violation counters.
+func diffModel(r *RecoveryResult, model map[uint64]modelVal, got map[uint64]uint64) {
+	for k, e := range model {
+		if !e.present {
+			continue
+		}
+		r.ModelEntries++
+		gv, ok := got[k]
+		switch {
+		case !ok:
+			r.Missing++
+		case gv != e.val:
+			r.Mismatched++
+		}
+	}
+	for k := range got {
+		if e, ok := model[k]; !ok || !e.present {
+			r.Leaked++
+		}
+	}
+}

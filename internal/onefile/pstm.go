@@ -23,7 +23,13 @@ type PSTM struct {
 
 	mu      sync.Mutex
 	homes   map[word]int
+	homeSeq map[int]uint64 // last commit sequence written to each home
 	nextOff int
+
+	// persistMu serializes persist: device writes apply in commit order,
+	// and the redo log is always durable before the first home write.
+	persistMu    sync.Mutex
+	persistedSeq uint64 // newest commit fully persisted
 
 	logBase int
 	logCap  int
@@ -37,9 +43,10 @@ func NewPersistent(cfg pmem.Config) *PSTM {
 		cfg.Words = 1 << 20
 	}
 	p := &PSTM{
-		STM:    New(),
-		Region: pmem.New(cfg),
-		homes:  make(map[word]int),
+		STM:     New(),
+		Region:  pmem.New(cfg),
+		homes:   make(map[word]int),
+		homeSeq: make(map[int]uint64),
 	}
 	// Region layout: [0] committed seq; log area (1/8th); data homes.
 	p.logBase = pmem.WordsPerLine
@@ -50,10 +57,24 @@ func NewPersistent(cfg pmem.Config) *PSTM {
 	return p
 }
 
+// persistedHome returns w's NVM home offset, if one was ever assigned. A
+// word that was never part of a committed persist has no durable image.
+func (p *PSTM) persistedHome(w word) (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	off, ok := p.homes[w]
+	return off, ok
+}
+
 // homeOf assigns (once) an NVM home word for a transactional word.
 func (p *PSTM) homeOf(w word) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.homeOfLocked(w)
+}
+
+// homeOfLocked is homeOf for callers already holding p.mu.
+func (p *PSTM) homeOfLocked(w word) int {
 	if off, ok := p.homes[w]; ok {
 		return off
 	}
@@ -79,10 +100,25 @@ func valWord(v any) uint64 {
 	return 1
 }
 
-// persist runs under the sequence lock (owner or helper): write-ahead the
-// redo log, fence, write data homes, fence. Helpers may repeat it; all
-// writes are idempotent.
-func (p *PSTM) persist(writes map[word]any) {
+// persist runs from apply (owner or helper): write-ahead the redo log,
+// fence, write data homes, fence, retire the log. Appliers may race: a
+// helper can reach persist for the same commit as the owner, and a stale
+// applier — helped past, then scheduled back in after newer commits
+// already persisted — can reach it for an old one. Either would corrupt
+// the durable image if device writes interleaved (the crash-recovery
+// verifier in internal/harness caught a stale applier clobbering a newer
+// commit's home words under -race), so persist is serialized and applies
+// each commit exactly once, in commit order, with the log durably
+// complete before the first home write. Only persistence serializes here
+// — OneFile writers are globally serialized by the sequence lock anyway —
+// standing in for the original's ordered wait-free log application at
+// far less mechanism.
+func (p *PSTM) persist(writes map[word]any, commitSeq uint64) {
+	p.persistMu.Lock()
+	defer p.persistMu.Unlock()
+	if commitSeq <= p.persistedSeq {
+		return // duplicate or stale applier: this commit is already durable
+	}
 	r := p.Region
 	i := 0
 	for w, v := range writes {
@@ -100,14 +136,153 @@ func (p *PSTM) persist(writes map[word]any) {
 	}
 	r.Fence()
 	for w, v := range writes {
-		off := p.homeOf(w)
-		r.Store(off, valWord(v))
-		r.WriteBack(off, 1)
+		p.storeHome(w, valWord(v), commitSeq)
 	}
 	r.Fence()
 	r.Store(0, 0) // log retired
 	r.WriteBack(0, 1)
 	r.Fence()
+	p.persistedSeq = commitSeq
+}
+
+// storeHome writes v to w's NVM home unless a newer commit already did:
+// the per-home sequence makes home content monotone in commit order.
+// persist's serialization already prevents interleaving; the guard is
+// kept as defense in depth (and replay paths like RecoverLog bypass it
+// deliberately). Store and write-back happen under the lock so the
+// sequence check and the device write are atomic.
+func (p *PSTM) storeHome(w word, v uint64, commitSeq uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	off := p.homeOfLocked(w)
+	if p.homeSeq[off] >= commitSeq {
+		return
+	}
+	p.homeSeq[off] = commitSeq
+	p.Region.Store(off, v)
+	p.Region.WriteBack(off, 1)
+}
+
+// KV is the key→value structure shape PMap wraps: HashMap and Skiplist
+// both satisfy it.
+type KV interface {
+	Get(tx *Tx, key uint64) (uint64, bool)
+	Put(tx *Tx, key uint64, val uint64) (uint64, bool)
+	Remove(tx *Tx, key uint64) (uint64, bool)
+	Load(key, val uint64) // quiescent non-transactional insert (recovery)
+	Range(fn func(key, val uint64) bool)
+}
+
+// pmeta is one key's durable directory entry: a presence word (1 live,
+// 0 removed) and a value word, both transactional so their NVM homes are
+// written by the same eager per-commit persistence as the structure's own
+// words.
+type pmeta struct {
+	present *Word[uint64]
+	val     *Word[uint64]
+}
+
+// PMap makes a persistent OneFile structure crash-verifiable: alongside
+// every write to the wrapped structure it writes a per-key durable
+// directory entry in the same transaction, so the committed key→value map
+// can be read back from the persisted image after a crash.
+//
+// In the original POneFile the whole object graph lives in the pointer-free
+// NVM heap and recovery is just log replay. This simulation keeps the
+// graph in DRAM and persists one home word per transactional word (see
+// DESIGN.md), which preserves device traffic but erases pointer content —
+// so the directory re-adds the key metadata the NVM heap would have
+// carried. The directory's key→word layout survives the simulated crash in
+// DRAM (standing in for the NVM heap's layout), but presence and value are
+// decided strictly by the persisted image: an effect that was never part
+// of a committed, persisted transaction cannot appear in RecoverKV.
+type PMap struct {
+	p    *PSTM
+	m    KV
+	meta sync.Map // uint64 key → *pmeta
+}
+
+// NewPMap wraps m, which must run on p's STM, in a durable directory.
+func NewPMap(p *PSTM, m KV) *PMap {
+	return &PMap{p: p, m: m}
+}
+
+// metaFor returns key's directory entry, creating it on first use.
+// LoadOrStore keeps creation idempotent across transaction-body restarts.
+func (pm *PMap) metaFor(key uint64) *pmeta {
+	if v, ok := pm.meta.Load(key); ok {
+		return v.(*pmeta)
+	}
+	mt := &pmeta{present: NewWord[uint64](0), val: NewWord[uint64](0)}
+	actual, _ := pm.meta.LoadOrStore(key, mt)
+	return actual.(*pmeta)
+}
+
+// Get looks up key inside tx.
+func (pm *PMap) Get(tx *Tx, key uint64) (uint64, bool) { return pm.m.Get(tx, key) }
+
+// Put inserts or replaces key inside tx, recording the effect in the
+// durable directory.
+func (pm *PMap) Put(tx *Tx, key uint64, val uint64) (uint64, bool) {
+	old, replaced := pm.m.Put(tx, key, val)
+	mt := pm.metaFor(key)
+	Write(tx, mt.present, 1)
+	Write(tx, mt.val, val)
+	return old, replaced
+}
+
+// Remove deletes key inside tx, recording the removal in the durable
+// directory.
+func (pm *PMap) Remove(tx *Tx, key uint64) (uint64, bool) {
+	old, ok := pm.m.Remove(tx, key)
+	if ok {
+		Write(tx, pm.metaFor(key).present, 0)
+	}
+	return old, ok
+}
+
+// Range iterates the wrapped structure.
+func (pm *PMap) Range(fn func(key, val uint64) bool) { pm.m.Range(fn) }
+
+// RecoverKV simulates a full-system crash and returns the durable
+// key→value map: the region's volatile image is dropped, any
+// crash-interrupted redo log is replayed, and each directory entry's
+// presence and value are read from the persisted image. The caller
+// rebuilds the DRAM structure from the result, as post-crash recovery
+// does.
+func (pm *PMap) RecoverKV() map[uint64]uint64 {
+	r := pm.p.Region
+	r.Crash()
+	pm.p.RecoverLog()
+	out := make(map[uint64]uint64)
+	pm.meta.Range(func(k, v any) bool {
+		mt := v.(*pmeta)
+		poff, ok := pm.p.persistedHome(mt.present)
+		if !ok || r.PersistedLoad(poff) != 1 {
+			return true // never durably present, or durably removed
+		}
+		if voff, ok := pm.p.persistedHome(mt.val); ok {
+			out[k.(uint64)] = r.PersistedLoad(voff)
+		}
+		return true
+	})
+	return out
+}
+
+// Recover simulates a crash and rebuilds the map from the durable image:
+// RecoverKV reads the committed contents, fresh is bulk-loaded with them
+// (non-transactionally — the data is already durable, so recovery must
+// not pay the persist path or allocate a second generation of home
+// words), and fresh replaces the wrapped structure. The directory itself
+// is kept: its words, homes and persisted contents are exactly the
+// committed state. Returns the number of recovered entries.
+func (pm *PMap) Recover(fresh KV) int {
+	kv := pm.RecoverKV()
+	for k, v := range kv {
+		fresh.Load(k, v)
+	}
+	pm.m = fresh
+	return len(kv)
 }
 
 // RecoverLog replays a crash-interrupted redo log into the data homes and

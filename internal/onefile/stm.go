@@ -92,8 +92,11 @@ type desc struct {
 	commit uint64 // start + 2
 	writes map[word]any
 	// persist is non-nil for persistent STM instances; called by the
-	// applier with the redo log while the sequence lock is held.
-	persist func(map[word]any)
+	// applier with the redo log and commit sequence while the sequence
+	// lock is held. The sequence lets the persister order device writes:
+	// a stale applier (helped past, then scheduled out mid-persist) must
+	// not clobber a newer commit's durable image.
+	persist func(writes map[word]any, commitSeq uint64)
 }
 
 // restartSignal unwinds a transaction body whose snapshot became stale.
@@ -112,8 +115,8 @@ type STM struct {
 	restarts atomic.Uint64
 
 	// persistHook, when set (persistent flavor), is invoked under the
-	// sequence lock with each committing redo log.
-	persistHook func(map[word]any)
+	// sequence lock with each committing redo log and its commit sequence.
+	persistHook func(writes map[word]any, commitSeq uint64)
 }
 
 // New creates a transient OneFile STM.
@@ -177,7 +180,7 @@ func (s *STM) help() {
 // apply installs d's redo log and releases the sequence lock. Idempotent.
 func (s *STM) apply(d *desc) {
 	if d.persist != nil {
-		d.persist(d.writes)
+		d.persist(d.writes, d.commit)
 	}
 	for w, v := range d.writes {
 		w.applyAny(v, d.commit)

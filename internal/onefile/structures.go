@@ -98,6 +98,46 @@ func (m *HashMap) Remove(tx *Tx, key uint64) (uint64, bool) {
 	return 0, false
 }
 
+// Load inserts or replaces key without a transaction. It is for
+// quiescent bulk population — post-crash recovery rebuilding a structure
+// from the durable image — where paying the transactional (and, on a
+// persistent STM, device) write path would be wrong: the data is already
+// durable. Not safe concurrently with transactions.
+func (m *HashMap) Load(key, val uint64) {
+	b := m.bucket(key)
+	for n := b.load().val; n != nil; n = n.next.load().val {
+		if n.key == key {
+			n.val.Init(val)
+			return
+		}
+	}
+	nn := &hmNode{key: key}
+	nn.val.Init(val)
+	nn.next.Init(b.load().val)
+	b.Init(nn)
+}
+
+// Range iterates all entries in one read transaction. The body must be
+// side-effect free on restart; fn returning false stops the iteration.
+func (m *HashMap) Range(fn func(key, val uint64) bool) {
+	type pair struct{ k, v uint64 }
+	var out []pair
+	_ = m.stm.ReadTx(func(tx *Tx) error {
+		out = out[:0]
+		for i := range m.buckets {
+			for n := Read(tx, &m.buckets[i]); n != nil; n = Read(tx, &n.next) {
+				out = append(out, pair{n.key, Read(tx, &n.val)})
+			}
+		}
+		return nil
+	})
+	for _, p := range out {
+		if !fn(p.k, p.v) {
+			return
+		}
+	}
+}
+
 // Len counts entries in a read transaction.
 func (m *HashMap) Len() int {
 	total := 0
@@ -230,6 +270,55 @@ func (s *Skiplist) Remove(tx *Tx, key uint64) (uint64, bool) {
 		}
 	}
 	return Read(tx, &n.val), true
+}
+
+// Load inserts or replaces key without a transaction; see HashMap.Load.
+// Not safe concurrently with transactions.
+func (s *Skiplist) Load(key, val uint64) {
+	var preds [slMaxLevel]*slNode
+	p := s.head
+	var succ0 *slNode
+	for l := slMaxLevel - 1; l >= 0; l-- {
+		c := p.next[l].load().val
+		for c != nil && c.key < key {
+			p = c
+			c = p.next[l].load().val
+		}
+		preds[l] = p
+		if l == 0 {
+			succ0 = c
+		}
+	}
+	if succ0 != nil && succ0.key == key {
+		succ0.val.Init(val)
+		return
+	}
+	lvl := slRandomLevel(key)
+	n := &slNode{key: key, level: lvl, next: make([]Word[*slNode], lvl)}
+	n.val.Init(val)
+	for l := 0; l < lvl; l++ {
+		n.next[l].Init(preds[l].next[l].load().val)
+		preds[l].next[l].Init(n)
+	}
+}
+
+// Range iterates all entries in one read transaction. The body must be
+// side-effect free on restart; fn returning false stops the iteration.
+func (s *Skiplist) Range(fn func(key, val uint64) bool) {
+	type pair struct{ k, v uint64 }
+	var out []pair
+	_ = s.stm.ReadTx(func(tx *Tx) error {
+		out = out[:0]
+		for c := Read(tx, &s.head.next[0]); c != nil; c = Read(tx, &c.next[0]) {
+			out = append(out, pair{c.key, Read(tx, &c.val)})
+		}
+		return nil
+	})
+	for _, p := range out {
+		if !fn(p.k, p.v) {
+			return
+		}
+	}
 }
 
 // Len counts entries in a read transaction.
