@@ -24,11 +24,21 @@
 //	medley-bench -scenario list
 //	medley-bench -scenario tpcc-mini -systems medley-hash,onefile-hash,tdsl
 //	medley-bench -scenario crash-recover-zipfian -json
+//	medley-bench -scenario sharded-zipfian -systems medley-hash,medley-hash@8
+//
+// Systems resolve through the harness registry (internal/harness). A
+// "name@N" suffix (or the global -shards flag) runs a shardable system
+// over an N-way hash-partitioned ShardedStore (internal/kv): N structure
+// instances under one TxManager, cross-shard transactions still strictly
+// serializable. Competitor systems (OneFile, TDSL, LFTT) cannot shard —
+// their transactions live in their own STMs — and refuse a shard count.
 //
 // The crash-recover-* scenarios crash the simulated NVM mid-run, time
 // recovery, and verify the recovered state against the committed-operation
 // model (see EXPERIMENTS.md). -systems defaults to "auto": the persistent
-// systems for crash scenarios, the historical transient set otherwise.
+// systems for crash scenarios, the single-vs-sharded comparison set for
+// sharded-* scenarios, and every transient structure plus the competitors
+// otherwise.
 //
 // -json emits a machine-readable Report (see internal/harness/report.go)
 // with throughput, abort rate and p50/p99 latency per system, phase and
@@ -65,6 +75,7 @@ var (
 	keyRange     = flag.Int("keyrange", 1<<20, "microbenchmark key space (paper: 1M)")
 	preload      = flag.Int("preload", 1<<19, "preloaded pairs (paper: 0.5M)")
 	buckets      = flag.Int("buckets", 1<<20, "hash table buckets (paper: 1M)")
+	shardsFlag   = flag.Int("shards", 1, "store partitions for shardable systems (or per-system name@N)")
 	nvmWB        = flag.Duration("nvm-writeback", 300*time.Nanosecond, "injected NVM write-back latency per line")
 	nvmFence     = flag.Duration("nvm-fence", 100*time.Nanosecond, "injected NVM fence latency")
 	nvmStore     = flag.Duration("nvm-store", 60*time.Nanosecond, "injected NVM store latency per word")
@@ -88,7 +99,7 @@ func run() int {
 		*durationFlag = 300 * time.Millisecond
 	}
 	if *systemsFlag == "list" {
-		for _, n := range systemNames() {
+		for _, n := range harness.SystemNames() {
 			fmt.Println(" ", n)
 		}
 		return 0

@@ -41,7 +41,7 @@ func TestDefaultSystemsAuto(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := defaultSystems(crash)
+	got := harness.DefaultSystems(crash)
 	joined := strings.Join(got, ",")
 	if !strings.Contains(joined, "txmontage") || !strings.Contains(joined, "ponefile") {
 		t.Fatalf("crash default %v lacks a persistent system", got)
@@ -50,12 +50,12 @@ func TestDefaultSystemsAuto(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p := defaultSystems(plain); strings.Contains(strings.Join(p, ","), "ponefile") {
+	if p := harness.DefaultSystems(plain); strings.Contains(strings.Join(p, ","), "ponefile") {
 		t.Fatalf("plain default %v should not include persistent systems", p)
 	}
-	for _, n := range append(got, defaultSystems(plain)...) {
-		if _, ok := systemRegistry[n]; !ok {
-			t.Fatalf("default system %q not in registry", n)
+	for _, n := range append(got, harness.DefaultSystems(plain)...) {
+		if err := harness.ValidateSystemSpec(n, systemOpts()); err != nil {
+			t.Fatalf("default system %q not valid: %v", n, err)
 		}
 	}
 }

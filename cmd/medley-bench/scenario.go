@@ -3,111 +3,44 @@ package main
 import (
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 	"time"
 
 	"medley/internal/harness"
 )
 
-// systemRegistry maps -systems names to constructors. Every system under
-// the microbenchmark is available to every scenario; constructors read the
-// shared sizing flags so -short scales scenario runs too.
-var systemRegistry = map[string]func() harness.System{
-	"medley-hash":    func() harness.System { return harness.NewMedleyHash(*buckets) },
-	"medley-skip":    func() harness.System { return harness.NewMedleySkip() },
-	"txmontage-hash": func() harness.System { return harness.NewMontage(montageOpts(false)) },
-	"txmontage-skip": func() harness.System { return harness.NewMontage(montageOpts(true)) },
-	"onefile-hash": func() harness.System {
-		return harness.NewOneFile(harness.OneFileOpts{Buckets: *buckets})
-	},
-	"onefile-skip": func() harness.System {
-		return harness.NewOneFile(harness.OneFileOpts{Skiplist: true})
-	},
-	"ponefile-hash": func() harness.System {
-		return harness.NewOneFile(harness.OneFileOpts{
-			Buckets: *buckets, Persistent: true, RegionWords: ponefileRegionWords(),
-			WriteBackLatency: *nvmWB, FenceLatency: *nvmFence,
-		})
-	},
-	"ponefile-skip": func() harness.System {
-		return harness.NewOneFile(harness.OneFileOpts{
-			Skiplist: true, Persistent: true, RegionWords: ponefileRegionWords(),
-			WriteBackLatency: *nvmWB, FenceLatency: *nvmFence,
-		})
-	},
-	"tdsl":       func() harness.System { return harness.NewTDSL() },
-	"lftt":       func() harness.System { return harness.NewLFTT() },
-	"plain-skip": func() harness.System { return harness.NewOriginalSkip() },
-	"txoff-skip": func() harness.System { return harness.NewTxOffSkip() },
-}
-
-// montageRegionWords sizes the simulated NVM with the key space (region
-// size never changes measured latencies, only footprint), so -short smoke
-// runs stop allocating paper-scale half-gigabyte regions.
-func montageRegionWords() int {
-	words := 1 << 22
-	if need := *keyRange << 6; need > words {
-		words = need
-	}
-	return words
-}
-
-// ponefileRegionWords sizes POneFile's region: home words for the object
-// graph plus the per-key durable directory, with room for the post-crash
-// rebuild to allocate a second generation of words.
-func ponefileRegionWords() int {
-	words := 1 << 20
-	if need := *keyRange << 5; need > words {
-		words = need
-	}
-	return words
-}
-
-func montageOpts(skiplist bool) harness.MontageOpts {
-	return harness.MontageOpts{
-		Skiplist: skiplist, Buckets: *buckets, RegionWords: montageRegionWords(),
+// systemOpts bundles the shared sizing flags for the harness system
+// registry; every -systems name (optionally suffixed "@N" for N shards)
+// resolves through harness.NewSystem against these options.
+func systemOpts() harness.SystemOpts {
+	return harness.SystemOpts{
+		Buckets: *buckets, Shards: *shardsFlag, KeyRange: uint64(*keyRange),
 		WriteBackLatency: *nvmWB, FenceLatency: *nvmFence, StoreLatency: *nvmStore,
 		AdvanceEvery: *advEvery,
 	}
 }
 
-// defaultSystems is the 'auto' system set: crash scenarios need the
-// persistent systems (plus one transient system to show the
-// recoverable: false path); everything else keeps the historical default.
-func defaultSystems(sc harness.Scenario) []string {
-	if sc.HasCrash() {
-		return []string{"txmontage-hash", "ponefile-hash", "medley-hash"}
-	}
-	return []string{"medley-hash", "medley-skip", "onefile-hash", "tdsl", "lftt"}
-}
-
-func systemNames() []string {
-	names := make([]string, 0, len(systemRegistry))
-	for n := range systemRegistry {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
-
-// selectSystems resolves the -systems flag against the registry for the
-// given scenario.
-func selectSystems(sc harness.Scenario) ([]func() harness.System, error) {
-	names := defaultSystems(sc)
+// selectSystems resolves the -systems flag against the harness registry
+// for the given scenario.
+func selectSystems(sc harness.Scenario) ([]func() (harness.System, error), error) {
+	names := harness.DefaultSystems(sc)
 	if *systemsFlag != "auto" {
 		names = nil
 		for _, part := range strings.Split(*systemsFlag, ",") {
 			names = append(names, strings.TrimSpace(part))
 		}
 	}
-	var mks []func() harness.System
+	var mks []func() (harness.System, error)
 	for _, n := range names {
-		mk, ok := systemRegistry[n]
-		if !ok {
-			return nil, fmt.Errorf("unknown system %q (known: %s)", n, strings.Join(systemNames(), ", "))
+		n := n
+		// Validate now (parse + lookup only, no construction) so unknown
+		// names fail before any benchmarking.
+		if err := harness.ValidateSystemSpec(n, systemOpts()); err != nil {
+			return nil, err
 		}
-		mks = append(mks, mk)
+		mks = append(mks, func() (harness.System, error) {
+			return harness.NewSystem(n, systemOpts())
+		})
 	}
 	return mks, nil
 }
@@ -135,7 +68,11 @@ func runScenario(name string, threads []int) error {
 	rep := harness.NewReport(name, threads, *durationFlag, uint64(*keyRange), *preload, *seedFlag)
 	for _, mk := range mks {
 		for _, th := range threads {
-			res := harness.RunScenario(mk(), sc, harness.EngineConfig{
+			sys, err := mk()
+			if err != nil {
+				return err
+			}
+			res := harness.RunScenario(sys, sc, harness.EngineConfig{
 				Threads: th, Duration: *durationFlag,
 				KeyRange: uint64(*keyRange), Preload: *preload, Seed: *seedFlag,
 			})
@@ -170,8 +107,9 @@ func writeReport(rep *harness.Report) error {
 
 func printScenarioResult(res harness.ScenarioResult) {
 	m := res.Measured
+	sys := res.System
 	fmt.Printf("%-20s %-24s threads=%-3d throughput=%12.0f txn/s  abort=%6.2f%%  p50=%8.0fns  p99=%8.0fns\n",
-		res.Scenario, res.System, res.Threads, m.Throughput, 100*m.AbortRate, m.P50LatencyNs, m.P99LatencyNs)
+		res.Scenario, sys, res.Threads, m.Throughput, 100*m.AbortRate, m.P50LatencyNs, m.P99LatencyNs)
 	if len(res.Phases) > 1 {
 		for _, ph := range res.Phases {
 			if ph.Crash {

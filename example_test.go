@@ -92,3 +92,27 @@ func ExamplePStore() {
 	// key 1 recovered as 100
 	// unsynced key 3 survived: false
 }
+
+// ExampleNewShardedMap partitions one logical map over 8 structure
+// instances; because every shard shares one TxManager, a transaction
+// spanning shards is still strictly serializable.
+func ExampleNewShardedMap() {
+	mgr := medley.NewTxManager()
+	m, err := medley.NewShardedMap(mgr, "hash", 8, 1<<10)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	tx := mgr.Register() // per goroutine
+	_ = tx.RunRetry(func() error {
+		m.Put(tx, 1, 100)
+		m.Put(tx, 2, 200) // a different shard, the same transaction
+		return nil
+	})
+
+	v1, _ := m.Get(nil, 1) // nil Tx: native lock-free read
+	v2, _ := m.Get(nil, 2)
+	fmt.Println(v1, v2, m.ShardCount())
+	// Output: 100 200 8
+}

@@ -62,7 +62,10 @@ type ScenarioResult struct {
 	Scenario string
 	System   string
 	Threads  int
-	Phases   []PhaseResult
+	// Shards is the store partition count (1 for single-instance systems,
+	// including the competitors that cannot shard — see internal/kv).
+	Shards int
+	Phases []PhaseResult
 	// Measured aggregates the phases marked Measure (all phases when none
 	// are marked) and is the headline number of the run.
 	Measured PhaseResult
@@ -153,7 +156,10 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 		totalWeight = 1
 	}
 
-	res := ScenarioResult{Scenario: sc.Name, System: sys.Name(), Threads: cfg.Threads}
+	res := ScenarioResult{Scenario: sc.Name, System: sys.Name(), Threads: cfg.Threads, Shards: 1}
+	if sc2, ok := sys.(ShardCounter); ok {
+		res.Shards = sc2.ShardCount()
+	}
 	var agg PhaseResult
 	agg.Phase = "measured"
 	var parts []phaseSamples
@@ -240,7 +246,7 @@ func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig,
 				ops := gen.Next()
 				if vs != nil && vs.partition {
 					for i := range ops {
-						if ops[i].Kind != OpGet {
+						if ops[i].Kind == OpInsert || ops[i].Kind == OpRemove {
 							ops[i].Key = partitionKey(ops[i].Key, tid, cfg.Threads, cfg.KeyRange)
 						}
 					}

@@ -20,11 +20,16 @@ import (
 // OpKind enumerates microbenchmark operations.
 type OpKind uint8
 
-// Operation kinds in the paper's get:insert:remove mixes.
+// Operation kinds: the paper's get:insert:remove mixes plus bounded
+// range scans (the range-scan scenario).
 const (
 	OpGet OpKind = iota
 	OpInsert
 	OpRemove
+	// OpRange scans up to Val entries through the structure's native
+	// (non-linearizable) Range iteration; Key is unused. Scans ride along
+	// inside transactions but are not part of the read set.
+	OpRange
 )
 
 // Op is one operation of a generated transaction.

@@ -1,0 +1,248 @@
+package harness
+
+// This file is the registry-driven generic system: KVSystem drives any
+// kv.TxMap (a registry structure, a ShardedStore, a non-transactional
+// baseline) through one worker loop, and that same loop (kvWorker) also
+// carries MontageSystem's workers. The per-structure adapter zoo this
+// replaces lived in systems.go.
+
+import (
+	"time"
+
+	"medley/internal/core"
+	"medley/internal/ebr"
+	"medley/internal/kv"
+)
+
+// --------------------------------------------------- Medley (via registry)
+
+// KVSystem benchmarks any kv.TxMap — a registry-built structure, a
+// hash-partitioned ShardedStore of them, or a non-transactional baseline —
+// under one worker loop. The seven hand-rolled adapters this file once
+// carried for Medley, Original and TxOff are all configurations of this
+// one type.
+type KVSystem struct {
+	name  string
+	mgr   *core.TxManager // nil for untransformed baselines
+	m     kv.TxMap
+	smr   *ebr.Manager
+	notx  bool // run operations outside any transaction (Original/TxOff)
+	shard int
+}
+
+// newKVSystem builds a system over the named registry structure,
+// hash-partitioned over shards instances when shards > 1.
+func newKVSystem(name, structure string, shards, buckets int, notx bool) *KVSystem {
+	var mgr *core.TxManager
+	if kv.Composable(structure) {
+		mgr = core.NewTxManager()
+	}
+	store, err := kv.NewShardedNamed(structure, shards, kv.Options{Mgr: mgr, Buckets: buckets})
+	if err != nil {
+		panic(err) // registry names here are static; a failure is a bug
+	}
+	s := &KVSystem{name: shardedName(name, store.ShardCount()), mgr: mgr,
+		notx: notx, shard: store.ShardCount()}
+	if store.ShardCount() == 1 {
+		s.m = store.Shard(0) // no dispatch layer for single instances
+	} else {
+		s.m = store
+	}
+	if !notx && mgr != nil {
+		s.smr = ebr.New(256)
+	}
+	return s
+}
+
+// NewMedleyHash is the Figure 7 Medley configuration (Michael's hash
+// table, 1M buckets in the paper).
+func NewMedleyHash(buckets int) *KVSystem {
+	return newKVSystem("Medley-hash", "hash", 1, buckets, false)
+}
+
+// NewMedleySkip is the Figure 8 Medley configuration (Fraser's skiplist).
+func NewMedleySkip() *KVSystem { return newKVSystem("Medley-skip", "skip", 1, 0, false) }
+
+// NewMedleySharded is Medley over a ShardedStore of the named registry
+// structure ("hash", "skip", "bst", "rotating"): N instances under one
+// TxManager, so cross-shard transactions stay strictly serializable.
+func NewMedleySharded(structure string, shards, buckets int) *KVSystem {
+	return newKVSystem("Medley-"+structure, structure, shards, buckets, false)
+}
+
+// NewOriginalSkip is Fraser's untransformed skiplist ("Original" in
+// Figure 10): operations execute directly, one group of 1-10 counted as a
+// "transaction" for latency comparability.
+func NewOriginalSkip() *KVSystem {
+	return newKVSystem("Original-skip", "plain-skip", 1, 0, true)
+}
+
+// NewTxOffSkip is the NBTC-transformed skiplist with transactions off
+// ("TxOff" in Figure 10): the transformed code paths run, but outside any
+// transaction, so all instrumentation is dynamically elided.
+func NewTxOffSkip() *KVSystem { return newKVSystem("TxOff-skip", "skip", 1, 0, true) }
+
+// Name implements System.
+func (s *KVSystem) Name() string { return s.name }
+
+// ShardCount implements ShardCounter.
+func (s *KVSystem) ShardCount() int { return s.shard }
+
+// Manager exposes the TxManager for statistics (nil for baselines).
+func (s *KVSystem) Manager() *core.TxManager { return s.mgr }
+
+// Map exposes the underlying store, for tests.
+func (s *KVSystem) Map() kv.TxMap { return s.m }
+
+// TxStats implements TxStatser from the manager's sharded counters.
+// Baselines without a manager (Original) report zeros, matching their
+// nothing-can-abort semantics.
+func (s *KVSystem) TxStats() (commits, aborts uint64) {
+	if s.mgr == nil {
+		return 0, 0
+	}
+	st := s.mgr.Stats()
+	return st.Commits, st.Aborts
+}
+
+// Start implements System: it starts per-shard maintenance where the
+// structure has any (rotating skiplist).
+func (s *KVSystem) Start() (stop func()) {
+	var stops []func()
+	start := func(m kv.TxMap) {
+		if mt, ok := m.(maintainer); ok {
+			stops = append(stops, mt.StartMaintenance(25*time.Millisecond))
+		}
+	}
+	if sh, ok := s.m.(*kv.ShardedStore); ok {
+		for i := 0; i < sh.ShardCount(); i++ {
+			start(sh.Shard(i))
+		}
+	} else {
+		start(s.m)
+	}
+	return func() {
+		for _, f := range stops {
+			f()
+		}
+	}
+}
+
+// Preload implements System.
+func (s *KVSystem) Preload(keys []uint64) {
+	for _, k := range keys {
+		s.m.Put(nil, k, k)
+	}
+}
+
+// kvWorker drives a bound TxMap; it is the worker of KVSystem and
+// MontageSystem both.
+type kvWorker struct {
+	m       kv.TxMap
+	tx      *core.Tx // nil: execute outside transactions
+	h       *ebr.Handle
+	batcher kv.Batcher // non-nil when m batches (sharded stores)
+
+	keys, vals []uint64 // batch scratch
+	oks        []bool
+}
+
+// NewWorker implements System.
+func (s *KVSystem) NewWorker() Worker {
+	if s.notx {
+		return &kvWorker{m: kv.Bind(s.m, nil)}
+	}
+	tx := s.mgr.Register()
+	w := &kvWorker{tx: tx}
+	if s.smr != nil {
+		w.h = s.smr.Register()
+		tx.SetSMR(w.h)
+	}
+	w.m = kv.Bind(s.m, tx)
+	w.batcher, _ = w.m.(kv.Batcher)
+	return w
+}
+
+func (w *kvWorker) Do(ops []Op) {
+	if w.tx == nil {
+		w.exec(ops)
+		return
+	}
+	if w.h != nil {
+		w.h.Enter()
+	}
+	_ = w.tx.RunRetry(func() error {
+		w.exec(ops)
+		return nil
+	})
+	if w.h != nil {
+		w.h.Exit()
+	}
+}
+
+// exec applies ops through the TxMap. Runs of same-kind point ops are
+// grouped through the Batcher when the store has one, cutting per-op
+// shard dispatch on multi-key compositions (transfer, order).
+func (w *kvWorker) exec(ops []Op) {
+	if w.batcher == nil {
+		for _, op := range ops {
+			w.execOne(op)
+		}
+		return
+	}
+	for i := 0; i < len(ops); {
+		kind := ops[i].Kind
+		j := i + 1
+		for j < len(ops) && ops[j].Kind == kind {
+			j++
+		}
+		if j-i > 1 && (kind == OpGet || kind == OpInsert) {
+			w.keys = w.keys[:0]
+			w.vals = w.vals[:0]
+			for _, op := range ops[i:j] {
+				w.keys = append(w.keys, op.Key)
+				w.vals = append(w.vals, op.Val)
+			}
+			if kind == OpGet {
+				if cap(w.oks) < len(w.keys) {
+					w.oks = make([]bool, len(w.keys))
+				}
+				w.oks = w.oks[:len(w.keys)]
+				w.batcher.GetBatch(w.tx, w.keys, w.vals, w.oks)
+			} else {
+				w.batcher.PutBatch(w.tx, w.keys, w.vals)
+			}
+		} else {
+			for _, op := range ops[i:j] {
+				w.execOne(op)
+			}
+		}
+		i = j
+	}
+}
+
+func (w *kvWorker) execOne(op Op) {
+	switch op.Kind {
+	case OpGet:
+		w.m.Get(w.tx, op.Key)
+	case OpInsert:
+		w.m.Put(w.tx, op.Key, op.Val)
+	case OpRemove:
+		w.m.Remove(w.tx, op.Key)
+	case OpRange:
+		scanMap(w.m, op)
+	}
+}
+
+// scanMap runs one bounded range scan: up to op.Val entries of the
+// structure's native (non-linearizable) iteration order.
+func scanMap(m kv.TxMap, op Op) {
+	n := int(op.Val)
+	if n <= 0 {
+		return
+	}
+	m.Range(func(_, _ uint64) bool {
+		n--
+		return n > 0
+	})
+}

@@ -40,6 +40,7 @@ type Record struct {
 	Scenario  string         `json:"scenario"`
 	Phase     string         `json:"phase"`
 	Threads   int            `json:"threads"`
+	Shards    int            `json:"shards"`
 	Txns      uint64         `json:"txns"`
 	Ops       uint64         `json:"ops"`
 	Aborts    uint64         `json:"aborts"`
@@ -112,9 +113,14 @@ func recoveryRecordOf(r RecoveryResult) *RecoveryRecord {
 }
 
 func recordOf(res ScenarioResult, ph PhaseResult) Record {
+	shards := res.Shards
+	if shards == 0 {
+		shards = 1
+	}
 	return Record{
 		System: res.System, Scenario: res.Scenario, Phase: ph.Phase,
-		Threads: res.Threads, Txns: ph.Txns, Ops: ph.Ops, Aborts: ph.Aborts,
+		Threads: res.Threads, Shards: shards,
+		Txns: ph.Txns, Ops: ph.Ops, Aborts: ph.Aborts,
 		ElapsedNs: int64(ph.Elapsed), TxnPerSec: ph.Throughput,
 		AbortRate: ph.AbortRate,
 		Latency: LatencySummary{

@@ -32,12 +32,14 @@ type Mix struct {
 	Mixed    int // weight of Mixed transactions
 	Transfer int // weight of Transfer transactions
 	Order    int // weight of Order transactions
+	Scan     int // weight of Scan transactions (one bounded range scan)
+	ScanLen  int // entries per scan (default 64)
 }
 
 // shapeWeights returns the normalized weights, applying the Mixed default.
-func (m Mix) shapeWeights() (mixed, transfer, order int) {
-	mixed, transfer, order = m.Mixed, m.Transfer, m.Order
-	if mixed+transfer+order == 0 {
+func (m Mix) shapeWeights() (mixed, transfer, order, scan int) {
+	mixed, transfer, order, scan = m.Mixed, m.Transfer, m.Order, m.Scan
+	if mixed+transfer+order+scan == 0 {
 		mixed = 1
 	}
 	return
@@ -131,10 +133,16 @@ func NewTxGen(dist Dist, keyRange uint64, mix Mix, seed int64) *TxGen {
 // Next returns the next transaction's operations. The slice is reused by
 // the following call; workers consume it before generating again.
 func (g *TxGen) Next() []Op {
-	mixed, transfer, order := g.mix.shapeWeights()
+	mixed, transfer, order, scan := g.mix.shapeWeights()
 	g.buf = g.buf[:0]
-	x := g.r.Intn(mixed + transfer + order)
+	x := g.r.Intn(mixed + transfer + order + scan)
 	switch {
+	case x >= mixed+transfer+order:
+		n := g.mix.ScanLen
+		if n <= 0 {
+			n = 64
+		}
+		g.buf = append(g.buf, Op{Kind: OpRange, Val: uint64(n)})
 	case x < mixed:
 		n := g.mix.TxMin + g.r.Intn(g.mix.TxMax-g.mix.TxMin+1)
 		for i := 0; i < n; i++ {
@@ -272,6 +280,29 @@ var builtin = map[string]Scenario{
 		Description: "durability under churn: crash + verified recovery at 0:1:1 (stresses payload retirement and block reuse)",
 		Dist:        Dist{Kind: DistUniform},
 		Phases:      crashPhases(Ratio{Get: 0, Insert: 1, Remove: 1}),
+	},
+	"range-scan": {
+		Description: "scan-heavy mix: 2:1:1 point ops with 64-entry range scans interleaved 3:1",
+		Dist:        Dist{Kind: DistUniform},
+		Phases: onePhase(Mix{
+			Ratio: Ratio{Get: 2, Insert: 1, Remove: 1}, TxMin: 1, TxMax: 10,
+			Mixed: 3, Scan: 1, ScanLen: 64,
+		}),
+	},
+	"sharded-uniform": {
+		Description: "partitioned scaling: paper 2:1:1 mix for sharded stores vs single instances (-shards / name@N)",
+		Dist:        Dist{Kind: DistUniform},
+		Phases:      onePhase(paperMix(Ratio{Get: 2, Insert: 1, Remove: 1})),
+	},
+	"sharded-zipfian": {
+		Description: "partitioned scaling under write-heavy skew: Zipf(1.2) keys, 0:1:1",
+		Dist:        Dist{Kind: DistZipfian, Theta: 1.2},
+		Phases:      onePhase(paperMix(Ratio{Get: 0, Insert: 1, Remove: 1})),
+	},
+	"sharded-transfer": {
+		Description: "cross-shard atomicity under load: 2-key transfers that straddle shard boundaries",
+		Dist:        Dist{Kind: DistUniform},
+		Phases:      onePhase(Mix{Transfer: 1}),
 	},
 	"load-mixed-drain": {
 		Description: "working-set lifecycle: insert-only load, 2:1:1 steady state, remove-heavy drain",

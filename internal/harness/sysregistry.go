@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file is the named-constructor registry for benchmark systems: the
+// -systems flag of cmd/medley-bench resolves here, and every system under
+// test is registered exactly once. A spec may carry a shard suffix,
+// "medley-hash@8", overriding SystemOpts.Shards for that system — which
+// is how one report compares a single instance against its 8-shard
+// ShardedStore configuration side by side.
+
+// SystemOpts carries the shared sizing knobs every constructor may read.
+// Zero values mean "benchmark default".
+type SystemOpts struct {
+	Buckets int // hash structures (default 1<<20)
+	Shards  int // store partitions for shardable systems (default 1)
+	// KeyRange sizes the simulated NVM regions: region size never changes
+	// measured latencies, only footprint, so smoke runs with small key
+	// spaces stop allocating paper-scale half-gigabyte regions.
+	KeyRange uint64
+
+	WriteBackLatency time.Duration // injected NVM write-back, per line
+	FenceLatency     time.Duration // injected NVM fence
+	StoreLatency     time.Duration // injected NVM store, per payload word
+	AdvanceEvery     time.Duration // txMontage epoch length
+}
+
+func (o SystemOpts) buckets() int {
+	if o.Buckets <= 0 {
+		return 1 << 20
+	}
+	return o.Buckets
+}
+
+func (o SystemOpts) shards() int {
+	if o.Shards <= 0 {
+		return 1
+	}
+	return o.Shards
+}
+
+// montageRegionWords sizes the simulated NVM with the key space.
+func (o SystemOpts) montageRegionWords() int {
+	words := 1 << 22
+	if need := int(o.KeyRange) << 6; need > words {
+		words = need
+	}
+	return words
+}
+
+// ponefileRegionWords sizes POneFile's region: home words for the object
+// graph plus the per-key durable directory, with room for the post-crash
+// rebuild to allocate a second generation of words.
+func (o SystemOpts) ponefileRegionWords() int {
+	words := 1 << 20
+	if need := int(o.KeyRange) << 5; need > words {
+		words = need
+	}
+	return words
+}
+
+func (o SystemOpts) montageOpts(skiplist bool) MontageOpts {
+	return MontageOpts{
+		Skiplist: skiplist, Buckets: o.buckets(), Shards: o.shards(),
+		RegionWords:      o.montageRegionWords(),
+		WriteBackLatency: o.WriteBackLatency, FenceLatency: o.FenceLatency,
+		StoreLatency: o.StoreLatency, AdvanceEvery: o.AdvanceEvery,
+	}
+}
+
+// SystemCtor builds one benchmark system from the shared options.
+type SystemCtor func(SystemOpts) (System, error)
+
+type sysEntry struct {
+	ctor SystemCtor
+	// shardable systems honor SystemOpts.Shards; the rest are built
+	// single-instance (their transactions live in their own STMs, so
+	// shards could not join one transaction — the gap documented in
+	// internal/kv).
+	shardable bool
+}
+
+var systemRegistry = map[string]sysEntry{}
+
+// RegisterSystem adds a named system constructor; duplicate names panic
+// (names are CLI API).
+func RegisterSystem(name string, shardable bool, c SystemCtor) {
+	if _, dup := systemRegistry[name]; dup {
+		panic("harness: duplicate system registration of " + name)
+	}
+	systemRegistry[name] = sysEntry{ctor: c, shardable: shardable}
+}
+
+func init() {
+	// Medley-family: any registry structure, shardable.
+	for _, c := range []struct{ cli, structure string }{
+		{"medley-hash", "hash"},
+		{"medley-skip", "skip"},
+		{"medley-bst", "bst"},
+		{"medley-rotating", "rotating"},
+	} {
+		c := c
+		RegisterSystem(c.cli, true, func(o SystemOpts) (System, error) {
+			return NewMedleySharded(c.structure, o.shards(), o.buckets()), nil
+		})
+	}
+	// txMontage: shardable (N PStores over one System + one TxManager).
+	RegisterSystem("txmontage-hash", true, func(o SystemOpts) (System, error) {
+		return NewMontage(o.montageOpts(false)), nil
+	})
+	RegisterSystem("txmontage-skip", true, func(o SystemOpts) (System, error) {
+		return NewMontage(o.montageOpts(true)), nil
+	})
+	// Competitors and baselines: single-instance only.
+	RegisterSystem("onefile-hash", false, func(o SystemOpts) (System, error) {
+		return NewOneFile(OneFileOpts{Buckets: o.buckets()}), nil
+	})
+	RegisterSystem("onefile-skip", false, func(SystemOpts) (System, error) {
+		return NewOneFile(OneFileOpts{Skiplist: true}), nil
+	})
+	RegisterSystem("ponefile-hash", false, func(o SystemOpts) (System, error) {
+		return NewOneFile(OneFileOpts{
+			Buckets: o.buckets(), Persistent: true, RegionWords: o.ponefileRegionWords(),
+			WriteBackLatency: o.WriteBackLatency, FenceLatency: o.FenceLatency,
+		}), nil
+	})
+	RegisterSystem("ponefile-skip", false, func(o SystemOpts) (System, error) {
+		return NewOneFile(OneFileOpts{
+			Skiplist: true, Persistent: true, RegionWords: o.ponefileRegionWords(),
+			WriteBackLatency: o.WriteBackLatency, FenceLatency: o.FenceLatency,
+		}), nil
+	})
+	RegisterSystem("tdsl", false, func(SystemOpts) (System, error) { return NewTDSL(), nil })
+	RegisterSystem("lftt", false, func(SystemOpts) (System, error) { return NewLFTT(), nil })
+	RegisterSystem("plain-skip", false, func(SystemOpts) (System, error) {
+		return NewOriginalSkip(), nil
+	})
+	RegisterSystem("txoff-skip", false, func(SystemOpts) (System, error) {
+		return NewTxOffSkip(), nil
+	})
+}
+
+// resolveSpec parses a -systems spec — a registered name, optionally
+// with an "@N" shard-count suffix — and applies the shardability rules:
+// an explicit "@N" on a single-instance system is an error (a "sharded"
+// competitor would silently lose cross-key atomicity), while the global
+// Shards default is simply ignored by single-instance systems so that
+// "-shards 8" composes with mixed system sets.
+func resolveSpec(spec string, o SystemOpts) (sysEntry, SystemOpts, error) {
+	name := spec
+	explicit := 0
+	if at := strings.LastIndexByte(spec, '@'); at >= 0 {
+		n, err := strconv.Atoi(spec[at+1:])
+		if err != nil || n < 1 {
+			return sysEntry{}, o, fmt.Errorf("bad shard suffix in system spec %q", spec)
+		}
+		name = spec[:at]
+		explicit = n
+	}
+	e, ok := systemRegistry[name]
+	if !ok {
+		return sysEntry{}, o, fmt.Errorf("unknown system %q (known: %s)", name, strings.Join(SystemNames(), ", "))
+	}
+	switch {
+	case explicit > 1 && !e.shardable:
+		return sysEntry{}, o, fmt.Errorf(
+			"system %q cannot shard: its transactions live in its own STM, not the shared TxManager (see internal/kv)", name)
+	case explicit > 0:
+		o.Shards = explicit
+	case !e.shardable:
+		o.Shards = 1
+	}
+	return e, o, nil
+}
+
+// ValidateSystemSpec checks a -systems spec without constructing the
+// system (construction allocates paper-scale tables and regions).
+func ValidateSystemSpec(spec string, o SystemOpts) error {
+	_, _, err := resolveSpec(spec, o)
+	return err
+}
+
+// NewSystem resolves a -systems spec into a system.
+func NewSystem(spec string, o SystemOpts) (System, error) {
+	e, o, err := resolveSpec(spec, o)
+	if err != nil {
+		return nil, err
+	}
+	return e.ctor(o)
+}
+
+// SystemNames lists registered systems in stable order.
+func SystemNames() []string {
+	names := make([]string, 0, len(systemRegistry))
+	for n := range systemRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DefaultSystems is the -systems 'auto' set for a scenario: persistent
+// systems for crash scenarios, the single-vs-sharded comparison for
+// sharded scenarios, and the full transient set (every registry
+// structure plus the competitors) otherwise.
+func DefaultSystems(sc Scenario) []string {
+	switch {
+	case sc.HasCrash():
+		return []string{"txmontage-hash", "ponefile-hash", "medley-hash"}
+	case strings.HasPrefix(sc.Name, "sharded-"):
+		return []string{"medley-hash", "medley-hash@8", "medley-skip@8", "onefile-hash"}
+	default:
+		return []string{
+			"medley-hash", "medley-skip", "medley-bst", "medley-rotating",
+			"onefile-hash", "tdsl", "lftt",
+		}
+	}
+}

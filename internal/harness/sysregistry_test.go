@@ -1,0 +1,199 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewSystemShardSuffix(t *testing.T) {
+	sys, err := NewSystem("medley-hash@8", SystemOpts{Buckets: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Name() != "Medley-hash-8shard" {
+		t.Fatalf("name = %q", sys.Name())
+	}
+	if sc, ok := sys.(ShardCounter); !ok || sc.ShardCount() != 8 {
+		t.Fatalf("shard count not 8: %v", sys)
+	}
+	// Without a suffix the name and shard count are the historical ones.
+	sys, err = NewSystem("medley-hash", SystemOpts{Buckets: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Name() != "Medley-hash" || sys.(ShardCounter).ShardCount() != 1 {
+		t.Fatalf("single instance changed: %q/%d", sys.Name(), sys.(ShardCounter).ShardCount())
+	}
+	for _, bad := range []string{"medley-hash@", "medley-hash@0", "medley-hash@x", "nope", "nope@4"} {
+		if _, err := NewSystem(bad, SystemOpts{}); err == nil {
+			t.Fatalf("spec %q did not error", bad)
+		}
+	}
+	// Competitors cannot shard; an explicit @N is refused instead of lied
+	// about — and cheaply, before construction.
+	for _, spec := range []string{"onefile-hash@8", "tdsl@2", "lftt@2", "plain-skip@2"} {
+		if _, err := NewSystem(spec, SystemOpts{}); err == nil ||
+			!strings.Contains(err.Error(), "cannot shard") {
+			t.Fatalf("spec %q: want cannot-shard error, got %v", spec, err)
+		}
+		if err := ValidateSystemSpec(spec, SystemOpts{}); err == nil {
+			t.Fatalf("ValidateSystemSpec(%q) did not error", spec)
+		}
+	}
+	// The global Shards default, by contrast, is ignored by
+	// single-instance systems so "-shards 8" composes with mixed sets.
+	sys, err = NewSystem("tdsl", SystemOpts{Shards: 8})
+	if err != nil || sys.Name() != "TDSL-skip" {
+		t.Fatalf("global shards on competitor: %v, %v", sys, err)
+	}
+	// Non-power-of-two counts round up everywhere, including txMontage
+	// (whose recovery routing assumes power-of-two).
+	for _, spec := range []string{"medley-hash@3", "txmontage-hash@3"} {
+		sys, err := NewSystem(spec, SystemOpts{Buckets: 1 << 8, KeyRange: 1 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasSuffix(sys.Name(), "-4shard") || sys.(ShardCounter).ShardCount() != 4 {
+			t.Fatalf("%s: got %q with %d shards, want rounding to 4",
+				spec, sys.Name(), sys.(ShardCounter).ShardCount())
+		}
+		// The rounded system must actually work (workers route 0..3).
+		sys.Preload([]uint64{1, 2, 3, 4, 5})
+		sys.NewWorker().Do([]Op{{Kind: OpInsert, Key: 9, Val: 9}, {Kind: OpGet, Key: 1}})
+	}
+}
+
+// TestRegistryNamesUnchanged pins the reported system names: benchmark
+// history across PRs depends on them.
+func TestRegistryNamesUnchanged(t *testing.T) {
+	want := map[string]string{
+		"medley-hash":     "Medley-hash",
+		"medley-skip":     "Medley-skip",
+		"medley-bst":      "Medley-bst",
+		"medley-rotating": "Medley-rotating",
+		"txmontage-hash":  "txMontage-hash",
+		"txmontage-skip":  "txMontage-skip",
+		"onefile-hash":    "OneFile-hash",
+		"onefile-skip":    "OneFile-skip",
+		"ponefile-hash":   "POneFile-hash",
+		"ponefile-skip":   "POneFile-skip",
+		"tdsl":            "TDSL-skip",
+		"lftt":            "LFTT-skip",
+		"plain-skip":      "Original-skip",
+		"txoff-skip":      "TxOff-skip",
+	}
+	names := SystemNames()
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d systems, want %d: %v", len(names), len(want), names)
+	}
+	for cli, reported := range want {
+		sys, err := NewSystem(cli, SystemOpts{Buckets: 1 << 8, KeyRange: 1 << 10})
+		if err != nil {
+			t.Fatalf("%s: %v", cli, err)
+		}
+		if sys.Name() != reported {
+			t.Fatalf("%s reports %q, want %q", cli, sys.Name(), reported)
+		}
+	}
+}
+
+// TestRangeScanEverySystem proves every registered system executes the
+// range-scan mix (OpRange) and makes progress.
+func TestRangeScanEverySystem(t *testing.T) {
+	sc, err := LookupScenario("range-scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range SystemNames() {
+		sys, err := NewSystem(name, SystemOpts{Buckets: 1 << 10, KeyRange: 1 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := RunScenario(sys, sc, EngineConfig{
+			Threads: 2, Duration: 40 * time.Millisecond,
+			KeyRange: 1 << 10, Preload: 1 << 8, Seed: 3,
+		})
+		if res.Measured.Txns == 0 {
+			t.Errorf("%s: no progress under range-scan", sys.Name())
+		}
+	}
+}
+
+// TestShardedSystemsRunShardedScenarios drives the sharded default set —
+// including the 8-shard stores — through each sharded scenario.
+func TestShardedSystemsRunShardedScenarios(t *testing.T) {
+	for _, scName := range []string{"sharded-uniform", "sharded-zipfian", "sharded-transfer"} {
+		sc, err := LookupScenario(scName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range DefaultSystems(sc) {
+			sys, err := NewSystem(name, SystemOpts{Buckets: 1 << 10, KeyRange: 1 << 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := RunScenario(sys, sc, EngineConfig{
+				Threads: 2, Duration: 30 * time.Millisecond,
+				KeyRange: 1 << 10, Preload: 1 << 8, Seed: 3,
+			})
+			if res.Measured.Txns == 0 {
+				t.Errorf("%s/%s: no progress", scName, sys.Name())
+			}
+			wantShards := 1
+			if strings.Contains(name, "@8") {
+				wantShards = 8
+			}
+			if res.Shards != wantShards {
+				t.Errorf("%s/%s: result reports %d shards, want %d", scName, name, res.Shards, wantShards)
+			}
+		}
+	}
+}
+
+// TestShardedMontageCrashRecovery extends the durability verification to
+// the partitioned txMontage configuration: payloads recovered after a
+// crash must be routed back to the right shards with zero violations.
+func TestShardedMontageCrashRecovery(t *testing.T) {
+	requireCleanRecovery(t, NewMontage(MontageOpts{
+		Buckets: 1 << 10, Shards: 4, RegionWords: 1 << 22,
+		AdvanceEvery: 5 * time.Millisecond,
+	}), "crash-recover-uniform")
+}
+
+// TestMedleyShardedMatchesSingleSemantics runs the same deterministic
+// workload against 1-shard and 8-shard Medley systems and compares the
+// surviving key sets: partitioning must not change what a workload does.
+func TestMedleyShardedMatchesSingleSemantics(t *testing.T) {
+	snapshot := func(sys *KVSystem) map[uint64]uint64 {
+		got := map[uint64]uint64{}
+		sys.Map().Range(func(k, v uint64) bool {
+			got[k] = v
+			return true
+		})
+		return got
+	}
+	run := func(shards int) map[uint64]uint64 {
+		sys := NewMedleySharded("hash", shards, 1<<10)
+		w := sys.NewWorker()
+		gen := NewTxGen(Dist{Kind: DistUniform}, 1<<10, Mix{
+			Ratio: Ratio{Get: 1, Insert: 2, Remove: 1}, TxMin: 1, TxMax: 8, Mixed: 1,
+		}, 99)
+		for i := 0; i < 5000; i++ {
+			w.Do(gen.Next())
+		}
+		return snapshot(sys)
+	}
+	single, sharded := run(1), run(8)
+	if len(single) == 0 {
+		t.Fatal("workload left no keys")
+	}
+	if len(single) != len(sharded) {
+		t.Fatalf("single leaves %d keys, sharded %d", len(single), len(sharded))
+	}
+	for k, v := range single {
+		if sv, ok := sharded[k]; !ok || sv != v {
+			t.Fatalf("key %d: single (%d), sharded (%d,%v)", k, v, sv, ok)
+		}
+	}
+}

@@ -2,19 +2,19 @@ package harness
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"medley/internal/core"
-	"medley/internal/ebr"
+	"medley/internal/kv"
 	"medley/internal/lftt"
 	"medley/internal/montage"
 	"medley/internal/onefile"
 	"medley/internal/pmem"
 	"medley/internal/structures/fraserskip"
 	"medley/internal/structures/mhash"
-	"medley/internal/structures/plainskip"
 	"medley/internal/tdsl"
 )
 
@@ -43,102 +43,40 @@ type Recoverable interface {
 	Snapshot(fn func(key, val uint64) bool)
 }
 
-// kv64 is the shape shared by all Medley maps with uint64 values.
-type kv64 interface {
-	Get(tx *core.Tx, key uint64) (uint64, bool)
-	Put(tx *core.Tx, key uint64, val uint64) (uint64, bool)
-	Insert(tx *core.Tx, key uint64, val uint64) bool
-	Remove(tx *core.Tx, key uint64) (uint64, bool)
+// ShardCounter is the capability interface of systems whose store is
+// hash-partitioned; the engine reports the shard count per record.
+// Systems that don't implement it are single-instance (shard count 1).
+type ShardCounter interface {
+	ShardCount() int
 }
 
-// ---------------------------------------------------------------- Medley
-
-// MedleySystem benchmarks Medley over either structure.
-type MedleySystem struct {
-	name string
-	mgr  *core.TxManager
-	m    kv64
-	smr  *ebr.Manager
+// maintainer is implemented by structures with background maintenance
+// (the rotating skiplist); KVSystem.Start drives it per shard.
+type maintainer interface {
+	StartMaintenance(time.Duration) func()
 }
 
-// NewMedleyHash is the Figure 7 Medley configuration (Michael's hash
-// table, 1M buckets in the paper).
-func NewMedleyHash(buckets int) *MedleySystem {
-	mgr := core.NewTxManager()
-	return &MedleySystem{name: "Medley-hash", mgr: mgr,
-		m: mhash.NewMap[uint64](mgr, buckets), smr: ebr.New(256)}
-}
-
-// NewMedleySkip is the Figure 8 Medley configuration (Fraser's skiplist).
-func NewMedleySkip() *MedleySystem {
-	mgr := core.NewTxManager()
-	return &MedleySystem{name: "Medley-skip", mgr: mgr,
-		m: fraserskip.New[uint64](mgr), smr: ebr.New(256)}
-}
-
-// Name implements System.
-func (s *MedleySystem) Name() string { return s.name }
-
-// Manager exposes the TxManager for statistics.
-func (s *MedleySystem) Manager() *core.TxManager { return s.mgr }
-
-// TxStats implements TxStatser from the manager's sharded counters.
-func (s *MedleySystem) TxStats() (commits, aborts uint64) {
-	st := s.mgr.Stats()
-	return st.Commits, st.Aborts
-}
-
-// Start implements System.
-func (s *MedleySystem) Start() (stop func()) { return func() {} }
-
-// Preload implements System.
-func (s *MedleySystem) Preload(keys []uint64) {
-	for _, k := range keys {
-		s.m.Put(nil, k, k)
+// shardedName appends the shard suffix benchmark reports use for
+// partitioned configurations; single-instance names are unchanged.
+func shardedName(base string, shards int) string {
+	if shards <= 1 {
+		return base
 	}
-}
-
-type medleyWorker struct {
-	s  *MedleySystem
-	tx *core.Tx
-	h  *ebr.Handle
-}
-
-// NewWorker implements System.
-func (s *MedleySystem) NewWorker() Worker {
-	tx := s.mgr.Register()
-	h := s.smr.Register()
-	tx.SetSMR(h)
-	return &medleyWorker{s: s, tx: tx, h: h}
-}
-
-func (w *medleyWorker) Do(ops []Op) {
-	w.h.Enter()
-	_ = w.tx.RunRetry(func() error {
-		for _, op := range ops {
-			switch op.Kind {
-			case OpGet:
-				w.s.m.Get(w.tx, op.Key)
-			case OpInsert:
-				w.s.m.Put(w.tx, op.Key, op.Val)
-			case OpRemove:
-				w.s.m.Remove(w.tx, op.Key)
-			}
-		}
-		return nil
-	})
-	w.h.Exit()
+	return fmt.Sprintf("%s-%dshard", base, shards)
 }
 
 // -------------------------------------------------------------- txMontage
 
 // MontageSystem benchmarks txMontage (or its persistence-off NVM variant)
-// over either index structure.
+// over any registry index structure, optionally hash-partitioned into
+// several PStores sharing one montage System and one TxManager (so
+// cross-shard transactions remain strictly serializable and epoch
+// validation is paid once per transaction).
 type MontageSystem struct {
 	name       string
 	mgr        *core.TxManager
 	sys        *montage.System
-	store      *montage.PStore[uint64]
+	stores     []*montage.PStore[uint64]
 	persistOff bool
 	advEvery   time.Duration
 	skiplist   bool // index kind, needed to rebuild after a crash
@@ -149,6 +87,7 @@ type MontageSystem struct {
 type MontageOpts struct {
 	Skiplist         bool // index: skiplist (Fig. 8) vs hash (Fig. 7)
 	Buckets          int
+	Shards           int // PStore shards over one System (default 1)
 	RegionWords      int
 	WriteBackLatency time.Duration // per line, models clwb on Optane
 	FenceLatency     time.Duration
@@ -165,6 +104,10 @@ func NewMontage(o MontageOpts) *MontageSystem {
 	if o.AdvanceEvery == 0 {
 		o.AdvanceEvery = 20 * time.Millisecond
 	}
+	// The worker-side kv.NewSharded and the recovery-side kv.ShardOf
+	// both assume power-of-two counts; stores are sized here, before
+	// the workers exist, so round the same way.
+	o.Shards = kv.RoundShards(o.Shards)
 	mgr := core.NewTxManager()
 	sys := montage.NewSystem(montage.Config{
 		RegionWords:      o.RegionWords,
@@ -172,29 +115,50 @@ func NewMontage(o MontageOpts) *MontageSystem {
 		FenceLatency:     o.FenceLatency,
 		StoreLatency:     o.StoreLatency,
 	})
-	var idx montage.Index[montage.Entry[uint64]]
 	name := "txMontage-hash"
 	if o.Skiplist {
-		idx = fraserskip.New[montage.Entry[uint64]](mgr)
 		name = "txMontage-skip"
-	} else {
-		if o.Buckets == 0 {
-			o.Buckets = 1 << 20
-		}
-		idx = mhash.NewMap[montage.Entry[uint64]](mgr, o.Buckets)
+	} else if o.Buckets == 0 {
+		o.Buckets = 1 << 20
 	}
 	if o.PersistOff {
 		name += "-persistOff"
 	}
-	return &MontageSystem{
+	s := &MontageSystem{
 		name: name, mgr: mgr, sys: sys,
-		store:      montage.NewPStore[uint64](sys, idx, montage.U64Codec()),
 		persistOff: o.PersistOff,
 		advEvery:   o.AdvanceEvery,
 		skiplist:   o.Skiplist,
 		buckets:    o.Buckets,
 	}
+	s.stores = s.newStores(o.Shards)
+	s.name = shardedName(s.name, o.Shards)
+	return s
 }
+
+// newIndex builds one fresh transient index. The montage index holds
+// Entry values, not bare uint64s, so it comes from the structure packages
+// directly rather than the uint64 registry.
+func (s *MontageSystem) newIndex(buckets int) montage.Index[montage.Entry[uint64]] {
+	if s.skiplist {
+		return fraserskip.New[montage.Entry[uint64]](s.mgr)
+	}
+	return mhash.NewMap[montage.Entry[uint64]](s.mgr, buckets)
+}
+
+// newStores builds n fresh persistent stores over fresh indices (used at
+// construction and again after a crash). Like kv.NewShardedNamed, each
+// shard's index is provisioned like a full instance.
+func (s *MontageSystem) newStores(n int) []*montage.PStore[uint64] {
+	stores := make([]*montage.PStore[uint64], n)
+	for i := range stores {
+		stores[i] = montage.NewPStore[uint64](s.sys, s.newIndex(s.buckets), montage.U64Codec())
+	}
+	return stores
+}
+
+// ShardCount implements ShardCounter.
+func (s *MontageSystem) ShardCount() int { return len(s.stores) }
 
 // CanRecover implements Recoverable: the persistence-off variant keeps its
 // payloads on NVM but never epoch-tags or writes them back, so nothing
@@ -210,26 +174,41 @@ func (s *MontageSystem) Persist() {
 }
 
 // CrashAndRecover implements Recoverable: crash the region, scan the
-// persisted payloads, and rebuild the transient index from them — exactly
-// the post-restart recovery path of nbMontage.
+// persisted payloads, and rebuild the transient indices from them —
+// exactly the post-restart recovery path of nbMontage. With shards, each
+// payload is routed to its shard by the same hash live traffic uses.
 func (s *MontageSystem) CrashAndRecover() int {
 	if s.persistOff {
 		return 0
 	}
 	payloads := s.sys.CrashAndRecover()
-	var idx montage.Index[montage.Entry[uint64]]
-	if s.skiplist {
-		idx = fraserskip.New[montage.Entry[uint64]](s.mgr)
-	} else {
-		idx = mhash.NewMap[montage.Entry[uint64]](s.mgr, s.buckets)
+	n := len(s.stores)
+	parts := make([][]montage.Recovered, n)
+	for _, r := range payloads {
+		i := kv.ShardOf(r.Key, n)
+		parts[i] = append(parts[i], r)
 	}
-	s.store = montage.RebuildPStore(s.sys, idx, montage.U64Codec(), payloads)
+	for i := range s.stores {
+		s.stores[i] = montage.RebuildPStore(s.sys, s.newIndex(s.buckets), montage.U64Codec(), parts[i])
+	}
 	return len(payloads)
 }
 
 // Snapshot implements Recoverable.
 func (s *MontageSystem) Snapshot(fn func(key, val uint64) bool) {
-	s.store.Range(fn)
+	for _, st := range s.stores {
+		stop := false
+		st.Range(func(k, v uint64) bool {
+			if !fn(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
 }
 
 // Name implements System.
@@ -254,11 +233,11 @@ func (s *MontageSystem) Start() (stop func()) {
 
 // Preload implements System.
 func (s *MontageSystem) Preload(keys []uint64) {
-	w := s.NewWorker().(*montageWorker)
+	w := s.NewWorker().(*kvWorker)
 	for _, k := range keys {
 		key := k
-		_ = w.h.Tx().RunRetry(func() error {
-			s.store.Put(w.h, key, key)
+		_ = w.tx.RunRetry(func() error {
+			w.m.Put(w.tx, key, key)
 			return nil
 		})
 	}
@@ -267,12 +246,8 @@ func (s *MontageSystem) Preload(keys []uint64) {
 	}
 }
 
-type montageWorker struct {
-	s *MontageSystem
-	h *montage.Handle
-}
-
-// NewWorker implements System.
+// NewWorker implements System: one epoch handle per worker serves every
+// shard, bound through the same kvWorker loop KVSystem uses.
 func (s *MontageSystem) NewWorker() Worker {
 	tx := s.mgr.Register()
 	var h *montage.Handle
@@ -281,31 +256,28 @@ func (s *MontageSystem) NewWorker() Worker {
 	} else {
 		h = s.sys.Wrap(tx)
 	}
-	return &montageWorker{s: s, h: h}
-}
-
-func (w *montageWorker) Do(ops []Op) {
-	_ = w.h.Tx().RunRetry(func() error {
-		for _, op := range ops {
-			switch op.Kind {
-			case OpGet:
-				w.s.store.Get(w.h, op.Key)
-			case OpInsert:
-				w.s.store.Put(w.h, op.Key, op.Val)
-			case OpRemove:
-				w.s.store.Remove(w.h, op.Key)
-			}
-		}
-		return nil
-	})
+	var m kv.TxMap
+	if len(s.stores) == 1 {
+		m = kv.NewMontageMap(s.sys, s.stores[0]).BindHandle(h)
+	} else {
+		m = kv.NewSharded(len(s.stores), func(i int) kv.TxMap {
+			return kv.NewMontageMap(s.sys, s.stores[i]).BindHandle(h)
+		})
+	}
+	w := &kvWorker{m: m, tx: tx}
+	w.batcher, _ = m.(kv.Batcher)
+	return w
 }
 
 // ---------------------------------------------------------------- OneFile
 
+// ofMap is the shape shared by OneFile's structures and the persistent
+// PMap wrapper.
 type ofMap interface {
 	Get(tx *onefile.Tx, key uint64) (uint64, bool)
 	Put(tx *onefile.Tx, key uint64, val uint64) (uint64, bool)
 	Remove(tx *onefile.Tx, key uint64) (uint64, bool)
+	Range(fn func(key, val uint64) bool)
 }
 
 // OneFileSystem benchmarks transient or persistent OneFile over either
@@ -368,7 +340,7 @@ func NewOneFile(o OneFileOpts) *OneFileSystem {
 		s.pmap = onefile.NewPMap(pstm, inner)
 		s.m = s.pmap
 	} else {
-		s.m = inner
+		s.m = inner.(ofMap)
 	}
 	return s
 }
@@ -423,11 +395,7 @@ func (s *OneFileSystem) Start() (stop func()) { return func() {} }
 func (s *OneFileSystem) Preload(keys []uint64) {
 	const batch = 128
 	for i := 0; i < len(keys); i += batch {
-		end := i + batch
-		if end > len(keys) {
-			end = len(keys)
-		}
-		part := keys[i:end]
+		part := keys[i:min(i+batch, len(keys))]
 		_ = s.stm.WriteTx(func(tx *onefile.Tx) error {
 			for _, k := range part {
 				s.m.Put(tx, k, k)
@@ -444,11 +412,28 @@ func (s *OneFileSystem) NewWorker() Worker { return &onefileWorker{s} }
 
 func (w *onefileWorker) Do(ops []Op) {
 	readOnly := true
+	hasWork := false
 	for _, op := range ops {
-		if op.Kind != OpGet {
+		switch op.Kind {
+		case OpRange:
+			// Scans run through the structure's own Range (its own read
+			// transaction); they must not nest inside the write tx below.
+			continue
+		case OpGet:
+			hasWork = true
+		default:
+			hasWork = true
 			readOnly = false
-			break
 		}
+	}
+	for _, op := range ops {
+		if op.Kind == OpRange {
+			n := int(op.Val)
+			w.s.m.Range(func(_, _ uint64) bool { n--; return n > 0 })
+		}
+	}
+	if !hasWork {
+		return
 	}
 	body := func(tx *onefile.Tx) error {
 		for _, op := range ops {
@@ -506,8 +491,7 @@ func (s *TDSLSystem) Start() (stop func()) { return func() {} }
 // Preload implements System.
 func (s *TDSLSystem) Preload(keys []uint64) {
 	for i := 0; i < len(keys); i += 64 {
-		end := min(i+64, len(keys))
-		part := keys[i:end]
+		part := keys[i:min(i+64, len(keys))]
 		_ = tdsl.RunRetry(func(tx *tdsl.Tx) error {
 			for _, k := range part {
 				tx.Put(s.sl, k, k)
@@ -544,6 +528,11 @@ func (w *tdslWorker) Do(ops []Op) {
 				w.tx.Put(w.s.sl, op.Key, op.Val)
 			case OpRemove:
 				w.tx.Remove(w.s.sl, op.Key)
+			case OpRange:
+				// TDSL has no transactional scan; the structure's
+				// non-transactional Range stands in, like Len.
+				n := int(op.Val)
+				w.s.sl.Range(func(_, _ uint64) bool { n--; return n > 0 })
 			}
 		}
 		err := w.tx.Commit()
@@ -599,103 +588,16 @@ func (w *lfttWorker) Do(ops []Op) {
 			k = lftt.OpInsert
 		case OpRemove:
 			k = lftt.OpRemove
+		case OpRange:
+			// Static transactions cannot express scans; run the
+			// structure's non-transactional Range alongside.
+			n := int(op.Val)
+			w.s.sl.Range(func(_, _ uint64) bool { n--; return n > 0 })
+			continue
 		}
 		w.buf = append(w.buf, lftt.Op{Kind: k, Key: op.Key, Val: op.Val})
 	}
-	w.s.sl.Execute(w.buf)
-}
-
-// --------------------------------------------- Figure 10 latency variants
-
-// OriginalSkipSystem is Fraser's untransformed skiplist ("Original" in
-// Figure 10): operations execute directly, one group of 1-10 counted as a
-// "transaction" for latency comparability.
-type OriginalSkipSystem struct{ sl *plainskip.List[uint64] }
-
-// NewOriginalSkip creates the Figure 10 Original configuration.
-func NewOriginalSkip() *OriginalSkipSystem {
-	return &OriginalSkipSystem{sl: plainskip.New[uint64]()}
-}
-
-// Name implements System.
-func (s *OriginalSkipSystem) Name() string { return "Original-skip" }
-
-// Start implements System.
-func (s *OriginalSkipSystem) Start() (stop func()) { return func() {} }
-
-// Preload implements System.
-func (s *OriginalSkipSystem) Preload(keys []uint64) {
-	for _, k := range keys {
-		s.sl.Put(k, k)
+	if len(w.buf) > 0 {
+		w.s.sl.Execute(w.buf)
 	}
-}
-
-type originalWorker struct{ s *OriginalSkipSystem }
-
-// NewWorker implements System.
-func (s *OriginalSkipSystem) NewWorker() Worker { return &originalWorker{s} }
-
-func (w *originalWorker) Do(ops []Op) {
-	for _, op := range ops {
-		switch op.Kind {
-		case OpGet:
-			w.s.sl.Get(op.Key)
-		case OpInsert:
-			w.s.sl.Put(op.Key, op.Val)
-		case OpRemove:
-			w.s.sl.Remove(op.Key)
-		}
-	}
-}
-
-// TxOffSkipSystem is the NBTC-transformed skiplist with transactions off
-// ("TxOff" in Figure 10): the transformed code paths run, but outside any
-// transaction, so all instrumentation is dynamically elided.
-type TxOffSkipSystem struct {
-	mgr *core.TxManager
-	sl  *fraserskip.List[uint64]
-}
-
-// NewTxOffSkip creates the Figure 10 TxOff configuration.
-func NewTxOffSkip() *TxOffSkipSystem {
-	mgr := core.NewTxManager()
-	return &TxOffSkipSystem{mgr: mgr, sl: fraserskip.New[uint64](mgr)}
-}
-
-// Name implements System.
-func (s *TxOffSkipSystem) Name() string { return "TxOff-skip" }
-
-// Start implements System.
-func (s *TxOffSkipSystem) Start() (stop func()) { return func() {} }
-
-// Preload implements System.
-func (s *TxOffSkipSystem) Preload(keys []uint64) {
-	for _, k := range keys {
-		s.sl.Put(nil, k, k)
-	}
-}
-
-type txoffWorker struct{ s *TxOffSkipSystem }
-
-// NewWorker implements System.
-func (s *TxOffSkipSystem) NewWorker() Worker { return &txoffWorker{s} }
-
-func (w *txoffWorker) Do(ops []Op) {
-	for _, op := range ops {
-		switch op.Kind {
-		case OpGet:
-			w.s.sl.Get(nil, op.Key)
-		case OpInsert:
-			w.s.sl.Put(nil, op.Key, op.Val)
-		case OpRemove:
-			w.s.sl.Remove(nil, op.Key)
-		}
-	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

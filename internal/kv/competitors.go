@@ -1,0 +1,148 @@
+package kv
+
+import (
+	"errors"
+
+	"medley/internal/core"
+	"medley/internal/lftt"
+	"medley/internal/onefile"
+	"medley/internal/tdsl"
+)
+
+// This file registers the competitor backends behind the TxMap interface.
+// Each operation runs as one transaction of the backend's own STM; the
+// *core.Tx argument is ignored, so these maps do NOT compose into
+// cross-shard transactions (see the package comment for the gap this
+// documents). They exist so that drivers, conformance tests and
+// single-shard stores can treat every backend uniformly.
+
+func init() {
+	Register("onefile-hash", false, func(o Options) (TxMap, error) {
+		stm := onefile.New()
+		return onefileMap{stm: stm, m: onefile.NewHashMap(stm, o.buckets())}, nil
+	})
+	Register("onefile-skip", false, func(o Options) (TxMap, error) {
+		stm := onefile.New()
+		return onefileMap{stm: stm, m: onefile.NewSkiplist(stm)}, nil
+	})
+	Register("tdsl", false, func(Options) (TxMap, error) {
+		return &tdslMap{sl: tdsl.New()}, nil
+	})
+	Register("lftt", false, func(Options) (TxMap, error) {
+		return lfttMap{sl: lftt.New()}, nil
+	})
+}
+
+// onefileKV is the shape shared by OneFile's hash map and skiplist.
+type onefileKV interface {
+	Get(tx *onefile.Tx, key uint64) (uint64, bool)
+	Put(tx *onefile.Tx, key uint64, val uint64) (uint64, bool)
+	Insert(tx *onefile.Tx, key uint64, val uint64) bool
+	Remove(tx *onefile.Tx, key uint64) (uint64, bool)
+	Range(fn func(key, val uint64) bool)
+	Len() int
+}
+
+type onefileMap struct {
+	stm *onefile.STM
+	m   onefileKV
+}
+
+func (o onefileMap) Get(_ *core.Tx, key uint64) (val uint64, ok bool) {
+	_ = o.stm.ReadTx(func(tx *onefile.Tx) error {
+		val, ok = o.m.Get(tx, key)
+		return nil
+	})
+	return
+}
+
+func (o onefileMap) Put(_ *core.Tx, key, v uint64) (old uint64, replaced bool) {
+	_ = o.stm.WriteTx(func(tx *onefile.Tx) error {
+		old, replaced = o.m.Put(tx, key, v)
+		return nil
+	})
+	return
+}
+
+func (o onefileMap) Insert(_ *core.Tx, key, v uint64) (ok bool) {
+	_ = o.stm.WriteTx(func(tx *onefile.Tx) error {
+		ok = o.m.Insert(tx, key, v)
+		return nil
+	})
+	return
+}
+
+func (o onefileMap) Remove(_ *core.Tx, key uint64) (old uint64, ok bool) {
+	_ = o.stm.WriteTx(func(tx *onefile.Tx) error {
+		old, ok = o.m.Remove(tx, key)
+		return nil
+	})
+	return
+}
+
+func (o onefileMap) Range(fn func(key, val uint64) bool) { o.m.Range(fn) }
+func (o onefileMap) Len() int                            { return o.m.Len() }
+
+// tdslMap runs every operation as one TDSL transaction with retry.
+type tdslMap struct{ sl *tdsl.Skiplist }
+
+func (t *tdslMap) Get(_ *core.Tx, key uint64) (val uint64, ok bool) {
+	_ = tdsl.RunRetry(func(tx *tdsl.Tx) error {
+		val, ok = tx.Get(t.sl, key)
+		return nil
+	})
+	return
+}
+
+func (t *tdslMap) Put(_ *core.Tx, key, v uint64) (old uint64, replaced bool) {
+	_ = tdsl.RunRetry(func(tx *tdsl.Tx) error {
+		old, replaced = tx.Put(t.sl, key, v)
+		return nil
+	})
+	return
+}
+
+func (t *tdslMap) Insert(_ *core.Tx, key, v uint64) (ok bool) {
+	_ = tdsl.RunRetry(func(tx *tdsl.Tx) error {
+		ok = tx.Insert(t.sl, key, v)
+		return nil
+	})
+	return
+}
+
+func (t *tdslMap) Remove(_ *core.Tx, key uint64) (old uint64, ok bool) {
+	_ = tdsl.RunRetry(func(tx *tdsl.Tx) error {
+		old, ok = tx.Remove(t.sl, key)
+		return nil
+	})
+	return
+}
+
+func (t *tdslMap) Range(fn func(key, val uint64) bool) { t.sl.Range(fn) }
+func (t *tdslMap) Len() int                            { return t.sl.Len() }
+
+// lfttMap expresses each operation as a static LFTT transaction. Put
+// (upsert returning the old value) has no native LFTT form; remove+insert
+// in one static transaction is atomic and yields the displaced value.
+type lfttMap struct{ sl *lftt.Skiplist }
+
+func (l lfttMap) Get(_ *core.Tx, key uint64) (uint64, bool) { return l.sl.Contains(key) }
+
+func (l lfttMap) Put(_ *core.Tx, key, v uint64) (uint64, bool) {
+	res := l.sl.Execute([]lftt.Op{
+		{Kind: lftt.OpRemove, Key: key},
+		{Kind: lftt.OpInsert, Key: key, Val: v},
+	})
+	return res[0].Val, res[0].OK
+}
+
+func (l lfttMap) Insert(_ *core.Tx, key, v uint64) bool { return l.sl.Insert(key, v) }
+
+func (l lfttMap) Remove(_ *core.Tx, key uint64) (uint64, bool) { return l.sl.Remove(key) }
+
+func (l lfttMap) Range(fn func(key, val uint64) bool) { l.sl.Range(fn) }
+func (l lfttMap) Len() int                            { return l.sl.Len() }
+
+// errNotComposable is returned by constructors asked for impossible
+// configurations (kept here so future competitor registrations share it).
+var errNotComposable = errors.New("kv: implementation does not compose across shards")

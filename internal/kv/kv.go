@@ -1,0 +1,90 @@
+// Package kv is the uniform transactional key–value seam of the
+// repository: one interface (TxMap) that every NBTC-transformed structure
+// and every competitor backend implements exactly once, a named
+// constructor registry so drivers select implementations by string rather
+// than by hand-rolled adapter, and a hash-partitioned ShardedStore that
+// composes N TxMap shards into one logical map.
+//
+// The paper's central claim (Cai, Wen & Scott, SPAA 2023) is that
+// NBTC-transformed structures compose freely under a single TxManager.
+// ShardedStore is that claim put to work as an architecture: N shard
+// instances — each an independent lock-free structure — joined in one
+// strictly serializable transaction because they share one TxManager.
+// A cross-shard transfer is just a transaction that happens to touch two
+// shards; no extra protocol is needed.
+//
+// # The competitor gap
+//
+// The competitor backends (OneFile, TDSL, LFTT) also implement TxMap, but
+// their transactions live inside their own STMs, not the shared
+// TxManager; the *core.Tx argument is ignored and every operation commits
+// as its own native transaction. They therefore cannot join a cross-shard
+// transaction: a ShardedStore over competitor shards executes multi-key
+// operations as a sequence of independent single-key transactions, which
+// is NOT atomic across keys. Benchmarks express this by wrapping a single
+// competitor instance (shard count 1) — the documented gap between
+// composable NBTC structures and monolithic STM structures.
+package kv
+
+import "medley/internal/core"
+
+// TxMap is a transactional map over uint64 keys and values. All
+// operations thread a *core.Tx: inside an open transaction they compose
+// atomically with every other TxMap attached to the same TxManager; with
+// a nil Tx (or one with no open transaction) they run non-transactionally
+// with the structure's native lock-free semantics.
+type TxMap interface {
+	// Get returns the value bound to key.
+	Get(tx *core.Tx, key uint64) (uint64, bool)
+	// Put binds key to val, returning the previous value if the key
+	// existed.
+	Put(tx *core.Tx, key uint64, val uint64) (uint64, bool)
+	// Insert adds key only if absent.
+	Insert(tx *core.Tx, key uint64, val uint64) bool
+	// Remove deletes key, returning the removed value.
+	Remove(tx *core.Tx, key uint64) (uint64, bool)
+	// Range iterates a non-linearizable snapshot of entries, stopping if
+	// fn returns false. It does not participate in transactions; scans
+	// observe a best-effort view, exactly like the structures' native
+	// Range.
+	Range(fn func(key, val uint64) bool)
+}
+
+// Binder is the optional capability of TxMap implementations whose
+// operations need per-goroutine state beyond the Tx itself (txMontage
+// needs an epoch Handle wrapping the Tx). Workers call Bind once per
+// (map, Tx) pair and use the returned view for all operations on that Tx.
+type Binder interface {
+	Bind(tx *core.Tx) TxMap
+}
+
+// Bind resolves the worker-local view of m for tx: m.Bind(tx) when m is a
+// Binder, m itself otherwise (the common case — the transformed
+// structures are stateless per worker).
+func Bind(m TxMap, tx *core.Tx) TxMap {
+	if b, ok := m.(Binder); ok {
+		return b.Bind(tx)
+	}
+	return m
+}
+
+// Batcher is the optional capability of TxMap implementations that can
+// execute multi-key operations more cheaply than a loop of single-key
+// calls. ShardedStore implements it by grouping keys per shard, cutting
+// per-operation dispatch overhead on multi-key mixes (transfer, order).
+// Batch operations compose transactionally exactly like their single-key
+// forms: with a nil Tx each element commits independently.
+type Batcher interface {
+	// GetBatch looks up keys[i] into vals[i], oks[i]. All three slices
+	// must have equal length.
+	GetBatch(tx *core.Tx, keys []uint64, vals []uint64, oks []bool)
+	// PutBatch binds keys[i] to vals[i]. Both slices must have equal
+	// length.
+	PutBatch(tx *core.Tx, keys []uint64, vals []uint64)
+}
+
+// Lener is implemented by maps that can count their entries (not
+// linearizable; tests and diagnostics).
+type Lener interface {
+	Len() int
+}

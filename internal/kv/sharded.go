@@ -1,0 +1,227 @@
+package kv
+
+import (
+	"fmt"
+	"math/bits"
+
+	"medley/internal/core"
+)
+
+// ShardedStore hash-partitions a uint64 key space over N TxMap shards.
+// It implements TxMap itself, so a sharded store drops in anywhere a
+// single structure does — including as a shard of another store.
+//
+// When every shard is an NBTC-transformed structure attached to the same
+// TxManager, a transaction that touches several shards is still strictly
+// serializable: the shards share commit machinery, so cross-shard
+// atomicity is the paper's composition claim at the architecture level
+// and costs nothing beyond the transaction itself. Shards backed by
+// competitor STMs (see competitors.go) do not compose; build those stores
+// with one shard.
+type ShardedStore struct {
+	shards []TxMap
+	mask   uint64
+}
+
+// shardMul spreads keys over shards with a multiplicative hash
+// independent of the bucket hash inside mhash (which consumes bits
+// 32..32+b of the same product; the shard index takes the top bits).
+const shardMul = 0x9E3779B97F4A7C15
+
+// RoundShards rounds a requested shard count up to the power of two
+// every routing path (shardIndex, ShardOf) assumes; n <= 0 means 1.
+// Callers that size per-shard state before building a store use it to
+// stay in lockstep with the store's rounding.
+func RoundShards(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// NewSharded builds a store over n shards produced by mk (called with
+// shard indices 0..n-1). n is rounded up to a power of two so shard
+// selection is mask-cheap.
+func NewSharded(n int, mk func(i int) TxMap) *ShardedStore {
+	p := RoundShards(n)
+	s := &ShardedStore{shards: make([]TxMap, p), mask: uint64(p - 1)}
+	for i := range s.shards {
+		s.shards[i] = mk(i)
+	}
+	return s
+}
+
+// NewShardedNamed builds a store over n shards of the named registry
+// implementation, all sharing o.Mgr. Each shard is provisioned with the
+// full o.Buckets like an independent instance — the way a partitioned
+// deployment provisions its partitions — so sharding trades memory for
+// shorter chains and disjoint allocation domains per shard.
+// Non-composable implementations are refused for n > 1: their shards
+// could not join one transaction, so multi-key operations would silently
+// lose atomicity.
+func NewShardedNamed(name string, n int, o Options) (*ShardedStore, error) {
+	if n > 1 && !Composable(name) {
+		return nil, fmt.Errorf("kv: %w: %q must use a single shard", errNotComposable, name)
+	}
+	var err error
+	s := NewSharded(n, func(int) TxMap {
+		var m TxMap
+		if err == nil {
+			m, err = New(name, o)
+		}
+		return m
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ShardCount returns the number of shards.
+func (s *ShardedStore) ShardCount() int { return len(s.shards) }
+
+// Shard returns shard i, for callers that manage shards directly
+// (maintenance hooks, recovery rebuilds).
+func (s *ShardedStore) Shard(i int) TxMap { return s.shards[i] }
+
+// ShardOf returns the shard index key routes to in a store of n shards
+// (n must be the power of two the store rounded to). Exposed so recovery
+// paths can partition recovered entries the same way live traffic does.
+func ShardOf(key uint64, n int) int {
+	return shardIndex(key, uint64(n-1))
+}
+
+// shardIndex picks the top log2(shards) bits of the multiplicative
+// hash, so every shard count up to 2^63 routes to all shards.
+func shardIndex(key, mask uint64) int {
+	if mask == 0 {
+		return 0
+	}
+	return int((key * shardMul) >> (64 - uint(bits.Len64(mask))))
+}
+
+func (s *ShardedStore) shard(key uint64) TxMap {
+	return s.shards[shardIndex(key, s.mask)]
+}
+
+// Get implements TxMap.
+func (s *ShardedStore) Get(tx *core.Tx, key uint64) (uint64, bool) {
+	return s.shard(key).Get(tx, key)
+}
+
+// Put implements TxMap.
+func (s *ShardedStore) Put(tx *core.Tx, key, val uint64) (uint64, bool) {
+	return s.shard(key).Put(tx, key, val)
+}
+
+// Insert implements TxMap.
+func (s *ShardedStore) Insert(tx *core.Tx, key, val uint64) bool {
+	return s.shard(key).Insert(tx, key, val)
+}
+
+// Remove implements TxMap.
+func (s *ShardedStore) Remove(tx *core.Tx, key uint64) (uint64, bool) {
+	return s.shard(key).Remove(tx, key)
+}
+
+// Range implements TxMap: shards are iterated in index order, so keys are
+// grouped by shard, ordered within one only as the shard structure
+// orders them.
+func (s *ShardedStore) Range(fn func(key, val uint64) bool) {
+	for _, sh := range s.shards {
+		stop := false
+		sh.Range(func(k, v uint64) bool {
+			if !fn(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// Len implements Lener when every shard does.
+func (s *ShardedStore) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		if l, ok := sh.(Lener); ok {
+			n += l.Len()
+		}
+	}
+	return n
+}
+
+// Bind implements Binder: shards that need per-worker state are bound
+// once here, so per-operation dispatch stays a plain slice index.
+func (s *ShardedStore) Bind(tx *core.Tx) TxMap {
+	bound := s
+	for i, sh := range s.shards {
+		b, ok := sh.(Binder)
+		if !ok {
+			continue
+		}
+		if bound == s {
+			bound = &ShardedStore{shards: append([]TxMap(nil), s.shards...), mask: s.mask}
+		}
+		bound.shards[i] = b.Bind(tx)
+	}
+	return bound
+}
+
+// GetBatch implements Batcher: keys are visited shard by shard, so a
+// multi-key transaction touches each shard's memory once instead of
+// ping-ponging between shards per key.
+func (s *ShardedStore) GetBatch(tx *core.Tx, keys []uint64, vals []uint64, oks []bool) {
+	if len(keys) <= 1 || len(s.shards) == 1 {
+		for i, k := range keys {
+			vals[i], oks[i] = s.shards[shardIndex(k, s.mask)].Get(tx, k)
+		}
+		return
+	}
+	s.eachShardGroup(keys, func(sh TxMap, i int) {
+		vals[i], oks[i] = sh.Get(tx, keys[i])
+	})
+}
+
+// PutBatch implements Batcher.
+func (s *ShardedStore) PutBatch(tx *core.Tx, keys []uint64, vals []uint64) {
+	if len(keys) <= 1 || len(s.shards) == 1 {
+		for i, k := range keys {
+			s.shards[shardIndex(k, s.mask)].Put(tx, k, vals[i])
+		}
+		return
+	}
+	s.eachShardGroup(keys, func(sh TxMap, i int) {
+		sh.Put(tx, keys[i], vals[i])
+	})
+}
+
+// eachShardGroup invokes fn(shard, i) for every key index i, grouped by
+// shard. Batches are short (transaction-sized), so the grouping is a
+// bitset pass rather than an allocation.
+func (s *ShardedStore) eachShardGroup(keys []uint64, fn func(sh TxMap, i int)) {
+	var done uint64 // bit i set once keys[i] is processed; batches are <= 64 ops
+	if len(keys) > 64 {
+		for i := range keys {
+			fn(s.shards[shardIndex(keys[i], s.mask)], i)
+		}
+		return
+	}
+	for i := range keys {
+		if done&(1<<i) != 0 {
+			continue
+		}
+		si := shardIndex(keys[i], s.mask)
+		sh := s.shards[si]
+		for j := i; j < len(keys); j++ {
+			if done&(1<<j) == 0 && shardIndex(keys[j], s.mask) == si {
+				fn(sh, j)
+				done |= 1 << j
+			}
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package kv
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"medley/internal/core"
+)
+
+// TestCrossShardTransferAtomicity is the sharded-store counterpart of the
+// paper's composition claim: concurrent transfers between accounts that
+// live on different shards, with concurrent auditors summing every
+// account transactionally. The total is invariant; a half-applied
+// transfer would break it.
+func TestCrossShardTransferAtomicity(t *testing.T) {
+	const (
+		accounts  = 64
+		initial   = 1000
+		movers    = 4
+		transfers = 2000
+	)
+	mgr := core.NewTxManager()
+	s, err := NewShardedNamed("hash", 8, Options{Mgr: mgr, Buckets: 1 << 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < accounts; a++ {
+		s.Put(nil, a, initial)
+	}
+	var stop atomic.Bool
+	var moverWG, auditWG sync.WaitGroup
+	for w := 0; w < movers; w++ {
+		w := w
+		moverWG.Add(1)
+		go func() {
+			defer moverWG.Done()
+			tx := mgr.Register()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < transfers; i++ {
+				from := uint64(r.Intn(accounts))
+				to := uint64(r.Intn(accounts))
+				if from == to {
+					to = (to + 1) % accounts
+				}
+				amount := uint64(r.Intn(5))
+				err := tx.RunRetry(func() error {
+					fv, _ := s.Get(tx, from)
+					if fv < amount {
+						return nil // insufficient: commit without effect
+					}
+					tv, _ := s.Get(tx, to)
+					s.Put(tx, from, fv-amount)
+					s.Put(tx, to, tv+amount)
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Auditors run transactional full sums while transfers are in flight:
+	// strict serializability means every committed read snapshot balances.
+	auditors := 2
+	for w := 0; w < auditors; w++ {
+		auditWG.Add(1)
+		go func() {
+			defer auditWG.Done()
+			tx := mgr.Register()
+			for !stop.Load() {
+				var sum uint64
+				err := tx.RunRetry(func() error {
+					sum = 0
+					for a := uint64(0); a < accounts; a++ {
+						v, ok := s.Get(tx, a)
+						if !ok {
+							t.Errorf("account %d missing", a)
+							return nil
+						}
+						sum += v
+					}
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if sum != accounts*initial {
+					t.Errorf("observed half-applied transfer: sum %d, want %d", sum, accounts*initial)
+					return
+				}
+			}
+		}()
+	}
+	moverWG.Wait()
+	stop.Store(true)
+	auditWG.Wait()
+	// Final ground-truth check.
+	var sum uint64
+	s.Range(func(_, v uint64) bool { sum += v; return true })
+	if sum != accounts*initial {
+		t.Fatalf("final sum %d, want %d", sum, accounts*initial)
+	}
+}
+
+// TestBatchGroupsPerShard checks batch results equal per-key results and
+// that batched writes land on the same shards single writes would.
+func TestBatchOpsMatchSingleOps(t *testing.T) {
+	mgr := core.NewTxManager()
+	s, err := NewShardedNamed("hash", 4, Options{Mgr: mgr, Buckets: 1 << 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	keys := make([]uint64, 48)
+	vals := make([]uint64, len(keys))
+	for i := range keys {
+		keys[i] = uint64(r.Intn(1 << 10))
+		vals[i] = r.Uint64() % 1000
+	}
+	tx := mgr.Register()
+	if err := tx.RunRetry(func() error {
+		s.PutBatch(tx, keys, vals)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]uint64, len(keys))
+	oks := make([]bool, len(keys))
+	if err := tx.RunRetry(func() error {
+		s.GetBatch(tx, keys, got, oks)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Later duplicates override earlier ones, like sequential puts.
+	want := map[uint64]uint64{}
+	for i, k := range keys {
+		want[k] = vals[i]
+	}
+	for i, k := range keys {
+		if !oks[i] || got[i] != want[k] {
+			t.Fatalf("key %d: batch get (%d,%v), want %d", k, got[i], oks[i], want[k])
+		}
+		if v, ok := s.Get(nil, k); !ok || v != want[k] {
+			t.Fatalf("key %d: single get (%d,%v), want %d", k, v, ok, want[k])
+		}
+	}
+}
+
+// TestCrossShardBatchAtomicity moves value between shards with PutBatch
+// inside transactions and asserts auditors never see an unbalanced batch.
+func TestCrossShardBatchAtomicity(t *testing.T) {
+	const accounts = 32
+	mgr := core.NewTxManager()
+	s, err := NewShardedNamed("skip", 4, Options{Mgr: mgr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < accounts; a++ {
+		s.Put(nil, a, 100)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tx := mgr.Register()
+		r := rand.New(rand.NewSource(9))
+		keys := make([]uint64, 2)
+		vals := make([]uint64, 2)
+		for i := 0; i < 1500; i++ {
+			keys[0] = uint64(r.Intn(accounts))
+			keys[1] = uint64((r.Intn(accounts) + 1) % accounts)
+			if keys[0] == keys[1] {
+				continue
+			}
+			_ = tx.RunRetry(func() error {
+				a, _ := s.Get(tx, keys[0])
+				b, _ := s.Get(tx, keys[1])
+				if a == 0 {
+					return nil
+				}
+				vals[0], vals[1] = a-1, b+1
+				s.PutBatch(tx, keys, vals)
+				return nil
+			})
+		}
+		close(stop)
+	}()
+	tx := mgr.Register()
+	for audits := 0; ; audits++ {
+		select {
+		case <-stop:
+			wg.Wait()
+			var sum uint64
+			s.Range(func(_, v uint64) bool { sum += v; return true })
+			if sum != accounts*100 {
+				t.Fatalf("final sum %d, want %d", sum, accounts*100)
+			}
+			return
+		default:
+		}
+		var sum uint64
+		if err := tx.RunRetry(func() error {
+			sum = 0
+			for a := uint64(0); a < accounts; a++ {
+				v, _ := s.Get(tx, a)
+				sum += v
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if sum != accounts*100 {
+			t.Fatalf("audit %d saw half-applied batch: sum %d, want %d", audits, sum, accounts*100)
+		}
+	}
+}

@@ -258,3 +258,18 @@ func (s *List[V]) Len() int {
 	}
 	return n
 }
+
+// Range iterates a non-linearizable ascending snapshot, stopping if fn
+// returns false.
+func (s *List[V]) Range(fn func(key uint64, val V) bool) {
+	cr := s.head.load(0)
+	for c := cr.node; c != nil; {
+		nr := c.load(0)
+		if !nr.mark {
+			if !fn(c.key, c.val) {
+				return
+			}
+		}
+		c = nr.node
+	}
+}

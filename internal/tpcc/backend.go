@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"medley/internal/core"
+	"medley/internal/kv"
 	"medley/internal/montage"
 	"medley/internal/onefile"
 	"medley/internal/structures/fraserskip"
@@ -35,59 +36,87 @@ type Backend interface {
 	Arena() *Arena
 }
 
-// ---------------------------------------------------------------- Medley
+// ------------------------------------------------- Medley (any kv.TxMap)
 
-// MedleyBackend runs TPC-C on NBTC-transformed Fraser skiplists (the
-// paper's Figure 9 Medley configuration).
-type MedleyBackend struct {
+// KVBackend runs TPC-C on any registry structure: one kv.TxMap per table,
+// all under a single TxManager, so every TPC-C transaction is one Medley
+// transaction whatever the structure choice — including hash-partitioned
+// tables, whose cross-shard reads and writes stay strictly serializable
+// for free.
+type KVBackend struct {
+	name   string
 	mgr    *core.TxManager
-	tables [NumTables]*fraserskip.List[uint64]
+	tables [NumTables]kv.TxMap
 	arena  *Arena
 }
 
-// NewMedleyBackend creates the Medley configuration.
-func NewMedleyBackend() *MedleyBackend {
-	b := &MedleyBackend{mgr: core.NewTxManager(), arena: NewArena()}
+// NewKVBackend creates a backend whose tables are the named registry
+// structure, partitioned over shards instances per table when shards > 1.
+func NewKVBackend(name, structure string, shards int) (*KVBackend, error) {
+	b := &KVBackend{name: name, mgr: core.NewTxManager(), arena: NewArena()}
 	for i := range b.tables {
-		b.tables[i] = fraserskip.New[uint64](b.mgr)
+		s, err := kv.NewShardedNamed(structure, shards, kv.Options{Mgr: b.mgr, Buckets: 1 << 16})
+		if err != nil {
+			return nil, err
+		}
+		if s.ShardCount() == 1 {
+			b.tables[i] = s.Shard(0)
+		} else {
+			b.tables[i] = s
+		}
+	}
+	return b, nil
+}
+
+// NewMedleyBackend creates the paper's Figure 9 Medley configuration
+// (NBTC-transformed Fraser skiplists), expressed through the registry.
+func NewMedleyBackend() *KVBackend {
+	b, err := NewKVBackend("Medley", "skip", 1)
+	if err != nil {
+		panic(err) // static registry name; cannot fail
 	}
 	return b
 }
 
 // Name implements Backend.
-func (b *MedleyBackend) Name() string { return "Medley" }
+func (b *KVBackend) Name() string { return b.name }
 
 // Arena implements Backend.
-func (b *MedleyBackend) Arena() *Arena { return b.arena }
+func (b *KVBackend) Arena() *Arena { return b.arena }
 
 // Manager exposes the TxManager for statistics.
-func (b *MedleyBackend) Manager() *core.TxManager { return b.mgr }
+func (b *KVBackend) Manager() *core.TxManager { return b.mgr }
 
-type medleyWorker struct {
-	b  *MedleyBackend
-	tx *core.Tx
-	aw *ArenaWriter
+type kvTpccWorker struct {
+	tx     *core.Tx
+	tables [NumTables]kv.TxMap // bound per worker
+	arena  *Arena
+	aw     *ArenaWriter
 }
 
 // NewWorker implements Backend.
-func (b *MedleyBackend) NewWorker() Worker {
-	return &medleyWorker{b: b, tx: b.mgr.Register(), aw: b.arena.Writer()}
+func (b *KVBackend) NewWorker() Worker {
+	w := &kvTpccWorker{tx: b.mgr.Register(), arena: b.arena, aw: b.arena.Writer()}
+	for i := range b.tables {
+		w.tables[i] = kv.Bind(b.tables[i], w.tx)
+	}
+	return w
 }
 
-func (w *medleyWorker) Writer() *ArenaWriter { return w.aw }
+func (w *kvTpccWorker) Writer() *ArenaWriter { return w.aw }
 
-func (w *medleyWorker) Run(body func(Ctx) error) error {
+func (w *kvTpccWorker) Run(body func(Ctx) error) error {
 	return w.tx.RunRetry(func() error { return body(w) })
 }
 
-func (w *medleyWorker) Get(t int, key uint64) (uint64, bool) {
-	return w.b.tables[t].Get(w.tx, key)
+func (w *kvTpccWorker) Get(t int, key uint64) (uint64, bool) {
+	return w.tables[t].Get(w.tx, key)
 }
-func (w *medleyWorker) Put(t int, key uint64, h uint64) {
-	w.b.tables[t].Put(w.tx, key, h)
+func (w *kvTpccWorker) Put(t int, key uint64, h uint64) {
+	w.tables[t].Put(w.tx, key, h)
 }
-func (w *medleyWorker) Insert(t int, key uint64, h uint64) bool {
-	return w.b.tables[t].Insert(w.tx, key, h)
+func (w *kvTpccWorker) Insert(t int, key uint64, h uint64) bool {
+	return w.tables[t].Insert(w.tx, key, h)
 }
 
 // -------------------------------------------------------------- txMontage

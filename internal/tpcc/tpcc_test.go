@@ -14,8 +14,17 @@ func smallScale() Scale {
 
 func backends(t *testing.T) []Backend {
 	t.Helper()
+	mustKV := func(name, structure string, shards int) Backend {
+		b, err := NewKVBackend(name, structure, shards)
+		if err != nil {
+			t.Fatalf("NewKVBackend(%s): %v", name, err)
+		}
+		return b
+	}
 	return []Backend{
 		NewMedleyBackend(),
+		mustKV("Medley-bst", "bst", 1),
+		mustKV("Medley-hash-4shard", "hash", 4),
 		NewMontageBackend(montage.NewSystem(montage.Config{RegionWords: 1 << 20})),
 		NewOneFileBackend(onefile.New(), "OneFile"),
 		NewTDSLBackend(),

@@ -173,8 +173,8 @@ func rowField(c Ctx, h uint64, f int) uint64 { return arenaOf(c).Get(h)[f] }
 
 func arenaOf(c Ctx) *Arena {
 	switch w := c.(type) {
-	case *medleyWorker:
-		return w.b.arena
+	case *kvTpccWorker:
+		return w.arena
 	case *montageWorker:
 		return w.b.arena
 	case *onefileWorker:

@@ -36,6 +36,7 @@ package medley
 import (
 	"medley/internal/core"
 	"medley/internal/ebr"
+	"medley/internal/kv"
 	"medley/internal/montage"
 	"medley/internal/structures/fraserskip"
 	"medley/internal/structures/mhash"
@@ -105,6 +106,40 @@ func NewBST[V any](mgr *TxManager) *BST[V] { return nmbst.New[V](mgr) }
 
 // NewQueue creates an empty queue.
 func NewQueue[V any](mgr *TxManager) *Queue[V] { return msqueue.New[V](mgr) }
+
+// Uniform transactional map layer (see internal/kv).
+type (
+	// TxMap is the uniform transactional uint64 map interface every
+	// transformed structure implements; pass a nil *Tx for
+	// non-transactional operations.
+	TxMap = kv.TxMap
+	// ShardedMap hash-partitions a key space over N TxMap shards under
+	// one TxManager; cross-shard transactions are strictly serializable.
+	ShardedMap = kv.ShardedStore
+)
+
+// MapStructures lists the named structures NewShardedMap accepts
+// (transformed structures compose across shards; competitor and plain
+// structures are single-shard only).
+func MapStructures() []string { return kv.Names() }
+
+// NewShardedMap creates a map partitioned over shards instances of the
+// named structure ("hash", "skip", "bst", "rotating"), all attached to
+// mgr. buckets sizes each hash shard (0 means the 1M default). A
+// transaction registered on mgr may touch any number of shards — of this
+// map and of any other structure on the same manager — atomically:
+//
+//	mgr := medley.NewTxManager()
+//	m, _ := medley.NewShardedMap(mgr, "hash", 8, 1<<20)
+//	tx := mgr.Register() // per goroutine
+//	err := tx.RunRetry(func() error {
+//		v, _ := m.Get(tx, from) // shard A
+//		m.Put(tx, to, v)        // shard B, same transaction
+//		return nil
+//	})
+func NewShardedMap(mgr *TxManager, structure string, shards, buckets int) (*ShardedMap, error) {
+	return kv.NewShardedNamed(structure, shards, kv.Options{Mgr: mgr, Buckets: buckets})
+}
 
 // Persistence (txMontage over simulated NVM).
 type (

@@ -151,3 +151,33 @@ func TestFacadeEBR(t *testing.T) {
 		t.Fatalf("EBR stats = %+v", st)
 	}
 }
+
+func TestFacadeShardedMap(t *testing.T) {
+	mgr := medley.NewTxManager()
+	m, err := medley.NewShardedMap(mgr, "skip", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := mgr.Register()
+	const n = 512
+	if err := tx.RunRetry(func() error {
+		for k := uint64(0); k < n; k++ {
+			m.Put(tx, k, k*3)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < n; k++ {
+		if v, ok := m.Get(nil, k); !ok || v != k*3 {
+			t.Fatalf("key %d = (%d,%v), want %d", k, v, ok, k*3)
+		}
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	// Competitor structures cannot shard: the facade surfaces the error.
+	if _, err := medley.NewShardedMap(mgr, "tdsl", 4, 0); err == nil {
+		t.Fatal("sharded competitor structure did not error")
+	}
+}
