@@ -9,6 +9,12 @@
 // crash record reports durability violations, which is what turns the
 // nightly crash-recover soak into a correctness gate.
 //
+// With -alloc-budget it enforces the committed allocation budget
+// (testdata/alloc_budget.json) against the reports' memory blocks: the
+// budgeted system's measured allocs/op must stay under an absolute ceiling
+// and under (1 - min_reduction) of the named baseline system at the same
+// thread count — the regression gate for the allocation-free hot path.
+//
 //	bench-schema -schema testdata/bench_schema.json BENCH_*.json
 package main
 
@@ -25,6 +31,8 @@ var (
 	schemaFlag     = flag.String("schema", "testdata/bench_schema.json", "committed schema file")
 	violationsFlag = flag.Bool("fail-on-violations", false,
 		"also fail when a recoverable crash record reports durability violations")
+	budgetFlag = flag.String("alloc-budget", "",
+		"also enforce this allocation-budget file against the reports' memory blocks")
 )
 
 func main() {
@@ -66,6 +74,17 @@ func run() int {
 				failed = true
 			}
 		}
+		if *budgetFlag != "" {
+			budget, err := loadBudget(*budgetFlag)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			for _, msg := range budget.violations(data) {
+				fmt.Fprintf(os.Stderr, "%s: alloc budget: %s\n", path, msg)
+				failed = true
+			}
+		}
 	}
 	if failed {
 		return 1
@@ -98,6 +117,102 @@ func durabilityViolations(data []byte) []string {
 				"%s threads=%d: %d durability violations (missing=%d mismatched=%d leaked=%d)",
 				r.System, r.Threads, v, r.Recovery.MissingWrites,
 				r.Recovery.MismatchedWrites, r.Recovery.LeakedWrites))
+		}
+	}
+	return out
+}
+
+// allocBudget is the committed allocation budget (testdata/
+// alloc_budget.json): the regression contract for the recycling arenas.
+type allocBudget struct {
+	// Scenario restricts the check to reports of this scenario ("" = any).
+	Scenario string `json:"scenario"`
+	// System is the budgeted (pooled) system; its measured records must
+	// satisfy both bounds below.
+	System string `json:"system"`
+	// Baseline is the unpooled comparison system; "" skips the relative
+	// check.
+	Baseline string `json:"baseline"`
+	// MaxAllocsPerOp is the absolute ceiling on the budgeted system's
+	// measured allocs/op.
+	MaxAllocsPerOp float64 `json:"max_allocs_per_op"`
+	// MinReduction requires System's allocs/op <= (1-MinReduction) x
+	// Baseline's at the same thread count (0.40 = at least 40% fewer).
+	MinReduction float64 `json:"min_reduction"`
+}
+
+func loadBudget(path string) (allocBudget, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return allocBudget{}, err
+	}
+	var b allocBudget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return allocBudget{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.System == "" {
+		return allocBudget{}, fmt.Errorf("%s: budget names no system", path)
+	}
+	return b, nil
+}
+
+// violations checks one report against the budget. Only phase=="measured"
+// records count (the headline aggregate); reports of other scenarios pass
+// vacuously.
+func (b allocBudget) violations(data []byte) []string {
+	var doc struct {
+		Scenario string `json:"scenario"`
+		Results  []struct {
+			System  string                `json:"system"`
+			Phase   string                `json:"phase"`
+			Threads int                   `json:"threads"`
+			Memory  *harness.MemoryRecord `json:"memory"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return []string{err.Error()}
+	}
+	if b.Scenario != "" && doc.Scenario != b.Scenario {
+		return nil
+	}
+	baseline := map[int]float64{} // threads -> baseline allocs/op
+	type measured struct {
+		threads int
+		allocs  float64
+	}
+	var sys []measured
+	for _, r := range doc.Results {
+		if r.Phase != "measured" || r.Memory == nil {
+			continue
+		}
+		switch r.System {
+		case b.System:
+			sys = append(sys, measured{r.Threads, r.Memory.AllocsPerOp})
+		case b.Baseline:
+			baseline[r.Threads] = r.Memory.AllocsPerOp
+		}
+	}
+	var out []string
+	if len(sys) == 0 {
+		return []string{fmt.Sprintf("no measured records for budgeted system %q", b.System)}
+	}
+	for _, m := range sys {
+		if b.MaxAllocsPerOp > 0 && m.allocs > b.MaxAllocsPerOp {
+			out = append(out, fmt.Sprintf("%s threads=%d: %.2f allocs/op exceeds ceiling %.2f",
+				b.System, m.threads, m.allocs, b.MaxAllocsPerOp))
+		}
+		if b.Baseline == "" || b.MinReduction <= 0 {
+			continue
+		}
+		base, ok := baseline[m.threads]
+		if !ok {
+			out = append(out, fmt.Sprintf("no baseline %q record at threads=%d", b.Baseline, m.threads))
+			continue
+		}
+		if limit := (1 - b.MinReduction) * base; m.allocs > limit {
+			out = append(out, fmt.Sprintf(
+				"%s threads=%d: %.2f allocs/op not %.0f%% below baseline %.2f (limit %.2f)",
+				b.System, m.threads, m.allocs, 100*b.MinReduction, base, limit))
 		}
 	}
 	return out

@@ -50,6 +50,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -81,10 +83,53 @@ var (
 	nvmStore     = flag.Duration("nvm-store", 60*time.Nanosecond, "injected NVM store latency per word")
 	advEvery     = flag.Duration("advance-every", 20*time.Millisecond, "txMontage epoch length (paper: ~10-100ms)")
 	short        = flag.Bool("short", false, "tiny configuration for smoke runs")
+	poolingFlag  = flag.String("pooling", "on",
+		"cell/node recycling arenas for Medley systems: on|off (-pooling=off is the unpooled allocation baseline)")
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 )
 
 func main() {
 	os.Exit(run())
+}
+
+// profiles starts the requested pprof collection and returns the teardown
+// to run before exit. Profile file errors are fatal up front: a benchmark
+// run whose profile silently failed to open wastes the whole measurement.
+func profiles() (func(), error) {
+	var stops []func()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return nil, err
+		}
+		stops = append(stops, func() {
+			runtime.GC() // flush recent allocations into the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			f.Close()
+		})
+	}
+	return func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}, nil
 }
 
 // run is main with a single exit point: every error path returns a
@@ -92,6 +137,16 @@ func main() {
 // values failing the job, not just printing).
 func run() int {
 	flag.Parse()
+	if _, err := poolingEnabled(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	stopProfiles, err := profiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer stopProfiles()
 	if *short {
 		*keyRange = 1 << 12
 		*preload = 1 << 11
@@ -172,10 +227,19 @@ func sweep(mk func() harness.System, threads []int, ratio harness.Ratio) {
 	}
 }
 
+// medleyPooling resolves the -pooling flag for figure-mode Medley systems
+// (validated in run; scenario mode routes it through SystemOpts instead).
+func medleyPooling() bool {
+	on, _ := poolingEnabled()
+	return on
+}
+
 func fig7(threads []int) {
 	for _, ratio := range harness.PaperRatios {
 		fmt.Printf("\n== Figure 7 (hash table) get:insert:remove %s ==\n", ratio)
-		sweep(func() harness.System { return harness.NewMedleyHash(*buckets) }, threads, ratio)
+		sweep(func() harness.System {
+			return harness.NewMedleyShardedPooling("hash", 1, *buckets, medleyPooling())
+		}, threads, ratio)
 		sweep(func() harness.System {
 			return harness.NewMontage(harness.MontageOpts{
 				Buckets: *buckets, RegionWords: 1 << 26,
@@ -195,7 +259,9 @@ func fig7(threads []int) {
 func fig8(threads []int) {
 	for _, ratio := range harness.PaperRatios {
 		fmt.Printf("\n== Figure 8 (skiplist) get:insert:remove %s ==\n", ratio)
-		sweep(func() harness.System { return harness.NewMedleySkip() }, threads, ratio)
+		sweep(func() harness.System {
+			return harness.NewMedleyShardedPooling("skip", 1, 0, medleyPooling())
+		}, threads, ratio)
 		sweep(func() harness.System {
 			return harness.NewMontage(harness.MontageOpts{
 				Skiplist: true, RegionWords: 1 << 26,
@@ -289,7 +355,9 @@ func fig10(sub string, threads []int) {
 			fmt.Printf("\n== Figure 10a (skiplist latency, DRAM) %s, %d threads ==\n", ratio, th)
 			sweep(func() harness.System { return harness.NewOriginalSkip() }, []int{th}, ratio)
 			sweep(func() harness.System { return harness.NewTxOffSkip() }, []int{th}, ratio)
-			sweep(func() harness.System { return harness.NewMedleySkip() }, []int{th}, ratio)
+			sweep(func() harness.System {
+				return harness.NewMedleyShardedPooling("skip", 1, 0, medleyPooling())
+			}, []int{th}, ratio)
 		case "b":
 			fmt.Printf("\n== Figure 10b (latency, payloads on NVM, persistence off) %s, %d threads ==\n", ratio, th)
 			sweep(func() harness.System {

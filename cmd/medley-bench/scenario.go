@@ -9,12 +9,26 @@ import (
 	"medley/internal/harness"
 )
 
+// poolingEnabled parses the -pooling flag; unknown values are a usage
+// error (exit 2), validated up front in run.
+func poolingEnabled() (bool, error) {
+	switch *poolingFlag {
+	case "on", "true", "1":
+		return true, nil
+	case "off", "false", "0":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad -pooling %q (want on|off)", *poolingFlag)
+}
+
 // systemOpts bundles the shared sizing flags for the harness system
 // registry; every -systems name (optionally suffixed "@N" for N shards)
 // resolves through harness.NewSystem against these options.
 func systemOpts() harness.SystemOpts {
+	pooling, _ := poolingEnabled() // validated in run
 	return harness.SystemOpts{
 		Buckets: *buckets, Shards: *shardsFlag, KeyRange: uint64(*keyRange),
+		NoPooling:        !pooling,
 		WriteBackLatency: *nvmWB, FenceLatency: *nvmFence, StoreLatency: *nvmStore,
 		AdvanceEvery: *advEvery,
 	}
@@ -110,6 +124,10 @@ func printScenarioResult(res harness.ScenarioResult) {
 	sys := res.System
 	fmt.Printf("%-20s %-24s threads=%-3d throughput=%12.0f txn/s  abort=%6.2f%%  p50=%8.0fns  p99=%8.0fns\n",
 		res.Scenario, sys, res.Threads, m.Throughput, 100*m.AbortRate, m.P50LatencyNs, m.P99LatencyNs)
+	if mm := m.Memory; mm != nil {
+		fmt.Printf("  memory              allocs/op=%8.2f  bytes/op=%8.1f  gc-pause=%8v  pool-hit=%5.1f%%\n",
+			mm.AllocsPerOp, mm.BytesPerOp, time.Duration(mm.GCPauseNs), 100*mm.PoolHitRate)
+	}
 	if len(res.Phases) > 1 {
 		for _, ph := range res.Phases {
 			if ph.Crash {

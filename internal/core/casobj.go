@@ -6,63 +6,111 @@ import (
 )
 
 // cell is the unit of state held by a CASObj. Cells are immutable after
-// publication; every successful CAS installs a freshly allocated cell, so
-// pointer identity of a cell is unforgeable evidence that a slot has not
-// changed (the role played by the 64-bit counter in the paper's 128-bit
-// CASObj).
+// publication; every successful CAS installs a fresh cell, so pointer
+// identity of a cell is evidence that a slot has not changed (the role
+// played by the 64-bit counter in the paper's 128-bit CASObj).
+//
+// "Fresh" no longer has to mean "freshly heap-allocated": under pooling
+// (TxManager.EnablePooling) displaced cells are retired through EBR into
+// per-Tx arenas and reused after a grace period. Reuse would forge the
+// pointer-identity argument — a recycled cell at the same address could
+// validate a stale ReadWitness — so every reuse bumps the cell's generation
+// counter, and witnesses capture (cell, generation) pairs. The EBR grace
+// period guarantees no thread still *operates* on a retired cell; the
+// generation counter additionally covers witnesses that outlive the grace
+// period inside a stale published read set (see publishedReads).
 //
 // A cell with desc == nil is a value cell holding the slot's real value.
 // A cell with desc != nil is a descriptor cell: a critical CAS of the
 // transaction identified by (desc, serial) has been installed; val is the
 // speculative new value and prev the displaced value cell. slot points back
 // at the owning CASObj so that any thread holding the cell can uninstall it.
+//
+// gen and slot are atomic because they are the only fields a thread may
+// read on a cell that has possibly been recycled (via a stale witness);
+// every other field is read only on cells reached through a live slot,
+// which the reader's EBR critical section keeps stable.
 type cell[T comparable] struct {
 	val    T
 	desc   *Desc
 	serial uint64
 	prev   *cell[T]
-	slot   *CASObj[T]
+	slot   atomic.Pointer[CASObj[T]]
+	gen    atomic.Uint64
+}
+
+// witnessValid implements witnessCell: the slot still holds this cell (or a
+// descriptor of the validating transaction that displaced it), and the cell
+// has not been recycled since the witness was taken. The generation is
+// checked first — a mismatch means the cell was reused and nothing else in
+// it may be read — and re-checked after the slot load so that a concurrent
+// recycle-and-reinstall into the same slot can never validate.
+func (c *cell[T]) witnessValid(d *Desc, serial, gen uint64) bool {
+	if c.gen.Load() != gen {
+		return false
+	}
+	slot := c.slot.Load()
+	if slot == nil {
+		return false
+	}
+	cur := slot.state.Load()
+	if cur == c {
+		return c.gen.Load() == gen
+	}
+	// cur is freshly loaded from a live slot, so its plain fields are
+	// stable for this (EBR-protected) reader.
+	if cur != nil && cur.desc == d && cur.serial == serial && cur.prev == c {
+		return c.gen.Load() == gen
+	}
+	return false
+}
+
+// witness captures this cell's identity and generation as read evidence.
+func (c *cell[T]) witness() ReadWitness {
+	return ReadWitness{c: c, gen: c.gen.Load()}
 }
 
 // helpFinalize gets a foreign descriptor out of the way, following the
 // paper's tryFinalize (Fig. 6): load the status word first, then confirm
 // the cell is still installed — which proves the loaded word's serial is
 // this installation's serial — then drive the transaction to a terminal
-// state and uninstall this one cell.
-func (c *cell[T]) helpFinalize() {
+// state and uninstall this one cell. tx is the helping thread's context
+// (nil outside transactions), used to source and retire cells.
+func (c *cell[T]) helpFinalize(tx *Tx) {
 	d := c.desc
 	st := d.status.Load()
-	if c.slot.state.Load() != c {
+	if c.slot.Load().state.Load() != c {
 		return // already uninstalled; st may belong to a later serial
 	}
 	st, ok := d.finalize(st, c.serial)
 	if !ok {
 		return
 	}
-	c.uninstall(statusOf(st) == StatusCommitted)
+	c.uninstall(tx, statusOf(st) == StatusCommitted)
 }
 
 // uninstall replaces this installed descriptor cell with its outcome: a
 // fresh value cell carrying the speculative value on commit, or the
 // displaced cell on abort. Competing uninstalls (owner and helpers) race on
-// the same expected cell; exactly one wins and the rest are no-ops.
-func (c *cell[T]) uninstall(committed bool) {
+// the same expected cell; exactly one wins and the rest are no-ops. The
+// winner owns retirement: the displaced descriptor cell, and on commit the
+// original value cell it shadowed, go to the winner's arena limbo.
+func (c *cell[T]) uninstall(tx *Tx, committed bool) {
+	slot := c.slot.Load()
 	if committed {
-		c.slot.state.CompareAndSwap(c, &cell[T]{val: c.val, slot: c.slot})
-	} else {
-		c.slot.state.CompareAndSwap(c, c.prev)
+		nc := newCell(tx, slot)
+		nc.val = c.val
+		if slot.state.CompareAndSwap(c, nc) {
+			retireCell(tx, c.prev)
+			retireCell(tx, c)
+		} else {
+			freeCell(tx, nc) // lost the uninstall race; nc never published
+		}
+		return
 	}
-}
-
-// validFor reports whether the slot still holds this cell, or holds a
-// descriptor cell of the validating transaction itself that displaced this
-// cell (a read followed by the same transaction's own write).
-func (c *cell[T]) validFor(d *Desc, serial uint64) bool {
-	cur := c.slot.state.Load()
-	if cur == c {
-		return true
+	if slot.state.CompareAndSwap(c, c.prev) {
+		retireCell(tx, c)
 	}
-	return cur != nil && cur.desc == d && cur.serial == serial && cur.prev == c
 }
 
 // CASObj is a transactional shared word: the augmented atomic object of the
@@ -86,7 +134,30 @@ func NewCASObj[T comparable](v T) *CASObj[T] {
 // before the object is shared (e.g., in constructors), like a plain store
 // to a not-yet-published atomic.
 func (o *CASObj[T]) Init(v T) {
-	o.state.Store(&cell[T]{val: v, slot: o})
+	c := &cell[T]{val: v}
+	c.slot.Store(o)
+	o.state.Store(c)
+}
+
+// InitTx is Init with a transaction context: the initial cell is drawn from
+// tx's arena when pooling is on. Like Init it must only be called while the
+// object is private to the caller (a node under construction, or a node
+// just popped from a pool whose grace period has passed). If a cell is
+// already installed it is reinitialized in place with a bumped generation,
+// so witnesses taken during the cell's previous life can never validate.
+func (o *CASObj[T]) InitTx(tx *Tx, v T) {
+	if c := o.state.Load(); c != nil {
+		c.gen.Add(1)
+		c.val = v
+		c.desc = nil
+		c.serial = 0
+		c.prev = nil
+		c.slot.Store(o)
+		return
+	}
+	nc := newCell(tx, o)
+	nc.val = v
+	o.state.Store(nc)
 }
 
 // loadCell returns the current cell, lazily installing a zero-value cell in
@@ -96,7 +167,8 @@ func (o *CASObj[T]) loadCell() *cell[T] {
 	if c != nil {
 		return c
 	}
-	nc := &cell[T]{slot: o}
+	nc := &cell[T]{}
+	nc.slot.Store(o)
 	if o.state.CompareAndSwap(nil, nc) {
 		return nc
 	}
@@ -105,13 +177,13 @@ func (o *CASObj[T]) loadCell() *cell[T] {
 
 // resolve returns the current value cell, finalizing and uninstalling any
 // foreign descriptor cells it encounters along the way.
-func (o *CASObj[T]) resolve() *cell[T] {
+func (o *CASObj[T]) resolve(tx *Tx) *cell[T] {
 	for i := 0; ; i++ {
 		c := o.loadCell()
 		if c.desc == nil {
 			return c
 		}
-		c.helpFinalize()
+		c.helpFinalize(tx)
 		if i == debugWedgeThreshold {
 			panic("medley: resolve wedged (invariant violation): " + o.debugState(nil))
 		}
@@ -123,15 +195,17 @@ func (o *CASObj[T]) resolve() *cell[T] {
 // nbtcLoad fallback (readers do not publish metadata, so this costs nothing
 // in the common case).
 func (o *CASObj[T]) Load() T {
-	return o.resolve().val
+	return o.resolve(nil).val
 }
 
 // Store is the regular atomic store, implemented as a swap loop so that it
 // composes correctly with installed descriptors.
 func (o *CASObj[T]) Store(v T) {
 	for {
-		c := o.resolve()
-		if o.state.CompareAndSwap(c, &cell[T]{val: v, slot: o}) {
+		c := o.resolve(nil)
+		nc := &cell[T]{val: v}
+		nc.slot.Store(o)
+		if o.state.CompareAndSwap(c, nc) {
 			return
 		}
 	}
@@ -139,14 +213,25 @@ func (o *CASObj[T]) Store(v T) {
 
 // CAS is the regular atomic compare-and-swap on values.
 func (o *CASObj[T]) CAS(expected, desired T) bool {
+	return o.casTx(nil, expected, desired)
+}
+
+// casTx is CAS with a thread context: displaced cells are retired into tx's
+// arena and replacements drawn from it. It is the execution engine of
+// DeferCAS and of non-critical CASes.
+func (o *CASObj[T]) casTx(tx *Tx, expected, desired T) bool {
 	for {
-		c := o.resolve()
+		c := o.resolve(tx)
 		if c.val != expected {
 			return false
 		}
-		if o.state.CompareAndSwap(c, &cell[T]{val: desired, slot: o}) {
+		nc := newCell(tx, o)
+		nc.val = desired
+		if o.state.CompareAndSwap(c, nc) {
+			retireCell(tx, c)
 			return true
 		}
+		freeCell(tx, nc)
 	}
 }
 
@@ -159,20 +244,20 @@ func (o *CASObj[T]) CAS(expected, desired T) bool {
 // operation. Outside a transaction it degrades to Load.
 func (o *CASObj[T]) NbtcLoad(tx *Tx) (T, ReadWitness) {
 	if !tx.InTx() {
-		c := o.resolve()
-		return c.val, c
+		c := o.resolve(tx)
+		return c.val, c.witness()
 	}
 	tx.checkDoomed()
 	for i := 0; ; i++ {
 		c := o.loadCell()
 		if c.desc == nil {
-			return c.val, c
+			return c.val, c.witness()
 		}
 		if c.desc == tx.desc && c.serial == tx.serial {
 			tx.startSpec()
-			return c.val, alwaysValid{}
+			return c.val, ReadWitness{}
 		}
-		c.helpFinalize()
+		c.helpFinalize(tx)
 		tx.desc.shard.HelpEvents.Add(1)
 		if i == debugWedgeThreshold {
 			panic("medley: NbtcLoad wedged (invariant violation): " + o.debugState(tx))
@@ -190,7 +275,7 @@ func (o *CASObj[T]) NbtcLoad(tx *Tx) (T, ReadWitness) {
 // Outside a transaction NbtcCAS degrades to CAS.
 func (o *CASObj[T]) NbtcCAS(tx *Tx, expected, desired T, linPt, pubPt bool) bool {
 	if !tx.InTx() {
-		return o.CAS(expected, desired)
+		return o.casTx(tx, expected, desired)
 	}
 	tx.checkDoomed()
 	d := tx.desc
@@ -201,7 +286,7 @@ func (o *CASObj[T]) NbtcCAS(tx *Tx, expected, desired T, linPt, pubPt bool) bool
 		cur := o.loadCell()
 		if cur.desc != nil {
 			if cur.desc != d || cur.serial != tx.serial {
-				cur.helpFinalize()
+				cur.helpFinalize(tx)
 				tx.desc.shard.HelpEvents.Add(1)
 				continue
 			}
@@ -214,14 +299,23 @@ func (o *CASObj[T]) NbtcCAS(tx *Tx, expected, desired T, linPt, pubPt bool) bool
 			if cur.val != expected {
 				return false
 			}
-			nc := &cell[T]{val: desired, desc: d, serial: tx.serial, prev: cur.prev, slot: o}
+			nc := newCell(tx, o)
+			nc.val = desired
+			nc.desc = d
+			nc.serial = tx.serial
+			nc.prev = cur.prev
 			if o.state.CompareAndSwap(cur, nc) {
+				// cur (the superseded intermediate descriptor cell) is dead:
+				// the slot now holds nc, and settle's uninstall of the stale
+				// write-set entry will fail its CAS harmlessly.
+				retireCell(tx, cur)
 				tx.addWrite(nc)
 				if linPt {
 					tx.endSpec()
 				}
 				return true
 			}
+			freeCell(tx, nc)
 			// A helper finalized us concurrently; loop to rediscover state.
 			continue
 		}
@@ -234,12 +328,20 @@ func (o *CASObj[T]) NbtcCAS(tx *Tx, expected, desired T, linPt, pubPt bool) bool
 		if !tx.inSpec {
 			// Non-critical CAS (helping work before the speculation
 			// interval): execute immediately.
-			if o.state.CompareAndSwap(cur, &cell[T]{val: desired, slot: o}) {
+			nc := newCell(tx, o)
+			nc.val = desired
+			if o.state.CompareAndSwap(cur, nc) {
+				retireCell(tx, cur)
 				return true
 			}
+			freeCell(tx, nc)
 			continue
 		}
-		nc := &cell[T]{val: desired, desc: d, serial: tx.serial, prev: cur, slot: o}
+		nc := newCell(tx, o)
+		nc.val = desired
+		nc.desc = d
+		nc.serial = tx.serial
+		nc.prev = cur
 		if o.state.CompareAndSwap(cur, nc) {
 			tx.addWrite(nc)
 			if linPt {
@@ -247,6 +349,7 @@ func (o *CASObj[T]) NbtcCAS(tx *Tx, expected, desired T, linPt, pubPt bool) bool
 			}
 			return true
 		}
+		freeCell(tx, nc)
 		// As in the paper, a failed install is reported to the data
 		// structure, whose own retry loop re-runs planning.
 		return false

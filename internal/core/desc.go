@@ -34,41 +34,67 @@ func statusOf(word uint64) uint64             { return word & statusMask }
 // paper; here validity is pointer identity of the immutable cell (or
 // identity of the displaced cell when the transaction has since installed
 // its own descriptor over the same slot, which the paper's transfer example
-// performs via get(a2) followed by put(a2)).
+// performs via get(a2) followed by put(a2)), combined with the cell's
+// generation counter: when cells are recycled through a Tx arena
+// (TxManager.EnablePooling), the generation captured at load time is the
+// proof that the witnessed cell has not been reused since — a recycled cell
+// at the same address carries a bumped generation and can never validate a
+// stale read.
+//
+// ReadWitness is a small concrete struct rather than an interface so that
+// the common path — appending to and scanning the read set — involves no
+// interface boxing and only one indirect call per entry. The zero
+// ReadWitness is always valid and is ignored by Tx.AddToReadSet.
 //
 // A ReadWitness is opaque; pass it to Tx.AddToReadSet from the linearizing
 // load of a read-only operation.
-type ReadWitness interface {
-	validFor(d *Desc, serial uint64) bool
+type ReadWitness struct {
+	c   witnessCell // witnessed cell; nil for predicate or always-valid
+	gen uint64      // cell generation observed at load time
+	chk func() bool // predicate witness (Tx.AddReadCheck); nil otherwise
+}
+
+// witnessCell is the one indirect call a cell-backed witness needs; it is
+// implemented by *cell[T] for every T, and holding the pointer in the
+// interface does not allocate.
+type witnessCell interface {
+	witnessValid(d *Desc, serial, gen uint64) bool
+}
+
+// isZero reports whether the witness carries no evidence (the witness of a
+// speculative self-read, or an unset field).
+func (w ReadWitness) isZero() bool { return w.c == nil && w.chk == nil }
+
+// valid re-checks the witness for transaction (d, serial).
+func (w ReadWitness) valid(d *Desc, serial uint64) bool {
+	if w.c != nil {
+		return w.c.witnessValid(d, serial, w.gen)
+	}
+	if w.chk != nil {
+		return w.chk()
+	}
+	return true
 }
 
 // writeCell is an installed descriptor cell recorded in the owner's write
 // set so the owner can uninstall everything on commit or abort. Helpers
 // never touch the write set: the cell itself carries enough state
 // (slot back-pointer, speculative value, displaced cell) for a helper to
-// uninstall the one cell it encountered.
+// uninstall the one cell it encountered. The *Tx argument is the
+// uninstalling thread's context (nil outside transactions): displaced cells
+// are retired into its arena when pooling is on.
 type writeCell interface {
-	uninstall(committed bool)
+	uninstall(tx *Tx, committed bool)
 }
-
-// alwaysValid is the witness returned when a transaction loads a slot that
-// currently holds its own descriptor: no validation is needed because the
-// installed descriptor itself guards the slot through commit.
-type alwaysValid struct{}
-
-func (alwaysValid) validFor(*Desc, uint64) bool { return true }
-
-// checkWitness adapts an arbitrary validation predicate into the read set.
-// txMontage uses this to fold the persistence-epoch check into MCNS commit.
-type checkWitness struct{ f func() bool }
-
-func (w checkWitness) validFor(*Desc, uint64) bool { return w.f() }
 
 // publishedReads is the owner's read set as published (with a release
 // store) immediately before the InPrep→InProg transition, so that helpers
 // observing InProg can validate on the owner's behalf. The slice is frozen:
-// the owner allocates a fresh backing array every transaction and never
-// mutates a published one.
+// the owner never mutates a published one. Under pooling the struct and its
+// backing array are recycled through EBR — the previous publication is
+// retired when the next one replaces it, so a slow helper still iterating
+// the old array always sees intact (if stale) entries, and the serial check
+// plus per-cell generation counters make stale validation harmless.
 type publishedReads struct {
 	serial  uint64
 	entries []ReadWitness
@@ -105,7 +131,7 @@ func (d *Desc) validatePublished(serial uint64) bool {
 		return false
 	}
 	for _, w := range rp.entries {
-		if !w.validFor(d, serial) {
+		if !w.valid(d, serial) {
 			return false
 		}
 	}

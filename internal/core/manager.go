@@ -16,6 +16,7 @@ import (
 // shards into one snapshot on demand.
 type TxManager struct {
 	nextTID atomic.Int64
+	pooling atomic.Bool
 
 	mu     sync.Mutex
 	shards []*StatShard
@@ -25,6 +26,22 @@ type TxManager struct {
 func NewTxManager() *TxManager {
 	return &TxManager{}
 }
+
+// EnablePooling opts this manager's transactions into cell/node recycling:
+// a Tx registered afterwards that is given an SMR handle supporting
+// pool-routed retirement (Tx.SetSMR with an *ebr.Handle) sources cells and
+// structure nodes from per-Tx arenas and recycles them after an EBR grace
+// period instead of allocating fresh blocks.
+//
+// Pooling requires every goroutine operating on this manager's structures
+// to hold its handle's critical section (ebr.Handle.Enter/Exit) around
+// each transaction or bare operation; goroutines without a handle (nil Tx,
+// or SetSMR never called) stay safe but their displaced blocks fall back
+// to the garbage collector. Call before registering workers.
+func (m *TxManager) EnablePooling() { m.pooling.Store(true) }
+
+// PoolingEnabled reports whether EnablePooling was called.
+func (m *TxManager) PoolingEnabled() bool { return m.pooling.Load() }
 
 // StatShard is one worker's slice of the manager's statistics: every
 // counter is written by exactly one goroutine on the transaction fast path
@@ -36,7 +53,10 @@ type StatShard struct {
 	Aborts         atomic.Uint64 // transactions aborted (any cause)
 	AbortsByOthers atomic.Uint64 // aborts inflicted on this worker by eager contention management
 	HelpEvents     atomic.Uint64 // foreign descriptors this worker finalized
-	_              [88]byte      // pad 5x8-byte counters out to two cache lines
+	PoolGets       atomic.Uint64 // cell/node requests served by this worker's pools
+	PoolHits       atomic.Uint64 // requests satisfied from a freelist (rest hit the heap)
+	PoolRetires    atomic.Uint64 // blocks this worker retired into its pools
+	_              [64]byte      // pad 8x8-byte counters out to two cache lines
 }
 
 // snapshot reads the shard into a Stats value.
@@ -47,6 +67,9 @@ func (s *StatShard) snapshot() Stats {
 		Aborts:         s.Aborts.Load(),
 		AbortsByOthers: s.AbortsByOthers.Load(),
 		HelpEvents:     s.HelpEvents.Load(),
+		PoolGets:       s.PoolGets.Load(),
+		PoolHits:       s.PoolHits.Load(),
+		PoolRetires:    s.PoolRetires.Load(),
 	}
 }
 
@@ -73,6 +96,9 @@ type Stats struct {
 	Aborts         uint64 // transactions aborted (any cause)
 	AbortsByOthers uint64 // aborts inflicted by eager contention management
 	HelpEvents     uint64 // foreign descriptors finalized while operating
+	PoolGets       uint64 // pool requests (cells + nodes) under pooling
+	PoolHits       uint64 // pool requests served from a freelist
+	PoolRetires    uint64 // blocks retired into pools
 }
 
 // add folds o into s.
@@ -82,6 +108,9 @@ func (s *Stats) add(o Stats) {
 	s.Aborts += o.Aborts
 	s.AbortsByOthers += o.AbortsByOthers
 	s.HelpEvents += o.HelpEvents
+	s.PoolGets += o.PoolGets
+	s.PoolHits += o.PoolHits
+	s.PoolRetires += o.PoolRetires
 }
 
 // Stats returns a snapshot of the manager's counters, aggregated over all

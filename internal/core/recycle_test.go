@@ -1,0 +1,252 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"medley/internal/ebr"
+)
+
+// pooledTx registers a Tx with pooling active: manager pooling enabled and
+// an EBR handle attached. Returns the handle so tests can bracket
+// transactions in critical sections, as the harness workers do.
+func pooledTx(t *testing.T, mgr *TxManager, dom *ebr.Manager) (*Tx, *ebr.Handle) {
+	t.Helper()
+	tx := mgr.Register()
+	h := dom.Register()
+	tx.SetSMR(h)
+	if !tx.pooled {
+		t.Fatal("pooling did not activate (SetSMR with an *ebr.Handle on a pooling manager)")
+	}
+	return tx, h
+}
+
+// TestGenerationMismatchRejectsWitness is the fault-injection half of the
+// recycling contract: a witness whose cell has been recycled (generation
+// bumped) must fail validation even if the cell is reinstalled, bitwise
+// identical, in the very same slot — the scenario that pointer identity
+// alone would wrongly validate.
+func TestGenerationMismatchRejectsWitness(t *testing.T) {
+	mgr := NewTxManager()
+	mgr.EnablePooling()
+	dom := ebr.New(1)
+	tx, h := pooledTx(t, mgr, dom)
+
+	o := NewCASObj(100)
+	h.Enter()
+	defer h.Exit()
+
+	tx.Begin()
+	v, w := o.NbtcLoad(tx)
+	if v != 100 {
+		t.Fatalf("loaded %d", v)
+	}
+	tx.AddToReadSet(w)
+	if !tx.ValidateReads() {
+		t.Fatal("fresh witness must validate")
+	}
+
+	// Inject the fault: pretend the witnessed cell went through a
+	// retire→grace→recycle cycle and was reinstalled in the same slot with
+	// the same value. Pointer identity and value are unchanged; only the
+	// generation differs.
+	c := o.state.Load()
+	c.gen.Add(1)
+	if tx.ValidateReads() {
+		t.Fatal("validator accepted a recycled cell: stale witness forged")
+	}
+	tx.AbortNow()
+
+	// And the end-to-end commit path must abort for the same reason.
+	tx.Begin()
+	_, w = o.NbtcLoad(tx)
+	tx.AddToReadSet(w)
+	o.state.Load().gen.Add(1)
+	if err := tx.End(); err == nil {
+		t.Fatal("commit succeeded over a recycled witness")
+	}
+}
+
+// TestRecycledCellReuseBumpsGeneration checks the real cycle: a displaced
+// cell that travels retire→limbo→arena→reuse comes back with a higher
+// generation, so any witness captured in its previous life is dead.
+func TestRecycledCellReuseBumpsGeneration(t *testing.T) {
+	mgr := NewTxManager()
+	mgr.EnablePooling()
+	dom := ebr.New(1) // advance attempt on every retire: shortest grace
+	tx, h := pooledTx(t, mgr, dom)
+
+	o := NewCASObj(uint64(0))
+	// Capture the initial cell and a witness to it.
+	c0 := o.state.Load()
+	gen0 := c0.gen.Load()
+	w := c0.witness()
+
+	// Churn transactions until c0 reappears from the arena (its grace
+	// period takes a couple of epoch advances).
+	reused := false
+	for i := uint64(1); i < 200; i++ {
+		h.Enter()
+		tx.Begin()
+		if !o.NbtcCAS(tx, i-1, i, true, true) {
+			t.Fatalf("iteration %d: CAS failed single-threaded", i)
+		}
+		if err := tx.End(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		h.Exit()
+		if o.state.Load() == c0 {
+			reused = true
+			break
+		}
+	}
+	if !reused {
+		t.Skip("cell never recycled back into this slot (pool ordering changed); covered by fault injection above")
+	}
+	if g := c0.gen.Load(); g == gen0 {
+		t.Fatal("recycled cell reinstalled with unchanged generation")
+	}
+	if w.valid(tx.desc, tx.serial) {
+		t.Fatal("witness from the cell's previous life still validates")
+	}
+}
+
+// TestRecycleStressConservation hammers cell recycling with concurrent
+// transfers over a small, hot slot array: every displaced cell cycles
+// through limbo and back into an arena within a few transactions, so a
+// single recycle-then-validate hole (a stale witness validating, a cell
+// reused before its grace period) shows up as a conservation violation or
+// as a data race under -race.
+func TestRecycleStressConservation(t *testing.T) {
+	const nAccounts = 16
+	const perAccount = 1000
+	const goroutines = 8
+	iters := 4000
+	if testing.Short() {
+		iters = 800
+	}
+
+	mgr := NewTxManager()
+	mgr.EnablePooling()
+	dom := ebr.New(4)
+	accounts := make([]*CASObj[int], nAccounts)
+	for i := range accounts {
+		accounts[i] = NewCASObj[int](perAccount)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			tx := mgr.Register()
+			h := dom.Register()
+			tx.SetSMR(h)
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				from := rng.Intn(nAccounts)
+				to := rng.Intn(nAccounts)
+				if from == to {
+					continue
+				}
+				amt := rng.Intn(10) + 1
+				h.Enter()
+				_ = tx.RunRetry(func() error {
+					tx.OpStart()
+					vf, wf := accounts[from].NbtcLoad(tx)
+					tx.AddToReadSet(wf)
+					if vf < amt {
+						return errInsufficient
+					}
+					tx.OpStart()
+					vt, wt := accounts[to].NbtcLoad(tx)
+					tx.AddToReadSet(wt)
+					tx.OpStart()
+					if !accounts[from].NbtcCAS(tx, vf, vf-amt, true, true) {
+						tx.Abort()
+					}
+					tx.OpStart()
+					if !accounts[to].NbtcCAS(tx, vt, vt+amt, true, true) {
+						tx.Abort()
+					}
+					return nil
+				})
+				h.Exit()
+			}
+		}(int64(g)*7919 + 17)
+	}
+	wg.Wait()
+
+	sum := 0
+	for _, a := range accounts {
+		sum += a.Load()
+	}
+	if sum != nAccounts*perAccount {
+		t.Fatalf("conservation violated under recycling: sum %d, want %d",
+			sum, nAccounts*perAccount)
+	}
+	st := mgr.Stats()
+	if st.PoolGets == 0 || st.PoolHits == 0 || st.PoolRetires == 0 {
+		t.Fatalf("recycling never engaged: %+v", st)
+	}
+	t.Logf("pool: gets=%d hits=%d (%.1f%%) retires=%d",
+		st.PoolGets, st.PoolHits, 100*float64(st.PoolHits)/float64(st.PoolGets), st.PoolRetires)
+}
+
+// TestPoolingOffUnchanged pins the default: without EnablePooling (or
+// without an SMR handle) no pooling state activates and counters stay
+// zero, so existing users see the historical allocation behavior.
+func TestPoolingOffUnchanged(t *testing.T) {
+	mgr := NewTxManager()
+	tx := mgr.Register()
+	h := ebr.New(1).Register()
+	tx.SetSMR(h) // handle without EnablePooling: no pooling
+	if tx.pooled {
+		t.Fatal("pooling active without EnablePooling")
+	}
+	o := NewCASObj(1)
+	tx.Begin()
+	if !o.NbtcCAS(tx, 1, 2, true, true) {
+		t.Fatal("CAS failed")
+	}
+	if err := tx.End(); err != nil {
+		t.Fatal(err)
+	}
+	if st := mgr.Stats(); st.PoolGets != 0 || st.PoolRetires != 0 {
+		t.Fatalf("pool counters moved without pooling: %+v", st)
+	}
+}
+
+// TestDeferCASRunsOnCommitOnly pins DeferCAS semantics against the Defer
+// closure idiom it replaces: deferred CASes run after commit, are dropped
+// on abort, and execute immediately outside a transaction.
+func TestDeferCASRunsOnCommitOnly(t *testing.T) {
+	mgr := NewTxManager()
+	tx := mgr.Register()
+	o := NewCASObj(10)
+
+	tx.Begin()
+	DeferCAS(tx, o, 10, 11)
+	if o.Load() != 10 {
+		t.Fatal("deferred CAS ran before commit")
+	}
+	if err := tx.End(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Load() != 11 {
+		t.Fatal("deferred CAS did not run on commit")
+	}
+
+	tx.Begin()
+	DeferCAS(tx, o, 11, 12)
+	tx.AbortNow()
+	if o.Load() != 11 {
+		t.Fatal("deferred CAS ran on abort")
+	}
+
+	DeferCAS(tx, o, 11, 12) // outside a transaction: immediate
+	if o.Load() != 12 {
+		t.Fatal("bare DeferCAS not immediate")
+	}
+}

@@ -2,7 +2,7 @@ package core
 
 import (
 	"errors"
-	"math/rand"
+	"runtime"
 	"time"
 )
 
@@ -15,6 +15,14 @@ var ErrTxAborted = errors.New("medley: transaction aborted")
 // arbitrarily deep data structure code, mirroring the paper's
 // TransactionAborted exception. Tx.Run recovers it.
 type abortSignal struct{}
+
+// cleanupEntry is one deferred post-commit action: a closure (fn) or an
+// SMR-routed free (free). Two fields instead of one closure so Tx.Retire
+// does not have to allocate a wrapper per call to route through the SMR.
+type cleanupEntry struct {
+	fn   func()
+	free func()
+}
 
 // Tx is a per-goroutine transaction context. It owns one Desc, reused
 // across transactions and distinguished by serial number. A Tx must not be
@@ -30,17 +38,45 @@ type Tx struct {
 	active bool
 	inSpec bool
 
-	reads     []ReadWitness // fresh backing array per transaction (published)
-	writes    []writeCell   // owner-only
-	cleanups  []func()      // post-commit work (addToCleanups)
-	allocUndo []func()      // tNew compensation on abort
+	reads     []ReadWitness  // published at End; see readsFree for reuse rules
+	writes    []writeCell    // owner-only: truncate-and-reuse
+	cleanups  []cleanupEntry // post-commit work (addToCleanups); owner-only
+	allocUndo []func()       // tNew compensation on abort; owner-only
 
 	beginHooks  []func(*Tx)       // run at Begin; txMontage hooks the epoch here
 	finishHooks []func(*Tx, bool) // run after settle; arg is committed
 	smr         Retirer           // optional SMR domain for Retire
+	pauser      sectionPauser     // smr's critical section, released across backoff sleeps
 	boost       *boostState       // transactional-boosting locks/inverses
 
-	rng *rand.Rand // backoff randomization for RunRetry
+	// Pooling state (TxManager.EnablePooling + an SMR handle that supports
+	// RetireInto). pools holds this Tx's cell arenas and node pools;
+	// readsFree/rpFree recycle read-set backing arrays and publishedReads
+	// shells whose grace period (or non-publication) makes reuse safe.
+	pooled    bool
+	pr        poolRetirer
+	pools     []txPool
+	published bool // current read set was published to helpers at End
+	readsFree [][]ReadWitness
+	rpFree    []*publishedReads
+	rpBin     rpBin
+
+	rngState uint64 // xorshift state for RunRetry backoff jitter
+}
+
+// rpBin is the ebr.Pool that receives a retired publishedReads once no
+// helper can still iterate it; it splits the shell and the backing array
+// back into the owner's free lists.
+type rpBin struct{ tx *Tx }
+
+// Recycle implements ebr.Pool; it runs on the owning goroutine.
+func (b *rpBin) Recycle(obj any) {
+	rp := obj.(*publishedReads)
+	clear(rp.entries)
+	b.tx.readsFree = append(b.tx.readsFree, rp.entries[:0])
+	rp.entries = nil
+	rp.serial = 0
+	b.tx.rpFree = append(b.tx.rpFree, rp)
 }
 
 // InTx reports whether a transaction is currently open. It is safe to call
@@ -91,9 +127,9 @@ func (tx *Tx) addWrite(w writeCell) { tx.writes = append(tx.writes, w) }
 
 // AddToReadSet registers the witness of a linearizing load for commit-time
 // validation (the paper's addToReadSet). Calling it outside a transaction,
-// or with a nil witness, is a no-op.
+// or with a zero witness, is a no-op.
 func (tx *Tx) AddToReadSet(w ReadWitness) {
-	if !tx.InTx() || w == nil {
+	if !tx.InTx() || w.isZero() {
 		return
 	}
 	tx.reads = append(tx.reads, w)
@@ -107,7 +143,7 @@ func (tx *Tx) AddReadCheck(f func() bool) {
 	if !tx.InTx() {
 		return
 	}
-	tx.reads = append(tx.reads, checkWitness{f})
+	tx.reads = append(tx.reads, ReadWitness{chk: f})
 }
 
 // Defer registers post-critical cleanup work to run after the transaction
@@ -118,7 +154,7 @@ func (tx *Tx) Defer(f func()) {
 		f()
 		return
 	}
-	tx.cleanups = append(tx.cleanups, f)
+	tx.cleanups = append(tx.cleanups, cleanupEntry{fn: f})
 }
 
 // OnAbortUndo registers compensation to run if the transaction aborts; tNew
@@ -143,6 +179,24 @@ func (tx *Tx) OnFinish(f func(*Tx, bool)) {
 	tx.finishHooks = append(tx.finishHooks, f)
 }
 
+// takeReads sources the read-set backing array for a new transaction.
+// Publication rules decide reuse: an array that was never published
+// (aborted before End) was returned to readsFree at the previous Begin; a
+// published one cycles back through EBR (see End), because helpers may
+// still iterate it until a grace period passes. Without pooling every
+// transaction gets a fresh array, as before.
+func (tx *Tx) takeReads() []ReadWitness {
+	if tx.pooled {
+		if n := len(tx.readsFree); n > 0 {
+			buf := tx.readsFree[n-1]
+			tx.readsFree[n-1] = nil
+			tx.readsFree = tx.readsFree[:n-1]
+			return buf
+		}
+	}
+	return make([]ReadWitness, 0, 8)
+}
+
 // Begin opens a transaction (the paper's txBegin): bumps the serial number,
 // resets the descriptor to InPrep, and clears per-transaction state.
 func (tx *Tx) Begin() {
@@ -151,9 +205,13 @@ func (tx *Tx) Begin() {
 	}
 	tx.serial++
 	tx.desc.status.Store(packStatus(tx.serial, StatusInPrep))
-	// The read set gets a fresh backing array every transaction because the
-	// previous one may have been published to helpers.
-	tx.reads = make([]ReadWitness, 0, 8)
+	if tx.pooled && !tx.published && tx.reads != nil {
+		// Never published: no helper ever saw the array, reuse it directly.
+		clear(tx.reads)
+		tx.readsFree = append(tx.readsFree, tx.reads[:0])
+	}
+	tx.reads = tx.takeReads()
+	tx.published = false
 	tx.writes = tx.writes[:0]
 	tx.cleanups = tx.cleanups[:0]
 	tx.allocUndo = tx.allocUndo[:0]
@@ -173,8 +231,8 @@ func (tx *Tx) ValidateReads() bool {
 	if !tx.InTx() {
 		return true
 	}
-	for _, w := range tx.reads {
-		if !w.validFor(tx.desc, tx.serial) {
+	for i := range tx.reads {
+		if !tx.reads[i].valid(tx.desc, tx.serial) {
 			return false
 		}
 	}
@@ -190,8 +248,16 @@ func (tx *Tx) End() error {
 	}
 	d := tx.desc
 	// Publish the read set so helpers that observe InProg can validate on
-	// our behalf, then announce readiness.
-	d.reads.Store(&publishedReads{serial: tx.serial, entries: tx.reads})
+	// our behalf, then announce readiness. The previous publication is
+	// retired through EBR under pooling: a slow helper may still iterate it.
+	rp := tx.takeRP()
+	rp.serial = tx.serial
+	rp.entries = tx.reads
+	old := d.reads.Swap(rp)
+	tx.published = true
+	if old != nil && tx.pooled {
+		tx.pr.RetireInto(&tx.rpBin, old)
+	}
 	if !d.stsCAS(packStatus(tx.serial, StatusInPrep), StatusInPrep, StatusInProg) {
 		return tx.settle()
 	}
@@ -202,6 +268,18 @@ func (tx *Tx) End() error {
 		d.stsCAS(word, StatusInProg, StatusAborted)
 	}
 	return tx.settle()
+}
+
+// takeRP sources a publishedReads shell, reusing recycled ones under
+// pooling.
+func (tx *Tx) takeRP() *publishedReads {
+	if n := len(tx.rpFree); n > 0 {
+		rp := tx.rpFree[n-1]
+		tx.rpFree[n-1] = nil
+		tx.rpFree = tx.rpFree[:n-1]
+		return rp
+	}
+	return &publishedReads{}
 }
 
 // Abort explicitly aborts the open transaction (the paper's txAbort) and
@@ -252,14 +330,25 @@ func (tx *Tx) settle() error {
 	st = d.status.Load()
 	committed := statusOf(st) == StatusCommitted
 	for _, w := range tx.writes {
-		w.uninstall(committed)
+		w.uninstall(tx, committed)
 	}
 	tx.settleBoost(committed)
 	tx.active = false
 	tx.inSpec = false
 	if committed {
-		for _, f := range tx.cleanups {
-			f()
+		for i := range tx.cleanups {
+			c := &tx.cleanups[i]
+			switch {
+			case c.fn != nil:
+				c.fn()
+			case tx.smr != nil:
+				tx.smr.Retire(c.free)
+			default:
+				c.free()
+			}
+		}
+		for _, p := range tx.pools {
+			p.settle(tx, true)
 		}
 		tx.desc.shard.Commits.Add(1)
 		for _, f := range tx.finishHooks {
@@ -269,6 +358,9 @@ func (tx *Tx) settle() error {
 	}
 	for _, f := range tx.allocUndo {
 		f()
+	}
+	for _, p := range tx.pools {
+		p.settle(tx, false)
 	}
 	tx.desc.shard.Aborts.Add(1)
 	for _, f := range tx.finishHooks {
@@ -300,26 +392,78 @@ func (tx *Tx) Run(fn func() error) (err error) {
 	return tx.End()
 }
 
-// RunRetry executes fn as with Run, retrying on ErrTxAborted with
-// randomized exponential backoff until it commits or fn returns a different
-// error. This is the catch-block retry loop of the paper's Figure 3,
-// packaged for convenience.
+// RunRetry executes fn as with Run, retrying on ErrTxAborted until it
+// commits or fn returns a different error. This is the catch-block retry
+// loop of the paper's Figure 3, packaged for convenience.
+//
+// The backoff is allocation-free: a Gosched-first spin ladder (at typical
+// abort rates the conflict window is shorter than a timer sleep, so the
+// first few retries just yield the processor) followed by exponential
+// sleeps jittered by a per-Tx xorshift PRNG.
 func (tx *Tx) RunRetry(fn func() error) error {
-	backoff := time.Microsecond
-	const maxBackoff = 128 * time.Microsecond
-	for {
+	for attempt := 0; ; attempt++ {
 		err := tx.Run(fn)
 		if !errors.Is(err, ErrTxAborted) {
 			return err
 		}
-		if tx.rng == nil {
-			tx.rng = rand.New(rand.NewSource(int64(tx.desc.tid)*2654435761 + 1))
-		}
-		time.Sleep(time.Duration(tx.rng.Int63n(int64(backoff)) + 1))
-		if backoff < maxBackoff {
-			backoff *= 2
-		}
+		tx.backoff(attempt)
 	}
+}
+
+// backoffYields retries are plain runtime.Gosched calls before the ladder
+// starts sleeping; backoffMax caps the jitter window.
+const (
+	backoffYields = 4
+	backoffMax    = 128 * time.Microsecond
+)
+
+// sectionPauser is the slice of an SMR handle RunRetry needs to step out
+// of its critical section while sleeping; *ebr.Handle satisfies it.
+type sectionPauser interface {
+	Enter()
+	Exit()
+	Active() bool
+}
+
+// backoff delays the attempt-th retry. Sleeps happen outside the Tx's SMR
+// critical section: between attempts the previous transaction has settled
+// and no cell reference survives into the next attempt, so this is a
+// quiescent point — and a worker sleeping tens of microseconds while
+// announcing an old epoch would otherwise stall reclamation for the whole
+// domain exactly when contention (and displacement traffic) peaks.
+func (tx *Tx) backoff(attempt int) {
+	if attempt < backoffYields {
+		runtime.Gosched()
+		return
+	}
+	shift := attempt - backoffYields
+	if shift > 7 {
+		shift = 7 // 1us << 7 == backoffMax
+	}
+	window := time.Microsecond << uint(shift)
+	pause := tx.pauser != nil && tx.pauser.Active()
+	if pause {
+		tx.pauser.Exit()
+	}
+	time.Sleep(time.Duration(tx.nextRand()%uint64(window)) + 1)
+	if pause {
+		tx.pauser.Enter()
+	}
+}
+
+// nextRand steps the Tx's xorshift64* PRNG (Vigna 2016), seeded from the
+// thread id on first use. Cheap, allocation-free, and private to the
+// owning goroutine.
+func (tx *Tx) nextRand() uint64 {
+	x := tx.rngState
+	if x == 0 {
+		x = uint64(tx.desc.tid)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+	}
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	tx.rngState = x
+	return x * 0x2545F4914F6CDD1D
 }
 
 // TNew allocates a block inside a transaction (the paper's tNew). Under
@@ -349,20 +493,34 @@ type Retirer interface {
 // *ebr.Handle) to this Tx. When set, Tx.Retire routes unlinked blocks
 // through it; when unset, retirement falls back to dropping the reference
 // and letting the garbage collector reclaim it.
-func (tx *Tx) SetSMR(r Retirer) { tx.smr = r }
+//
+// If the manager has pooling enabled (TxManager.EnablePooling) and r
+// supports pool-routed retirement (as *ebr.Handle does), this also
+// activates the Tx's recycling arenas: cells and nodes displaced by this
+// Tx are retired into its pools and reused after a grace period. The
+// owning goroutine must then hold r's critical section (ebr.Handle.Enter /
+// Exit) around every transaction and bare operation on pooled structures.
+func (tx *Tx) SetSMR(r Retirer) {
+	tx.smr = r
+	tx.pauser, _ = r.(sectionPauser)
+	if pr, ok := r.(poolRetirer); ok && tx.mgr != nil && tx.mgr.PoolingEnabled() {
+		tx.pr = pr
+		tx.pooled = true
+		tx.rpBin.tx = tx
+	}
+}
 
 // Retire is the paper's tRetire: schedule a block for safe reclamation once
 // the enclosing transaction commits (immediately when no transaction is
 // open). Safe on a nil Tx.
 func (tx *Tx) Retire(free func()) {
-	if tx == nil {
+	if !tx.InTx() {
+		if tx != nil && tx.smr != nil {
+			tx.smr.Retire(free)
+			return
+		}
 		free()
 		return
 	}
-	do := free
-	if tx.smr != nil {
-		r := tx.smr
-		do = func() { r.Retire(free) }
-	}
-	tx.Defer(do)
+	tx.cleanups = append(tx.cleanups, cleanupEntry{free: free})
 }

@@ -30,10 +30,9 @@ type Manager struct {
 	mu      sync.Mutex // guards handles registry only
 	handles []*Handle
 
-	// Stats.
-	retired   atomic.Uint64
-	reclaimed atomic.Uint64
-	advances  atomic.Uint64
+	// Stats. Retire/reclaim counts live in the handles (hot path, one
+	// writer each); only the advance count is global.
+	advances atomic.Uint64
 
 	// advanceEvery triggers an epoch-advance attempt after this many
 	// retires on a single handle.
@@ -52,18 +51,54 @@ func New(advanceEvery int) *Manager {
 	return m
 }
 
+// Pool receives recycled objects once their grace period has elapsed.
+// Recycle is always invoked on the goroutine that owns the retiring
+// Handle, so single-owner pools need no internal synchronization.
+type Pool interface {
+	Recycle(obj any)
+}
+
+// limboEntry is one retired block: either a deferred-free callback (fn) or
+// a pool-routed object (pool, obj). The obj form exists so hot paths can
+// retire without allocating a closure per block: storing a pointer in an
+// interface does not heap-allocate, and the limbo slices themselves are
+// truncated and reused across epochs.
+type limboEntry struct {
+	fn   func()
+	pool Pool
+	obj  any
+}
+
+func (e *limboEntry) release() {
+	if e.fn != nil {
+		e.fn()
+		return
+	}
+	e.pool.Recycle(e.obj)
+}
+
 // Handle is a per-goroutine participant in the EBR protocol. A Handle must
 // not be used from multiple goroutines simultaneously.
 type Handle struct {
 	mgr *Manager
 
 	// localEpoch is the announced epoch; the low bit is the "active"
-	// (in-critical-section) flag, as in Fraser's design.
+	// (in-critical-section) flag, as in Fraser's design. Every TryAdvance
+	// (any thread) reads it, so it gets a cache line to itself: without the
+	// padding, the owner's writes to the retire-path fields below would
+	// ping-pong the line against the advancers' scans.
 	localEpoch atomic.Uint64
+	_          [56]byte
 
-	limbo        [generations][]func()
+	limbo        [generations][]limboEntry
 	limboEpochs  [generations]uint64
 	sinceAdvance int
+
+	// Per-handle stat counters: written only by the owning goroutine on
+	// the retire hot path (atomic, so Manager.Stats can fold them
+	// cross-thread without a data race, but never contended).
+	retired   atomic.Uint64
+	reclaimed atomic.Uint64
 }
 
 // Register creates a handle for the calling goroutine.
@@ -88,18 +123,35 @@ func (h *Handle) Exit() {
 	h.localEpoch.Store(h.localEpoch.Load() &^ 1)
 }
 
+// Active reports whether the handle is inside a critical section.
+func (h *Handle) Active() bool {
+	return h.localEpoch.Load()&1 == 1
+}
+
 // Retire registers free to be invoked once two epoch advances guarantee no
 // reader can still hold a reference obtained before the retire.
 func (h *Handle) Retire(free func()) {
+	h.retire(limboEntry{fn: free})
+}
+
+// RetireInto registers obj to be handed to pool.Recycle after the grace
+// period. It is the allocation-free form of Retire: obj is typically a
+// pointer (stored in the interface without boxing), and pool is a
+// per-goroutine freelist owned by this handle's goroutine.
+func (h *Handle) RetireInto(pool Pool, obj any) {
+	h.retire(limboEntry{pool: pool, obj: obj})
+}
+
+func (h *Handle) retire(e limboEntry) {
 	m := h.mgr
-	e := m.globalEpoch.Load()
-	slot := int(e % generations)
-	if h.limboEpochs[slot] != e {
+	ge := m.globalEpoch.Load()
+	slot := int(ge % generations)
+	if h.limboEpochs[slot] != ge {
 		h.flushSlot(slot)
-		h.limboEpochs[slot] = e
+		h.limboEpochs[slot] = ge
 	}
-	h.limbo[slot] = append(h.limbo[slot], free)
-	m.retired.Add(1)
+	h.limbo[slot] = append(h.limbo[slot], e)
+	h.retired.Add(1)
 	h.sinceAdvance++
 	if h.sinceAdvance >= m.advanceEvery {
 		h.sinceAdvance = 0
@@ -108,15 +160,17 @@ func (h *Handle) Retire(free func()) {
 }
 
 // flushSlot frees everything in a limbo slot that belonged to an epoch now
-// at least two advances old.
+// at least two advances old. Entries are cleared as they release so the
+// reused backing array does not retain the last epoch's objects.
 func (h *Handle) flushSlot(slot int) {
 	if len(h.limbo[slot]) == 0 {
 		return
 	}
-	for _, f := range h.limbo[slot] {
-		f()
+	for i := range h.limbo[slot] {
+		h.limbo[slot][i].release()
+		h.limbo[slot][i] = limboEntry{}
 	}
-	h.mgr.reclaimed.Add(uint64(len(h.limbo[slot])))
+	h.reclaimed.Add(uint64(len(h.limbo[slot])))
 	h.limbo[slot] = h.limbo[slot][:0]
 }
 
@@ -167,12 +221,19 @@ type Stats struct {
 	Advances  uint64
 }
 
-// Stats returns a snapshot of the domain's counters.
+// Stats returns a snapshot of the domain's counters, folding the
+// per-handle retire/reclaim counts.
 func (m *Manager) Stats() Stats {
-	return Stats{
-		Epoch:     m.globalEpoch.Load(),
-		Retired:   m.retired.Load(),
-		Reclaimed: m.reclaimed.Load(),
-		Advances:  m.advances.Load(),
+	s := Stats{
+		Epoch:    m.globalEpoch.Load(),
+		Advances: m.advances.Load(),
 	}
+	m.mu.Lock()
+	handles := m.handles
+	m.mu.Unlock()
+	for _, h := range handles {
+		s.Retired += h.retired.Load()
+		s.Reclaimed += h.reclaimed.Load()
+	}
+	return s
 }

@@ -2,6 +2,8 @@ package harness
 
 import (
 	"math/rand"
+	"runtime"
+	"runtime/metrics"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -19,6 +21,84 @@ import (
 // implement it.
 type TxStatser interface {
 	TxStats() (commits, aborts uint64)
+}
+
+// PoolStatser is implemented by systems with recycling arenas (the
+// Medley KVSystem under pooling); the engine differences snapshots around
+// each phase to report pool hit rates in the memory block.
+type PoolStatser interface {
+	PoolStats() (gets, hits, retires uint64)
+}
+
+// MemoryResult is the memory-pressure digest of one phase: allocation
+// deltas (runtime/metrics), GC pause deltas (runtime.ReadMemStats), and
+// recycling-arena counters. Process-wide, so it is meaningful because the
+// engine runs one system at a time.
+type MemoryResult struct {
+	TotalAllocs uint64  // heap objects allocated during the phase
+	TotalBytes  uint64  // heap bytes allocated during the phase
+	AllocsPerOp float64 // TotalAllocs / executed ops
+	BytesPerOp  float64 // TotalBytes / executed ops
+	GCPauseNs   int64   // total stop-the-world pause during the phase
+	NumGC       uint32  // GC cycles during the phase
+	PoolGets    uint64  // arena requests (cells + nodes)
+	PoolHits    uint64  // arena requests served from a freelist
+	PoolRetires uint64  // blocks retired into arenas
+	PoolHitRate float64 // PoolHits / PoolGets, 0 when no requests
+}
+
+// memSample is one point-in-time memory reading; phases report the delta
+// of two samples.
+type memSample struct {
+	allocObjs  uint64
+	allocBytes uint64
+	pauseNs    uint64
+	numGC      uint32
+}
+
+// readMemSample samples the allocator via runtime/metrics (cheap,
+// no stop-the-world) and GC pauses via runtime.ReadMemStats; it runs only
+// at phase boundaries.
+func readMemSample() memSample {
+	samples := []metrics.Sample{
+		{Name: "/gc/heap/allocs:objects"},
+		{Name: "/gc/heap/allocs:bytes"},
+	}
+	metrics.Read(samples)
+	var s memSample
+	if samples[0].Value.Kind() == metrics.KindUint64 {
+		s.allocObjs = samples[0].Value.Uint64()
+	}
+	if samples[1].Value.Kind() == metrics.KindUint64 {
+		s.allocBytes = samples[1].Value.Uint64()
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.pauseNs = ms.PauseTotalNs
+	s.numGC = ms.NumGC
+	return s
+}
+
+// memoryResult folds two samples and the phase's pool counter deltas into
+// the reported block.
+func memoryResult(before, after memSample, ops uint64, poolGets, poolHits, poolRetires uint64) *MemoryResult {
+	m := &MemoryResult{
+		TotalAllocs: after.allocObjs - before.allocObjs,
+		TotalBytes:  after.allocBytes - before.allocBytes,
+		GCPauseNs:   int64(after.pauseNs - before.pauseNs),
+		NumGC:       after.numGC - before.numGC,
+		PoolGets:    poolGets,
+		PoolHits:    poolHits,
+		PoolRetires: poolRetires,
+	}
+	if ops > 0 {
+		m.AllocsPerOp = float64(m.TotalAllocs) / float64(ops)
+		m.BytesPerOp = float64(m.TotalBytes) / float64(ops)
+	}
+	if poolGets > 0 {
+		m.PoolHitRate = float64(poolHits) / float64(poolGets)
+	}
+	return m
 }
 
 // EngineConfig parameterizes one scenario run.
@@ -55,6 +135,9 @@ type PhaseResult struct {
 	AvgLatencyNs float64
 	P50LatencyNs float64
 	P99LatencyNs float64
+
+	// Memory is the phase's memory-pressure digest; nil on crash phases.
+	Memory *MemoryResult
 }
 
 // ScenarioResult is one (system, scenario, thread count) measurement.
@@ -194,6 +277,27 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 			agg.Aborts += pr.Aborts
 			agg.Elapsed += pr.Elapsed
 			parts = append(parts, phaseSamples{samples: samples, txns: pr.Txns})
+			if pr.Memory != nil {
+				if agg.Memory == nil {
+					agg.Memory = &MemoryResult{}
+				}
+				agg.Memory.TotalAllocs += pr.Memory.TotalAllocs
+				agg.Memory.TotalBytes += pr.Memory.TotalBytes
+				agg.Memory.GCPauseNs += pr.Memory.GCPauseNs
+				agg.Memory.NumGC += pr.Memory.NumGC
+				agg.Memory.PoolGets += pr.Memory.PoolGets
+				agg.Memory.PoolHits += pr.Memory.PoolHits
+				agg.Memory.PoolRetires += pr.Memory.PoolRetires
+			}
+		}
+	}
+	if agg.Memory != nil {
+		if agg.Ops > 0 {
+			agg.Memory.AllocsPerOp = float64(agg.Memory.TotalAllocs) / float64(agg.Ops)
+			agg.Memory.BytesPerOp = float64(agg.Memory.TotalBytes) / float64(agg.Ops)
+		}
+		if agg.Memory.PoolGets > 0 {
+			agg.Memory.PoolHitRate = float64(agg.Memory.PoolHits) / float64(agg.Memory.PoolGets)
 		}
 	}
 	finishAggregate(&agg, parts)
@@ -212,6 +316,12 @@ func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig,
 	if hasStats {
 		_, aborts0 = statser.TxStats()
 	}
+	var pg0, ph0, pr0 uint64
+	pooler, hasPool := sys.(PoolStatser)
+	if hasPool {
+		pg0, ph0, pr0 = pooler.PoolStats()
+	}
+	mem0 := readMemSample()
 
 	every := cfg.LatencyEvery
 	if every <= 0 {
@@ -273,6 +383,7 @@ func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig,
 	stopFlag.Store(true)
 	wg.Wait()
 	elapsed := time.Since(begin)
+	mem1 := readMemSample()
 
 	pr := PhaseResult{Phase: ph.Name, Elapsed: elapsed}
 	var samples []int64
@@ -281,6 +392,12 @@ func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig,
 		pr.Ops += s.ops
 		samples = append(samples, s.samples...)
 	}
+	var pg, phits, pret uint64
+	if hasPool {
+		pg1, ph1, pr1 := pooler.PoolStats()
+		pg, phits, pret = pg1-pg0, ph1-ph0, pr1-pr0
+	}
+	pr.Memory = memoryResult(mem0, mem1, pr.Ops, pg, phits, pret)
 	// Worker write domains are disjoint (residue classes), so merging the
 	// journals is conflict-free.
 	for _, jm := range journals {

@@ -31,8 +31,11 @@ type KVSystem struct {
 }
 
 // newKVSystem builds a system over the named registry structure,
-// hash-partitioned over shards instances when shards > 1.
-func newKVSystem(name, structure string, shards, buckets int, notx bool) *KVSystem {
+// hash-partitioned over shards instances when shards > 1. pooling enables
+// the core's cell/node recycling arenas (sound here because every worker
+// holds its EBR handle's critical section across each transaction — see
+// kvWorker.Do — and background maintenance is guarded the same way).
+func newKVSystem(name, structure string, shards, buckets int, notx, pooling bool) *KVSystem {
 	var mgr *core.TxManager
 	if kv.Composable(structure) {
 		mgr = core.NewTxManager()
@@ -50,6 +53,9 @@ func newKVSystem(name, structure string, shards, buckets int, notx bool) *KVSyst
 	}
 	if !notx && mgr != nil {
 		s.smr = ebr.New(256)
+		if pooling {
+			mgr.EnablePooling()
+		}
 	}
 	return s
 }
@@ -57,30 +63,43 @@ func newKVSystem(name, structure string, shards, buckets int, notx bool) *KVSyst
 // NewMedleyHash is the Figure 7 Medley configuration (Michael's hash
 // table, 1M buckets in the paper).
 func NewMedleyHash(buckets int) *KVSystem {
-	return newKVSystem("Medley-hash", "hash", 1, buckets, false)
+	return newKVSystem("Medley-hash", "hash", 1, buckets, false, true)
 }
 
 // NewMedleySkip is the Figure 8 Medley configuration (Fraser's skiplist).
-func NewMedleySkip() *KVSystem { return newKVSystem("Medley-skip", "skip", 1, 0, false) }
+func NewMedleySkip() *KVSystem { return newKVSystem("Medley-skip", "skip", 1, 0, false, true) }
 
 // NewMedleySharded is Medley over a ShardedStore of the named registry
 // structure ("hash", "skip", "bst", "rotating"): N instances under one
 // TxManager, so cross-shard transactions stay strictly serializable.
 func NewMedleySharded(structure string, shards, buckets int) *KVSystem {
-	return newKVSystem("Medley-"+structure, structure, shards, buckets, false)
+	return NewMedleyShardedPooling(structure, shards, buckets, true)
+}
+
+// NewMedleyShardedPooling is NewMedleySharded with recycling arenas
+// toggleable: pooling=false is the unpooled baseline of the alloc-pressure
+// comparison (every displaced cell and unlinked node goes to the GC, the
+// pre-recycling behavior), named with a "-nopool" suffix so both
+// configurations are distinguishable in one report.
+func NewMedleyShardedPooling(structure string, shards, buckets int, pooling bool) *KVSystem {
+	name := "Medley-" + structure
+	if !pooling {
+		name += "-nopool"
+	}
+	return newKVSystem(name, structure, shards, buckets, false, pooling)
 }
 
 // NewOriginalSkip is Fraser's untransformed skiplist ("Original" in
 // Figure 10): operations execute directly, one group of 1-10 counted as a
 // "transaction" for latency comparability.
 func NewOriginalSkip() *KVSystem {
-	return newKVSystem("Original-skip", "plain-skip", 1, 0, true)
+	return newKVSystem("Original-skip", "plain-skip", 1, 0, true, false)
 }
 
 // NewTxOffSkip is the NBTC-transformed skiplist with transactions off
 // ("TxOff" in Figure 10): the transformed code paths run, but outside any
 // transaction, so all instrumentation is dynamically elided.
-func NewTxOffSkip() *KVSystem { return newKVSystem("TxOff-skip", "skip", 1, 0, true) }
+func NewTxOffSkip() *KVSystem { return newKVSystem("TxOff-skip", "skip", 1, 0, true, false) }
 
 // Name implements System.
 func (s *KVSystem) Name() string { return s.name }
@@ -105,11 +124,41 @@ func (s *KVSystem) TxStats() (commits, aborts uint64) {
 	return st.Commits, st.Aborts
 }
 
+// PoolStats implements PoolStatser: cumulative recycling-arena counters
+// aggregated over all workers (zeros for baselines and unpooled runs).
+func (s *KVSystem) PoolStats() (gets, hits, retires uint64) {
+	if s.mgr == nil {
+		return 0, 0, 0
+	}
+	st := s.mgr.Stats()
+	return st.PoolGets, st.PoolHits, st.PoolRetires
+}
+
+// guardedMaintainer is the capability of structures whose background
+// maintenance must run inside an EBR critical section under pooling
+// (rotating skiplist index rebuilds traverse recyclable cells).
+type guardedMaintainer interface {
+	StartGuardedMaintenance(interval time.Duration, guard func(func())) (stop func())
+}
+
 // Start implements System: it starts per-shard maintenance where the
-// structure has any (rotating skiplist).
+// structure has any (rotating skiplist). Under pooling the maintenance
+// goroutine gets its own EBR handle and brackets every rebuild with it, so
+// index traversals never observe a recycled cell.
 func (s *KVSystem) Start() (stop func()) {
 	var stops []func()
 	start := func(m kv.TxMap) {
+		if s.smr != nil && s.mgr != nil && s.mgr.PoolingEnabled() {
+			if gm, ok := m.(guardedMaintainer); ok {
+				h := s.smr.Register()
+				stops = append(stops, gm.StartGuardedMaintenance(25*time.Millisecond, func(f func()) {
+					h.Enter()
+					f()
+					h.Exit()
+				}))
+				return
+			}
+		}
 		if mt, ok := m.(maintainer); ok {
 			stops = append(stops, mt.StartMaintenance(25*time.Millisecond))
 		}

@@ -20,6 +20,23 @@ type LatencySummary struct {
 	P99Ns float64 `json:"p99_ns"`
 }
 
+// MemoryRecord is the memory-pressure digest of one record: allocation and
+// GC-pause deltas over the phase (sampled via runtime/metrics and
+// runtime.ReadMemStats at the phase barriers) plus recycling-arena
+// counters. Present on every run-phase record; absent on crash phases.
+type MemoryRecord struct {
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	TotalAllocs uint64  `json:"total_allocs"`
+	TotalBytes  uint64  `json:"total_bytes"`
+	GCPauseNs   int64   `json:"gc_pause_total_ns"`
+	NumGC       uint32  `json:"num_gc"`
+	PoolGets    uint64  `json:"pool_gets"`
+	PoolHits    uint64  `json:"pool_hits"`
+	PoolRetires uint64  `json:"pool_retires"`
+	PoolHitRate float64 `json:"pool_hit_rate"`
+}
+
 // RecoveryRecord is the recovery digest of a crash-phase record: how long
 // recovery took, how much came back, and whether the recovered state
 // matched the ground-truth model of committed operations (see verify.go).
@@ -48,6 +65,8 @@ type Record struct {
 	TxnPerSec float64        `json:"throughput_txn_per_sec"`
 	AbortRate float64        `json:"abort_rate"`
 	Latency   LatencySummary `json:"latency"`
+	// Memory is present on run-phase records (absent on crash phases).
+	Memory *MemoryRecord `json:"memory,omitempty"`
 	// Recovery is present only on crash-phase records of crash scenarios.
 	Recovery *RecoveryRecord `json:"recovery,omitempty"`
 }
@@ -117,7 +136,18 @@ func recordOf(res ScenarioResult, ph PhaseResult) Record {
 	if shards == 0 {
 		shards = 1
 	}
+	var mem *MemoryRecord
+	if ph.Memory != nil {
+		mem = &MemoryRecord{
+			AllocsPerOp: ph.Memory.AllocsPerOp, BytesPerOp: ph.Memory.BytesPerOp,
+			TotalAllocs: ph.Memory.TotalAllocs, TotalBytes: ph.Memory.TotalBytes,
+			GCPauseNs: ph.Memory.GCPauseNs, NumGC: ph.Memory.NumGC,
+			PoolGets: ph.Memory.PoolGets, PoolHits: ph.Memory.PoolHits,
+			PoolRetires: ph.Memory.PoolRetires, PoolHitRate: ph.Memory.PoolHitRate,
+		}
+	}
 	return Record{
+		Memory: mem,
 		System: res.System, Scenario: res.Scenario, Phase: ph.Phase,
 		Threads: res.Threads, Shards: shards,
 		Txns: ph.Txns, Ops: ph.Ops, Aborts: ph.Aborts,

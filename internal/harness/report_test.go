@@ -12,6 +12,11 @@ func sampleResult() ScenarioResult {
 		Phase: "mixed", Txns: 1000, Ops: 5000, Aborts: 10,
 		Elapsed: time.Second, Throughput: 1000, AbortRate: 10.0 / 1010,
 		AvgLatencyNs: 900, P50LatencyNs: 800, P99LatencyNs: 4000,
+		Memory: &MemoryResult{
+			TotalAllocs: 25000, TotalBytes: 800000,
+			AllocsPerOp: 5, BytesPerOp: 160, GCPauseNs: 120000, NumGC: 2,
+			PoolGets: 9000, PoolHits: 8500, PoolRetires: 8800, PoolHitRate: 8500.0 / 9000,
+		},
 	}
 	measured := mixed
 	measured.Phase = "measured"

@@ -281,6 +281,11 @@ var builtin = map[string]Scenario{
 		Dist:        Dist{Kind: DistUniform},
 		Phases:      crashPhases(Ratio{Get: 0, Insert: 1, Remove: 1}),
 	},
+	"alloc-pressure": {
+		Description: "GC pressure: the mixed-zipfian microbenchmark instrumented for allocs/op — compares recycling arenas (Medley-hash) against the unpooled baseline (Medley-hash-nopool) in one report",
+		Dist:        Dist{Kind: DistZipfian, Theta: 1.2},
+		Phases:      onePhase(paperMix(Ratio{Get: 2, Insert: 1, Remove: 1})),
+	},
 	"range-scan": {
 		Description: "scan-heavy mix: 2:1:1 point ops with 64-entry range scans interleaved 3:1",
 		Dist:        Dist{Kind: DistUniform},

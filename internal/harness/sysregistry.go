@@ -20,6 +20,9 @@ import (
 type SystemOpts struct {
 	Buckets int // hash structures (default 1<<20)
 	Shards  int // store partitions for shardable systems (default 1)
+	// NoPooling disables the core's cell/node recycling arenas for Medley
+	// systems (the -pooling=off baseline); the zero value keeps pooling on.
+	NoPooling bool
 	// KeyRange sizes the simulated NVM regions: region size never changes
 	// measured latencies, only footprint, so smoke runs with small key
 	// spaces stop allocating paper-scale half-gigabyte regions.
@@ -107,9 +110,14 @@ func init() {
 	} {
 		c := c
 		RegisterSystem(c.cli, true, func(o SystemOpts) (System, error) {
-			return NewMedleySharded(c.structure, o.shards(), o.buckets()), nil
+			return NewMedleyShardedPooling(c.structure, o.shards(), o.buckets(), !o.NoPooling), nil
 		})
 	}
+	// Unpooled baseline for the alloc-pressure comparison: identical to
+	// medley-hash but with recycling arenas off regardless of -pooling.
+	RegisterSystem("medley-hash-nopool", true, func(o SystemOpts) (System, error) {
+		return NewMedleyShardedPooling("hash", o.shards(), o.buckets(), false), nil
+	})
 	// txMontage: shardable (N PStores over one System + one TxManager).
 	RegisterSystem("txmontage-hash", true, func(o SystemOpts) (System, error) {
 		return NewMontage(o.montageOpts(false)), nil
@@ -213,6 +221,8 @@ func DefaultSystems(sc Scenario) []string {
 	switch {
 	case sc.HasCrash():
 		return []string{"txmontage-hash", "ponefile-hash", "medley-hash"}
+	case sc.Name == "alloc-pressure":
+		return []string{"medley-hash", "medley-hash-nopool"}
 	case strings.HasPrefix(sc.Name, "sharded-"):
 		return []string{"medley-hash", "medley-hash@8", "medley-skip@8", "onefile-hash"}
 	default:

@@ -162,9 +162,13 @@ func TestPersistentAndTransientMix(t *testing.T) {
 }
 
 // TestStatsPlumbing checks that manager statistics reflect a mixed
-// workload plausibly across modules.
+// workload plausibly across modules. Pooling is enabled so the EBR domain
+// sees real retire traffic: fraserskip recycles its link cells through the
+// workers' arenas (its nodes stay GC-reclaimed by design — see the node
+// audit note in the package).
 func TestStatsPlumbing(t *testing.T) {
 	mgr := core.NewTxManager()
+	mgr.EnablePooling()
 	sk := fraserskip.New[uint64](mgr)
 	smr := ebr.New(16)
 	var wg sync.WaitGroup

@@ -30,6 +30,15 @@ type ref[V any] struct {
 	mark bool
 }
 
+// node reclamation audit (pooling): fraserskip nodes are deliberately NOT
+// pool-recycled. Tower teardown is lazy — a removed node's index-level
+// links are repaired best-effort by finishRemove and later traversals, so a
+// node can remain physically linked at index levels long after its level-0
+// unlink, with no bound tied to any EBR grace period. Recycling such a node
+// would let a descending search reach a reused node through a stale index
+// link. Nodes therefore stay GC-reclaimed; the *cells* inside their links
+// still recycle safely, because cells are only ever reached through live
+// slots of reachable (never-freed) nodes and are retired at displacement.
 type node[V any] struct {
 	key   uint64
 	val   V
@@ -183,7 +192,9 @@ func (s *List[V]) Put(tx *core.Tx, key uint64, val V) (V, bool) {
 			victim, next := r.curr, r.next
 			n.next[0].Init(ref[V]{next, false})
 			if victim.next[0].NbtcCAS(tx, ref[V]{next, false}, ref[V]{n, true}, true, true) {
-				tx.Retire(func() {})
+				// victim is GC-reclaimed, not pooled: its tower may stay
+				// index-linked past any grace period (see the node audit
+				// note above).
 				tx.Defer(func() { s.finishReplace(victim, n, key) })
 				return victim.val, true
 			}
@@ -230,7 +241,7 @@ func (s *List[V]) Remove(tx *core.Tx, key uint64) (V, bool) {
 		}
 		victim, next := r.curr, r.next
 		if victim.next[0].NbtcCAS(tx, ref[V]{next, false}, ref[V]{next, true}, true, true) {
-			tx.Retire(func() {})
+			// victim is GC-reclaimed, not pooled (see the node audit note).
 			tx.Defer(func() { s.finishRemove(victim, key) })
 			return victim.val, true
 		}

@@ -1,0 +1,125 @@
+package mhash
+
+import (
+	"testing"
+
+	"medley/internal/core"
+	"medley/internal/ebr"
+)
+
+// pooledMap builds a pooling-enabled map with one registered worker whose
+// EBR grace periods are as short as possible, then churns it until the
+// recycling economy is warm (cells and nodes for the working set have been
+// minted, retired, and recycled at least once).
+func pooledMap(t testing.TB) (*Map[uint64], *core.Tx, *ebr.Handle) {
+	t.Helper()
+	mgr := core.NewTxManager()
+	mgr.EnablePooling()
+	dom := ebr.New(1)
+	m := NewMap[uint64](mgr, 1<<8)
+	tx := mgr.Register()
+	h := dom.Register()
+	tx.SetSMR(h)
+	for i := 0; i < 4000; i++ {
+		k := uint64(i % 64)
+		h.Enter()
+		_ = tx.RunRetry(func() error {
+			m.Put(tx, k, k)
+			if i%3 == 0 {
+				m.Remove(tx, k)
+			}
+			return nil
+		})
+		h.Exit()
+	}
+	return m, tx, h
+}
+
+// TestAllocsPerOpGet pins the steady-state allocation cost of the
+// transactional Get hot path at zero: a read-only transaction reuses its
+// read-set array, its publishedReads shell, and every witness is a plain
+// struct — nothing escapes.
+func TestAllocsPerOpGet(t *testing.T) {
+	m, tx, h := pooledMap(t)
+	allocs := testing.AllocsPerRun(500, func() {
+		h.Enter()
+		_ = tx.RunRetry(func() error {
+			m.Get(tx, 7)
+			m.Get(tx, 13)
+			return nil
+		})
+		h.Exit()
+	})
+	if allocs > 0.1 {
+		t.Fatalf("Get transaction allocates %.2f objects/run, want 0", allocs)
+	}
+}
+
+// TestAllocsPerOpPut pins the steady-state cost of the update hot path:
+// node, link cell, descriptor cell, commit cell and deferred unlink all
+// come from the Tx's arenas once warm.
+func TestAllocsPerOpPut(t *testing.T) {
+	m, tx, h := pooledMap(t)
+	i := uint64(0)
+	allocs := testing.AllocsPerRun(500, func() {
+		i++
+		h.Enter()
+		_ = tx.RunRetry(func() error {
+			m.Put(tx, i%64, i)
+			return nil
+		})
+		h.Exit()
+	})
+	// The EBR limbo population breathes with epoch parity, so an
+	// occasional slice growth is tolerated; steady state must stay well
+	// under one object per transaction.
+	if allocs > 0.5 {
+		t.Fatalf("Put transaction allocates %.2f objects/run, want ~0", allocs)
+	}
+}
+
+// TestAllocsPerOpTransfer pins the composed read-modify-write transaction
+// (the paper's bank transfer): two witnessed Gets plus two Puts.
+func TestAllocsPerOpTransfer(t *testing.T) {
+	m, tx, h := pooledMap(t)
+	i := uint64(0)
+	allocs := testing.AllocsPerRun(500, func() {
+		i++
+		from, to := i%64, (i+7)%64
+		h.Enter()
+		_ = tx.RunRetry(func() error {
+			vf, _ := m.Get(tx, from)
+			vt, _ := m.Get(tx, to)
+			m.Put(tx, from, vf-1)
+			m.Put(tx, to, vt+1)
+			return nil
+		})
+		h.Exit()
+	})
+	if allocs > 1.0 {
+		t.Fatalf("transfer transaction allocates %.2f objects/run, want ~0", allocs)
+	}
+}
+
+// TestAllocsBaselineNonZero keeps the comparison honest: the same Put
+// workload without pooling allocates on every transaction, which is what
+// the arenas remove.
+func TestAllocsBaselineNonZero(t *testing.T) {
+	mgr := core.NewTxManager() // pooling off
+	m := NewMap[uint64](mgr, 1<<8)
+	tx := mgr.Register()
+	for i := uint64(0); i < 256; i++ {
+		m.Put(tx, i%64, i)
+	}
+	i := uint64(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		i++
+		_ = tx.RunRetry(func() error {
+			m.Put(tx, i%64, i)
+			return nil
+		})
+	})
+	if allocs < 3 {
+		t.Fatalf("unpooled Put allocates %.2f objects/run; expected the heap-allocating baseline (did pooling become the default?)", allocs)
+	}
+}

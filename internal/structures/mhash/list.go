@@ -23,10 +23,47 @@ type ref[V any] struct {
 
 // node is a list cell. key and val are immutable after insertion; updates
 // replace the node.
+//
+// Nodes are pool-recycled under core pooling: a node is retired (into the
+// unlinking Tx's NodePool) at its successful physical unlink — never at the
+// logical delete — so a recycled node is unreachable from the list, and any
+// thread still holding it from an earlier traversal is covered by the EBR
+// grace period. resetNode runs post-grace and clears the value and the
+// embedded link cell (generation-bumped) so stale witnesses can never
+// validate against a reused node.
 type node[V any] struct {
 	key  uint64
 	val  V
 	next core.CASObj[ref[V]]
+}
+
+// ResetForReuse implements core.Resettable: runs post-grace when the node
+// is recycled.
+func (n *node[V]) ResetForReuse() {
+	var zero V
+	n.key = 0
+	n.val = zero
+	core.ResetSlot(&n.next)
+}
+
+// pool returns tx's node pool for this element type (nil when pooling is
+// off; every NodePool method is nil-receiver safe).
+func pool[V any](tx *core.Tx) *core.NodePool[node[V]] {
+	return core.PoolOf[node[V]](tx)
+}
+
+// newNode sources a node, recycling when possible. The link cell is
+// (re)initialized via InitTx, which reuses a resident recycled cell in
+// place with a bumped generation.
+func newNode[V any](tx *core.Tx, key uint64, val V, next ref[V]) *node[V] {
+	n := pool[V](tx).Get()
+	if n == nil {
+		n = &node[V]{}
+	}
+	n.key = key
+	n.val = val
+	n.next.InitTx(tx, next)
+	return n
 }
 
 // List is one NBTC-transformed Michael list (a sorted set keyed by uint64).
@@ -77,11 +114,14 @@ retry:
 			nr, currW := curr.next.NbtcLoad(tx)
 			if nr.mark {
 				// curr is logically deleted; unlink it. The successor nr.node
-				// may be a replacement node carrying the same key.
+				// may be a replacement node carrying the same key. The
+				// unlinking thread retires the node: commit-gated inside a
+				// transaction (a critical unlink takes effect only then),
+				// straight to EBR limbo outside one.
 				if !prev.NbtcCAS(tx, ref[V]{curr, false}, ref[V]{nr.node, false}, false, false) {
 					continue retry
 				}
-				tx.Retire(func() {})
+				pool[V](tx).Retire(curr)
 				curr = nr.node
 				continue
 			}
@@ -128,24 +168,22 @@ func (l *List[V]) Contains(tx *core.Tx, key uint64) bool {
 // linking the new node (insert).
 func (l *List[V]) Put(tx *core.Tx, key uint64, val V) (V, bool) {
 	tx.OpStart()
-	newNode := &node[V]{key: key, val: val}
+	var nn *node[V]
 	for {
 		r := l.find(tx, key)
 		if r.found {
 			curr, next, prev := r.curr, r.next, r.prev
-			newNode.next.Init(ref[V]{next, false})
-			if curr.next.NbtcCAS(tx, ref[V]{next, false}, ref[V]{newNode, true}, true, true) {
-				tx.Retire(func() {})
-				tx.Defer(func() {
-					// Unlink the replaced node; on failure a later find
-					// performs the unlink on our behalf.
-					prev.CAS(ref[V]{curr, false}, ref[V]{newNode, false})
-				})
+			nn = reuseNode(tx, nn, key, val, ref[V]{next, false})
+			if curr.next.NbtcCAS(tx, ref[V]{next, false}, ref[V]{nn, true}, true, true) {
+				// Unlink (and retire) the replaced node post-commit; if the
+				// unlink CAS fails, a later find unlinks and retires it on
+				// our behalf.
+				core.DeferCASRetire(tx, prev, ref[V]{curr, false}, ref[V]{nn, false}, pool[V](tx), curr)
 				return curr.val, true
 			}
 		} else {
-			newNode.next.Init(ref[V]{r.curr, false})
-			if r.prev.NbtcCAS(tx, ref[V]{r.curr, false}, ref[V]{newNode, false}, true, true) {
+			nn = reuseNode(tx, nn, key, val, ref[V]{r.curr, false})
+			if r.prev.NbtcCAS(tx, ref[V]{r.curr, false}, ref[V]{nn, false}, true, true) {
 				var zero V
 				return zero, false
 			}
@@ -153,20 +191,33 @@ func (l *List[V]) Put(tx *core.Tx, key uint64, val V) (V, bool) {
 	}
 }
 
+// reuseNode initializes (or re-targets, on a retried attempt) the
+// operation's private not-yet-published node.
+func reuseNode[V any](tx *core.Tx, n *node[V], key uint64, val V, next ref[V]) *node[V] {
+	if n == nil {
+		return newNode(tx, key, val, next)
+	}
+	n.next.InitTx(tx, next)
+	return n
+}
+
 // Insert adds key only if absent, returning false when the key already
 // exists. A failed insert is a read-only outcome whose evidence is the
 // observation of the existing node.
 func (l *List[V]) Insert(tx *core.Tx, key uint64, val V) bool {
 	tx.OpStart()
-	newNode := &node[V]{key: key, val: val}
+	var nn *node[V]
 	for {
 		r := l.find(tx, key)
 		if r.found {
 			tx.AddToReadSet(r.currWitness)
+			if nn != nil {
+				pool[V](tx).Put(nn) // never published: immediate reuse
+			}
 			return false
 		}
-		newNode.next.Init(ref[V]{r.curr, false})
-		if r.prev.NbtcCAS(tx, ref[V]{r.curr, false}, ref[V]{newNode, false}, true, true) {
+		nn = reuseNode(tx, nn, key, val, ref[V]{r.curr, false})
+		if r.prev.NbtcCAS(tx, ref[V]{r.curr, false}, ref[V]{nn, false}, true, true) {
 			return true
 		}
 	}
@@ -186,10 +237,7 @@ func (l *List[V]) Remove(tx *core.Tx, key uint64) (V, bool) {
 		}
 		curr, next, prev := r.curr, r.next, r.prev
 		if curr.next.NbtcCAS(tx, ref[V]{next, false}, ref[V]{next, true}, true, true) {
-			tx.Retire(func() {})
-			tx.Defer(func() {
-				prev.CAS(ref[V]{curr, false}, ref[V]{next, false})
-			})
+			core.DeferCASRetire(tx, prev, ref[V]{curr, false}, ref[V]{next, false}, pool[V](tx), curr)
 			return curr.val, true
 		}
 	}

@@ -48,6 +48,32 @@ type node[V any] struct {
 	right    core.CASObj[edge[V]]
 }
 
+// ResetForReuse implements core.Resettable: clear references and bump the
+// resident edge cells' generations so no stale witness can validate
+// against a reused node. Leaves and internal nodes share the pool.
+func (n *node[V]) ResetForReuse() {
+	var zero V
+	n.key = 0
+	n.val = zero
+	n.internal = false
+	core.ResetSlot(&n.left)
+	core.ResetSlot(&n.right)
+}
+
+// pool returns tx's node pool (nil when pooling is off; all NodePool
+// methods are nil-receiver safe).
+func pool[V any](tx *core.Tx) *core.NodePool[node[V]] {
+	return core.PoolOf[node[V]](tx)
+}
+
+// getNode sources a node from the pool or the heap.
+func getNode[V any](p *core.NodePool[node[V]]) *node[V] {
+	if n := p.Get(); n != nil {
+		return n
+	}
+	return &node[V]{}
+}
+
 func (n *node[V]) child(k uint64) *core.CASObj[edge[V]] {
 	if k < n.key {
 		return &n.left
@@ -213,11 +239,18 @@ func (t *Tree[V]) Put(tx *core.Tx, key uint64, val V) (V, bool) {
 	for {
 		r := t.seek(tx, key, nil, nil)
 		if r.found {
-			newLeaf := &node[V]{key: key, val: val}
+			p := pool[V](tx)
+			newLeaf := getNode(p)
+			newLeaf.key, newLeaf.val, newLeaf.internal = key, val, false
+			old := r.leaf.val
 			if r.pEdge.NbtcCAS(tx, edge[V]{r.leaf, false, false}, edge[V]{newLeaf, false, false}, true, true) {
-				tx.Retire(func() {})
-				return r.leaf.val, true
+				// The replaced leaf is unreachable the moment the edge CAS
+				// takes effect; retire it (commit-gated inside a
+				// transaction).
+				p.Retire(r.leaf)
+				return old, true
 			}
+			p.Put(newLeaf) // never published
 			continue
 		}
 		if t.insertAt(tx, r, key, val) {
@@ -243,20 +276,30 @@ func (t *Tree[V]) Insert(tx *core.Tx, key uint64, val V) bool {
 }
 
 // insertAt replaces the reached leaf with an internal node holding the old
-// leaf and the new one in key order.
+// leaf and the new one in key order. Both nodes come from the Tx's pool
+// when pooling is on; a failed attempt returns them (never published) for
+// immediate reuse by the retry.
 func (t *Tree[V]) insertAt(tx *core.Tx, r seekResult[V], key uint64, val V) bool {
-	newLeaf := &node[V]{key: key, val: val}
-	in := &node[V]{internal: true}
+	p := pool[V](tx)
+	newLeaf := getNode(p)
+	newLeaf.key, newLeaf.val, newLeaf.internal = key, val, false
+	in := getNode(p)
+	in.internal = true
 	if key < r.leaf.key {
 		in.key = r.leaf.key
-		in.left.Init(edge[V]{n: newLeaf})
-		in.right.Init(edge[V]{n: r.leaf})
+		in.left.InitTx(tx, edge[V]{n: newLeaf})
+		in.right.InitTx(tx, edge[V]{n: r.leaf})
 	} else {
 		in.key = key
-		in.left.Init(edge[V]{n: r.leaf})
-		in.right.Init(edge[V]{n: newLeaf})
+		in.left.InitTx(tx, edge[V]{n: r.leaf})
+		in.right.InitTx(tx, edge[V]{n: newLeaf})
 	}
-	return r.pEdge.NbtcCAS(tx, edge[V]{r.leaf, false, false}, edge[V]{in, false, false}, true, true)
+	if r.pEdge.NbtcCAS(tx, edge[V]{r.leaf, false, false}, edge[V]{in, false, false}, true, true) {
+		return true
+	}
+	p.Put(newLeaf)
+	p.Put(in)
+	return false
 }
 
 // Remove deletes key. Protocol: flag the leaf edge (publication point),
@@ -282,9 +325,14 @@ func (t *Tree[V]) Remove(tx *core.Tx, key uint64) (V, bool) {
 			}
 			ownP, ownLeaf = r.p, r.leaf
 		} else if r.p != ownP || r.leaf != ownLeaf {
-			// Our flagged leaf is no longer where we left it: some helper
-			// completed the splice on our behalf (only possible outside a
-			// transaction, where the flag is immediately visible).
+			// Our flagged leaf is no longer where we left it: some other
+			// thread restructured around our flag (only possible outside a
+			// transaction, where the flag is immediately visible). Nothing
+			// is retired here — a racing deletion of the sibling leaf can
+			// splice OUR flagged leaf up to the grandparent (dropping the
+			// flag), in which case ownLeaf is still reachable and ownP may
+			// already have been retired by that racer; both therefore fall
+			// back to the garbage collector, which is always safe.
 			return val, true
 		}
 		// Freeze the sibling edge, then splice (linearization point).
@@ -303,8 +351,12 @@ func (t *Tree[V]) Remove(tx *core.Tx, key uint64) (V, bool) {
 			}
 		}
 		if r.gpEdge.NbtcCAS(tx, edge[V]{ownP, false, false}, edge[V]{sv.n, false, false}, true, true) {
-			tx.Retire(func() {})
-			tx.Retire(func() {})
+			// The splice detaches both the victim leaf and its parent; the
+			// leaf stays reachable only through the parent's frozen edge, so
+			// retiring them together keeps their grace periods aligned.
+			p := pool[V](tx)
+			p.Retire(ownLeaf)
+			p.Retire(ownP)
 			return val, true
 		}
 		// Splice failed: the grandparent edge changed (e.g., another

@@ -28,6 +28,18 @@ type ref[V any] struct {
 	mark bool
 }
 
+// node reclamation audit (pooling): rotating-skiplist nodes are
+// deliberately NOT pool-recycled. The index is an immutable snapshot
+// rebuilt on a timer (or every N updates); between rebuilds it keeps raw
+// pointers to nodes that may since have been removed and unlinked, with no
+// bound tied to any EBR grace period. Recycling a node would let startFrom
+// read a reused node through a stale snapshot entry. Nodes therefore stay
+// GC-reclaimed; the *cells* inside node links still recycle safely: a node
+// reached via a stale snapshot entry is valid (never-freed) memory, and
+// any cell loaded from its link slot is currently installed and thus
+// covered by the reader's EBR critical section. Background Maintain
+// traversals must hold such a critical section too — see
+// StartGuardedMaintenance.
 type node[V any] struct {
 	key  uint64
 	val  V
@@ -68,7 +80,27 @@ func (l *List[V]) Manager() *core.TxManager { return l.mgr }
 // every interval, standing in for the rotating skiplist's background wheel
 // rotation. The returned stop function terminates it.
 func (l *List[V]) StartMaintenance(interval time.Duration) (stop func()) {
+	return l.StartGuardedMaintenance(interval, nil)
+}
+
+// StartGuardedMaintenance is StartMaintenance with each index rebuild
+// wrapped in guard. When the structure's TxManager has cell pooling
+// enabled, the rebuild traverses link cells that concurrent transactions
+// retire and recycle, so the maintenance goroutine must participate in the
+// same EBR domain: pass a guard that brackets the call with an
+// ebr.Handle's Enter/Exit (the harness does exactly this). A nil guard
+// runs the rebuild bare, which is only safe without pooling — starting
+// unguarded maintenance on a pooling-enabled manager panics rather than
+// silently racing the recyclers.
+func (l *List[V]) StartGuardedMaintenance(interval time.Duration, guard func(func())) (stop func()) {
+	if guard == nil && l.mgr != nil && l.mgr.PoolingEnabled() {
+		panic("rotatingskip: unguarded maintenance on a pooling-enabled TxManager; use StartGuardedMaintenance with an EBR critical-section guard")
+	}
 	done := make(chan struct{})
+	maintain := l.Maintain
+	if guard != nil {
+		maintain = func() { guard(l.Maintain) }
+	}
 	go func() {
 		t := time.NewTicker(interval)
 		defer t.Stop()
@@ -77,7 +109,7 @@ func (l *List[V]) StartMaintenance(interval time.Duration) (stop func()) {
 			case <-done:
 				return
 			case <-t.C:
-				l.Maintain()
+				maintain()
 			}
 		}
 	}()
@@ -205,7 +237,9 @@ func (l *List[V]) Put(tx *core.Tx, key uint64, val V) (V, bool) {
 			victim, next, prev := r.curr, r.next, r.prev
 			n.next.Init(ref[V]{next, false})
 			if victim.next.NbtcCAS(tx, ref[V]{next, false}, ref[V]{n, true}, true, true) {
-				tx.Retire(func() {})
+				// victim is GC-reclaimed, not pooled: the index snapshot may
+				// reference it past any grace period (see the node audit
+				// note above).
 				tx.Defer(func() {
 					prev.CAS(ref[V]{victim, false}, ref[V]{n, false})
 					l.noteUpdate()
@@ -253,7 +287,7 @@ func (l *List[V]) Remove(tx *core.Tx, key uint64) (V, bool) {
 		}
 		victim, next, prev := r.curr, r.next, r.prev
 		if victim.next.NbtcCAS(tx, ref[V]{next, false}, ref[V]{next, true}, true, true) {
-			tx.Retire(func() {})
+			// victim is GC-reclaimed, not pooled (see the node audit note).
 			tx.Defer(func() {
 				prev.CAS(ref[V]{victim, false}, ref[V]{next, false})
 				l.noteUpdate()

@@ -128,9 +128,13 @@ func TestFacadeDurable(t *testing.T) {
 	}
 }
 
-// TestFacadeEBR wires epoch-based reclamation through a Tx.
+// TestFacadeEBR wires epoch-based reclamation through a Tx: with pooling
+// enabled, displaced link cells and unlinked hash nodes retire into the
+// Tx's arenas through the EBR grace period (single goroutine, so no
+// Enter/Exit bracketing is needed for safety).
 func TestFacadeEBR(t *testing.T) {
 	mgr := medley.NewTxManager()
+	mgr.EnablePooling()
 	m := medley.NewHashMap[int](mgr, 64)
 	smr := medley.NewEBR(4)
 	tx := mgr.Register()
