@@ -15,6 +15,13 @@
 // and under (1 - min_reduction) of the named baseline system at the same
 // thread count — the regression gate for the allocation-free hot path.
 //
+// With -fastpath-budget it enforces the committed commit fast-path budget
+// (testdata/fastpath_budget.json): at every thread count at or above the
+// budget's floor, the fast-path system must beat its -fastpaths=off
+// baseline by the required margin, its fastpath_share must show the fast
+// paths are actually taken, and its allocs/op must stay under the
+// read-only allocation ceiling.
+//
 //	bench-schema -schema testdata/bench_schema.json BENCH_*.json
 package main
 
@@ -33,6 +40,8 @@ var (
 		"also fail when a recoverable crash record reports durability violations")
 	budgetFlag = flag.String("alloc-budget", "",
 		"also enforce this allocation-budget file against the reports' memory blocks")
+	fastpathFlag = flag.String("fastpath-budget", "",
+		"also enforce this fast-path budget file against the reports' fastpath blocks")
 )
 
 func main() {
@@ -82,6 +91,17 @@ func run() int {
 			}
 			for _, msg := range budget.violations(data) {
 				fmt.Fprintf(os.Stderr, "%s: alloc budget: %s\n", path, msg)
+				failed = true
+			}
+		}
+		if *fastpathFlag != "" {
+			budget, err := loadFastpathBudget(*fastpathFlag)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			for _, msg := range budget.violations(data) {
+				fmt.Fprintf(os.Stderr, "%s: fastpath budget: %s\n", path, msg)
 				failed = true
 			}
 		}
@@ -154,6 +174,142 @@ func loadBudget(path string) (allocBudget, error) {
 		return allocBudget{}, fmt.Errorf("%s: budget names no system", path)
 	}
 	return b, nil
+}
+
+// fastpathBudget is the committed commit fast-path budget
+// (testdata/fastpath_budget.json): the regression contract for the
+// read-only/single-write commit elision. It gates the committed
+// BENCH_readmostly.json — deterministic inputs, so the check is exact —
+// rather than a freshly measured run.
+type fastpathBudget struct {
+	// Scenario restricts the check to reports of this scenario ("" = any);
+	// reports of other scenarios pass vacuously.
+	Scenario string `json:"scenario"`
+	// Phase selects the records to judge ("" = "measured").
+	Phase string `json:"phase"`
+	// System is the fast-path system; Baseline the -fastpaths=off
+	// configuration it must beat.
+	System   string `json:"system"`
+	Baseline string `json:"baseline"`
+	// MinThreads: the speedup must hold at every thread count >= this, and
+	// at least one such record must exist (the gate cannot pass vacuously).
+	MinThreads int `json:"min_threads"`
+	// MinSpeedup requires System's throughput >= (1+MinSpeedup) x
+	// Baseline's at the same thread count (0.15 = at least 15% faster).
+	MinSpeedup float64 `json:"min_speedup"`
+	// MinFastpathShare is the floor on System's fastpath_share — the
+	// fraction of commits that actually skipped the handshake. A fast path
+	// nothing takes is a dead gate.
+	MinFastpathShare float64 `json:"min_fastpath_share"`
+	// MaxAllocsPerOp is the absolute ceiling on System's allocs/op over
+	// the judged records: the read-only allocation budget.
+	MaxAllocsPerOp float64 `json:"max_allocs_per_op"`
+}
+
+func loadFastpathBudget(path string) (fastpathBudget, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fastpathBudget{}, err
+	}
+	var b fastpathBudget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return fastpathBudget{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.System == "" || b.Baseline == "" {
+		return fastpathBudget{}, fmt.Errorf("%s: budget must name system and baseline", path)
+	}
+	return b, nil
+}
+
+// violations checks one report against the fast-path budget.
+func (b fastpathBudget) violations(data []byte) []string {
+	phase := b.Phase
+	if phase == "" {
+		phase = "measured"
+	}
+	var doc struct {
+		Scenario string `json:"scenario"`
+		Results  []struct {
+			System   string                  `json:"system"`
+			Phase    string                  `json:"phase"`
+			Threads  int                     `json:"threads"`
+			TxnSec   float64                 `json:"throughput_txn_per_sec"`
+			Memory   *harness.MemoryRecord   `json:"memory"`
+			Fastpath *harness.FastpathRecord `json:"fastpath"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return []string{err.Error()}
+	}
+	if b.Scenario != "" && doc.Scenario != b.Scenario {
+		return nil
+	}
+	type measured struct {
+		threads  int
+		txnSec   float64
+		allocs   float64
+		hasMem   bool
+		share    float64
+		hasShare bool
+	}
+	var sys []measured
+	baseline := map[int]float64{} // threads -> baseline txn/s
+	for _, r := range doc.Results {
+		if r.Phase != phase {
+			continue
+		}
+		switch r.System {
+		case b.System:
+			m := measured{threads: r.Threads, txnSec: r.TxnSec}
+			if r.Memory != nil {
+				m.allocs, m.hasMem = r.Memory.AllocsPerOp, true
+			}
+			if r.Fastpath != nil {
+				m.share, m.hasShare = r.Fastpath.FastpathShare, true
+			}
+			sys = append(sys, m)
+		case b.Baseline:
+			baseline[r.Threads] = r.TxnSec
+		}
+	}
+	if len(sys) == 0 {
+		return []string{fmt.Sprintf("no %q records for system %q", phase, b.System)}
+	}
+	var out []string
+	judged := 0
+	for _, m := range sys {
+		if b.MinFastpathShare > 0 {
+			if !m.hasShare {
+				out = append(out, fmt.Sprintf("%s threads=%d: no fastpath block", b.System, m.threads))
+			} else if m.share < b.MinFastpathShare {
+				out = append(out, fmt.Sprintf("%s threads=%d: fastpath share %.2f below floor %.2f",
+					b.System, m.threads, m.share, b.MinFastpathShare))
+			}
+		}
+		if b.MaxAllocsPerOp > 0 && m.hasMem && m.allocs > b.MaxAllocsPerOp {
+			out = append(out, fmt.Sprintf("%s threads=%d: %.3f allocs/op exceeds ceiling %.3f",
+				b.System, m.threads, m.allocs, b.MaxAllocsPerOp))
+		}
+		if m.threads < b.MinThreads {
+			continue
+		}
+		judged++
+		base, ok := baseline[m.threads]
+		if !ok {
+			out = append(out, fmt.Sprintf("no baseline %q record at threads=%d", b.Baseline, m.threads))
+			continue
+		}
+		if limit := (1 + b.MinSpeedup) * base; m.txnSec < limit {
+			out = append(out, fmt.Sprintf(
+				"%s threads=%d: %.0f txn/s not %.0f%% above baseline %.0f (limit %.0f)",
+				b.System, m.threads, m.txnSec, 100*b.MinSpeedup, base, limit))
+		}
+	}
+	if judged == 0 {
+		out = append(out, fmt.Sprintf("no %q records for %q at threads >= %d (gate would pass vacuously)",
+			phase, b.System, b.MinThreads))
+	}
+	return out
 }
 
 // violations checks one report against the budget. Only phase=="measured"

@@ -85,6 +85,8 @@ var (
 	short        = flag.Bool("short", false, "tiny configuration for smoke runs")
 	poolingFlag  = flag.String("pooling", "on",
 		"cell/node recycling arenas for Medley systems: on|off (-pooling=off is the unpooled allocation baseline)")
+	fastpathsFlag = flag.String("fastpaths", "on",
+		"commit fast paths for Medley systems: on|off (-fastpaths=off forces every commit through the full descriptor handshake)")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 )
@@ -138,6 +140,10 @@ func profiles() (func(), error) {
 func run() int {
 	flag.Parse()
 	if _, err := poolingEnabled(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if _, err := fastpathsEnabled(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
@@ -234,11 +240,17 @@ func medleyPooling() bool {
 	return on
 }
 
+// medleyFastpaths resolves the -fastpaths flag the same way.
+func medleyFastpaths() bool {
+	on, _ := fastpathsEnabled()
+	return on
+}
+
 func fig7(threads []int) {
 	for _, ratio := range harness.PaperRatios {
 		fmt.Printf("\n== Figure 7 (hash table) get:insert:remove %s ==\n", ratio)
 		sweep(func() harness.System {
-			return harness.NewMedleyShardedPooling("hash", 1, *buckets, medleyPooling())
+			return harness.NewMedleyKV("hash", 1, *buckets, medleyPooling(), medleyFastpaths())
 		}, threads, ratio)
 		sweep(func() harness.System {
 			return harness.NewMontage(harness.MontageOpts{
@@ -260,7 +272,7 @@ func fig8(threads []int) {
 	for _, ratio := range harness.PaperRatios {
 		fmt.Printf("\n== Figure 8 (skiplist) get:insert:remove %s ==\n", ratio)
 		sweep(func() harness.System {
-			return harness.NewMedleyShardedPooling("skip", 1, 0, medleyPooling())
+			return harness.NewMedleyKV("skip", 1, 0, medleyPooling(), medleyFastpaths())
 		}, threads, ratio)
 		sweep(func() harness.System {
 			return harness.NewMontage(harness.MontageOpts{
@@ -356,7 +368,7 @@ func fig10(sub string, threads []int) {
 			sweep(func() harness.System { return harness.NewOriginalSkip() }, []int{th}, ratio)
 			sweep(func() harness.System { return harness.NewTxOffSkip() }, []int{th}, ratio)
 			sweep(func() harness.System {
-				return harness.NewMedleyShardedPooling("skip", 1, 0, medleyPooling())
+				return harness.NewMedleyKV("skip", 1, 0, medleyPooling(), medleyFastpaths())
 			}, []int{th}, ratio)
 		case "b":
 			fmt.Printf("\n== Figure 10b (latency, payloads on NVM, persistence off) %s, %d threads ==\n", ratio, th)

@@ -21,14 +21,27 @@ func poolingEnabled() (bool, error) {
 	return false, fmt.Errorf("bad -pooling %q (want on|off)", *poolingFlag)
 }
 
+// fastpathsEnabled parses the -fastpaths flag the same way.
+func fastpathsEnabled() (bool, error) {
+	switch *fastpathsFlag {
+	case "on", "true", "1":
+		return true, nil
+	case "off", "false", "0":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad -fastpaths %q (want on|off)", *fastpathsFlag)
+}
+
 // systemOpts bundles the shared sizing flags for the harness system
 // registry; every -systems name (optionally suffixed "@N" for N shards)
 // resolves through harness.NewSystem against these options.
 func systemOpts() harness.SystemOpts {
 	pooling, _ := poolingEnabled() // validated in run
+	fastpaths, _ := fastpathsEnabled()
 	return harness.SystemOpts{
 		Buckets: *buckets, Shards: *shardsFlag, KeyRange: uint64(*keyRange),
 		NoPooling:        !pooling,
+		NoFastPaths:      !fastpaths,
 		WriteBackLatency: *nvmWB, FenceLatency: *nvmFence, StoreLatency: *nvmStore,
 		AdvanceEvery: *advEvery,
 	}
@@ -127,6 +140,10 @@ func printScenarioResult(res harness.ScenarioResult) {
 	if mm := m.Memory; mm != nil {
 		fmt.Printf("  memory              allocs/op=%8.2f  bytes/op=%8.1f  gc-pause=%8v  pool-hit=%5.1f%%\n",
 			mm.AllocsPerOp, mm.BytesPerOp, time.Duration(mm.GCPauseNs), 100*mm.PoolHitRate)
+	}
+	if fp := m.Fastpath; fp != nil && fp.Commits > 0 {
+		fmt.Printf("  fastpath            read-only=%d  single-write=%d  share=%5.1f%%\n",
+			fp.ReadOnlyCommits, fp.FastPathCommits-fp.ReadOnlyCommits, 100*fp.FastpathShare)
 	}
 	if len(res.Phases) > 1 {
 		for _, ph := range res.Phases {

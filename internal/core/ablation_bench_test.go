@@ -112,6 +112,44 @@ func BenchmarkAbortRollback(b *testing.B) {
 	}
 }
 
+// BenchmarkCommitFastPathAblation is the commit fast-path ablation: the
+// same read-only and single-write transactions with the fast paths on
+// (the default dispatch in Tx.End) and off (the full publish/InProg
+// handshake). The deltas are the per-commit price of the handshake.
+func BenchmarkCommitFastPathAblation(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		fast bool
+	}{{"fast", true}, {"handshake", false}} {
+		mgr := NewTxManager()
+		if !cfg.fast {
+			mgr.DisableFastPaths()
+		}
+		tx := mgr.Register()
+		o := NewCASObj[uint64](0)
+		b.Run("readonly/"+cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = tx.Run(func() error {
+					_, w := o.NbtcLoad(tx)
+					tx.AddToReadSet(w)
+					return nil
+				})
+			}
+		})
+		b.Run("singlewrite/"+cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = tx.Run(func() error {
+					v, _ := o.NbtcLoad(tx)
+					o.NbtcCAS(tx, v, v+1, true, true)
+					return nil
+				})
+			}
+		})
+	}
+}
+
 func itoa(n int) string {
 	if n >= 10 {
 		return string(rune('0'+n/10)) + string(rune('0'+n%10))

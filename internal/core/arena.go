@@ -200,17 +200,17 @@ func (a *cellArena[T]) settle(tx *Tx, committed bool) {
 }
 
 // flushPoolStats folds a pool's owner-local counters into the owner's
-// StatShard (three uncontended atomic adds per transaction rather than one
-// per allocation) and zeroes them.
+// StatShard (a few single-writer counter stores per transaction rather
+// than an atomic add per allocation) and zeroes them.
 func flushPoolStats(tx *Tx, gets, hits, retires *uint64) {
 	shard := tx.desc.shard
 	if *gets != 0 {
-		shard.PoolGets.Add(*gets)
-		shard.PoolHits.Add(*hits)
+		bumpN(&shard.PoolGets, *gets)
+		bumpN(&shard.PoolHits, *hits)
 		*gets, *hits = 0, 0
 	}
 	if *retires != 0 {
-		shard.PoolRetires.Add(*retires)
+		bumpN(&shard.PoolRetires, *retires)
 		*retires = 0
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 )
 
@@ -175,10 +176,28 @@ func (o *CASObj[T]) loadCell() *cell[T] {
 	return o.state.Load()
 }
 
+// spinYield yields the processor every spinYieldEvery iterations of a help
+// loop. The loops below retry until a foreign descriptor is out of the way;
+// that normally takes one or two rounds, but on an oversubscribed box the
+// thread that must make progress (the descriptor's owner, or another
+// helper) may not be scheduled at all — and a spinning GOMAXPROCS-pinned
+// helper occupying its P is exactly what keeps it unscheduled. Yielding
+// periodically bounds that livelock without costing the common case a
+// branch miss; the debugWedgeThreshold panic stays as the invariant
+// backstop far beyond any legitimate wait.
+func spinYield(i int) {
+	if i != 0 && i&(spinYieldEvery-1) == 0 {
+		runtime.Gosched()
+	}
+}
+
+const spinYieldEvery = 1024
+
 // resolve returns the current value cell, finalizing and uninstalling any
 // foreign descriptor cells it encounters along the way.
 func (o *CASObj[T]) resolve(tx *Tx) *cell[T] {
 	for i := 0; ; i++ {
+		spinYield(i)
 		c := o.loadCell()
 		if c.desc == nil {
 			return c
@@ -249,6 +268,7 @@ func (o *CASObj[T]) NbtcLoad(tx *Tx) (T, ReadWitness) {
 	}
 	tx.checkDoomed()
 	for i := 0; ; i++ {
+		spinYield(i)
 		c := o.loadCell()
 		if c.desc == nil {
 			return c.val, c.witness()
@@ -258,7 +278,7 @@ func (o *CASObj[T]) NbtcLoad(tx *Tx) (T, ReadWitness) {
 			return c.val, ReadWitness{}
 		}
 		c.helpFinalize(tx)
-		tx.desc.shard.HelpEvents.Add(1)
+		bump(&tx.desc.shard.HelpEvents)
 		if i == debugWedgeThreshold {
 			panic("medley: NbtcLoad wedged (invariant violation): " + o.debugState(tx))
 		}
@@ -280,6 +300,7 @@ func (o *CASObj[T]) NbtcCAS(tx *Tx, expected, desired T, linPt, pubPt bool) bool
 	tx.checkDoomed()
 	d := tx.desc
 	for i := 0; ; i++ {
+		spinYield(i)
 		if i == debugWedgeThreshold {
 			panic("medley: NbtcCAS wedged (invariant violation): " + o.debugState(tx))
 		}
@@ -287,7 +308,7 @@ func (o *CASObj[T]) NbtcCAS(tx *Tx, expected, desired T, linPt, pubPt bool) bool
 		if cur.desc != nil {
 			if cur.desc != d || cur.serial != tx.serial {
 				cur.helpFinalize(tx)
-				tx.desc.shard.HelpEvents.Add(1)
+				bump(&tx.desc.shard.HelpEvents)
 				continue
 			}
 			// Our own descriptor: the speculation interval covers this

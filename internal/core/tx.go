@@ -37,6 +37,7 @@ type Tx struct {
 	serial uint64
 	active bool
 	inSpec bool
+	fast   bool // commit fast paths enabled (TxManager.FastPathsEnabled at Register)
 
 	reads     []ReadWitness  // published at End; see readsFree for reuse rules
 	writes    []writeCell    // owner-only: truncate-and-reuse
@@ -128,9 +129,20 @@ func (tx *Tx) addWrite(w writeCell) { tx.writes = append(tx.writes, w) }
 // AddToReadSet registers the witness of a linearizing load for commit-time
 // validation (the paper's addToReadSet). Calling it outside a transaction,
 // or with a zero witness, is a no-op.
+//
+// A witness naming the same cell and generation as the read set's last
+// entry is dropped: it is evidence of the same fact, so validating it twice
+// proves nothing. Hand-over-hand range reads re-witness their anchor cell
+// on every step, which would otherwise grow the read set — and commit-time
+// validation cost — quadratically in the scan length.
 func (tx *Tx) AddToReadSet(w ReadWitness) {
 	if !tx.InTx() || w.isZero() {
 		return
+	}
+	if n := len(tx.reads); n > 0 && w.c != nil {
+		if last := &tx.reads[n-1]; last.c == w.c && last.gen == w.gen {
+			return
+		}
 	}
 	tx.reads = append(tx.reads, w)
 }
@@ -179,12 +191,12 @@ func (tx *Tx) OnFinish(f func(*Tx, bool)) {
 	tx.finishHooks = append(tx.finishHooks, f)
 }
 
-// takeReads sources the read-set backing array for a new transaction.
-// Publication rules decide reuse: an array that was never published
-// (aborted before End) was returned to readsFree at the previous Begin; a
-// published one cycles back through EBR (see End), because helpers may
-// still iterate it until a grace period passes. Without pooling every
-// transaction gets a fresh array, as before.
+// takeReads sources the read-set backing array for a new transaction after
+// the previous one was published. Under pooling, published arrays cycle
+// back through EBR into readsFree (helpers may iterate a publication until
+// a grace period passes); without pooling a published array is left to the
+// garbage collector and a fresh one is allocated. Never-published arrays
+// are reused in place by Begin and do not come through here.
 func (tx *Tx) takeReads() []ReadWitness {
 	if tx.pooled {
 		if n := len(tx.readsFree); n > 0 {
@@ -205,19 +217,23 @@ func (tx *Tx) Begin() {
 	}
 	tx.serial++
 	tx.desc.status.Store(packStatus(tx.serial, StatusInPrep))
-	if tx.pooled && !tx.published && tx.reads != nil {
-		// Never published: no helper ever saw the array, reuse it directly.
+	if tx.reads != nil && !tx.published {
+		// Never published: no helper ever observed the backing array, so it
+		// is reusable in place regardless of pooling. Read-only fast-path
+		// commits never publish, which is what makes a warm read-only
+		// transaction allocation-free even without recycling arenas.
 		clear(tx.reads)
-		tx.readsFree = append(tx.readsFree, tx.reads[:0])
+		tx.reads = tx.reads[:0]
+	} else {
+		tx.reads = tx.takeReads()
 	}
-	tx.reads = tx.takeReads()
 	tx.published = false
 	tx.writes = tx.writes[:0]
 	tx.cleanups = tx.cleanups[:0]
 	tx.allocUndo = tx.allocUndo[:0]
 	tx.inSpec = false
 	tx.active = true
-	tx.desc.shard.Begins.Add(1)
+	bump(&tx.desc.shard.Begins)
 	for _, f := range tx.beginHooks {
 		f(tx)
 	}
@@ -242,9 +258,31 @@ func (tx *Tx) ValidateReads() bool {
 // End attempts to commit (the paper's txEnd). On success it uninstalls all
 // descriptor cells with their new values and runs deferred cleanups; on
 // failure it rolls back and returns ErrTxAborted.
+//
+// The general protocol — publish the read set, announce InProg, validate,
+// settle — exists so that helpers which encounter this transaction's
+// installed descriptor cells can finish the commit on its behalf. When the
+// write set is small that machinery is mostly or entirely dead weight, so
+// End dispatches to two tiered fast paths (ablatable via
+// TxManager.DisableFastPaths):
+//
+//   - no critical CAS installed: endReadOnly — no publication, owner-side
+//     validation, one plain status store (see the helper-reachability
+//     argument there);
+//   - exactly one critical CAS installed: endSingleWrite — no publication,
+//     owner-side validation folded into a single InPrep→Committed status
+//     CAS plus the one uninstall.
 func (tx *Tx) End() error {
 	if !tx.active {
 		panic("medley: End without Begin")
+	}
+	if tx.fast {
+		switch len(tx.writes) {
+		case 0:
+			return tx.endReadOnly()
+		case 1:
+			return tx.endSingleWrite()
+		}
 	}
 	d := tx.desc
 	// Publish the read set so helpers that observe InProg can validate on
@@ -267,6 +305,70 @@ func (tx *Tx) End() error {
 	} else {
 		d.stsCAS(word, StatusInProg, StatusAborted)
 	}
+	return tx.settle()
+}
+
+// endReadOnly commits a transaction that installed no descriptor cell this
+// serial. Helpers discover a descriptor only by encountering one of its
+// installed cells — there is no other route to a foreign Desc — so with an
+// empty write set no helper can ever reach this transaction: nobody can
+// abort it, help it, or observe its status word at this serial. The owner
+// is therefore the sole status writer, owner-side validation is
+// authoritative, and the entire handshake (read-set publication,
+// InPrep→InProg, InProg→terminal) collapses to one validation sweep plus a
+// single plain atomic status store — zero atomic RMWs. The store itself is
+// kept (rather than leaving the descriptor InPrep until the next Begin)
+// so the descriptor always ends a transaction in a terminal state, the
+// invariant settle asserts and debug tooling relies on.
+//
+// Serializability is unchanged: a read-only transaction linearizes at its
+// validation sweep. Every witnessed cell still governing its slot at that
+// point means the reads form a consistent snapshot at that instant; a
+// writer displacing a witnessed cell before the sweep fails it, and one
+// displacing after serializes after this transaction.
+func (tx *Tx) endReadOnly() error {
+	committed := tx.ValidateReads()
+	status := StatusAborted
+	if committed {
+		status = StatusCommitted
+	}
+	tx.desc.status.Store(packStatus(tx.serial, status))
+	if committed {
+		shard := tx.desc.shard
+		bump(&shard.ReadOnlyCommits)
+		bump(&shard.FastPathCommits)
+	}
+	return tx.finish(committed)
+}
+
+// endSingleWrite commits a transaction with exactly one installed
+// descriptor cell. That cell makes the descriptor reachable, so helpers
+// may race us — but the only move a helper has against an InPrep
+// transaction is the eager-contention-management abort (helpers validate
+// on a transaction's behalf only from InProg, which this path never
+// enters). Validation therefore happens owner-side while still InPrep, and
+// commit is a single InPrep→Committed status CAS: it either wins against a
+// helper's InPrep→Aborted CAS or loses to it, linearizing the outcome on
+// the status word exactly as the general protocol does. The read-set
+// publication and the InPrep→InProg transition are elided, and settle's
+// status resolution plus write-set loop fold into one uninstall.
+//
+// The trade is that a concurrent helper aborts us where the general
+// protocol would have let it help us commit; the window (one validation
+// sweep) is tiny, and the displaced transaction retries — the same license
+// eager contention management already grants.
+func (tx *Tx) endSingleWrite() error {
+	d := tx.desc
+	word := packStatus(tx.serial, StatusInPrep)
+	if tx.ValidateReads() && d.stsCAS(word, StatusInPrep, StatusCommitted) {
+		tx.writes[0].uninstall(tx, true)
+		bump(&d.shard.FastPathCommits)
+		return tx.finish(true)
+	}
+	// Validation failed, or a helper's eager-contention-management abort
+	// won the status race; settle resolves whatever state the descriptor
+	// is in (including states only reachable when callers drive the
+	// handshake by hand) and uninstalls the cell accordingly.
 	return tx.settle()
 }
 
@@ -332,6 +434,15 @@ func (tx *Tx) settle() error {
 	for _, w := range tx.writes {
 		w.uninstall(tx, committed)
 	}
+	return tx.finish(committed)
+}
+
+// finish is the outcome-independent tail of every commit path (settle and
+// the End fast paths): boost locks, cleanups or compensation, pool settles,
+// statistics, finish hooks. The descriptor is already terminal and every
+// installed cell already uninstalled when it runs. It returns nil iff the
+// transaction committed.
+func (tx *Tx) finish(committed bool) error {
 	tx.settleBoost(committed)
 	tx.active = false
 	tx.inSpec = false
@@ -350,7 +461,7 @@ func (tx *Tx) settle() error {
 		for _, p := range tx.pools {
 			p.settle(tx, true)
 		}
-		tx.desc.shard.Commits.Add(1)
+		bump(&tx.desc.shard.Commits)
 		for _, f := range tx.finishHooks {
 			f(tx, true)
 		}
@@ -362,7 +473,7 @@ func (tx *Tx) settle() error {
 	for _, p := range tx.pools {
 		p.settle(tx, false)
 	}
-	tx.desc.shard.Aborts.Add(1)
+	bump(&tx.desc.shard.Aborts)
 	for _, f := range tx.finishHooks {
 		f(tx, false)
 	}

@@ -30,6 +30,26 @@ type PoolStatser interface {
 	PoolStats() (gets, hits, retires uint64)
 }
 
+// FastPathStatser is implemented by systems whose commit protocol has the
+// tiered fast paths (the Medley KVSystem); the engine differences
+// snapshots around each phase to report what share of commits skipped the
+// descriptor handshake. ok must be false when the system runs no commit
+// protocol (a baseline executing outside transactions), in which case no
+// fastpath block is reported.
+type FastPathStatser interface {
+	FastPathStats() (readOnly, fastpath, commits uint64, ok bool)
+}
+
+// FastpathResult is the commit fast-path digest of one phase: how many
+// commits took the read-only elision, how many took any fast path
+// (read-only + single-write), and the share of all commits that is.
+type FastpathResult struct {
+	ReadOnlyCommits uint64  // commits via the read-only elision
+	FastPathCommits uint64  // commits via any fast path
+	Commits         uint64  // all commits in the phase
+	FastpathShare   float64 // FastPathCommits / Commits, 0 when no commits
+}
+
 // MemoryResult is the memory-pressure digest of one phase: allocation
 // deltas (runtime/metrics), GC pause deltas (runtime.ReadMemStats), and
 // recycling-arena counters. Process-wide, so it is meaningful because the
@@ -138,6 +158,10 @@ type PhaseResult struct {
 
 	// Memory is the phase's memory-pressure digest; nil on crash phases.
 	Memory *MemoryResult
+
+	// Fastpath is the commit fast-path digest; nil on crash phases and on
+	// systems without the tiered commit protocol.
+	Fastpath *FastpathResult
 }
 
 // ScenarioResult is one (system, scenario, thread count) measurement.
@@ -289,6 +313,14 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 				agg.Memory.PoolHits += pr.Memory.PoolHits
 				agg.Memory.PoolRetires += pr.Memory.PoolRetires
 			}
+			if pr.Fastpath != nil {
+				if agg.Fastpath == nil {
+					agg.Fastpath = &FastpathResult{}
+				}
+				agg.Fastpath.ReadOnlyCommits += pr.Fastpath.ReadOnlyCommits
+				agg.Fastpath.FastPathCommits += pr.Fastpath.FastPathCommits
+				agg.Fastpath.Commits += pr.Fastpath.Commits
+			}
 		}
 	}
 	if agg.Memory != nil {
@@ -299,6 +331,9 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 		if agg.Memory.PoolGets > 0 {
 			agg.Memory.PoolHitRate = float64(agg.Memory.PoolHits) / float64(agg.Memory.PoolGets)
 		}
+	}
+	if agg.Fastpath != nil && agg.Fastpath.Commits > 0 {
+		agg.Fastpath.FastpathShare = float64(agg.Fastpath.FastPathCommits) / float64(agg.Fastpath.Commits)
 	}
 	finishAggregate(&agg, parts)
 	res.Measured = agg
@@ -321,11 +356,22 @@ func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig,
 	if hasPool {
 		pg0, ph0, pr0 = pooler.PoolStats()
 	}
+	var ro0, fp0, cm0 uint64
+	fastpather, hasFast := sys.(FastPathStatser)
+	if hasFast {
+		var ok bool
+		ro0, fp0, cm0, ok = fastpather.FastPathStats()
+		hasFast = ok
+	}
 	mem0 := readMemSample()
 
 	every := cfg.LatencyEvery
 	if every <= 0 {
 		every = 4
+	}
+	dist := sc.Dist
+	if ph.Dist != nil {
+		dist = *ph.Dist
 	}
 	shards := make([]*workerShard, cfg.Threads)
 	var journals []map[uint64]modelVal
@@ -349,7 +395,7 @@ func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig,
 		go func() {
 			defer wg.Done()
 			w := sys.NewWorker()
-			gen := NewTxGen(sc.Dist, cfg.KeyRange, ph.Mix, seed)
+			gen := NewTxGen(dist, cfg.KeyRange, ph.Mix, seed)
 			tick := 0
 			<-start
 			for !stopFlag.Load() {
@@ -398,6 +444,18 @@ func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig,
 		pg, phits, pret = pg1-pg0, ph1-ph0, pr1-pr0
 	}
 	pr.Memory = memoryResult(mem0, mem1, pr.Ops, pg, phits, pret)
+	if hasFast {
+		ro1, fp1, cm1, _ := fastpather.FastPathStats()
+		fp := &FastpathResult{
+			ReadOnlyCommits: ro1 - ro0,
+			FastPathCommits: fp1 - fp0,
+			Commits:         cm1 - cm0,
+		}
+		if fp.Commits > 0 {
+			fp.FastpathShare = float64(fp.FastPathCommits) / float64(fp.Commits)
+		}
+		pr.Fastpath = fp
+	}
 	// Worker write domains are disjoint (residue classes), so merging the
 	// journals is conflict-free.
 	for _, jm := range journals {

@@ -142,3 +142,80 @@ func TestWorkerShardReservoirBounded(t *testing.T) {
 		t.Fatal("reservoir produced no percentile")
 	}
 }
+
+// TestFastpathBlockReported checks that the engine reports the commit
+// fast-path digest for Medley systems: on a read-mostly workload the
+// fast-path share must dominate, and the -fastpaths=off ablation must
+// report a present-but-zero block.
+func TestFastpathBlockReported(t *testing.T) {
+	sc, err := LookupScenario("read-mostly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunScenario(NewMedleyHash(1<<10), sc, tinyEngineConfig(2))
+	fp := res.Measured.Fastpath
+	if fp == nil {
+		t.Fatal("Medley system reported no fastpath block")
+	}
+	if fp.Commits == 0 || fp.FastPathCommits == 0 || fp.ReadOnlyCommits == 0 {
+		t.Fatalf("fastpath block empty: %+v", fp)
+	}
+	if fp.FastpathShare < 0.5 {
+		t.Fatalf("fastpath share %.2f on a 95/5 mix, want > 0.5", fp.FastpathShare)
+	}
+	if fp.ReadOnlyCommits > fp.FastPathCommits || fp.FastPathCommits > fp.Commits {
+		t.Fatalf("fastpath counters inconsistent: %+v", fp)
+	}
+
+	off := RunScenario(NewMedleyKV("hash", 1, 1<<10, true, false), sc, tinyEngineConfig(2))
+	fp = off.Measured.Fastpath
+	if fp == nil || fp.Commits == 0 {
+		t.Fatalf("nofast system reported no commits: %+v", fp)
+	}
+	if fp.FastPathCommits != 0 || fp.FastpathShare != 0 {
+		t.Fatalf("nofast system took fast paths: %+v", fp)
+	}
+}
+
+// TestPhaseDistOverride checks that a phase-level Dist overrides the
+// scenario's: the read-mostly scenario declares a zipfian second phase,
+// and the override must reach the generators (observable as the two
+// phases sharing a mix but still both making progress, and the scenario
+// registry carrying the override).
+func TestPhaseDistOverride(t *testing.T) {
+	sc, err := LookupScenario("read-mostly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Phases) != 2 {
+		t.Fatalf("read-mostly has %d phases, want 2", len(sc.Phases))
+	}
+	if sc.Phases[0].Dist != nil {
+		t.Fatal("uniform phase should inherit the scenario distribution")
+	}
+	z := sc.Phases[1].Dist
+	if z == nil || z.Kind != DistZipfian {
+		t.Fatalf("zipfian phase override = %+v, want DistZipfian", z)
+	}
+	// The override changes the generated key stream.
+	mix := sc.Phases[1].Mix
+	a := NewTxGen(sc.Dist, 1<<12, mix, 99)
+	b := NewTxGen(*z, 1<<12, mix, 99)
+	differ := false
+	for i := 0; i < 100 && !differ; i++ {
+		opsA, opsB := a.Next(), b.Next()
+		if len(opsA) != len(opsB) {
+			differ = true
+			break
+		}
+		for j := range opsA {
+			if opsA[j].Key != opsB[j].Key {
+				differ = true
+				break
+			}
+		}
+	}
+	if !differ {
+		t.Fatal("zipfian override generated the uniform key stream")
+	}
+}

@@ -34,8 +34,11 @@ type KVSystem struct {
 // hash-partitioned over shards instances when shards > 1. pooling enables
 // the core's cell/node recycling arenas (sound here because every worker
 // holds its EBR handle's critical section across each transaction — see
-// kvWorker.Do — and background maintenance is guarded the same way).
-func newKVSystem(name, structure string, shards, buckets int, notx, pooling bool) *KVSystem {
+// kvWorker.Do — and background maintenance is guarded the same way);
+// fastpaths keeps the core's commit fast paths on (the default — false is
+// the -fastpaths=off ablation baseline that forces every commit through
+// the full descriptor handshake).
+func newKVSystem(name, structure string, shards, buckets int, notx, pooling, fastpaths bool) *KVSystem {
 	var mgr *core.TxManager
 	if kv.Composable(structure) {
 		mgr = core.NewTxManager()
@@ -56,6 +59,9 @@ func newKVSystem(name, structure string, shards, buckets int, notx, pooling bool
 		if pooling {
 			mgr.EnablePooling()
 		}
+		if !fastpaths {
+			mgr.DisableFastPaths()
+		}
 	}
 	return s
 }
@@ -63,11 +69,13 @@ func newKVSystem(name, structure string, shards, buckets int, notx, pooling bool
 // NewMedleyHash is the Figure 7 Medley configuration (Michael's hash
 // table, 1M buckets in the paper).
 func NewMedleyHash(buckets int) *KVSystem {
-	return newKVSystem("Medley-hash", "hash", 1, buckets, false, true)
+	return newKVSystem("Medley-hash", "hash", 1, buckets, false, true, true)
 }
 
 // NewMedleySkip is the Figure 8 Medley configuration (Fraser's skiplist).
-func NewMedleySkip() *KVSystem { return newKVSystem("Medley-skip", "skip", 1, 0, false, true) }
+func NewMedleySkip() *KVSystem {
+	return newKVSystem("Medley-skip", "skip", 1, 0, false, true, true)
+}
 
 // NewMedleySharded is Medley over a ShardedStore of the named registry
 // structure ("hash", "skip", "bst", "rotating"): N instances under one
@@ -82,24 +90,36 @@ func NewMedleySharded(structure string, shards, buckets int) *KVSystem {
 // pre-recycling behavior), named with a "-nopool" suffix so both
 // configurations are distinguishable in one report.
 func NewMedleyShardedPooling(structure string, shards, buckets int, pooling bool) *KVSystem {
+	return NewMedleyKV(structure, shards, buckets, pooling, true)
+}
+
+// NewMedleyKV is the fully-parameterized Medley constructor: recycling
+// arenas (pooling) and commit fast paths (fastpaths) are independently
+// ablatable, and each disabled axis suffixes the system name ("-nopool",
+// "-nofast") so every configuration stays distinguishable when several
+// appear in one report.
+func NewMedleyKV(structure string, shards, buckets int, pooling, fastpaths bool) *KVSystem {
 	name := "Medley-" + structure
 	if !pooling {
 		name += "-nopool"
 	}
-	return newKVSystem(name, structure, shards, buckets, false, pooling)
+	if !fastpaths {
+		name += "-nofast"
+	}
+	return newKVSystem(name, structure, shards, buckets, false, pooling, fastpaths)
 }
 
 // NewOriginalSkip is Fraser's untransformed skiplist ("Original" in
 // Figure 10): operations execute directly, one group of 1-10 counted as a
 // "transaction" for latency comparability.
 func NewOriginalSkip() *KVSystem {
-	return newKVSystem("Original-skip", "plain-skip", 1, 0, true, false)
+	return newKVSystem("Original-skip", "plain-skip", 1, 0, true, false, true)
 }
 
 // NewTxOffSkip is the NBTC-transformed skiplist with transactions off
 // ("TxOff" in Figure 10): the transformed code paths run, but outside any
 // transaction, so all instrumentation is dynamically elided.
-func NewTxOffSkip() *KVSystem { return newKVSystem("TxOff-skip", "skip", 1, 0, true, false) }
+func NewTxOffSkip() *KVSystem { return newKVSystem("TxOff-skip", "skip", 1, 0, true, false, true) }
 
 // Name implements System.
 func (s *KVSystem) Name() string { return s.name }
@@ -132,6 +152,20 @@ func (s *KVSystem) PoolStats() (gets, hits, retires uint64) {
 	}
 	st := s.mgr.Stats()
 	return st.PoolGets, st.PoolHits, st.PoolRetires
+}
+
+// FastPathStats implements FastPathStatser: cumulative commit fast-path
+// counters aggregated over all workers. ok is false for systems that run
+// no commit protocol at all (Original/TxOff execute outside transactions),
+// so their reports carry no fastpath block; a -fastpaths=off Medley run
+// reports ok with zero fast-path counts — the ablation is a measurement,
+// not an absence.
+func (s *KVSystem) FastPathStats() (readOnly, fastpath, commits uint64, ok bool) {
+	if s.notx || s.mgr == nil {
+		return 0, 0, 0, false
+	}
+	st := s.mgr.Stats()
+	return st.ReadOnlyCommits, st.FastPathCommits, st.Commits, true
 }
 
 // guardedMaintainer is the capability of structures whose background

@@ -37,6 +37,18 @@ type MemoryRecord struct {
 	PoolHitRate float64 `json:"pool_hit_rate"`
 }
 
+// FastpathRecord is the commit fast-path digest of one record: how many
+// commits skipped the descriptor handshake (read-only elision and the
+// single-write fold) and what share of all commits that was. Present on
+// run-phase records of systems with the tiered commit protocol (the
+// Medley family); absent on crash phases and on competitors.
+type FastpathRecord struct {
+	ReadOnlyCommits uint64  `json:"read_only_commits"`
+	FastPathCommits uint64  `json:"fastpath_commits"`
+	Commits         uint64  `json:"commits"`
+	FastpathShare   float64 `json:"fastpath_share"`
+}
+
 // RecoveryRecord is the recovery digest of a crash-phase record: how long
 // recovery took, how much came back, and whether the recovered state
 // matched the ground-truth model of committed operations (see verify.go).
@@ -67,6 +79,9 @@ type Record struct {
 	Latency   LatencySummary `json:"latency"`
 	// Memory is present on run-phase records (absent on crash phases).
 	Memory *MemoryRecord `json:"memory,omitempty"`
+	// Fastpath is present on run-phase records of systems with the tiered
+	// commit protocol.
+	Fastpath *FastpathRecord `json:"fastpath,omitempty"`
 	// Recovery is present only on crash-phase records of crash scenarios.
 	Recovery *RecoveryRecord `json:"recovery,omitempty"`
 }
@@ -146,8 +161,17 @@ func recordOf(res ScenarioResult, ph PhaseResult) Record {
 			PoolRetires: ph.Memory.PoolRetires, PoolHitRate: ph.Memory.PoolHitRate,
 		}
 	}
+	var fp *FastpathRecord
+	if ph.Fastpath != nil {
+		fp = &FastpathRecord{
+			ReadOnlyCommits: ph.Fastpath.ReadOnlyCommits,
+			FastPathCommits: ph.Fastpath.FastPathCommits,
+			Commits:         ph.Fastpath.Commits,
+			FastpathShare:   ph.Fastpath.FastpathShare,
+		}
+	}
 	return Record{
-		Memory: mem,
+		Memory: mem, Fastpath: fp,
 		System: res.System, Scenario: res.Scenario, Phase: ph.Phase,
 		Threads: res.Threads, Shards: shards,
 		Txns: ph.Txns, Ops: ph.Ops, Aborts: ph.Aborts,

@@ -71,6 +71,12 @@ type Phase struct {
 	Weight  float64 // share of total duration (normalized across run phases)
 	Mix     Mix
 	Measure bool // include in the scenario's headline aggregate
+
+	// Dist, when non-nil, overrides the scenario's key distribution for
+	// this phase, so one scenario can measure the same mix under several
+	// distributions (read-mostly runs uniform and zipfian phases
+	// back-to-back).
+	Dist *Dist
 }
 
 // Scenario is a named, self-contained workload: a key distribution plus a
@@ -190,6 +196,15 @@ func (g *TxGen) Next() []Op {
 // single-key ratio.
 func paperMix(r Ratio) Mix { return Mix{Ratio: r, TxMin: 1, TxMax: 10, Mixed: 1} }
 
+// readMostlyMix is the 95/5 point-lookup traffic of the read-mostly
+// scenario: 95% gets, the 5% writes split evenly between inserts and
+// removes so the working set stays size-stable, in short 1-4 op
+// transactions so most transactions are entirely read-only (the fast-path
+// population) and most of the rest carry exactly one write.
+func readMostlyMix() Mix {
+	return Mix{Ratio: Ratio{Get: 38, Insert: 1, Remove: 1}, TxMin: 1, TxMax: 4, Mixed: 1}
+}
+
 // onePhase wraps a mix as a single measured phase.
 func onePhase(m Mix) []Phase {
 	return []Phase{{Name: "mixed", Weight: 1, Mix: m, Measure: true}}
@@ -285,6 +300,23 @@ var builtin = map[string]Scenario{
 		Description: "GC pressure: the mixed-zipfian microbenchmark instrumented for allocs/op — compares recycling arenas (Medley-hash) against the unpooled baseline (Medley-hash-nopool) in one report",
 		Dist:        Dist{Kind: DistZipfian, Theta: 1.2},
 		Phases:      onePhase(paperMix(Ratio{Get: 2, Insert: 1, Remove: 1})),
+	},
+	"read-mostly": {
+		Description: "commit fast-path showcase: 95/5 point mix (2.5% inserts, 2.5% removes), short 1-4 op transactions, uniform and Zipf(1.2) phases measured separately",
+		Dist:        Dist{Kind: DistUniform},
+		Phases: []Phase{
+			{Name: "uniform", Weight: 0.5, Mix: readMostlyMix(), Measure: true},
+			{Name: "zipfian", Weight: 0.5, Mix: readMostlyMix(), Measure: true,
+				Dist: &Dist{Kind: DistZipfian, Theta: 1.2}},
+		},
+	},
+	"scan-heavy": {
+		Description: "read-only range scans interleaved 1:2 with 95/5 point transactions: scans commit through the read-only fast path, point writes through the single-write fold",
+		Dist:        Dist{Kind: DistUniform},
+		Phases: onePhase(Mix{
+			Ratio: Ratio{Get: 38, Insert: 1, Remove: 1}, TxMin: 1, TxMax: 4,
+			Mixed: 2, Scan: 1, ScanLen: 128,
+		}),
 	},
 	"range-scan": {
 		Description: "scan-heavy mix: 2:1:1 point ops with 64-entry range scans interleaved 3:1",

@@ -7,11 +7,16 @@ import (
 )
 
 // schemaReport builds a report exercising the full JSON surface: an
-// ordinary phase record plus a crash record with the recovery block.
-func schemaReport(withRecovery bool) *Report {
+// ordinary phase record plus, when full, the optional blocks — a crash
+// record with the recovery block and the fastpath block on the run
+// records.
+func schemaReport(full bool) *Report {
 	rep := NewReport("crash-recover-uniform", []int{2}, time.Second, 1<<10, 1<<8, 42)
 	res := sampleResult()
-	if withRecovery {
+	if full {
+		fp := &FastpathResult{ReadOnlyCommits: 700, FastPathCommits: 900, Commits: 1000, FastpathShare: 0.9}
+		res.Phases[0].Fastpath = fp
+		res.Measured.Fastpath = fp
 		res.Phases = append(res.Phases, PhaseResult{Phase: "crash", Crash: true, Elapsed: time.Millisecond})
 		res.Recovery = &RecoveryResult{Recoverable: true, RecoveryNs: int64(time.Millisecond),
 			Recovered: 10, ModelEntries: 10}

@@ -23,6 +23,9 @@ type SystemOpts struct {
 	// NoPooling disables the core's cell/node recycling arenas for Medley
 	// systems (the -pooling=off baseline); the zero value keeps pooling on.
 	NoPooling bool
+	// NoFastPaths disables the core's commit fast paths for Medley systems
+	// (the -fastpaths=off ablation baseline); the zero value keeps them on.
+	NoFastPaths bool
 	// KeyRange sizes the simulated NVM regions: region size never changes
 	// measured latencies, only footprint, so smoke runs with small key
 	// spaces stop allocating paper-scale half-gigabyte regions.
@@ -110,13 +113,19 @@ func init() {
 	} {
 		c := c
 		RegisterSystem(c.cli, true, func(o SystemOpts) (System, error) {
-			return NewMedleyShardedPooling(c.structure, o.shards(), o.buckets(), !o.NoPooling), nil
+			return NewMedleyKV(c.structure, o.shards(), o.buckets(), !o.NoPooling, !o.NoFastPaths), nil
 		})
 	}
 	// Unpooled baseline for the alloc-pressure comparison: identical to
 	// medley-hash but with recycling arenas off regardless of -pooling.
 	RegisterSystem("medley-hash-nopool", true, func(o SystemOpts) (System, error) {
-		return NewMedleyShardedPooling("hash", o.shards(), o.buckets(), false), nil
+		return NewMedleyKV("hash", o.shards(), o.buckets(), false, !o.NoFastPaths), nil
+	})
+	// Full-handshake baseline for the commit fast-path comparison:
+	// identical to medley-hash but with the fast paths off regardless of
+	// -fastpaths, so one report carries the ablation side by side.
+	RegisterSystem("medley-hash-nofast", true, func(o SystemOpts) (System, error) {
+		return NewMedleyKV("hash", o.shards(), o.buckets(), !o.NoPooling, false), nil
 	})
 	// txMontage: shardable (N PStores over one System + one TxManager).
 	RegisterSystem("txmontage-hash", true, func(o SystemOpts) (System, error) {
@@ -223,6 +232,8 @@ func DefaultSystems(sc Scenario) []string {
 		return []string{"txmontage-hash", "ponefile-hash", "medley-hash"}
 	case sc.Name == "alloc-pressure":
 		return []string{"medley-hash", "medley-hash-nopool"}
+	case sc.Name == "read-mostly" || sc.Name == "scan-heavy":
+		return []string{"medley-hash", "medley-hash-nofast"}
 	case strings.HasPrefix(sc.Name, "sharded-"):
 		return []string{"medley-hash", "medley-hash@8", "medley-skip@8", "onefile-hash"}
 	default:

@@ -70,6 +70,7 @@ func TestRegistryNamesUnchanged(t *testing.T) {
 	want := map[string]string{
 		"medley-hash":        "Medley-hash",
 		"medley-hash-nopool": "Medley-hash-nopool",
+		"medley-hash-nofast": "Medley-hash-nofast",
 		"medley-skip":        "Medley-skip",
 		"medley-bst":         "Medley-bst",
 		"medley-rotating":    "Medley-rotating",

@@ -175,6 +175,13 @@ func (s *ShardedStore) Bind(tx *core.Tx) TxMap {
 // GetBatch implements Batcher: keys are visited shard by shard, so a
 // multi-key transaction touches each shard's memory once instead of
 // ping-ponging between shards per key.
+//
+// A transaction consisting only of GetBatch calls rides the core's
+// read-only commit fast path regardless of how many shards the batch
+// straddles: the shards share one TxManager, witnesses accumulate in the
+// caller's single read set as each shard group is visited, and the commit
+// is one owner-side validation sweep with no descriptor handshake — the
+// cross-shard snapshot costs no more atomics than a single-shard one.
 func (s *ShardedStore) GetBatch(tx *core.Tx, keys []uint64, vals []uint64, oks []bool) {
 	if len(keys) <= 1 || len(s.shards) == 1 {
 		for i, k := range keys {

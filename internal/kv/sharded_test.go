@@ -151,6 +151,45 @@ func TestBatchOpsMatchSingleOps(t *testing.T) {
 	}
 }
 
+// TestGetBatchRidesReadOnlyFastPath proves the documented GetBatch
+// guarantee: a get-only transaction over a multi-shard store commits
+// through the core's read-only fast path (no publication, no descriptor
+// handshake) no matter how many shards the batch straddles.
+func TestGetBatchRidesReadOnlyFastPath(t *testing.T) {
+	mgr := core.NewTxManager()
+	s, err := NewShardedNamed("hash", 8, Options{Mgr: mgr, Buckets: 1 << 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, 32)
+	vals := make([]uint64, len(keys))
+	for i := range keys {
+		keys[i] = uint64(i * 37)
+		s.Put(nil, keys[i], uint64(i))
+	}
+	oks := make([]bool, len(keys))
+	tx := mgr.Register()
+	const rounds = 5
+	for r := 0; r < rounds; r++ {
+		if err := tx.RunRetry(func() error {
+			s.GetBatch(tx, keys, vals, oks)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range keys {
+		if !oks[i] || vals[i] != uint64(i) {
+			t.Fatalf("key %d: got (%d,%v), want %d", keys[i], vals[i], oks[i], i)
+		}
+	}
+	st := mgr.Stats()
+	if st.ReadOnlyCommits != rounds || st.FastPathCommits != rounds {
+		t.Fatalf("ReadOnlyCommits,FastPathCommits = %d,%d, want %d,%d (get-only batches must elide the handshake)",
+			st.ReadOnlyCommits, st.FastPathCommits, rounds, rounds)
+	}
+}
+
 // TestCrossShardBatchAtomicity moves value between shards with PutBatch
 // inside transactions and asserts auditors never see an unbalanced batch.
 func TestCrossShardBatchAtomicity(t *testing.T) {

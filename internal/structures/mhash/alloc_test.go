@@ -101,6 +101,36 @@ func TestAllocsPerOpTransfer(t *testing.T) {
 	}
 }
 
+// TestAllocsPerOpGetUnpooled pins the read-only hot path at zero
+// allocations with pooling OFF: a read-only fast-path commit never
+// publishes its read set, so the backing array is reused in place and no
+// publishedReads shell is ever minted — the recycling arenas have nothing
+// left to remove from this path.
+func TestAllocsPerOpGetUnpooled(t *testing.T) {
+	mgr := core.NewTxManager() // pooling off
+	m := NewMap[uint64](mgr, 1<<8)
+	tx := mgr.Register()
+	for i := uint64(0); i < 64; i++ {
+		m.Put(tx, i, i)
+	}
+	body := func() error {
+		m.Get(tx, 7)
+		m.Get(tx, 13)
+		return nil
+	}
+	for i := 0; i < 8; i++ {
+		if err := tx.RunRetry(body); err != nil {
+			t.Fatalf("warmup: %v", err)
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		_ = tx.RunRetry(body)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm unpooled Get transaction allocates %.2f objects/run, want 0", allocs)
+	}
+}
+
 // TestAllocsBaselineNonZero keeps the comparison honest: the same Put
 // workload without pooling allocates on every transaction, which is what
 // the arenas remove.
