@@ -6,8 +6,11 @@
 // change without updating the schema in the same commit.
 //
 // With -fail-on-violations it additionally fails when any recoverable
-// crash record reports durability violations, which is what turns the
-// nightly crash-recover soak into a correctness gate.
+// crash record reports durability violations, when any consistency block
+// reports failed domain invariants (the TPC-C clause 3.3.2 classes), or
+// when a final-check block reports live state diverging from the journaled
+// model — which is what turns the crash, TPC-C and chaos soaks into
+// correctness gates.
 //
 // With -alloc-budget it enforces the committed allocation budget
 // (testdata/alloc_budget.json) against the reports' memory blocks: the
@@ -37,7 +40,7 @@ import (
 var (
 	schemaFlag     = flag.String("schema", "testdata/bench_schema.json", "committed schema file")
 	violationsFlag = flag.Bool("fail-on-violations", false,
-		"also fail when a recoverable crash record reports durability violations")
+		"also fail on durability, consistency or final-state violations in any record")
 	budgetFlag = flag.String("alloc-budget", "",
 		"also enforce this allocation-budget file against the reports' memory blocks")
 	fastpathFlag = flag.String("fastpath-budget", "",
@@ -113,15 +116,19 @@ func run() int {
 	return 0
 }
 
-// durabilityViolations scans a report for recoverable crash records whose
-// verifier counted violations.
+// durabilityViolations scans a report for records whose verifiers counted
+// violations: recoverable crash records with durability violations,
+// consistency blocks with failed domain invariants, and final-check blocks
+// whose live state diverged from the journaled model.
 func durabilityViolations(data []byte) []string {
 	var doc struct {
 		Results []struct {
-			System   string                  `json:"system"`
-			Phase    string                  `json:"phase"`
-			Threads  int                     `json:"threads"`
-			Recovery *harness.RecoveryRecord `json:"recovery"`
+			System      string                     `json:"system"`
+			Phase       string                     `json:"phase"`
+			Threads     int                        `json:"threads"`
+			Recovery    *harness.RecoveryRecord    `json:"recovery"`
+			Consistency *harness.ConsistencyRecord `json:"consistency"`
+			FinalCheck  *harness.FinalCheckRecord  `json:"final_check"`
 		} `json:"results"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
@@ -129,14 +136,29 @@ func durabilityViolations(data []byte) []string {
 	}
 	var out []string
 	for _, r := range doc.Results {
-		if r.Recovery == nil || !r.Recovery.Recoverable {
-			continue
-		}
-		if v := r.Recovery.Violations; v > 0 {
+		if rec := r.Recovery; rec != nil && rec.Recoverable && rec.Violations > 0 {
 			out = append(out, fmt.Sprintf(
 				"%s threads=%d: %d durability violations (missing=%d mismatched=%d leaked=%d)",
-				r.System, r.Threads, v, r.Recovery.MissingWrites,
-				r.Recovery.MismatchedWrites, r.Recovery.LeakedWrites))
+				r.System, r.Threads, rec.Violations, rec.MissingWrites,
+				rec.MismatchedWrites, rec.LeakedWrites))
+		}
+		if c := r.Consistency; c != nil && c.Checked && c.Violations > 0 {
+			classes := ""
+			for i, cc := range c.Classes {
+				if i > 0 {
+					classes += " "
+				}
+				classes += fmt.Sprintf("%s=%d", cc.Class, cc.Count)
+			}
+			out = append(out, fmt.Sprintf(
+				"%s threads=%d phase=%s: %d consistency violations (%s)",
+				r.System, r.Threads, r.Phase, c.Violations, classes))
+		}
+		if fc := r.FinalCheck; fc != nil && fc.Checked && fc.Violations > 0 {
+			out = append(out, fmt.Sprintf(
+				"%s threads=%d: %d final-state violations (missing=%d mismatched=%d leaked=%d)",
+				r.System, r.Threads, fc.Violations, fc.MissingWrites,
+				fc.MismatchedWrites, fc.LeakedWrites))
 		}
 	}
 	return out

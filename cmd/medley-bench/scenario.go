@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"medley/internal/harness"
+	"medley/internal/tpcc"
 )
 
 // poolingEnabled parses the -pooling flag; unknown values are a usage
@@ -47,8 +48,18 @@ func systemOpts() harness.SystemOpts {
 	}
 }
 
-// selectSystems resolves the -systems flag against the harness registry
-// for the given scenario.
+// tpccScale sizes the TPC-C database for scenario mode: the figure-9 scale
+// by default, a tiny population under -short.
+func tpccScale() tpcc.Scale {
+	if *short {
+		return tpcc.Scale{Warehouses: 2, Districts: 4, Customers: 20, Items: 200}
+	}
+	return tpcc.DefaultScale()
+}
+
+// selectSystems resolves the -systems flag for the given scenario: TPC-C
+// scenarios construct through the TPC-C backend adapter, everything else
+// through the harness system registry.
 func selectSystems(sc harness.Scenario) ([]func() (harness.System, error), error) {
 	names := harness.DefaultSystems(sc)
 	if *systemsFlag != "auto" {
@@ -62,11 +73,11 @@ func selectSystems(sc harness.Scenario) ([]func() (harness.System, error), error
 		n := n
 		// Validate now (parse + lookup only, no construction) so unknown
 		// names fail before any benchmarking.
-		if err := harness.ValidateSystemSpec(n, systemOpts()); err != nil {
+		if err := harness.ValidateScenarioSystemSpec(sc, n, systemOpts()); err != nil {
 			return nil, err
 		}
 		mks = append(mks, func() (harness.System, error) {
-			return harness.NewSystem(n, systemOpts())
+			return harness.NewScenarioSystem(sc, n, tpccScale(), systemOpts())
 		})
 	}
 	return mks, nil
@@ -153,6 +164,36 @@ func printScenarioResult(res harness.ScenarioResult) {
 			fmt.Printf("  phase %-12s throughput=%12.0f txn/s  abort=%6.2f%%  p50=%8.0fns  p99=%8.0fns\n",
 				ph.Phase, ph.Throughput, 100*ph.AbortRate, ph.P50LatencyNs, ph.P99LatencyNs)
 		}
+	}
+	for _, k := range m.Kinds {
+		fmt.Printf("  tx %-16s txns=%-10d aborts=%-8d avg=%8.0fns\n", k.Kind, k.Txns, k.Aborts, k.AvgNs)
+	}
+	if c := m.Consistency; c != nil {
+		if c.Violations == 0 {
+			fmt.Printf("  consistency         OK\n")
+		} else {
+			var classes []string
+			for _, cc := range c.Classes {
+				classes = append(classes, fmt.Sprintf("%s=%d", cc.Class, cc.Count))
+			}
+			fmt.Printf("  consistency         FAILED: %d violations (%s)\n",
+				c.Violations, strings.Join(classes, " "))
+		}
+	}
+	if fc := res.FinalCheck; fc != nil && fc.Checked {
+		if v := fc.Violations(); v == 0 {
+			fmt.Printf("  final-check         OK (%d entries)\n", fc.ModelEntries)
+		} else {
+			fmt.Printf("  final-check         FAILED: %d violations (missing=%d mismatched=%d leaked=%d)\n",
+				v, fc.Missing, fc.Mismatched, fc.Leaked)
+		}
+	}
+	if t := m.Telemetry; t != nil && len(t.Gauges) > 0 {
+		var gs []string
+		for _, g := range t.Gauges {
+			gs = append(gs, fmt.Sprintf("%s=%.3f", g.Name, g.Value))
+		}
+		fmt.Printf("  telemetry           %s\n", strings.Join(gs, "  "))
 	}
 	if r := res.Recovery; r != nil {
 		if !r.Recoverable {

@@ -179,3 +179,9 @@ func (m *TxManager) ShardStats() []Stats {
 	}
 	return out
 }
+
+// ShardStats returns a snapshot of this transaction context's own statistics
+// shard. Callers that drive one Tx per logical task can difference
+// consecutive snapshots to attribute commits and aborts to that task without
+// touching the manager-wide aggregate.
+func (tx *Tx) ShardStats() Stats { return tx.desc.shard.snapshot() }

@@ -162,6 +162,19 @@ type PhaseResult struct {
 	// Fastpath is the commit fast-path digest; nil on crash phases and on
 	// systems without the tiered commit protocol.
 	Fastpath *FastpathResult
+
+	// Telemetry is the phase's counter/gauge snapshot deltas; nil on crash
+	// phases and on systems without MetricsSnapshotter.
+	Telemetry *TelemetryResult
+
+	// Kinds attributes the phase's transactions per kind; nil on systems
+	// without TxKindStatser.
+	Kinds []KindResult
+
+	// Consistency is the domain-invariant check run at the phase barrier;
+	// nil unless the system implements ConsistencyChecker and the phase is
+	// measured or a crash phase.
+	Consistency *ConsistencyResult
 }
 
 // ScenarioResult is one (system, scenario, thread count) measurement.
@@ -179,6 +192,9 @@ type ScenarioResult struct {
 	// Recovery is set by crash scenarios: recovery metrics and durability
 	// verification for recoverable systems, Recoverable: false otherwise.
 	Recovery *RecoveryResult
+	// FinalCheck is set by VerifyFinal scenarios: the live end-of-run state
+	// diffed against the journaled model of committed effects.
+	FinalCheck *FinalCheckResult
 }
 
 // workerShard is one worker's slice of the harness's own statistics,
@@ -218,17 +234,26 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 	if cfg.KeyRange == 0 {
 		cfg.KeyRange = 1
 	}
+	// Oversubscription scenarios run several worker goroutines per
+	// configured thread; everything per-worker (seeds, partitions, shards)
+	// scales with the worker count, while reports keep the configured
+	// thread count.
+	workers := cfg.Threads
+	if sc.WorkersPerThread > 1 {
+		workers = cfg.Threads * sc.WorkersPerThread
+	}
 	// Crash scenarios verify recovered state against a ground-truth model
 	// of committed operations; see verify.go for the partitioning that
-	// makes the model exact.
+	// makes the model exact. VerifyFinal scenarios journal on every system
+	// and diff the live end-of-run state instead of a recovered one.
 	rec, _ := sys.(Recoverable)
 	var vs *verifyState
-	if sc.HasCrash() {
-		if cfg.KeyRange < uint64(cfg.Threads) {
-			cfg.KeyRange = uint64(cfg.Threads)
+	if sc.HasCrash() || sc.VerifyFinal {
+		if cfg.KeyRange < uint64(workers) {
+			cfg.KeyRange = uint64(workers)
 		}
 		vs = &verifyState{partition: true}
-		if rec != nil && rec.CanRecover() {
+		if sc.VerifyFinal || (rec != nil && rec.CanRecover()) {
 			vs.journal = true
 			vs.model = make(map[uint64]modelVal, cfg.Preload)
 		}
@@ -277,9 +302,13 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 		}
 	}
 
+	checker, hasCheck := sys.(ConsistencyChecker)
 	for pi, ph := range sc.Phases {
 		if ph.Kind == PhaseCrash {
 			pr, rr := runCrashPhase(rec, vs, ph)
+			if hasCheck {
+				pr.Consistency = consistencyResult(checker.ConsistencyCheck())
+			}
 			res.Phases = append(res.Phases, pr)
 			if res.Recovery == nil {
 				res.Recovery = &rr
@@ -293,7 +322,10 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 			w = 1
 		}
 		d := time.Duration(float64(cfg.Duration) * w / totalWeight)
-		pr, samples := runPhase(sys, sc, ph, pi, cfg, d, vs)
+		pr, samples := runPhase(sys, sc, ph, pi, cfg, workers, d, vs)
+		if hasCheck && ph.Measure {
+			pr.Consistency = consistencyResult(checker.ConsistencyCheck())
+		}
 		res.Phases = append(res.Phases, pr)
 		if ph.Measure || !anyMeasured {
 			agg.Txns += pr.Txns
@@ -321,6 +353,21 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 				agg.Fastpath.FastPathCommits += pr.Fastpath.FastPathCommits
 				agg.Fastpath.Commits += pr.Fastpath.Commits
 			}
+			if pr.Telemetry != nil {
+				if agg.Telemetry == nil {
+					agg.Telemetry = &TelemetryResult{}
+				}
+				mergeTelemetry(agg.Telemetry, pr.Telemetry)
+			}
+			if len(pr.Kinds) > 0 {
+				agg.Kinds = mergeKinds(agg.Kinds, pr.Kinds)
+			}
+			if pr.Consistency != nil {
+				if agg.Consistency == nil {
+					agg.Consistency = &ConsistencyResult{}
+				}
+				mergeConsistency(agg.Consistency, pr.Consistency)
+			}
 		}
 	}
 	if agg.Memory != nil {
@@ -335,17 +382,24 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 	if agg.Fastpath != nil && agg.Fastpath.Commits > 0 {
 		agg.Fastpath.FastpathShare = float64(agg.Fastpath.FastPathCommits) / float64(agg.Fastpath.Commits)
 	}
+	if agg.Telemetry != nil {
+		agg.Telemetry.Gauges = deriveGauges(agg.Telemetry.Counters)
+	}
 	finishAggregate(&agg, parts)
 	res.Measured = agg
+	if sc.VerifyFinal {
+		res.FinalCheck = runFinalCheck(sys, vs)
+	}
 	return res
 }
 
-// runPhase spawns cfg.Threads workers for one phase and collects their
-// shards. The returned samples back the scenario-level aggregate. In
-// crash scenarios (vs non-nil) write keys are partitioned per worker and,
-// on recoverable systems, committed effects are journaled and merged into
-// the ground-truth model at the phase barrier.
-func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig, d time.Duration, vs *verifyState) (PhaseResult, []int64) {
+// runPhase spawns the phase's workers (cfg.Threads, multiplied by the
+// scenario's WorkersPerThread) and collects their shards. The returned
+// samples back the scenario-level aggregate. In crash and VerifyFinal
+// scenarios (vs non-nil) write keys are partitioned per worker and, when
+// journaling, committed effects are merged into the ground-truth model at
+// the phase barrier.
+func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig, workers int, d time.Duration, vs *verifyState) (PhaseResult, []int64) {
 	var aborts0 uint64
 	statser, hasStats := sys.(TxStatser)
 	if hasStats {
@@ -363,6 +417,16 @@ func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig,
 		ro0, fp0, cm0, ok = fastpather.FastPathStats()
 		hasFast = ok
 	}
+	var met0 []Metric
+	snapper, hasSnap := sys.(MetricsSnapshotter)
+	if hasSnap {
+		met0 = snapper.MetricsSnapshot()
+	}
+	var kin0 []KindStat
+	kinder, hasKinds := sys.(TxKindStatser)
+	if hasKinds {
+		kin0 = kinder.TxKindStats()
+	}
 	mem0 := readMemSample()
 
 	every := cfg.LatencyEvery
@@ -373,15 +437,15 @@ func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig,
 	if ph.Dist != nil {
 		dist = *ph.Dist
 	}
-	shards := make([]*workerShard, cfg.Threads)
+	shards := make([]*workerShard, workers)
 	var journals []map[uint64]modelVal
 	if vs != nil && vs.journal {
-		journals = make([]map[uint64]modelVal, cfg.Threads)
+		journals = make([]map[uint64]modelVal, workers)
 	}
 	var stopFlag atomic.Bool
 	var wg sync.WaitGroup
 	start := make(chan struct{})
-	for t := 0; t < cfg.Threads; t++ {
+	for t := 0; t < workers; t++ {
 		seed := cfg.Seed + int64(phaseIdx)*104729 + int64(t)*7919
 		shard := &workerShard{r: rand.New(rand.NewSource(seed ^ 0x5DEECE66D))}
 		shards[t] = shard
@@ -403,7 +467,7 @@ func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig,
 				if vs != nil && vs.partition {
 					for i := range ops {
 						if ops[i].Kind == OpInsert || ops[i].Kind == OpRemove {
-							ops[i].Key = partitionKey(ops[i].Key, tid, cfg.Threads, cfg.KeyRange)
+							ops[i].Key = partitionKey(ops[i].Key, tid, workers, cfg.KeyRange)
 						}
 					}
 				}
@@ -466,6 +530,13 @@ func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig,
 	if hasStats {
 		_, aborts1 := statser.TxStats()
 		pr.Aborts = aborts1 - aborts0
+	}
+	if hasSnap {
+		counters := diffMetrics(met0, snapper.MetricsSnapshot())
+		pr.Telemetry = &TelemetryResult{Counters: counters, Gauges: deriveGauges(counters)}
+	}
+	if hasKinds {
+		pr.Kinds = diffKinds(kin0, kinder.TxKindStats())
 	}
 	finishPhaseResult(&pr, samples)
 	return pr, samples

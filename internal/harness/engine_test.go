@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 	"time"
 )
@@ -141,6 +143,97 @@ func TestWorkerShardReservoirBounded(t *testing.T) {
 	if res.Measured.P50LatencyNs <= 0 {
 		t.Fatal("reservoir produced no percentile")
 	}
+}
+
+// TestZeroWeightPhaseDefaultsToEqualShare pins the engine's weight
+// defaulting: a phase with Weight 0 is not skipped or starved — it takes
+// an equal share of the budget, exactly as if every unweighted phase had
+// Weight 1. A scenario author omitting weights gets even phases, never a
+// zero-duration phase with meaningless statistics.
+func TestZeroWeightPhaseDefaultsToEqualShare(t *testing.T) {
+	sc := Scenario{
+		Name: "zero-weight", Dist: Dist{Kind: DistUniform},
+		Phases: []Phase{
+			{Name: "unweighted", Weight: 0,
+				Mix: Mix{Ratio: Ratio{Insert: 1}, TxMin: 1, TxMax: 1, Mixed: 1}},
+			{Name: "mixed", Weight: 1, Measure: true,
+				Mix: Mix{Ratio: Ratio{Get: 1, Insert: 1}, TxMin: 1, TxMax: 4, Mixed: 1}},
+		},
+	}
+	cfg := tinyEngineConfig(2)
+	res := RunScenario(NewMedleyHash(1<<10), sc, cfg)
+	if len(res.Phases) != 2 {
+		t.Fatalf("%d phase results, want 2", len(res.Phases))
+	}
+	for _, ph := range res.Phases {
+		if ph.Txns == 0 {
+			t.Fatalf("phase %q made no progress", ph.Phase)
+		}
+		// Equal split of the budget: each phase gets about half, never the
+		// whole duration and never nothing.
+		if ph.Elapsed < cfg.Duration/4 || ph.Elapsed > cfg.Duration {
+			t.Fatalf("phase %q ran %v of a %v budget, want ~half", ph.Phase, ph.Elapsed, cfg.Duration)
+		}
+	}
+	if res.Measured.Txns != res.Phases[1].Txns {
+		t.Fatalf("measured aggregate %d txns, phase %d", res.Measured.Txns, res.Phases[1].Txns)
+	}
+}
+
+// TestReservoirQuantilesMatchSortedReference feeds a known population
+// through the worker latency reservoir and compares its percentiles with
+// the exact ones from the full sorted population: below capacity they are
+// identical, above it within a sampling tolerance.
+func TestReservoirQuantilesMatchSortedReference(t *testing.T) {
+	exactPercentile := func(population []int64, p int) int64 {
+		sorted := append([]int64(nil), population...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return percentile(sorted, p)
+	}
+	quantiles := func(w *workerShard) (p50, p99 int64) {
+		sorted := append([]int64(nil), w.samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return percentile(sorted, 50), percentile(sorted, 99)
+	}
+
+	// Below capacity: the reservoir holds everything, quantiles are exact.
+	small := &workerShard{r: rand.New(rand.NewSource(1))}
+	var population []int64
+	for i := int64(1); i <= 100; i++ {
+		small.record(time.Duration(i), 4096)
+		population = append(population, i)
+	}
+	p50, p99 := quantiles(small)
+	if p50 != exactPercentile(population, 50) || p99 != exactPercentile(population, 99) {
+		t.Fatalf("sub-capacity reservoir inexact: p50=%d p99=%d", p50, p99)
+	}
+
+	// Above capacity: uniform reservoir sampling keeps quantiles close to
+	// the reference. Population 1..100_000 with a 2048 reservoir.
+	big := &workerShard{r: rand.New(rand.NewSource(2))}
+	population = population[:0]
+	const n, cap = 100_000, 2048
+	for i := int64(1); i <= n; i++ {
+		big.record(time.Duration(i), cap)
+		population = append(population, i)
+	}
+	if len(big.samples) != cap || big.seen != n {
+		t.Fatalf("reservoir holds %d of %d seen, want %d", len(big.samples), big.seen, cap)
+	}
+	p50, p99 = quantiles(big)
+	if ref := exactPercentile(population, 50); absInt64(p50-ref) > n/20 {
+		t.Fatalf("sampled p50=%d, reference %d", p50, ref)
+	}
+	if ref := exactPercentile(population, 99); absInt64(p99-ref) > n/20 {
+		t.Fatalf("sampled p99=%d, reference %d", p99, ref)
+	}
+}
+
+func absInt64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 // TestFastpathBlockReported checks that the engine reports the commit

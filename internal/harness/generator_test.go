@@ -126,3 +126,33 @@ func TestKeyGenDegenerateRanges(t *testing.T) {
 		}
 	}
 }
+
+// TestHotspotSingleKeyClamp pins the pathological configuration the
+// chaos-hot-key scenario depends on: a vanishingly small HotFrac clamps
+// the hot region to exactly one key, so HotOpFrac of all draws land on
+// key 0 rather than the hot region silently rounding to empty.
+func TestHotspotSingleKeyClamp(t *testing.T) {
+	d := Dist{Kind: DistHotspot, HotFrac: 1e-9, HotOpFrac: 0.9}
+	keys := draw(t, d, 1, 100_000)
+	zero := 0
+	for _, k := range keys {
+		if k == 0 {
+			zero++
+		}
+	}
+	frac := float64(zero) / float64(len(keys))
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("single-hot-key rate %.3f, want ~%.2f on key 0", frac, d.HotOpFrac)
+	}
+}
+
+// TestZipfianThetaAboveOnePasses pins that the chaos-shard-skew theta (1.4)
+// reaches the generator rather than being clamped to the default: heavier
+// theta must concentrate strictly more mass on the hottest key.
+func TestZipfianThetaAboveOnePasses(t *testing.T) {
+	light := topShare(draw(t, Dist{Kind: DistZipfian, Theta: 1.1}, 1, 100_000))
+	heavy := topShare(draw(t, Dist{Kind: DistZipfian, Theta: 1.4}, 1, 100_000))
+	if heavy <= light {
+		t.Fatalf("theta 1.4 hottest share %.4f not above theta 1.1's %.4f", heavy, light)
+	}
+}

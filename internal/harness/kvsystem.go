@@ -168,6 +168,43 @@ func (s *KVSystem) FastPathStats() (readOnly, fastpath, commits uint64, ok bool)
 	return st.ReadOnlyCommits, st.FastPathCommits, st.Commits, true
 }
 
+// MetricsSnapshot implements MetricsSnapshotter: cumulative transaction,
+// pool and EBR counters under stable statsd-style names. Baselines without
+// a manager export nothing (no block is reported).
+func (s *KVSystem) MetricsSnapshot() []Metric {
+	if s.mgr == nil {
+		return nil
+	}
+	st := s.mgr.Stats()
+	out := []Metric{
+		{Name: "tx_begins", Value: st.Begins},
+		{Name: "tx_commits", Value: st.Commits},
+		{Name: "tx_commits_read_only", Value: st.ReadOnlyCommits},
+		{Name: "tx_commits_fastpath", Value: st.FastPathCommits},
+		{Name: "tx_aborts", Value: st.Aborts},
+		{Name: "tx_aborts_by_others", Value: st.AbortsByOthers},
+		{Name: "tx_help_events", Value: st.HelpEvents},
+		{Name: "pool_gets", Value: st.PoolGets},
+		{Name: "pool_hits", Value: st.PoolHits},
+		{Name: "pool_retires", Value: st.PoolRetires},
+	}
+	if s.smr != nil {
+		es := s.smr.Stats()
+		out = append(out,
+			Metric{Name: "ebr_retired", Value: es.Retired},
+			Metric{Name: "ebr_reclaimed", Value: es.Reclaimed},
+			Metric{Name: "ebr_advances", Value: es.Advances},
+		)
+	}
+	return out
+}
+
+// StateSnapshot implements Snapshotter for VerifyFinal scenarios: iterate
+// the live store. Called only at phase barriers, where it is exact.
+func (s *KVSystem) StateSnapshot(fn func(key, val uint64) bool) {
+	s.m.Range(fn)
+}
+
 // guardedMaintainer is the capability of structures whose background
 // maintenance must run inside an EBR critical section under pooling
 // (rotating skiplist index rebuilds traverse recyclable cells).

@@ -63,6 +63,69 @@ type RecoveryRecord struct {
 	Violations       uint64 `json:"durability_violations"`
 }
 
+// CounterRecord is one named counter delta in the telemetry block.
+// Counters are emitted as an array, not a JSON map, so new counter names
+// extend the report without shifting the schema's canonical path set.
+type CounterRecord struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeRecord is one named derived ratio in the telemetry block.
+type GaugeRecord struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// TelemetryRecord is the engine-counter digest of one record: per-phase
+// counter deltas from the system's MetricsSnapshot plus the standard
+// gauges derived from them. Present on run-phase records of systems
+// exporting metrics.
+type TelemetryRecord struct {
+	Counters []CounterRecord `json:"counters"`
+	Gauges   []GaugeRecord   `json:"gauges"`
+}
+
+// KindRecord attributes one transaction kind's share of a record: how many
+// committed, how many attempts aborted, and the mean committed latency.
+// Present on records of systems running a closed transaction mix (TPC-C).
+type KindRecord struct {
+	Kind   string  `json:"kind"`
+	Txns   uint64  `json:"txns"`
+	Aborts uint64  `json:"aborts"`
+	AvgNs  float64 `json:"avg_latency_ns"`
+}
+
+// ClassCountRecord is one violation class's tally in a consistency block.
+type ClassCountRecord struct {
+	Class string `json:"class"`
+	Count int    `json:"count"`
+}
+
+// ConsistencyRecord is the domain-invariant digest of one record: whether
+// the system's consistency check ran at this phase's barrier and what it
+// found, tallied by violation class. Present on measured and crash-phase
+// records of systems with a ConsistencyCheck (the TPC-C clause 3.3.2
+// conditions).
+type ConsistencyRecord struct {
+	Checked    bool               `json:"checked"`
+	Violations int                `json:"violations"`
+	Classes    []ClassCountRecord `json:"classes,omitempty"`
+}
+
+// FinalCheckRecord is the end-of-run state-vs-model digest of a VerifyFinal
+// scenario: the live state diffed against the journaled ground-truth model
+// of committed operations, the transient-system counterpart of the
+// recovery digest. Present only on the measured aggregate record.
+type FinalCheckRecord struct {
+	Checked          bool   `json:"checked"`
+	ModelEntries     int    `json:"model_entries"`
+	MissingWrites    uint64 `json:"missing_writes"`
+	MismatchedWrites uint64 `json:"mismatched_writes"`
+	LeakedWrites     uint64 `json:"leaked_writes"`
+	Violations       uint64 `json:"state_violations"`
+}
+
 // Record is one (system, scenario, phase, thread count) measurement.
 type Record struct {
 	System    string         `json:"system"`
@@ -84,6 +147,16 @@ type Record struct {
 	Fastpath *FastpathRecord `json:"fastpath,omitempty"`
 	// Recovery is present only on crash-phase records of crash scenarios.
 	Recovery *RecoveryRecord `json:"recovery,omitempty"`
+	// Telemetry is present on run-phase records of metrics-exporting systems.
+	Telemetry *TelemetryRecord `json:"telemetry,omitempty"`
+	// Kinds is present on records of systems running a closed transaction mix.
+	Kinds []KindRecord `json:"kinds,omitempty"`
+	// Consistency is present on measured and crash-phase records of systems
+	// with a domain consistency check.
+	Consistency *ConsistencyRecord `json:"consistency,omitempty"`
+	// FinalCheck is present only on the measured aggregate record of
+	// VerifyFinal scenarios.
+	FinalCheck *FinalCheckRecord `json:"final_check,omitempty"`
 }
 
 // ReportConfig echoes the run parameters into the report so a stored
@@ -130,7 +203,18 @@ func (rep *Report) Add(res ScenarioResult) {
 		}
 		rep.Results = append(rep.Results, rec)
 	}
-	rep.Results = append(rep.Results, recordOf(res, res.Measured))
+	rec := recordOf(res, res.Measured)
+	if res.FinalCheck != nil {
+		rec.FinalCheck = &FinalCheckRecord{
+			Checked:          res.FinalCheck.Checked,
+			ModelEntries:     res.FinalCheck.ModelEntries,
+			MissingWrites:    res.FinalCheck.Missing,
+			MismatchedWrites: res.FinalCheck.Mismatched,
+			LeakedWrites:     res.FinalCheck.Leaked,
+			Violations:       res.FinalCheck.Violations(),
+		}
+	}
+	rep.Results = append(rep.Results, rec)
 }
 
 func recoveryRecordOf(r RecoveryResult) *RecoveryRecord {
@@ -170,8 +254,33 @@ func recordOf(res ScenarioResult, ph PhaseResult) Record {
 			FastpathShare:   ph.Fastpath.FastpathShare,
 		}
 	}
+	var tel *TelemetryRecord
+	if ph.Telemetry != nil {
+		tel = &TelemetryRecord{
+			Counters: make([]CounterRecord, 0, len(ph.Telemetry.Counters)),
+			Gauges:   make([]GaugeRecord, 0, len(ph.Telemetry.Gauges)),
+		}
+		for _, m := range ph.Telemetry.Counters {
+			tel.Counters = append(tel.Counters, CounterRecord{Name: m.Name, Value: m.Value})
+		}
+		for _, g := range ph.Telemetry.Gauges {
+			tel.Gauges = append(tel.Gauges, GaugeRecord{Name: g.Name, Value: g.Value})
+		}
+	}
+	var kinds []KindRecord
+	for _, k := range ph.Kinds {
+		kinds = append(kinds, KindRecord{Kind: k.Kind, Txns: k.Txns, Aborts: k.Aborts, AvgNs: k.AvgNs})
+	}
+	var cons *ConsistencyRecord
+	if ph.Consistency != nil {
+		cons = &ConsistencyRecord{Checked: ph.Consistency.Checked, Violations: ph.Consistency.Violations}
+		for _, c := range ph.Consistency.Classes {
+			cons.Classes = append(cons.Classes, ClassCountRecord{Class: c.Class, Count: c.Count})
+		}
+	}
 	return Record{
 		Memory: mem, Fastpath: fp,
+		Telemetry: tel, Kinds: kinds, Consistency: cons,
 		System: res.System, Scenario: res.Scenario, Phase: ph.Phase,
 		Threads: res.Threads, Shards: shards,
 		Txns: ph.Txns, Ops: ph.Ops, Aborts: ph.Aborts,

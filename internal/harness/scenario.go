@@ -87,6 +87,23 @@ type Scenario struct {
 	Description string
 	Dist        Dist
 	Phases      []Phase
+
+	// TPCC marks scenarios whose systems run the TPC-C driver instead of
+	// the generated key mixes; the driver resolves system specs through
+	// NewTPCCSystem and the engine's generated ops are ignored by the
+	// workers (each Do call runs one TPC-C transaction).
+	TPCC bool
+
+	// WorkersPerThread, when > 1, multiplies the worker goroutines per
+	// configured thread — the oversubscription chaos knob (workers ≫
+	// GOMAXPROCS stresses help-based progress under preemption).
+	WorkersPerThread int
+
+	// VerifyFinal makes every run phase partition writes and journal
+	// committed effects on all systems, then diffs the live end-of-run
+	// state against the model (see verify.go) — chaos runs are checked,
+	// not just timed.
+	VerifyFinal bool
 }
 
 // HasCrash reports whether the scenario contains a crash phase. Crash
@@ -340,6 +357,57 @@ var builtin = map[string]Scenario{
 		Description: "cross-shard atomicity under load: 2-key transfers that straddle shard boundaries",
 		Dist:        Dist{Kind: DistUniform},
 		Phases:      onePhase(Mix{Transfer: 1}),
+	},
+	"tpcc-full": {
+		Description: "full TPC-C: the standard 45/43/4/4/4 five-transaction mix over hash-partitioned warehouses, with the clause 3.3.2 consistency conditions verified after the measured phases and after a crash phase",
+		TPCC:        true,
+		Phases: []Phase{
+			{Name: "mixed", Weight: 0.7, Measure: true},
+			{Name: "crash", Kind: PhaseCrash},
+			{Name: "post-mixed", Weight: 0.3, Measure: true},
+		},
+	},
+	"chaos-crash-in-recovery": {
+		Description: "chaos: a second crash lands immediately after recovery completes, before any post-crash work — recovery must be idempotent and the twice-recovered state still match the committed model",
+		Dist:        Dist{Kind: DistUniform},
+		Phases: []Phase{
+			{Name: "load", Weight: 0.2,
+				Mix: Mix{Ratio: Ratio{Get: 0, Insert: 1, Remove: 0}, TxMin: 1, TxMax: 10, Mixed: 1}},
+			{Name: "mixed", Weight: 0.4,
+				Mix: paperMix(Ratio{Get: 2, Insert: 1, Remove: 1}), Measure: true},
+			{Name: "crash", Kind: PhaseCrash},
+			{Name: "re-crash", Kind: PhaseCrash},
+			{Name: "post-mixed", Weight: 0.4,
+				Mix: paperMix(Ratio{Get: 2, Insert: 1, Remove: 1}), Measure: true},
+		},
+	},
+	"chaos-hot-key": {
+		Description: "chaos: pathological contention — 90% of ops hit a single key (hotspot with a one-key hot set), 2:1:1, final state verified against the committed model",
+		Dist:        Dist{Kind: DistHotspot, HotFrac: 1e-9, HotOpFrac: 0.9},
+		VerifyFinal: true,
+		Phases:      onePhase(paperMix(Ratio{Get: 2, Insert: 1, Remove: 1})),
+	},
+	"chaos-oversubscribe": {
+		Description:      "chaos: 8 worker goroutines per configured thread (workers ≫ GOMAXPROCS) — helping must carry preempted commits; final state verified against the committed model",
+		Dist:             Dist{Kind: DistUniform},
+		WorkersPerThread: 8,
+		VerifyFinal:      true,
+		Phases:           onePhase(paperMix(Ratio{Get: 2, Insert: 1, Remove: 1})),
+	},
+	"chaos-shard-skew": {
+		Description: "chaos: write-heavy Zipf(1.4) skew that concentrates traffic on a few shards of a partitioned store; final state verified against the committed model",
+		Dist:        Dist{Kind: DistZipfian, Theta: 1.4},
+		VerifyFinal: true,
+		Phases:      onePhase(paperMix(Ratio{Get: 0, Insert: 1, Remove: 1})),
+	},
+	"chaos-scan-race": {
+		Description: "chaos: long range scans (4096 entries) racing write-heavy bursts 1:2; scan validation vs. churn, final state verified against the committed model",
+		Dist:        Dist{Kind: DistUniform},
+		VerifyFinal: true,
+		Phases: onePhase(Mix{
+			Ratio: Ratio{Get: 0, Insert: 1, Remove: 1}, TxMin: 1, TxMax: 10,
+			Mixed: 2, Scan: 1, ScanLen: 4096,
+		}),
 	},
 	"load-mixed-drain": {
 		Description: "working-set lifecycle: insert-only load, 2:1:1 steady state, remove-heavy drain",

@@ -7,9 +7,9 @@ import (
 )
 
 // schemaReport builds a report exercising the full JSON surface: an
-// ordinary phase record plus, when full, the optional blocks — a crash
-// record with the recovery block and the fastpath block on the run
-// records.
+// ordinary phase record plus, when full, every optional block — a crash
+// record with the recovery block, and the fastpath, telemetry, kind,
+// consistency and final-check blocks on the run records.
 func schemaReport(full bool) *Report {
 	rep := NewReport("crash-recover-uniform", []int{2}, time.Second, 1<<10, 1<<8, 42)
 	res := sampleResult()
@@ -17,9 +17,23 @@ func schemaReport(full bool) *Report {
 		fp := &FastpathResult{ReadOnlyCommits: 700, FastPathCommits: 900, Commits: 1000, FastpathShare: 0.9}
 		res.Phases[0].Fastpath = fp
 		res.Measured.Fastpath = fp
+		tel := &TelemetryResult{
+			Counters: []Metric{{Name: "tx_commits", Value: 1000}},
+			Gauges:   []Gauge{{Name: "abort_rate", Value: 0.01}},
+		}
+		res.Phases[0].Telemetry = tel
+		res.Measured.Telemetry = tel
+		kinds := []KindResult{{Kind: "newOrder", Txns: 450, Aborts: 3, AvgNs: 1500}}
+		res.Phases[0].Kinds = kinds
+		res.Measured.Kinds = kinds
+		cons := &ConsistencyResult{Checked: true, Violations: 1,
+			Classes: []ClassCount{{Class: "money", Count: 1}}}
+		res.Phases[0].Consistency = cons
+		res.Measured.Consistency = cons
 		res.Phases = append(res.Phases, PhaseResult{Phase: "crash", Crash: true, Elapsed: time.Millisecond})
 		res.Recovery = &RecoveryResult{Recoverable: true, RecoveryNs: int64(time.Millisecond),
 			Recovered: 10, ModelEntries: 10}
+		res.FinalCheck = &FinalCheckResult{Checked: true, ModelEntries: 10}
 	}
 	rep.Add(res)
 	return rep

@@ -228,8 +228,20 @@ func SystemNames() []string {
 // structure plus the competitors) otherwise.
 func DefaultSystems(sc Scenario) []string {
 	switch {
+	case sc.TPCC:
+		// TPC-C scenarios run only on the Medley registry backends; the
+		// sharded variant exercises cross-shard deliveries and payments.
+		return []string{"medley-hash", "medley-hash@4"}
 	case sc.HasCrash():
 		return []string{"txmontage-hash", "ponefile-hash", "medley-hash"}
+	case sc.Name == "chaos-hot-key":
+		return []string{"medley-hash", "medley-skip"}
+	case sc.Name == "chaos-oversubscribe":
+		return []string{"medley-hash"}
+	case sc.Name == "chaos-shard-skew":
+		return []string{"medley-hash", "medley-hash@8"}
+	case sc.Name == "chaos-scan-race":
+		return []string{"medley-hash", "medley-skip"}
 	case sc.Name == "alloc-pressure":
 		return []string{"medley-hash", "medley-hash-nopool"}
 	case sc.Name == "read-mostly" || sc.Name == "scan-heavy":

@@ -223,6 +223,25 @@ func (s *MontageSystem) TxStats() (commits, aborts uint64) {
 	return st.Commits, st.Aborts
 }
 
+// StateSnapshot implements Snapshotter (same quiescent iteration the crash
+// verifier uses), so VerifyFinal chaos scenarios can check txMontage too.
+func (s *MontageSystem) StateSnapshot(fn func(key, val uint64) bool) { s.Snapshot(fn) }
+
+// MetricsSnapshot implements MetricsSnapshotter from the shared manager's
+// counters.
+func (s *MontageSystem) MetricsSnapshot() []Metric {
+	st := s.mgr.Stats()
+	return []Metric{
+		{Name: "tx_begins", Value: st.Begins},
+		{Name: "tx_commits", Value: st.Commits},
+		{Name: "tx_commits_read_only", Value: st.ReadOnlyCommits},
+		{Name: "tx_commits_fastpath", Value: st.FastPathCommits},
+		{Name: "tx_aborts", Value: st.Aborts},
+		{Name: "tx_aborts_by_others", Value: st.AbortsByOthers},
+		{Name: "tx_help_events", Value: st.HelpEvents},
+	}
+}
+
 // Start implements System.
 func (s *MontageSystem) Start() (stop func()) {
 	if s.persistOff {

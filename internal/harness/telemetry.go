@@ -1,0 +1,242 @@
+package harness
+
+import "sort"
+
+// This file defines the observability capabilities of benchmark systems:
+// named counter snapshots (MetricsSnapshotter), domain consistency checks
+// (ConsistencyChecker), per-transaction-kind attribution (TxKindStatser),
+// and live-state iteration (Snapshotter). The engine detects each by type
+// assertion, differences cumulative snapshots around phases, and reports
+// the results as schema-gated blocks — the same snapshots a future network
+// service layer can poll, modeled on statsd-style counter/gauge export.
+
+// Metric is one named cumulative counter. Values are monotonically
+// non-decreasing; the engine reports per-phase deltas.
+type Metric struct {
+	Name  string
+	Value uint64
+}
+
+// Gauge is one named derived ratio, computed by the engine from counter
+// deltas (abort rate, fast-path share, pool hit rate).
+type Gauge struct {
+	Name  string
+	Value float64
+}
+
+// MetricsSnapshotter is implemented by systems that can export their
+// engine-level counters (commits by path, aborts by cause, pool traffic,
+// EBR reclamation) as a point-in-time snapshot. Snapshots are cumulative
+// since system construction; the engine differences two snapshots to
+// produce a phase's telemetry block.
+type MetricsSnapshotter interface {
+	MetricsSnapshot() []Metric
+}
+
+// TelemetryResult is one phase's telemetry block: counter deltas plus the
+// gauges derived from them, both sorted by name for stable reports.
+type TelemetryResult struct {
+	Counters []Metric
+	Gauges   []Gauge
+}
+
+// diffMetrics subtracts before from after by counter name, dropping
+// counters absent from either snapshot, and returns the deltas sorted.
+func diffMetrics(before, after []Metric) []Metric {
+	prev := make(map[string]uint64, len(before))
+	for _, m := range before {
+		prev[m.Name] = m.Value
+	}
+	out := make([]Metric, 0, len(after))
+	for _, m := range after {
+		b, ok := prev[m.Name]
+		if !ok {
+			continue
+		}
+		out = append(out, Metric{Name: m.Name, Value: m.Value - b})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// deriveGauges computes the standard ratios from well-known counter names,
+// omitting any whose denominator is zero.
+func deriveGauges(counters []Metric) []Gauge {
+	v := make(map[string]uint64, len(counters))
+	for _, m := range counters {
+		v[m.Name] = m.Value
+	}
+	var out []Gauge
+	add := func(name string, num, den uint64) {
+		if den > 0 {
+			out = append(out, Gauge{Name: name, Value: float64(num) / float64(den)})
+		}
+	}
+	add("abort_rate", v["tx_aborts"], v["tx_commits"]+v["tx_aborts"])
+	add("fastpath_share", v["tx_commits_fastpath"], v["tx_commits"])
+	add("readonly_share", v["tx_commits_read_only"], v["tx_commits"])
+	add("pool_hit_rate", v["pool_hits"], v["pool_gets"])
+	add("ebr_reclaim_ratio", v["ebr_reclaimed"], v["ebr_retired"])
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// mergeTelemetry folds one measured phase's telemetry into an aggregate,
+// summing counters by name; gauges are re-derived by the caller once all
+// phases are folded.
+func mergeTelemetry(agg *TelemetryResult, ph *TelemetryResult) {
+	sum := make(map[string]uint64, len(agg.Counters))
+	for _, m := range agg.Counters {
+		sum[m.Name] = m.Value
+	}
+	for _, m := range ph.Counters {
+		sum[m.Name] += m.Value
+	}
+	agg.Counters = agg.Counters[:0]
+	for name, val := range sum {
+		agg.Counters = append(agg.Counters, Metric{Name: name, Value: val})
+	}
+	sort.Slice(agg.Counters, func(i, j int) bool { return agg.Counters[i].Name < agg.Counters[j].Name })
+}
+
+// ConsistencyViolation is one failed domain invariant, tagged with its
+// violation class (e.g. the TPC-C "money" / "orders" / "delivery" classes).
+type ConsistencyViolation struct {
+	Class  string
+	Detail string
+}
+
+// ConsistencyChecker is implemented by systems whose workload maintains
+// domain invariants the engine can verify at quiescent points (the TPC-C
+// system checks the clause 3.3.2 conditions). The engine runs it after
+// each measured phase and after every crash phase.
+type ConsistencyChecker interface {
+	ConsistencyCheck() []ConsistencyViolation
+}
+
+// ClassCount is one violation class's tally.
+type ClassCount struct {
+	Class string
+	Count int
+}
+
+// ConsistencyResult is a phase's consistency digest.
+type ConsistencyResult struct {
+	Checked    bool
+	Violations int
+	Classes    []ClassCount
+}
+
+// consistencyResult tallies violations by class, sorted by class name.
+func consistencyResult(vs []ConsistencyViolation) *ConsistencyResult {
+	res := &ConsistencyResult{Checked: true, Violations: len(vs)}
+	counts := map[string]int{}
+	for _, v := range vs {
+		counts[v.Class]++
+	}
+	for class, n := range counts {
+		res.Classes = append(res.Classes, ClassCount{Class: class, Count: n})
+	}
+	sort.Slice(res.Classes, func(i, j int) bool { return res.Classes[i].Class < res.Classes[j].Class })
+	return res
+}
+
+// mergeConsistency folds one phase's consistency digest into an aggregate.
+func mergeConsistency(agg *ConsistencyResult, ph *ConsistencyResult) {
+	agg.Checked = true
+	agg.Violations += ph.Violations
+	counts := map[string]int{}
+	for _, c := range agg.Classes {
+		counts[c.Class] = c.Count
+	}
+	for _, c := range ph.Classes {
+		counts[c.Class] += c.Count
+	}
+	agg.Classes = agg.Classes[:0]
+	for class, n := range counts {
+		agg.Classes = append(agg.Classes, ClassCount{Class: class, Count: n})
+	}
+	sort.Slice(agg.Classes, func(i, j int) bool { return agg.Classes[i].Class < agg.Classes[j].Class })
+}
+
+// KindStat is one transaction kind's cumulative tally: committed
+// transactions, aborted attempts, and total committed-transaction latency.
+type KindStat struct {
+	Kind    string
+	Txns    uint64
+	Aborts  uint64
+	TotalNs uint64
+}
+
+// TxKindStatser is implemented by systems whose workers run a closed set of
+// transaction kinds (the TPC-C system's five transactions); the engine
+// differences snapshots around each phase to attribute throughput, aborts
+// and latency per kind. Snapshots are only read at phase barriers, where
+// workers are quiescent.
+type TxKindStatser interface {
+	TxKindStats() []KindStat
+}
+
+// KindResult is one kind's per-phase attribution.
+type KindResult struct {
+	Kind   string
+	Txns   uint64
+	Aborts uint64
+	AvgNs  float64
+}
+
+// diffKinds subtracts two kind snapshots, preserving after's kind order and
+// dropping kinds that ran no transaction and suffered no abort.
+func diffKinds(before, after []KindStat) []KindResult {
+	prev := make(map[string]KindStat, len(before))
+	for _, k := range before {
+		prev[k.Kind] = k
+	}
+	var out []KindResult
+	for _, k := range after {
+		p := prev[k.Kind]
+		d := KindResult{Kind: k.Kind, Txns: k.Txns - p.Txns, Aborts: k.Aborts - p.Aborts}
+		if d.Txns > 0 {
+			d.AvgNs = float64(k.TotalNs-p.TotalNs) / float64(d.Txns)
+		}
+		if d.Txns == 0 && d.Aborts == 0 {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// mergeKinds folds one phase's kind attribution into an aggregate by kind
+// name, keeping first-seen order and recomputing the latency average as a
+// transaction-weighted mean.
+func mergeKinds(agg []KindResult, ph []KindResult) []KindResult {
+	idx := make(map[string]int, len(agg))
+	for i, k := range agg {
+		idx[k.Kind] = i
+	}
+	for _, k := range ph {
+		i, ok := idx[k.Kind]
+		if !ok {
+			agg = append(agg, k)
+			idx[k.Kind] = len(agg) - 1
+			continue
+		}
+		a := &agg[i]
+		totalNs := a.AvgNs*float64(a.Txns) + k.AvgNs*float64(k.Txns)
+		a.Txns += k.Txns
+		a.Aborts += k.Aborts
+		if a.Txns > 0 {
+			a.AvgNs = totalNs / float64(a.Txns)
+		}
+	}
+	return agg
+}
+
+// Snapshotter is implemented by systems that can iterate their live
+// key→value state at a quiescent point. Scenarios with VerifyFinal set use
+// it to diff the final state against the journaled ground-truth model —
+// the transient-system counterpart of Recoverable.Snapshot.
+type Snapshotter interface {
+	StateSnapshot(fn func(key, val uint64) bool)
+}

@@ -1,0 +1,271 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"medley/internal/tpcc"
+)
+
+// This file adapts the TPC-C backend to the workload engine. A TPCCSystem
+// ignores the engine's generated key mixes: each Worker.Do call runs one
+// transaction of the standard 45/43/4/4/4 TPC-C mix through a per-worker
+// tpcc.Driver, so the engine's phase script, latency reservoirs, telemetry
+// snapshots and consistency barriers all apply unchanged to a real
+// composed-transaction workload. Tables are hash-partitioned over @N
+// shards of the kv registry under one TxManager, so cross-shard TPC-C
+// transactions (remote stock updates, whole-warehouse deliveries) stay
+// strictly serializable.
+
+// tpccStructures maps -systems specs onto registry structures for the
+// TPC-C backend. The rotating skiplist is excluded: its background index
+// maintenance needs the KVSystem start path, which the TPC-C backend does
+// not run.
+var tpccStructures = map[string]string{
+	"medley-hash": "hash",
+	"medley-skip": "skip",
+	"medley-bst":  "bst",
+}
+
+// resolveTPCCSpec parses a TPC-C -systems spec (a tpccStructures name with
+// an optional "@N" shard suffix) without building tables.
+func resolveTPCCSpec(spec string, o SystemOpts) (structure string, shards int, err error) {
+	name := spec
+	shards = o.shards()
+	if at := strings.LastIndexByte(spec, '@'); at >= 0 {
+		n, err := strconv.Atoi(spec[at+1:])
+		if err != nil || n < 1 {
+			return "", 0, fmt.Errorf("bad shard suffix in system spec %q", spec)
+		}
+		name = spec[:at]
+		shards = n
+	}
+	structure, ok := tpccStructures[name]
+	if !ok {
+		known := make([]string, 0, len(tpccStructures))
+		for n := range tpccStructures {
+			known = append(known, n)
+		}
+		sort.Strings(known)
+		return "", 0, fmt.Errorf("TPC-C scenarios support systems %s (optionally @N), not %q",
+			strings.Join(known, ", "), spec)
+	}
+	return structure, shards, nil
+}
+
+// NewTPCCSystem resolves a -systems spec into a TPC-C benchmark system at
+// the given scale.
+func NewTPCCSystem(spec string, sc tpcc.Scale, o SystemOpts) (System, error) {
+	structure, shards, err := resolveTPCCSpec(spec, o)
+	if err != nil {
+		return nil, err
+	}
+	kvb, err := tpcc.NewKVBackend(shardedName("Medley-"+structure, shards), structure, shards)
+	if err != nil {
+		return nil, err
+	}
+	return &TPCCSystem{backend: kvb, kvb: kvb, sc: sc, mix: tpcc.FullMix(), shards: shards}, nil
+}
+
+// TPCCSystem runs the TPC-C workload on a tpcc.Backend under the engine.
+type TPCCSystem struct {
+	backend tpcc.Backend
+	kvb     *tpcc.KVBackend // non-nil for Medley backends (stats source)
+	sc      tpcc.Scale
+	mix     tpcc.MixWeights
+	shards  int
+
+	mu      sync.Mutex
+	seq     int64
+	workers []*tpccWorker
+}
+
+// Name implements System.
+func (s *TPCCSystem) Name() string { return s.backend.Name() }
+
+// ShardCount implements ShardCounter.
+func (s *TPCCSystem) ShardCount() int { return s.shards }
+
+// Scale exposes the configured TPC-C cardinalities.
+func (s *TPCCSystem) Scale() tpcc.Scale { return s.sc }
+
+// Backend exposes the underlying TPC-C backend, for tests.
+func (s *TPCCSystem) Backend() tpcc.Backend { return s.backend }
+
+// Preload implements System: the engine's generated keys are ignored — the
+// TPC-C initial population (clause 4.3) is the preload.
+func (s *TPCCSystem) Preload([]uint64) {
+	if err := tpcc.Load(s.backend, s.sc); err != nil {
+		panic("harness: tpcc load: " + err.Error())
+	}
+}
+
+// Start implements System.
+func (s *TPCCSystem) Start() (stop func()) { return func() {} }
+
+// NewWorker implements System: one tpcc.Driver per worker, deterministic
+// in registration order.
+func (s *TPCCSystem) NewWorker() Worker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seed := int64(0x7C3C) + s.seq*7919
+	s.seq++
+	w := &tpccWorker{d: tpcc.NewMixDriver(s.backend, s.sc, seed, s.mix)}
+	w.sw, _ = w.d.Worker().(tpcc.StatsWorker)
+	s.workers = append(s.workers, w)
+	return w
+}
+
+// TxStats implements TxStatser.
+func (s *TPCCSystem) TxStats() (commits, aborts uint64) {
+	if s.kvb == nil {
+		return 0, 0
+	}
+	st := s.kvb.Manager().Stats()
+	return st.Commits, st.Aborts
+}
+
+// FastPathStats implements FastPathStatser: the read-only TPC-C
+// transactions (orderStatus, stockLevel) commit through the read-only
+// elision, so the fast-path block is meaningful here.
+func (s *TPCCSystem) FastPathStats() (readOnly, fastpath, commits uint64, ok bool) {
+	if s.kvb == nil {
+		return 0, 0, 0, false
+	}
+	st := s.kvb.Manager().Stats()
+	return st.ReadOnlyCommits, st.FastPathCommits, st.Commits, true
+}
+
+// MetricsSnapshot implements MetricsSnapshotter.
+func (s *TPCCSystem) MetricsSnapshot() []Metric {
+	if s.kvb == nil {
+		return nil
+	}
+	st := s.kvb.Manager().Stats()
+	return []Metric{
+		{Name: "tx_begins", Value: st.Begins},
+		{Name: "tx_commits", Value: st.Commits},
+		{Name: "tx_commits_read_only", Value: st.ReadOnlyCommits},
+		{Name: "tx_commits_fastpath", Value: st.FastPathCommits},
+		{Name: "tx_aborts", Value: st.Aborts},
+		{Name: "tx_aborts_by_others", Value: st.AbortsByOthers},
+		{Name: "tx_help_events", Value: st.HelpEvents},
+		{Name: "pool_gets", Value: st.PoolGets},
+		{Name: "pool_hits", Value: st.PoolHits},
+		{Name: "pool_retires", Value: st.PoolRetires},
+	}
+}
+
+// TxKindStats implements TxKindStatser by summing the per-worker kind
+// cells. Worker cells are written only by their owning goroutine; the
+// engine calls this at phase barriers, where workers are quiescent.
+func (s *TPCCSystem) TxKindStats() []KindStat {
+	s.mu.Lock()
+	ws := append([]*tpccWorker(nil), s.workers...)
+	s.mu.Unlock()
+	out := make([]KindStat, tpcc.NumTxKinds)
+	for k := range out {
+		out[k].Kind = tpcc.TxKind(k).String()
+	}
+	for _, w := range ws {
+		for k := range w.kinds {
+			out[k].Txns += w.kinds[k].txns
+			out[k].Aborts += w.kinds[k].aborts
+			out[k].TotalNs += w.kinds[k].totalNs
+		}
+	}
+	return out
+}
+
+// ConsistencyCheck implements ConsistencyChecker: the TPC-C clause 3.3.2
+// conditions over the whole database, plus an "execution" violation for
+// any transaction body that failed outright (a row missing mid-run means
+// atomicity broke long before the check).
+func (s *TPCCSystem) ConsistencyCheck() []ConsistencyViolation {
+	vs, err := tpcc.Check(s.backend, s.sc)
+	out := make([]ConsistencyViolation, 0, len(vs)+1)
+	for _, v := range vs {
+		out = append(out, ConsistencyViolation{Class: v.Class, Detail: v.Detail})
+	}
+	if err != nil {
+		out = append(out, ConsistencyViolation{Class: "execution", Detail: err.Error()})
+	}
+	s.mu.Lock()
+	for _, w := range s.workers {
+		if w.lastErr != nil {
+			out = append(out, ConsistencyViolation{
+				Class:  "execution",
+				Detail: fmt.Sprintf("%d failed transactions, first: %v", w.errs, w.lastErr),
+			})
+			break
+		}
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// tpccKindCell is one transaction kind's tally on one worker.
+type tpccKindCell struct {
+	txns    uint64
+	aborts  uint64
+	totalNs uint64
+}
+
+// tpccWorker runs one TPC-C driver; Do ignores the generated ops and runs
+// exactly one transaction of the mix.
+type tpccWorker struct {
+	d       *tpcc.Driver
+	sw      tpcc.StatsWorker // nil when the backend cannot attribute aborts
+	kinds   [tpcc.NumTxKinds]tpccKindCell
+	errs    uint64
+	lastErr error
+	_       [32]byte
+}
+
+// Do implements Worker.
+func (w *tpccWorker) Do([]Op) {
+	var aborts0 uint64
+	if w.sw != nil {
+		aborts0 = w.sw.TxStats().Aborts
+	}
+	t0 := time.Now()
+	kind, err := w.d.Step()
+	dt := time.Since(t0)
+	cell := &w.kinds[kind]
+	if w.sw != nil {
+		cell.aborts += w.sw.TxStats().Aborts - aborts0
+	}
+	if err != nil {
+		w.errs++
+		if w.lastErr == nil {
+			w.lastErr = err
+		}
+		return
+	}
+	cell.txns++
+	cell.totalNs += uint64(dt)
+}
+
+// NewScenarioSystem resolves a -systems spec for the given scenario: TPC-C
+// scenarios construct through NewTPCCSystem at the given scale, everything
+// else through the ordinary system registry.
+func NewScenarioSystem(sc Scenario, spec string, scale tpcc.Scale, o SystemOpts) (System, error) {
+	if sc.TPCC {
+		return NewTPCCSystem(spec, scale, o)
+	}
+	return NewSystem(spec, o)
+}
+
+// ValidateScenarioSystemSpec checks a spec for the scenario without
+// constructing tables or regions.
+func ValidateScenarioSystemSpec(sc Scenario, spec string, o SystemOpts) error {
+	if sc.TPCC {
+		_, _, err := resolveTPCCSpec(spec, o)
+		return err
+	}
+	return ValidateSystemSpec(spec, o)
+}

@@ -106,22 +106,67 @@ func (r *RecoveryResult) merge(o RecoveryResult) {
 // diffModel compares the recovered state against the ground-truth model
 // and fills r's violation counters.
 func diffModel(r *RecoveryResult, model map[uint64]modelVal, got map[uint64]uint64) {
+	r.ModelEntries, r.Missing, r.Mismatched, r.Leaked = diffCounts(model, got)
+}
+
+// diffCounts compares a live or recovered key→value state against the
+// ground-truth model. It is shared between crash recovery verification
+// (diffModel) and the VerifyFinal live-state check (FinalCheckResult).
+func diffCounts(model map[uint64]modelVal, got map[uint64]uint64) (entries int, missing, mismatched, leaked uint64) {
 	for k, e := range model {
 		if !e.present {
 			continue
 		}
-		r.ModelEntries++
+		entries++
 		gv, ok := got[k]
 		switch {
 		case !ok:
-			r.Missing++
+			missing++
 		case gv != e.val:
-			r.Mismatched++
+			mismatched++
 		}
 	}
 	for k := range got {
 		if e, ok := model[k]; !ok || !e.present {
-			r.Leaked++
+			leaked++
 		}
 	}
+	return
+}
+
+// FinalCheckResult is the outcome of a VerifyFinal scenario's end-of-run
+// state check: the system's live contents diffed against the journaled
+// model of committed effects. Unlike RecoveryResult this involves no crash
+// — it proves the system under chaos conditions (hot keys, oversubscription,
+// skew, scan races) neither lost nor invented committed writes.
+type FinalCheckResult struct {
+	// Checked is false when the system cannot iterate its state (no
+	// Snapshotter) or the scenario did not request the check.
+	Checked      bool
+	ModelEntries int
+	Missing      uint64
+	Mismatched   uint64
+	Leaked       uint64
+}
+
+// Violations is the total final-state violation count.
+func (f FinalCheckResult) Violations() uint64 {
+	return f.Missing + f.Mismatched + f.Leaked
+}
+
+// runFinalCheck diffs the live state against the model at the end of a
+// VerifyFinal scenario; all workers have stopped, so the snapshot is exact.
+func runFinalCheck(sys System, vs *verifyState) *FinalCheckResult {
+	snap, ok := sys.(Snapshotter)
+	if !ok || vs == nil || !vs.journal {
+		return &FinalCheckResult{}
+	}
+	got := make(map[uint64]uint64, len(vs.model))
+	snap.StateSnapshot(func(k, v uint64) bool {
+		got[k] = v
+		return true
+	})
+	fc := &FinalCheckResult{Checked: true}
+	fc.ModelEntries, fc.Missing, fc.Mismatched, fc.Leaked = diffCounts(vs.model, got)
+	return fc
 }

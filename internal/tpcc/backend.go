@@ -12,11 +12,12 @@ import (
 )
 
 // Ctx is the per-transaction view of the database handed to transaction
-// bodies: get/put/insert of row handles on the numbered tables.
+// bodies: get/put/insert/remove of row handles on the numbered tables.
 type Ctx interface {
 	Get(table int, key uint64) (uint64, bool)
 	Put(table int, key uint64, handle uint64)
 	Insert(table int, key uint64, handle uint64) bool
+	Remove(table int, key uint64) bool
 }
 
 // Worker is a per-goroutine execution context.
@@ -27,6 +28,14 @@ type Worker interface {
 	Run(body func(Ctx) error) error
 	// Writer is this worker's arena lane.
 	Writer() *ArenaWriter
+}
+
+// StatsWorker is implemented by workers whose backend can attribute
+// transaction commits and aborts to this worker alone; consecutive
+// snapshots can be differenced to charge retries to individual driver
+// steps.
+type StatsWorker interface {
+	TxStats() core.Stats
 }
 
 // Backend is one concurrency-control system under test.
@@ -118,6 +127,13 @@ func (w *kvTpccWorker) Put(t int, key uint64, h uint64) {
 func (w *kvTpccWorker) Insert(t int, key uint64, h uint64) bool {
 	return w.tables[t].Insert(w.tx, key, h)
 }
+func (w *kvTpccWorker) Remove(t int, key uint64) bool {
+	_, ok := w.tables[t].Remove(w.tx, key)
+	return ok
+}
+
+// TxStats implements StatsWorker.
+func (w *kvTpccWorker) TxStats() core.Stats { return w.tx.ShardStats() }
 
 // -------------------------------------------------------------- txMontage
 
@@ -183,6 +199,13 @@ func (w *montageWorker) Put(t int, key uint64, h uint64) {
 func (w *montageWorker) Insert(t int, key uint64, h uint64) bool {
 	return w.b.tables[t].Insert(w.h, key, h)
 }
+func (w *montageWorker) Remove(t int, key uint64) bool {
+	_, ok := w.b.tables[t].Remove(w.h, key)
+	return ok
+}
+
+// TxStats implements StatsWorker.
+func (w *montageWorker) TxStats() core.Stats { return w.h.Tx().ShardStats() }
 
 // ---------------------------------------------------------------- OneFile
 
@@ -239,6 +262,10 @@ func (w *onefileWorker) Put(t int, key uint64, h uint64) {
 func (w *onefileWorker) Insert(t int, key uint64, h uint64) bool {
 	return w.b.tables[t].Insert(w.tx, key, h)
 }
+func (w *onefileWorker) Remove(t int, key uint64) bool {
+	_, ok := w.b.tables[t].Remove(w.tx, key)
+	return ok
+}
 
 // ------------------------------------------------------------------ TDSL
 
@@ -292,4 +319,8 @@ func (w *tdslWorker) Put(t int, key uint64, h uint64) {
 }
 func (w *tdslWorker) Insert(t int, key uint64, h uint64) bool {
 	return w.tx.Insert(w.b.tables[t], key, h)
+}
+func (w *tdslWorker) Remove(t int, key uint64) bool {
+	_, ok := w.tx.Remove(w.b.tables[t], key)
+	return ok
 }

@@ -148,12 +148,12 @@ func TestConcurrentMixConsistency(t *testing.T) {
 					localNO, localPay := 0, 0
 					var localPaid uint64
 					for i := 0; i < iters; i++ {
-						isNO, err := d.Step()
+						kind, err := d.Step()
 						if err != nil {
 							t.Errorf("step: %v", err)
 							return
 						}
-						if isNO {
+						if kind == TxNewOrder {
 							localNO++
 						} else {
 							localPay++
@@ -262,8 +262,8 @@ func TestMontageTPCCDurability(t *testing.T) {
 	rec := sys.CrashAndRecover()
 	// Count of live payloads: every table row that should exist.
 	// 20 items + 1 warehouse + 2 districts + 10 customers + 20 stock +
-	// 1 order + 1 neworder + 1 orderline = 56.
-	want := 20 + 1 + 2 + 10 + 20 + 1 + 1 + 1
+	// 1 order + 1 neworder + 1 orderline + 1 custorder = 57.
+	want := 20 + 1 + 2 + 10 + 20 + 1 + 1 + 1 + 1
 	if len(rec) != want {
 		t.Fatalf("recovered %d payloads, want %d", len(rec), want)
 	}

@@ -23,6 +23,13 @@ func DefaultScale() Scale {
 // errRowMissing indicates a corrupted load; it aborts without retry.
 var errRowMissing = errors.New("tpcc: row missing")
 
+// Initial year-to-date totals loaded per TPC-C (cents). The consistency
+// checks subtract these to recover the sum of committed payments.
+const (
+	InitWarehouseYTD = 30000000
+	InitDistrictYTD  = 3000000
+)
+
 // Load populates the database per TPC-C's initial state.
 func Load(b Backend, sc Scale) error {
 	w := b.NewWorker()
@@ -37,13 +44,13 @@ func Load(b Backend, sc Scale) error {
 	}
 	for wh := 1; wh <= sc.Warehouses; wh++ {
 		whu := uint64(wh)
-		h := aw.Put(Row{30000000, 100, 0, 0})
+		h := aw.Put(Row{InitWarehouseYTD, 100, 0, 0})
 		if err := w.Run(func(c Ctx) error { c.Put(TWarehouse, WarehouseKey(whu), h); return nil }); err != nil {
 			return err
 		}
 		for d := 1; d <= sc.Districts; d++ {
 			du := uint64(d)
-			dh := aw.Put(Row{3000000, 150, 1, 0}) // nextOID = 1
+			dh := aw.Put(Row{InitDistrictYTD, 150, 1, 1}) // nextOID = nextDeliveryOID = 1
 			if err := w.Run(func(c Ctx) error { c.Put(TDistrict, DistrictKey(whu, du), dh); return nil }); err != nil {
 				return err
 			}
@@ -89,7 +96,7 @@ func NewOrder(w Worker, whID, dID, cID uint64, items []OrderItem) error {
 		}
 		drow := dRow(c, dh)
 		oid := drow[2]
-		c.Put(TDistrict, dk, aw.Put(Row{drow[0], drow[1], oid + 1, 0}))
+		c.Put(TDistrict, dk, aw.Put(Row{drow[0], drow[1], oid + 1, drow[3]}))
 
 		if _, ok := c.Get(TWarehouse, WarehouseKey(whID)); !ok {
 			return fmt.Errorf("%w: warehouse %d", errRowMissing, whID)
@@ -101,6 +108,7 @@ func NewOrder(w Worker, whID, dID, cID uint64, items []OrderItem) error {
 		c.Insert(TOrder, OrderKey(whID, dID, oid),
 			aw.Put(Row{cID, uint64(len(items)), 0, 0}))
 		c.Insert(TNewOrder, OrderKey(whID, dID, oid), aw.Put(Row{}))
+		c.Put(TCustOrder, CustomerKey(whID, dID, cID), aw.Put(Row{oid, 0, 0, 0}))
 
 		for ol, it := range items {
 			ih, ok := c.Get(TItem, ItemKey(it.Item))
@@ -152,7 +160,7 @@ func Payment(w Worker, whID, dID, cID uint64, amount uint64) error {
 			return fmt.Errorf("%w: district %d/%d", errRowMissing, whID, dID)
 		}
 		drow := dRow(c, dh)
-		c.Put(TDistrict, dk, aw.Put(Row{drow[0] + amount, drow[1], drow[2], 0}))
+		c.Put(TDistrict, dk, aw.Put(Row{drow[0] + amount, drow[1], drow[2], drow[3]}))
 
 		ck := CustomerKey(whID, dID, cID)
 		ch, ok := c.Get(TCustomer, ck)
@@ -160,9 +168,153 @@ func Payment(w Worker, whID, dID, cID uint64, amount uint64) error {
 			return fmt.Errorf("%w: customer %d", errRowMissing, cID)
 		}
 		crow := dRow(c, ch)
-		c.Put(TCustomer, ck, aw.Put(Row{crow[0] - amount, crow[1] + amount, crow[2] + 1, 0}))
+		c.Put(TCustomer, ck, aw.Put(Row{crow[0] - amount, crow[1] + amount, crow[2] + 1, crow[3]}))
 		return nil
 	})
+}
+
+// Delivery executes the TPC-C delivery transaction for one warehouse: in a
+// single atomic transaction it delivers the oldest undelivered order in each
+// of the warehouse's districts — removing its new-order entry, stamping the
+// order with the carrier, crediting the order's total amount to the
+// customer's balance, and advancing the district's delivery cursor. It
+// returns how many districts had an order to deliver.
+func Delivery(w Worker, districts int, whID, carrier uint64) (int, error) {
+	aw := w.Writer()
+	delivered := 0
+	err := w.Run(func(c Ctx) error {
+		delivered = 0
+		for d := 1; d <= districts; d++ {
+			dID := uint64(d)
+			dk := DistrictKey(whID, dID)
+			dh, ok := c.Get(TDistrict, dk)
+			if !ok {
+				return fmt.Errorf("%w: district %d/%d", errRowMissing, whID, dID)
+			}
+			drow := dRow(c, dh)
+			oid := drow[3]
+			if oid >= drow[2] { // nothing undelivered in this district
+				continue
+			}
+			ok = c.Remove(TNewOrder, OrderKey(whID, dID, oid))
+			if !ok {
+				return fmt.Errorf("%w: new-order %d/%d/%d", errRowMissing, whID, dID, oid)
+			}
+			oh, ok := c.Get(TOrder, OrderKey(whID, dID, oid))
+			if !ok {
+				return fmt.Errorf("%w: order %d/%d/%d", errRowMissing, whID, dID, oid)
+			}
+			orow := dRow(c, oh)
+			var total uint64
+			for ol := uint64(0); ol < orow[1]; ol++ {
+				lh, ok := c.Get(TOrderLine, OrderLineKey(whID, dID, oid, ol))
+				if !ok {
+					return fmt.Errorf("%w: order line %d/%d/%d/%d", errRowMissing, whID, dID, oid, ol)
+				}
+				total += rowField(c, lh, 2)
+			}
+			c.Put(TOrder, OrderKey(whID, dID, oid),
+				aw.Put(Row{orow[0], orow[1], orow[2], carrier}))
+			ck := CustomerKey(whID, dID, orow[0])
+			ch, ok := c.Get(TCustomer, ck)
+			if !ok {
+				return fmt.Errorf("%w: customer %d/%d/%d", errRowMissing, whID, dID, orow[0])
+			}
+			crow := dRow(c, ch)
+			c.Put(TCustomer, ck, aw.Put(Row{crow[0] + total, crow[1], crow[2], crow[3] + 1}))
+			c.Put(TDistrict, dk, aw.Put(Row{drow[0], drow[1], drow[2], oid + 1}))
+			delivered++
+		}
+		return nil
+	})
+	return delivered, err
+}
+
+// OrderStatusResult is what the orderStatus transaction read.
+type OrderStatusResult struct {
+	Balance uint64
+	LastOID uint64 // 0 when the customer has never ordered
+	Lines   int
+}
+
+// OrderStatus executes the read-only TPC-C orderStatus transaction: report
+// a customer's balance and the line items of their most recent order.
+func OrderStatus(w Worker, whID, dID, cID uint64) (OrderStatusResult, error) {
+	var res OrderStatusResult
+	err := w.Run(func(c Ctx) error {
+		res = OrderStatusResult{}
+		ch, ok := c.Get(TCustomer, CustomerKey(whID, dID, cID))
+		if !ok {
+			return fmt.Errorf("%w: customer %d/%d/%d", errRowMissing, whID, dID, cID)
+		}
+		res.Balance = dRow(c, ch)[0]
+		loh, ok := c.Get(TCustOrder, CustomerKey(whID, dID, cID))
+		if !ok {
+			return nil // no order yet
+		}
+		oid := dRow(c, loh)[0]
+		res.LastOID = oid
+		oh, ok := c.Get(TOrder, OrderKey(whID, dID, oid))
+		if !ok {
+			return fmt.Errorf("%w: order %d/%d/%d", errRowMissing, whID, dID, oid)
+		}
+		olCnt := dRow(c, oh)[1]
+		for ol := uint64(0); ol < olCnt; ol++ {
+			if _, ok := c.Get(TOrderLine, OrderLineKey(whID, dID, oid, ol)); !ok {
+				return fmt.Errorf("%w: order line %d/%d/%d/%d", errRowMissing, whID, dID, oid, ol)
+			}
+			res.Lines++
+		}
+		return nil
+	})
+	return res, err
+}
+
+// StockLevel executes the read-only TPC-C stockLevel transaction: over the
+// district's most recent orders (up to the standard 20), count distinct
+// items whose stock quantity is below threshold.
+func StockLevel(w Worker, whID, dID, threshold uint64) (int, error) {
+	low := 0
+	err := w.Run(func(c Ctx) error {
+		low = 0
+		dh, ok := c.Get(TDistrict, DistrictKey(whID, dID))
+		if !ok {
+			return fmt.Errorf("%w: district %d/%d", errRowMissing, whID, dID)
+		}
+		next := dRow(c, dh)[2]
+		first := uint64(1)
+		if next > 21 {
+			first = next - 20
+		}
+		seen := make(map[uint64]bool)
+		for oid := first; oid < next; oid++ {
+			oh, ok := c.Get(TOrder, OrderKey(whID, dID, oid))
+			if !ok {
+				return fmt.Errorf("%w: order %d/%d/%d", errRowMissing, whID, dID, oid)
+			}
+			olCnt := dRow(c, oh)[1]
+			for ol := uint64(0); ol < olCnt; ol++ {
+				lh, ok := c.Get(TOrderLine, OrderLineKey(whID, dID, oid, ol))
+				if !ok {
+					return fmt.Errorf("%w: order line %d/%d/%d/%d", errRowMissing, whID, dID, oid, ol)
+				}
+				item := rowField(c, lh, 0)
+				if seen[item] {
+					continue
+				}
+				seen[item] = true
+				sh, ok := c.Get(TStock, StockKey(whID, item))
+				if !ok {
+					return fmt.Errorf("%w: stock %d/%d", errRowMissing, whID, item)
+				}
+				if rowField(c, sh, 0) < threshold {
+					low++
+				}
+			}
+		}
+		return nil
+	})
+	return low, err
 }
 
 // ctxArena recovers the arena through the worker-bound Ctx implementations;
@@ -186,24 +338,92 @@ func arenaOf(c Ctx) *Arena {
 	}
 }
 
-// Driver generates the paper's transaction mix: newOrder and payment 1:1.
+// TxKind identifies one of the five TPC-C transaction types.
+type TxKind int
+
+// The five TPC-C transaction kinds, in mix order.
+const (
+	TxNewOrder TxKind = iota
+	TxPayment
+	TxDelivery
+	TxOrderStatus
+	TxStockLevel
+	NumTxKinds
+)
+
+var txKindNames = [NumTxKinds]string{
+	"newOrder", "payment", "delivery", "orderStatus", "stockLevel",
+}
+
+// String returns the transaction's TPC-C name.
+func (k TxKind) String() string {
+	if k < 0 || k >= NumTxKinds {
+		return "unknown"
+	}
+	return txKindNames[k]
+}
+
+// MixWeights is the relative frequency of each transaction kind.
+type MixWeights [NumTxKinds]int
+
+// PaperMix is the paper's Section 6.1 mix: newOrder and payment 1:1,
+// following the DBx1000 methodology.
+func PaperMix() MixWeights { return MixWeights{50, 50, 0, 0, 0} }
+
+// FullMix is the standard TPC-C mix over all five transactions.
+func FullMix() MixWeights { return MixWeights{45, 43, 4, 4, 4} }
+
+// Driver generates a TPC-C transaction mix on one worker goroutine.
 type Driver struct {
-	sc  Scale
-	rng *rand.Rand
-	w   Worker
+	sc    Scale
+	rng   *rand.Rand
+	w     Worker
+	mix   MixWeights
+	total int
 }
 
-// NewDriver creates a per-goroutine driver.
+// NewDriver creates a per-goroutine driver running the paper's 1:1 mix.
 func NewDriver(b Backend, sc Scale, seed int64) *Driver {
-	return &Driver{sc: sc, rng: rand.New(rand.NewSource(seed)), w: b.NewWorker()}
+	return NewMixDriver(b, sc, seed, PaperMix())
 }
 
-// Step runs one transaction of the 1:1 mix and reports which kind ran.
-func (d *Driver) Step() (isNewOrder bool, err error) {
+// NewMixDriver creates a per-goroutine driver with an explicit mix.
+func NewMixDriver(b Backend, sc Scale, seed int64, mix MixWeights) *Driver {
+	total := 0
+	for _, w := range mix {
+		if w < 0 {
+			panic("tpcc: negative mix weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("tpcc: empty mix")
+	}
+	return &Driver{sc: sc, rng: rand.New(rand.NewSource(seed)), w: b.NewWorker(), mix: mix, total: total}
+}
+
+// Worker exposes the driver's worker, e.g. for StatsWorker assertions.
+func (d *Driver) Worker() Worker { return d.w }
+
+func (d *Driver) pick() TxKind {
+	n := d.rng.Intn(d.total)
+	for k, w := range d.mix {
+		if n < w {
+			return TxKind(k)
+		}
+		n -= w
+	}
+	panic("unreachable")
+}
+
+// Step runs one transaction of the mix and reports which kind ran.
+func (d *Driver) Step() (TxKind, error) {
+	kind := d.pick()
 	whID := uint64(d.rng.Intn(d.sc.Warehouses) + 1)
 	dID := uint64(d.rng.Intn(d.sc.Districts) + 1)
 	cID := uint64(d.rng.Intn(d.sc.Customers) + 1)
-	if d.rng.Intn(2) == 0 {
+	switch kind {
+	case TxNewOrder:
 		n := d.rng.Intn(11) + 5 // 5..15 lines per TPC-C
 		items := make([]OrderItem, n)
 		seen := map[uint64]bool{}
@@ -224,8 +444,20 @@ func (d *Driver) Step() (isNewOrder bool, err error) {
 			}
 			items[i] = OrderItem{Item: it, SupplyW: sw, Qty: uint64(d.rng.Intn(10) + 1)}
 		}
-		return true, NewOrder(d.w, whID, dID, cID, items)
+		return TxNewOrder, NewOrder(d.w, whID, dID, cID, items)
+	case TxPayment:
+		amount := uint64(d.rng.Intn(500000) + 100)
+		return TxPayment, Payment(d.w, whID, dID, cID, amount)
+	case TxDelivery:
+		carrier := uint64(d.rng.Intn(10) + 1)
+		_, err := Delivery(d.w, d.sc.Districts, whID, carrier)
+		return TxDelivery, err
+	case TxOrderStatus:
+		_, err := OrderStatus(d.w, whID, dID, cID)
+		return TxOrderStatus, err
+	default:
+		threshold := uint64(d.rng.Intn(11) + 10) // 10..20 per TPC-C
+		_, err := StockLevel(d.w, whID, dID, threshold)
+		return TxStockLevel, err
 	}
-	amount := uint64(d.rng.Intn(500000) + 100)
-	return false, Payment(d.w, whID, dID, cID, amount)
 }
