@@ -170,6 +170,13 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	if *targetFlag != "" {
+		if err := runOpenLoop(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		return 0
+	}
 	if *scenarioFlag != "" {
 		if err := runScenario(*scenarioFlag, threads); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,99 @@
+// Command medleyd serves the benchmark registry's transactional stores
+// over HTTP: POST /v1/batch executes a multi-key transaction through the
+// service pipeline (coalescing txpool, tick-batch execution, admission
+// control), GET /metrics exports the stack's counters, GET /healthz
+// reports liveness. See internal/service.
+//
+// Usage:
+//
+//	medleyd -listen :7654 -system medley-hash@8 -pool 4096 -tick 1ms
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"medley/internal/harness"
+	"medley/internal/service"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7654", "address to serve on")
+		system   = flag.String("system", "medley-hash@8", "system spec from the benchmark registry (see -list)")
+		list     = flag.Bool("list", false, "list registered systems and exit")
+		buckets  = flag.Int("buckets", 1<<16, "hash buckets for hash-structured systems")
+		keyRange = flag.Uint64("keyrange", 1<<20, "key range hint (sizes simulated NVM regions)")
+		pool     = flag.Int("pool", 4096, "txpool bound; arrivals beyond it are shed with 429")
+		tick     = flag.Duration("tick", time.Millisecond, "batch tick period")
+		batch    = flag.Int("batch", 0, "max requests drained per tick (0 = pool size)")
+		workers  = flag.Int("workers", 0, "executor goroutines per tick (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range harness.SystemNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	sys, err := harness.NewSystem(*system, harness.SystemOpts{
+		Buckets:  *buckets,
+		KeyRange: *keyRange,
+	})
+	if err != nil {
+		log.Fatalf("medleyd: %v", err)
+	}
+	be, ok := sys.(service.Backend)
+	if !ok {
+		log.Fatalf("medleyd: system %q does not support batch execution (no NewExecutor)", *system)
+	}
+
+	svc := service.New(be, service.Config{
+		PoolSize: *pool,
+		Tick:     *tick,
+		MaxBatch: *batch,
+		Workers:  *workers,
+	})
+	defer svc.Close()
+
+	srv := &http.Server{
+		Addr:         *listen,
+		Handler:      service.Handler(svc),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain: in-flight transactions
+	// finish, new ones get connection refused.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	cfg := svc.Config()
+	log.Printf("medleyd: serving %s on %s (pool=%d tick=%v batch=%d workers=%d)",
+		be.Name(), *listen, cfg.PoolSize, cfg.Tick, cfg.MaxBatch, cfg.Workers)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("medleyd: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("medleyd: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("medleyd: shutdown: %v", err)
+		}
+	}
+}

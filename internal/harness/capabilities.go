@@ -1,0 +1,151 @@
+package harness
+
+// This file is the single home of the optional capabilities a System may
+// implement beyond the core Preload/Start/NewWorker contract. The engine,
+// verifier and report writer never type-assert on systems directly; they
+// probe once with Capabilities and branch on the resulting Caps. Keeping
+// every capability here (instead of scattered next to each consumer) makes
+// the System surface auditable at a glance: a new system implements some
+// subset of these and gets the corresponding report blocks for free.
+//
+// Data types produced by the capabilities (Metric, KindStat,
+// ConsistencyViolation, ...) live with their diff/merge helpers in
+// telemetry.go; this file holds only the contracts.
+
+// TxStatser is implemented by systems that can report cumulative
+// commit/abort counters; the engine differences snapshots around each
+// phase to compute abort rates. Systems that cannot abort simply don't
+// implement it.
+type TxStatser interface {
+	TxStats() (commits, aborts uint64)
+}
+
+// PoolStatser is implemented by systems with recycling arenas (the
+// Medley KVSystem under pooling); the engine differences snapshots around
+// each phase to report pool hit rates in the memory block.
+type PoolStatser interface {
+	PoolStats() (gets, hits, retires uint64)
+}
+
+// FastPathStatser is implemented by systems whose commit protocol has the
+// tiered fast paths (the Medley KVSystem); the engine differences
+// snapshots around each phase to report what share of commits skipped the
+// descriptor handshake. ok must be false when the system runs no commit
+// protocol (a baseline executing outside transactions), in which case no
+// fastpath block is reported.
+type FastPathStatser interface {
+	FastPathStats() (readOnly, fastpath, commits uint64, ok bool)
+}
+
+// MetricsSnapshotter is implemented by systems that can export their
+// engine-level counters (commits by path, aborts by cause, pool traffic,
+// EBR reclamation) as a point-in-time snapshot. Snapshots are cumulative
+// since system construction; the engine differences two snapshots to
+// produce a phase's telemetry block, and the network service layer
+// (internal/service) serves the same snapshot from its /metrics endpoint.
+type MetricsSnapshotter interface {
+	MetricsSnapshot() []Metric
+}
+
+// ConsistencyChecker is implemented by systems whose workload maintains
+// domain invariants the engine can verify at quiescent points (the TPC-C
+// system checks the clause 3.3.2 conditions). The engine runs it after
+// each measured phase and after every crash phase.
+type ConsistencyChecker interface {
+	ConsistencyCheck() []ConsistencyViolation
+}
+
+// TxKindStatser is implemented by systems whose workers run a closed set of
+// transaction kinds (the TPC-C system's five transactions); the engine
+// differences snapshots around each phase to attribute throughput, aborts
+// and latency per kind. Snapshots are only read at phase barriers, where
+// workers are quiescent.
+type TxKindStatser interface {
+	TxKindStats() []KindStat
+}
+
+// Snapshotter is implemented by systems that can iterate their live
+// key→value state at a quiescent point. Scenarios with VerifyFinal set use
+// it to diff the final state against the journaled ground-truth model —
+// the transient-system counterpart of Recoverable.Snapshot.
+type Snapshotter interface {
+	StateSnapshot(fn func(key, val uint64) bool)
+}
+
+// Recoverable is the capability interface of systems whose committed
+// state survives a simulated power failure. The engine's crash phase
+// (engine.go) drives it: Persist, then CrashAndRecover under a timer, then
+// Snapshot for verification against the ground-truth model. Systems
+// without durable state simply don't implement it (Medley, TDSL, LFTT,
+// the plain structures) and the crash phase reports recoverable: false.
+type Recoverable interface {
+	// CanRecover reports whether this configuration actually persists
+	// (e.g. txMontage with persistence off implements the interface but
+	// cannot recover).
+	CanRecover() bool
+	// Persist makes every effect committed so far durable: an epoch sync
+	// for periodic persistence, a no-op for eager per-commit persistence.
+	Persist()
+	// CrashAndRecover simulates a full-system crash (volatile state lost,
+	// durable media kept) and rebuilds the system from the durable image,
+	// returning the number of recovered entries. Workers created before
+	// the crash are invalid afterwards; the engine creates workers fresh
+	// per phase.
+	CrashAndRecover() int
+	// Snapshot iterates the live key→value state. The engine calls it
+	// only at phase barriers, where it is exact.
+	Snapshot(fn func(key, val uint64) bool)
+}
+
+// ShardCounter is the capability interface of systems whose store is
+// hash-partitioned; the engine reports the shard count per record.
+// Systems that don't implement it are single-instance (shard count 1).
+type ShardCounter interface {
+	ShardCount() int
+}
+
+// Caps is the result of probing a System for its optional capabilities:
+// each field is the system viewed through one capability interface, nil
+// when unimplemented. Probe once with Capabilities and branch on fields.
+type Caps struct {
+	TxStats     TxStatser
+	PoolStats   PoolStatser
+	FastPaths   FastPathStatser
+	Metrics     MetricsSnapshotter
+	Consistency ConsistencyChecker
+	Kinds       TxKindStatser
+	Snapshot    Snapshotter
+	Recovery    Recoverable
+	Shards      ShardCounter
+}
+
+// Capabilities probes sys for every optional capability in one place.
+func Capabilities(sys System) Caps {
+	var c Caps
+	c.TxStats, _ = sys.(TxStatser)
+	c.PoolStats, _ = sys.(PoolStatser)
+	c.FastPaths, _ = sys.(FastPathStatser)
+	c.Metrics, _ = sys.(MetricsSnapshotter)
+	c.Consistency, _ = sys.(ConsistencyChecker)
+	c.Kinds, _ = sys.(TxKindStatser)
+	c.Snapshot, _ = sys.(Snapshotter)
+	c.Recovery, _ = sys.(Recoverable)
+	c.Shards, _ = sys.(ShardCounter)
+	return c
+}
+
+// ShardCount reports the store partition count: the ShardCounter value
+// when present, 1 otherwise (single-instance systems, including the
+// competitors that cannot shard — see internal/kv).
+func (c Caps) ShardCount() int {
+	if c.Shards != nil {
+		return c.Shards.ShardCount()
+	}
+	return 1
+}
+
+// CanRecover reports whether the system both implements Recoverable and
+// is configured to actually persist.
+func (c Caps) CanRecover() bool {
+	return c.Recovery != nil && c.Recovery.CanRecover()
+}

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"errors"
+
+	"medley/internal/kv"
+)
+
+// This file is the driver seam of the open-loop benchmark path: a Driver
+// abstracts how generated load reaches the system under test, so the same
+// scenario runs unchanged against an in-process store (NewInProcDriver)
+// and against a medleyd server over the wire (the HTTP client driver in
+// internal/service). The open-loop engine (openloop.go) only ever talks to
+// this interface.
+
+// ErrOverload is the sentinel a DriverSession returns when the service
+// shed the request at admission (bounded txpool full; HTTP 429 on the
+// wire). The open-loop engine counts shed requests separately from
+// errors: shedding under overload is the admission control working, not a
+// failure.
+var ErrOverload = errors.New("harness: request shed by admission control")
+
+// Driver provisions the system under test and hands out sessions. Start,
+// Preload and Close are called once per run, from one goroutine;
+// NewSession is called once per sender goroutine.
+type Driver interface {
+	// Kind names the transport for reports: "inproc" or "http".
+	Kind() string
+	// System names the system under test for reports (e.g.
+	// "medley-hash-8shard"); valid after Start.
+	System() string
+	// Start brings the backend up (starts maintenance for an in-process
+	// system; verifies connectivity for a remote one).
+	Start() error
+	// Preload installs the initial keys (key == value), exactly like
+	// System.Preload.
+	Preload(keys []uint64) error
+	// NewSession creates one sender's session. Sessions are goroutine-
+	// bound: only the goroutine that first calls Do may keep calling it.
+	NewSession() (DriverSession, error)
+	// Close tears down whatever Start brought up.
+	Close() error
+}
+
+// DriverSession executes batch requests for one sender goroutine.
+type DriverSession interface {
+	// Do executes ops as one atomic transaction, filling res[i] per op
+	// when res is non-nil (len(res) must equal len(ops) then). It returns
+	// ErrOverload when the service shed the request, any other non-nil
+	// error for transport or server failures.
+	Do(ops []kv.Op, res []kv.Result) error
+	// Close releases the session.
+	Close() error
+}
+
+// ExecutorSystem is the capability a System needs for in-process driving:
+// handing out per-goroutine batch executors (KVSystem implements it).
+type ExecutorSystem interface {
+	System
+	NewExecutor() kv.Executor
+}
+
+// InProcDriver drives an ExecutorSystem directly: no pool, no tick loop,
+// no wire — one kv.Executor per session. It is the zero-transport
+// baseline that isolates what the service layer (queueing, coalescing,
+// HTTP) adds on top of raw store latency.
+type InProcDriver struct {
+	sys  ExecutorSystem
+	stop func()
+}
+
+// NewInProcDriver wraps sys; Start/Close manage its lifecycle.
+func NewInProcDriver(sys ExecutorSystem) *InProcDriver {
+	return &InProcDriver{sys: sys}
+}
+
+// Kind implements Driver.
+func (d *InProcDriver) Kind() string { return "inproc" }
+
+// System implements Driver.
+func (d *InProcDriver) System() string { return d.sys.Name() }
+
+// Start implements Driver.
+func (d *InProcDriver) Start() error {
+	d.stop = d.sys.Start()
+	return nil
+}
+
+// Preload implements Driver.
+func (d *InProcDriver) Preload(keys []uint64) error {
+	d.sys.Preload(keys)
+	return nil
+}
+
+// NewSession implements Driver. The executor is created lazily on the
+// session's first Do, because executors are bound to the goroutine that
+// creates them and NewSession runs on the engine's goroutine.
+func (d *InProcDriver) NewSession() (DriverSession, error) {
+	return &inprocSession{sys: d.sys}, nil
+}
+
+// ShardCount implements ShardCounter when the underlying system does.
+func (d *InProcDriver) ShardCount() int {
+	return Capabilities(d.sys).ShardCount()
+}
+
+// Close implements Driver.
+func (d *InProcDriver) Close() error {
+	if d.stop != nil {
+		d.stop()
+		d.stop = nil
+	}
+	return nil
+}
+
+type inprocSession struct {
+	sys ExecutorSystem
+	ex  kv.Executor
+}
+
+func (s *inprocSession) Do(ops []kv.Op, res []kv.Result) error {
+	if s.ex == nil {
+		s.ex = s.sys.NewExecutor()
+	}
+	return s.ex.ExecBatch(ops, res)
+}
+
+func (s *inprocSession) Close() error { return nil }
+
+// KvOps translates harness ops into the kv batch request API — the
+// adapter between the scenario generators (which speak harness Op) and
+// the Driver seam (which speaks kv.Op). dst is reused; the returned slice
+// aliases it.
+func KvOps(dst []kv.Op, ops []Op) []kv.Op {
+	dst = dst[:0]
+	for _, op := range ops {
+		dst = append(dst, kv.Op{Kind: kvKind(op.Kind), Key: op.Key, Val: op.Val})
+	}
+	return dst
+}

@@ -15,31 +15,6 @@ import (
 // counter and latency sample kept in a per-worker shard so that the
 // harness adds no shared-memory traffic of its own to the measurement.
 
-// TxStatser is implemented by systems that can report cumulative
-// commit/abort counters; the engine differences snapshots around each
-// phase to compute abort rates. Systems that cannot abort simply don't
-// implement it.
-type TxStatser interface {
-	TxStats() (commits, aborts uint64)
-}
-
-// PoolStatser is implemented by systems with recycling arenas (the
-// Medley KVSystem under pooling); the engine differences snapshots around
-// each phase to report pool hit rates in the memory block.
-type PoolStatser interface {
-	PoolStats() (gets, hits, retires uint64)
-}
-
-// FastPathStatser is implemented by systems whose commit protocol has the
-// tiered fast paths (the Medley KVSystem); the engine differences
-// snapshots around each phase to report what share of commits skipped the
-// descriptor handshake. ok must be false when the system runs no commit
-// protocol (a baseline executing outside transactions), in which case no
-// fastpath block is reported.
-type FastPathStatser interface {
-	FastPathStats() (readOnly, fastpath, commits uint64, ok bool)
-}
-
 // FastpathResult is the commit fast-path digest of one phase: how many
 // commits took the read-only elision, how many took any fast path
 // (read-only + single-write), and the share of all commits that is.
@@ -242,18 +217,20 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 	if sc.WorkersPerThread > 1 {
 		workers = cfg.Threads * sc.WorkersPerThread
 	}
+	// Every optional capability is probed once, here; the phase loop and
+	// the verifier branch on the fields (see capabilities.go).
+	caps := Capabilities(sys)
 	// Crash scenarios verify recovered state against a ground-truth model
 	// of committed operations; see verify.go for the partitioning that
 	// makes the model exact. VerifyFinal scenarios journal on every system
 	// and diff the live end-of-run state instead of a recovered one.
-	rec, _ := sys.(Recoverable)
 	var vs *verifyState
 	if sc.HasCrash() || sc.VerifyFinal {
 		if cfg.KeyRange < uint64(workers) {
 			cfg.KeyRange = uint64(workers)
 		}
 		vs = &verifyState{partition: true}
-		if sc.VerifyFinal || (rec != nil && rec.CanRecover()) {
+		if sc.VerifyFinal || caps.CanRecover() {
 			vs.journal = true
 			vs.model = make(map[uint64]modelVal, cfg.Preload)
 		}
@@ -288,10 +265,7 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 		totalWeight = 1
 	}
 
-	res := ScenarioResult{Scenario: sc.Name, System: sys.Name(), Threads: cfg.Threads, Shards: 1}
-	if sc2, ok := sys.(ShardCounter); ok {
-		res.Shards = sc2.ShardCount()
-	}
+	res := ScenarioResult{Scenario: sc.Name, System: sys.Name(), Threads: cfg.Threads, Shards: caps.ShardCount()}
 	var agg PhaseResult
 	agg.Phase = "measured"
 	var parts []phaseSamples
@@ -302,12 +276,11 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 		}
 	}
 
-	checker, hasCheck := sys.(ConsistencyChecker)
 	for pi, ph := range sc.Phases {
 		if ph.Kind == PhaseCrash {
-			pr, rr := runCrashPhase(rec, vs, ph)
-			if hasCheck {
-				pr.Consistency = consistencyResult(checker.ConsistencyCheck())
+			pr, rr := runCrashPhase(caps.Recovery, vs, ph)
+			if caps.Consistency != nil {
+				pr.Consistency = consistencyResult(caps.Consistency.ConsistencyCheck())
 			}
 			res.Phases = append(res.Phases, pr)
 			if res.Recovery == nil {
@@ -322,9 +295,9 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 			w = 1
 		}
 		d := time.Duration(float64(cfg.Duration) * w / totalWeight)
-		pr, samples := runPhase(sys, sc, ph, pi, cfg, workers, d, vs)
-		if hasCheck && ph.Measure {
-			pr.Consistency = consistencyResult(checker.ConsistencyCheck())
+		pr, samples := runPhase(sys, caps, sc, ph, pi, cfg, workers, d, vs)
+		if caps.Consistency != nil && ph.Measure {
+			pr.Consistency = consistencyResult(caps.Consistency.ConsistencyCheck())
 		}
 		res.Phases = append(res.Phases, pr)
 		if ph.Measure || !anyMeasured {
@@ -388,7 +361,7 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 	finishAggregate(&agg, parts)
 	res.Measured = agg
 	if sc.VerifyFinal {
-		res.FinalCheck = runFinalCheck(sys, vs)
+		res.FinalCheck = runFinalCheck(caps, vs)
 	}
 	return res
 }
@@ -399,33 +372,27 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 // scenarios (vs non-nil) write keys are partitioned per worker and, when
 // journaling, committed effects are merged into the ground-truth model at
 // the phase barrier.
-func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig, workers int, d time.Duration, vs *verifyState) (PhaseResult, []int64) {
+func runPhase(sys System, caps Caps, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig, workers int, d time.Duration, vs *verifyState) (PhaseResult, []int64) {
 	var aborts0 uint64
-	statser, hasStats := sys.(TxStatser)
-	if hasStats {
-		_, aborts0 = statser.TxStats()
+	if caps.TxStats != nil {
+		_, aborts0 = caps.TxStats.TxStats()
 	}
 	var pg0, ph0, pr0 uint64
-	pooler, hasPool := sys.(PoolStatser)
-	if hasPool {
-		pg0, ph0, pr0 = pooler.PoolStats()
+	if caps.PoolStats != nil {
+		pg0, ph0, pr0 = caps.PoolStats.PoolStats()
 	}
 	var ro0, fp0, cm0 uint64
-	fastpather, hasFast := sys.(FastPathStatser)
-	if hasFast {
-		var ok bool
-		ro0, fp0, cm0, ok = fastpather.FastPathStats()
-		hasFast = ok
+	hasFast := false
+	if caps.FastPaths != nil {
+		ro0, fp0, cm0, hasFast = caps.FastPaths.FastPathStats()
 	}
 	var met0 []Metric
-	snapper, hasSnap := sys.(MetricsSnapshotter)
-	if hasSnap {
-		met0 = snapper.MetricsSnapshot()
+	if caps.Metrics != nil {
+		met0 = caps.Metrics.MetricsSnapshot()
 	}
 	var kin0 []KindStat
-	kinder, hasKinds := sys.(TxKindStatser)
-	if hasKinds {
-		kin0 = kinder.TxKindStats()
+	if caps.Kinds != nil {
+		kin0 = caps.Kinds.TxKindStats()
 	}
 	mem0 := readMemSample()
 
@@ -503,13 +470,13 @@ func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig,
 		samples = append(samples, s.samples...)
 	}
 	var pg, phits, pret uint64
-	if hasPool {
-		pg1, ph1, pr1 := pooler.PoolStats()
+	if caps.PoolStats != nil {
+		pg1, ph1, pr1 := caps.PoolStats.PoolStats()
 		pg, phits, pret = pg1-pg0, ph1-ph0, pr1-pr0
 	}
 	pr.Memory = memoryResult(mem0, mem1, pr.Ops, pg, phits, pret)
 	if hasFast {
-		ro1, fp1, cm1, _ := fastpather.FastPathStats()
+		ro1, fp1, cm1, _ := caps.FastPaths.FastPathStats()
 		fp := &FastpathResult{
 			ReadOnlyCommits: ro1 - ro0,
 			FastPathCommits: fp1 - fp0,
@@ -527,16 +494,16 @@ func runPhase(sys System, sc Scenario, ph Phase, phaseIdx int, cfg EngineConfig,
 			vs.model[k] = v
 		}
 	}
-	if hasStats {
-		_, aborts1 := statser.TxStats()
+	if caps.TxStats != nil {
+		_, aborts1 := caps.TxStats.TxStats()
 		pr.Aborts = aborts1 - aborts0
 	}
-	if hasSnap {
-		counters := diffMetrics(met0, snapper.MetricsSnapshot())
+	if caps.Metrics != nil {
+		counters := diffMetrics(met0, caps.Metrics.MetricsSnapshot())
 		pr.Telemetry = &TelemetryResult{Counters: counters, Gauges: deriveGauges(counters)}
 	}
-	if hasKinds {
-		pr.Kinds = diffKinds(kin0, kinder.TxKindStats())
+	if caps.Kinds != nil {
+		pr.Kinds = diffKinds(kin0, caps.Kinds.TxKindStats())
 	}
 	finishPhaseResult(&pr, samples)
 	return pr, samples

@@ -256,19 +256,33 @@ func (s *KVSystem) Preload(keys []uint64) {
 }
 
 // kvWorker drives a bound TxMap; it is the worker of KVSystem and
-// MontageSystem both.
+// MontageSystem both, and doubles as the kv.Executor behind NewExecutor.
+// Harness ops are translated into the kv batch request API and executed
+// through kv.Apply — the same shard-grouped routing path the network
+// service's tick executor uses.
 type kvWorker struct {
-	m       kv.TxMap
-	tx      *core.Tx // nil: execute outside transactions
-	h       *ebr.Handle
-	batcher kv.Batcher // non-nil when m batches (sharded stores)
+	m  kv.TxMap
+	tx *core.Tx // nil: execute outside transactions
+	h  *ebr.Handle
 
-	keys, vals []uint64 // batch scratch
-	oks        []bool
+	kops []kv.Op // translation scratch, reused across transactions
 }
 
 // NewWorker implements System.
 func (s *KVSystem) NewWorker() Worker {
+	return s.newWorker()
+}
+
+// NewExecutor implements the backend seam of the network service layer
+// (internal/service): a per-goroutine kv.Executor running batch requests
+// as atomic transactions over the same store, transaction registration and
+// EBR guard as the benchmark workers. Call it on the goroutine that will
+// execute (the Tx and handle are goroutine-bound).
+func (s *KVSystem) NewExecutor() kv.Executor {
+	return s.newWorker()
+}
+
+func (s *KVSystem) newWorker() *kvWorker {
 	if s.notx {
 		return &kvWorker{m: kv.Bind(s.m, nil)}
 	}
@@ -279,90 +293,87 @@ func (s *KVSystem) NewWorker() Worker {
 		tx.SetSMR(w.h)
 	}
 	w.m = kv.Bind(s.m, tx)
-	w.batcher, _ = w.m.(kv.Batcher)
 	return w
 }
 
 func (w *kvWorker) Do(ops []Op) {
+	w.kops = w.kops[:0]
+	for _, op := range ops {
+		w.kops = append(w.kops, kv.Op{Kind: kvKind(op.Kind), Key: op.Key, Val: op.Val})
+	}
+	_ = w.ExecBatch(w.kops, nil)
+}
+
+// ExecBatch implements kv.Executor: one atomic transaction around the
+// keyed operations of the batch, conflict aborts retried internally
+// (baselines without a transaction execute directly). It never fails.
+//
+// Scans are hoisted out of the transaction and run after it commits: Range
+// is non-linearizable by contract, and its raw loads finalize any pending
+// descriptor they meet — a scan inside the transaction that installed the
+// descriptor would abort its own speculation on every retry and livelock.
+func (w *kvWorker) ExecBatch(ops []kv.Op, res []kv.Result) error {
 	if w.tx == nil {
-		w.exec(ops)
-		return
-	}
-	if w.h != nil {
-		w.h.Enter()
-	}
-	_ = w.tx.RunRetry(func() error {
-		w.exec(ops)
+		kv.Apply(nil, w.m, ops, res)
 		return nil
-	})
-	if w.h != nil {
-		w.h.Exit()
 	}
-}
-
-// exec applies ops through the TxMap. Runs of same-kind point ops are
-// grouped through the Batcher when the store has one, cutting per-op
-// shard dispatch on multi-key compositions (transfer, order).
-func (w *kvWorker) exec(ops []Op) {
-	if w.batcher == nil {
-		for _, op := range ops {
-			w.execOne(op)
-		}
-		return
-	}
-	for i := 0; i < len(ops); {
-		kind := ops[i].Kind
-		j := i + 1
-		for j < len(ops) && ops[j].Kind == kind {
-			j++
-		}
-		if j-i > 1 && (kind == OpGet || kind == OpInsert) {
-			w.keys = w.keys[:0]
-			w.vals = w.vals[:0]
-			for _, op := range ops[i:j] {
-				w.keys = append(w.keys, op.Key)
-				w.vals = append(w.vals, op.Val)
-			}
-			if kind == OpGet {
-				if cap(w.oks) < len(w.keys) {
-					w.oks = make([]bool, len(w.keys))
-				}
-				w.oks = w.oks[:len(w.keys)]
-				w.batcher.GetBatch(w.tx, w.keys, w.vals, w.oks)
-			} else {
-				w.batcher.PutBatch(w.tx, w.keys, w.vals)
-			}
+	keyed, scans := false, false
+	for i := range ops {
+		if ops[i].Kind == kv.OpScan {
+			scans = true
 		} else {
-			for _, op := range ops[i:j] {
-				w.execOne(op)
+			keyed = true
+		}
+	}
+	if keyed {
+		if w.h != nil {
+			w.h.Enter()
+		}
+		_ = w.tx.RunRetry(func() error {
+			if !scans {
+				kv.Apply(w.tx, w.m, ops, res)
+				return nil
+			}
+			for i := range ops {
+				if ops[i].Kind == kv.OpScan {
+					continue
+				}
+				r := kv.ApplyOne(w.tx, w.m, ops[i])
+				if res != nil {
+					res[i] = r
+				}
+			}
+			return nil
+		})
+		if w.h != nil {
+			w.h.Exit()
+		}
+	}
+	if scans {
+		for i := range ops {
+			if ops[i].Kind != kv.OpScan {
+				continue
+			}
+			r := kv.ApplyOne(nil, w.m, ops[i])
+			if res != nil {
+				res[i] = r
 			}
 		}
-		i = j
 	}
+	return nil
 }
 
-func (w *kvWorker) execOne(op Op) {
-	switch op.Kind {
+// kvKind maps a harness op kind onto the kv batch request API.
+func kvKind(k OpKind) kv.OpKind {
+	switch k {
 	case OpGet:
-		w.m.Get(w.tx, op.Key)
+		return kv.OpGet
 	case OpInsert:
-		w.m.Put(w.tx, op.Key, op.Val)
+		return kv.OpPut
 	case OpRemove:
-		w.m.Remove(w.tx, op.Key)
+		return kv.OpDelete
 	case OpRange:
-		scanMap(w.m, op)
+		return kv.OpScan
 	}
-}
-
-// scanMap runs one bounded range scan: up to op.Val entries of the
-// structure's native (non-linearizable) iteration order.
-func scanMap(m kv.TxMap, op Op) {
-	n := int(op.Val)
-	if n <= 0 {
-		return
-	}
-	m.Range(func(_, _ uint64) bool {
-		n--
-		return n > 0
-	})
+	return kv.OpGet
 }

@@ -1,0 +1,296 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"medley/internal/kv"
+)
+
+// This file is the open-loop half of the workload engine. The closed-loop
+// engine (engine.go) measures capacity: N workers issue back-to-back
+// transactions and throughput is whatever the system sustains. A service
+// answers a different question — what latency do clients see at a given
+// *offered* load — and a closed loop cannot ask it: when the system slows
+// down, closed-loop clients slow down with it, silently shrinking the
+// offered load and hiding the queueing delay real arrivals would have
+// seen (coordinated omission). Here arrivals are a Poisson process at a
+// configured rate, independent of completions, and every latency is
+// measured from the transaction's *scheduled arrival time*, so time spent
+// queueing behind a slow system is charged to the system, not forgiven.
+
+// OpenLoopConfig parameterizes one open-loop run: a sweep of offered
+// rates over one driver.
+type OpenLoopConfig struct {
+	// Rates is the offered-load sweep, in transactions per second; each
+	// rate runs for Duration and becomes one phase of the result.
+	Rates    []float64
+	Duration time.Duration
+
+	// MaxInFlight bounds concurrent outstanding requests (sender
+	// sessions); default 64. Together with QueueDepth it is the client's
+	// own admission bound: arrivals that find the dispatch queue full are
+	// counted as Dropped rather than stalling the arrival process.
+	MaxInFlight int
+	// QueueDepth is the dispatch queue between the arrival process and
+	// the senders; default 2 * MaxInFlight.
+	QueueDepth int
+
+	KeyRange uint64
+	Preload  int
+	Seed     int64
+	Mix      Mix
+	Dist     Dist
+
+	// MaxLatencySamples bounds each sender's latency reservoir per rate
+	// step (default 4096).
+	MaxLatencySamples int
+}
+
+// OpenLoopPhase is the measurement of one offered-rate step.
+type OpenLoopPhase struct {
+	TargetRate  float64 // configured arrival rate, txn/s
+	OfferedRate float64 // arrivals actually generated / elapsed
+	Offered     uint64  // arrivals generated (dispatched + dropped)
+	Completed   uint64  // transactions executed and acknowledged
+	Shed        uint64  // rejected by the service's admission control
+	Errors      uint64  // transport or server failures
+	Dropped     uint64  // arrivals dropped at the full client queue
+	Ops         uint64  // operations inside completed transactions
+	Elapsed     time.Duration
+	Goodput     float64 // Completed / Elapsed, txn/s
+
+	// Latency percentiles over completed transactions, measured from the
+	// scheduled arrival time (coordinated-omission-free).
+	AvgNs  float64
+	P50Ns  float64
+	P99Ns  float64
+	P999Ns float64
+
+	// Memory is the step's memory digest. It samples this process — the
+	// client side when the driver targets a remote server.
+	Memory *MemoryResult
+}
+
+// OpenLoopResult is one driver's sweep.
+type OpenLoopResult struct {
+	Driver string // driver kind: "inproc" or "http"
+	System string // system under test
+	Shards int    // store partitions, 1 when the driver cannot tell
+	Phases []OpenLoopPhase
+}
+
+// RunOpenLoop executes the configured rate sweep against d: start,
+// preload once, then one step per rate. Steps reuse the driver's backend,
+// so later steps see the working set earlier steps left behind — exactly
+// like phases of a closed-loop scenario.
+func RunOpenLoop(d Driver, cfg OpenLoopConfig) (OpenLoopResult, error) {
+	if len(cfg.Rates) == 0 {
+		return OpenLoopResult{}, fmt.Errorf("open-loop: no rates configured")
+	}
+	for _, r := range cfg.Rates {
+		if r <= 0 {
+			return OpenLoopResult{}, fmt.Errorf("open-loop: non-positive rate %v", r)
+		}
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.MaxInFlight
+	}
+	if cfg.MaxLatencySamples <= 0 {
+		cfg.MaxLatencySamples = 4096
+	}
+	if cfg.KeyRange == 0 {
+		cfg.KeyRange = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if err := d.Start(); err != nil {
+		return OpenLoopResult{}, fmt.Errorf("open-loop: start: %w", err)
+	}
+	defer d.Close()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	keys := make([]uint64, cfg.Preload)
+	for i := range keys {
+		keys[i] = uint64(rng.Int63n(int64(cfg.KeyRange)))
+	}
+	if err := d.Preload(keys); err != nil {
+		return OpenLoopResult{}, fmt.Errorf("open-loop: preload: %w", err)
+	}
+
+	res := OpenLoopResult{Driver: d.Kind(), System: d.System(), Shards: 1}
+	if sc, ok := d.(ShardCounter); ok {
+		res.Shards = sc.ShardCount()
+	}
+	for i, rate := range cfg.Rates {
+		ph, err := runOpenLoopStep(d, cfg, rate, i)
+		if err != nil {
+			return res, err
+		}
+		res.Phases = append(res.Phases, ph)
+	}
+	return res, nil
+}
+
+// olReq is one scheduled transaction: its operations and the arrival time
+// the Poisson process assigned it. Latency is measured from sched.
+type olReq struct {
+	ops   []kv.Op
+	sched time.Time
+}
+
+// olSender is one sender goroutine's counters and latency reservoir,
+// padded like workerShard so concurrent senders never share a line.
+type olSender struct {
+	completed uint64
+	shed      uint64
+	errors    uint64
+	ops       uint64
+	samples   []int64
+	seen      int64
+	r         *rand.Rand
+	_         [40]byte
+}
+
+func (s *olSender) record(d time.Duration, max int) {
+	s.seen++
+	if len(s.samples) < max {
+		s.samples = append(s.samples, int64(d))
+		return
+	}
+	if j := s.r.Int63n(s.seen); j < int64(max) {
+		s.samples[j] = int64(d)
+	}
+}
+
+// runOpenLoopStep runs one offered-rate step: a dispatcher goroutine
+// generates Poisson arrivals into a bounded queue; MaxInFlight senders
+// drain it, one driver session each.
+func runOpenLoopStep(d Driver, cfg OpenLoopConfig, rate float64, step int) (OpenLoopPhase, error) {
+	work := make(chan olReq, cfg.QueueDepth)
+	senders := make([]*olSender, cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	var sessErr error
+	var sessErrOnce sync.Once
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		seed := cfg.Seed + int64(step)*104729 + int64(i)*7919
+		s := &olSender{r: rand.New(rand.NewSource(seed ^ 0x5DEECE66D))}
+		senders[i] = s
+		sess, err := d.NewSession()
+		if err != nil {
+			close(work)
+			return OpenLoopPhase{}, fmt.Errorf("open-loop: session: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer sess.Close()
+			for req := range work {
+				err := sess.Do(req.ops, nil)
+				lat := time.Since(req.sched)
+				switch {
+				case err == nil:
+					s.completed++
+					s.ops += uint64(len(req.ops))
+					s.record(lat, cfg.MaxLatencySamples)
+				case err == ErrOverload:
+					s.shed++
+				default:
+					s.errors++
+					sessErrOnce.Do(func() { sessErr = err })
+				}
+			}
+		}()
+	}
+
+	mem0 := readMemSample()
+	gen := NewTxGen(cfg.Dist, cfg.KeyRange, cfg.Mix, cfg.Seed+int64(step)*15485863)
+	arr := rand.New(rand.NewSource(cfg.Seed + int64(step)*32452843))
+	var offered, dropped uint64
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	next := start
+	for {
+		// Poisson arrivals: exponential interarrival at the target rate.
+		// When the dispatcher falls behind (sleep overshoot, queue
+		// contention) it does not re-derive the schedule from "now" —
+		// catching up preserves the arrival count an open loop owes.
+		next = next.Add(time.Duration(arr.ExpFloat64() / rate * float64(time.Second)))
+		if next.After(deadline) {
+			break
+		}
+		if wait := time.Until(next); wait > 0 {
+			time.Sleep(wait)
+		}
+		ops := KvOps(nil, gen.Next())
+		offered++
+		select {
+		case work <- olReq{ops: ops, sched: next}:
+		default:
+			dropped++
+		}
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+	mem1 := readMemSample()
+
+	ph := OpenLoopPhase{
+		TargetRate: rate,
+		Offered:    offered,
+		Dropped:    dropped,
+		Elapsed:    elapsed,
+	}
+	var samples []int64
+	for _, s := range senders {
+		ph.Completed += s.completed
+		ph.Shed += s.shed
+		ph.Errors += s.errors
+		ph.Ops += s.ops
+		samples = append(samples, s.samples...)
+	}
+	if elapsed > 0 {
+		ph.OfferedRate = float64(offered) / elapsed.Seconds()
+		ph.Goodput = float64(ph.Completed) / elapsed.Seconds()
+	}
+	if len(samples) > 0 {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		var sum int64
+		for _, s := range samples {
+			sum += s
+		}
+		ph.AvgNs = float64(sum) / float64(len(samples))
+		ph.P50Ns = float64(permille(samples, 500))
+		ph.P99Ns = float64(permille(samples, 990))
+		ph.P999Ns = float64(permille(samples, 999))
+	}
+	ph.Memory = memoryResult(mem0, mem1, ph.Ops, 0, 0, 0)
+	if ph.Completed == 0 && sessErr != nil {
+		return ph, fmt.Errorf("open-loop: no transaction completed at rate %v: %w", rate, sessErr)
+	}
+	return ph, nil
+}
+
+// permille is nearest-rank over a sorted slice, in tenths of a percent —
+// the open-loop tail needs p99.9, which the percent-grained percentile
+// helper cannot express.
+func permille(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 999) / 1000
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

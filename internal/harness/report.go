@@ -2,6 +2,7 @@ package harness
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"runtime"
 	"time"
@@ -126,6 +127,26 @@ type FinalCheckRecord struct {
 	Violations       uint64 `json:"state_violations"`
 }
 
+// ServiceRecord is the open-loop service digest of one record: how the
+// offered load was disposed of (completed, shed by admission control,
+// failed, dropped at the client queue) and the tail the completions saw.
+// Latencies in the parent record are measured from each transaction's
+// scheduled arrival time, so queueing delay under overload is charged to
+// the system (no coordinated omission). Present on records produced by
+// the open-loop driver path (AddOpenLoop).
+type ServiceRecord struct {
+	Driver        string  `json:"driver"` // "inproc" or "http"
+	TargetRate    float64 `json:"target_rate_txn_per_sec"`
+	OfferedRate   float64 `json:"offered_rate_txn_per_sec"`
+	OfferedTxns   uint64  `json:"offered_txns"`
+	CompletedTxns uint64  `json:"completed_txns"`
+	ShedTxns      uint64  `json:"shed_txns"`
+	ErrorTxns     uint64  `json:"error_txns"`
+	DroppedTxns   uint64  `json:"dropped_txns"`
+	Goodput       float64 `json:"goodput_txn_per_sec"`
+	P999Ns        float64 `json:"p999_ns"`
+}
+
 // Record is one (system, scenario, phase, thread count) measurement.
 type Record struct {
 	System    string         `json:"system"`
@@ -157,6 +178,8 @@ type Record struct {
 	// FinalCheck is present only on the measured aggregate record of
 	// VerifyFinal scenarios.
 	FinalCheck *FinalCheckRecord `json:"final_check,omitempty"`
+	// Service is present on open-loop records (AddOpenLoop).
+	Service *ServiceRecord `json:"service,omitempty"`
 }
 
 // ReportConfig echoes the run parameters into the report so a stored
@@ -215,6 +238,46 @@ func (rep *Report) Add(res ScenarioResult) {
 		}
 	}
 	rep.Results = append(rep.Results, rec)
+}
+
+// AddOpenLoop converts an open-loop sweep into records: one per rate
+// step, phase "rate-<target>", with the service block carrying the
+// open-loop disposition. The shared fields keep their closed-loop
+// meaning where one exists (txns = completed transactions,
+// throughput = goodput); threads reports the in-flight bound, the
+// open-loop analogue of the worker count.
+func (rep *Report) AddOpenLoop(res OpenLoopResult, scenario string, inFlight int) {
+	shards := res.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	for _, ph := range res.Phases {
+		var mem *MemoryRecord
+		if ph.Memory != nil {
+			mem = &MemoryRecord{
+				AllocsPerOp: ph.Memory.AllocsPerOp, BytesPerOp: ph.Memory.BytesPerOp,
+				TotalAllocs: ph.Memory.TotalAllocs, TotalBytes: ph.Memory.TotalBytes,
+				GCPauseNs: ph.Memory.GCPauseNs, NumGC: ph.Memory.NumGC,
+			}
+		}
+		rep.Results = append(rep.Results, Record{
+			System: res.System, Scenario: scenario,
+			Phase:   fmt.Sprintf("rate-%.0f", ph.TargetRate),
+			Threads: inFlight, Shards: shards,
+			Txns: ph.Completed, Ops: ph.Ops,
+			ElapsedNs: int64(ph.Elapsed), TxnPerSec: ph.Goodput,
+			Latency: LatencySummary{AvgNs: ph.AvgNs, P50Ns: ph.P50Ns, P99Ns: ph.P99Ns},
+			Memory:  mem,
+			Service: &ServiceRecord{
+				Driver:      res.Driver,
+				TargetRate:  ph.TargetRate,
+				OfferedRate: ph.OfferedRate,
+				OfferedTxns: ph.Offered, CompletedTxns: ph.Completed,
+				ShedTxns: ph.Shed, ErrorTxns: ph.Errors, DroppedTxns: ph.Dropped,
+				Goodput: ph.Goodput, P999Ns: ph.P999Ns,
+			},
+		})
+	}
 }
 
 func recoveryRecordOf(r RecoveryResult) *RecoveryRecord {

@@ -409,6 +409,14 @@ var builtin = map[string]Scenario{
 			Mixed: 2, Scan: 1, ScanLen: 4096,
 		}),
 	},
+	"service-mixed": {
+		Description: "network service traffic: 90/10 point mixes in short transactions with transfers interleaved 4:1, Zipf(1.2) keys — the open-loop SLO workload for medleyd and the in-process driver",
+		Dist:        Dist{Kind: DistZipfian, Theta: 1.2},
+		Phases: onePhase(Mix{
+			Ratio: Ratio{Get: 18, Insert: 1, Remove: 1}, TxMin: 1, TxMax: 8,
+			Mixed: 4, Transfer: 1,
+		}),
+	},
 	"load-mixed-drain": {
 		Description: "working-set lifecycle: insert-only load, 2:1:1 steady state, remove-heavy drain",
 		Dist:        Dist{Kind: DistUniform},

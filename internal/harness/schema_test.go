@@ -36,6 +36,18 @@ func schemaReport(full bool) *Report {
 		res.FinalCheck = &FinalCheckResult{Checked: true, ModelEntries: 10}
 	}
 	rep.Add(res)
+	if full {
+		rep.AddOpenLoop(OpenLoopResult{
+			Driver: "inproc", System: "medley-hash", Shards: 8,
+			Phases: []OpenLoopPhase{{
+				TargetRate: 1000, OfferedRate: 990, Offered: 990,
+				Completed: 980, Shed: 5, Errors: 1, Dropped: 4,
+				Ops: 4900, Elapsed: time.Second, Goodput: 980,
+				AvgNs: 1000, P50Ns: 900, P99Ns: 5000, P999Ns: 9000,
+				Memory: &MemoryResult{TotalAllocs: 100, TotalBytes: 1 << 16},
+			}},
+		}, "service-mixed", 64)
+	}
 	return rep
 }
 

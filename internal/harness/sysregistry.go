@@ -244,6 +244,10 @@ func DefaultSystems(sc Scenario) []string {
 		return []string{"medley-hash", "medley-skip"}
 	case sc.Name == "alloc-pressure":
 		return []string{"medley-hash", "medley-hash-nopool"}
+	case sc.Name == "service-mixed":
+		// The service path runs on the sharded flagship configuration; the
+		// open-loop sweep compares drivers, not store variants.
+		return []string{"medley-hash@8"}
 	case sc.Name == "read-mostly" || sc.Name == "scan-heavy":
 		return []string{"medley-hash", "medley-hash-nofast"}
 	case strings.HasPrefix(sc.Name, "sharded-"):

@@ -18,38 +18,6 @@ import (
 	"medley/internal/tdsl"
 )
 
-// Recoverable is the capability interface of systems whose committed
-// state survives a simulated power failure. The engine's crash phase
-// (engine.go) drives it: Persist, then CrashAndRecover under a timer, then
-// Snapshot for verification against the ground-truth model. Systems
-// without durable state simply don't implement it (Medley, TDSL, LFTT,
-// the plain structures) and the crash phase reports recoverable: false.
-type Recoverable interface {
-	// CanRecover reports whether this configuration actually persists
-	// (e.g. txMontage with persistence off implements the interface but
-	// cannot recover).
-	CanRecover() bool
-	// Persist makes every effect committed so far durable: an epoch sync
-	// for periodic persistence, a no-op for eager per-commit persistence.
-	Persist()
-	// CrashAndRecover simulates a full-system crash (volatile state lost,
-	// durable media kept) and rebuilds the system from the durable image,
-	// returning the number of recovered entries. Workers created before
-	// the crash are invalid afterwards; the engine creates workers fresh
-	// per phase.
-	CrashAndRecover() int
-	// Snapshot iterates the live key→value state. The engine calls it
-	// only at phase barriers, where it is exact.
-	Snapshot(fn func(key, val uint64) bool)
-}
-
-// ShardCounter is the capability interface of systems whose store is
-// hash-partitioned; the engine reports the shard count per record.
-// Systems that don't implement it are single-instance (shard count 1).
-type ShardCounter interface {
-	ShardCount() int
-}
-
 // maintainer is implemented by structures with background maintenance
 // (the rotating skiplist); KVSystem.Start drives it per shard.
 type maintainer interface {
@@ -283,9 +251,7 @@ func (s *MontageSystem) NewWorker() Worker {
 			return kv.NewMontageMap(s.sys, s.stores[i]).BindHandle(h)
 		})
 	}
-	w := &kvWorker{m: m, tx: tx}
-	w.batcher, _ = m.(kv.Batcher)
-	return w
+	return &kvWorker{m: m, tx: tx}
 }
 
 // ---------------------------------------------------------------- OneFile

@@ -2,35 +2,27 @@ package harness
 
 import "sort"
 
-// This file defines the observability capabilities of benchmark systems:
-// named counter snapshots (MetricsSnapshotter), domain consistency checks
-// (ConsistencyChecker), per-transaction-kind attribution (TxKindStatser),
-// and live-state iteration (Snapshotter). The engine detects each by type
-// assertion, differences cumulative snapshots around phases, and reports
-// the results as schema-gated blocks — the same snapshots a future network
-// service layer can poll, modeled on statsd-style counter/gauge export.
+// This file defines the observability data types the capability
+// interfaces in capabilities.go produce — counter/gauge snapshots,
+// consistency digests, per-transaction-kind attribution — along with
+// their diff/merge helpers. The engine differences cumulative snapshots
+// around phases and reports the results as schema-gated blocks; the
+// network service layer (internal/service) serves the same snapshots from
+// /metrics, modeled on statsd-style counter/gauge export.
 
 // Metric is one named cumulative counter. Values are monotonically
-// non-decreasing; the engine reports per-phase deltas.
+// non-decreasing; the engine reports per-phase deltas. The JSON shape
+// matches the report's telemetry block (and medleyd's /metrics).
 type Metric struct {
-	Name  string
-	Value uint64
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
 }
 
 // Gauge is one named derived ratio, computed by the engine from counter
 // deltas (abort rate, fast-path share, pool hit rate).
 type Gauge struct {
-	Name  string
-	Value float64
-}
-
-// MetricsSnapshotter is implemented by systems that can export their
-// engine-level counters (commits by path, aborts by cause, pool traffic,
-// EBR reclamation) as a point-in-time snapshot. Snapshots are cumulative
-// since system construction; the engine differences two snapshots to
-// produce a phase's telemetry block.
-type MetricsSnapshotter interface {
-	MetricsSnapshot() []Metric
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
 }
 
 // TelemetryResult is one phase's telemetry block: counter deltas plus the
@@ -106,14 +98,6 @@ type ConsistencyViolation struct {
 	Detail string
 }
 
-// ConsistencyChecker is implemented by systems whose workload maintains
-// domain invariants the engine can verify at quiescent points (the TPC-C
-// system checks the clause 3.3.2 conditions). The engine runs it after
-// each measured phase and after every crash phase.
-type ConsistencyChecker interface {
-	ConsistencyCheck() []ConsistencyViolation
-}
-
 // ClassCount is one violation class's tally.
 type ClassCount struct {
 	Class string
@@ -166,15 +150,6 @@ type KindStat struct {
 	Txns    uint64
 	Aborts  uint64
 	TotalNs uint64
-}
-
-// TxKindStatser is implemented by systems whose workers run a closed set of
-// transaction kinds (the TPC-C system's five transactions); the engine
-// differences snapshots around each phase to attribute throughput, aborts
-// and latency per kind. Snapshots are only read at phase barriers, where
-// workers are quiescent.
-type TxKindStatser interface {
-	TxKindStats() []KindStat
 }
 
 // KindResult is one kind's per-phase attribution.
@@ -231,12 +206,4 @@ func mergeKinds(agg []KindResult, ph []KindResult) []KindResult {
 		}
 	}
 	return agg
-}
-
-// Snapshotter is implemented by systems that can iterate their live
-// key→value state at a quiescent point. Scenarios with VerifyFinal set use
-// it to diff the final state against the journaled ground-truth model —
-// the transient-system counterpart of Recoverable.Snapshot.
-type Snapshotter interface {
-	StateSnapshot(fn func(key, val uint64) bool)
 }

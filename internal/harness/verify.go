@@ -156,13 +156,12 @@ func (f FinalCheckResult) Violations() uint64 {
 
 // runFinalCheck diffs the live state against the model at the end of a
 // VerifyFinal scenario; all workers have stopped, so the snapshot is exact.
-func runFinalCheck(sys System, vs *verifyState) *FinalCheckResult {
-	snap, ok := sys.(Snapshotter)
-	if !ok || vs == nil || !vs.journal {
+func runFinalCheck(caps Caps, vs *verifyState) *FinalCheckResult {
+	if caps.Snapshot == nil || vs == nil || !vs.journal {
 		return &FinalCheckResult{}
 	}
 	got := make(map[uint64]uint64, len(vs.model))
-	snap.StateSnapshot(func(k, v uint64) bool {
+	caps.Snapshot.StateSnapshot(func(k, v uint64) bool {
 		got[k] = v
 		return true
 	})

@@ -1,0 +1,146 @@
+package kv
+
+import "medley/internal/core"
+
+// This file is the first-class batch request API of the kv seam: a wire-
+// and server-friendly Op/Result pair plus one Apply routine that every
+// batch consumer — the network service's tick executor (internal/service),
+// the harness worker loop (internal/harness), and tests — runs through.
+// ShardedStore implements Applier over the same shard-grouped routing pass
+// (eachShardGroup) that backs GetBatch/PutBatch, so multi-key requests
+// touch each shard's memory once regardless of which entry point built
+// them.
+
+// OpKind enumerates batch request operations.
+type OpKind uint8
+
+// Batch operation kinds. Get/Put/Delete are the transactional point
+// operations; Scan rides along non-transactionally (the structures' native
+// best-effort Range, exactly like TxMap.Range); Add is a read-modify-write
+// (fetch-and-add with uint64 wraparound) — two Adds with opposite deltas
+// express an atomic transfer without the request carrying read-dependent
+// values.
+const (
+	OpGet OpKind = iota
+	OpPut
+	OpDelete
+	// OpScan visits up to Val entries of the structure's native Range
+	// iteration; Key is unused. Scans are not part of the read set, and
+	// Executor implementations run them outside the batch's transaction:
+	// Range's raw loads finalize pending descriptors, so a scan inside the
+	// transaction that wrote the same structure would abort its own
+	// speculation on every retry.
+	OpScan
+	// OpAdd stores Get(Key)+Val back under Key (missing keys read as 0)
+	// and reports the new value. Deltas are uint64 wraparound, so a
+	// debit is Add(key, -amount).
+	OpAdd
+)
+
+// String names the kind as the wire protocol spells it.
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	case OpAdd:
+		return "add"
+	}
+	return "unknown"
+}
+
+// Op is one operation of a batch request. The whole batch executes as one
+// atomic transaction when applied under an open *core.Tx.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	Val  uint64
+}
+
+// Result is one operation's outcome: the value read (Get), the previous
+// value (Put/Delete), the entries visited (Scan), or the new value (Add);
+// Ok reports key presence (for Scan it is always true).
+type Result struct {
+	Val uint64
+	Ok  bool
+}
+
+// Applier is the optional capability of TxMap implementations that can
+// route a whole mixed-kind batch more cheaply than a loop of single-key
+// calls. ShardedStore implements it with one shard-grouped pass.
+type Applier interface {
+	// Apply executes ops[i] into res[i]. res may be nil when the caller
+	// discards outcomes; otherwise len(res) must equal len(ops).
+	Apply(tx *core.Tx, ops []Op, res []Result)
+}
+
+// Executor runs batch requests, each as one atomic transaction, retrying
+// conflict aborts internally until commit. Implementations are bound to
+// one goroutine (they carry a *core.Tx and its SMR handle); callers hold
+// one Executor per worker. The network service's tick workers and the
+// harness's driver sessions both execute through this interface.
+type Executor interface {
+	// ExecBatch applies ops as one atomic transaction. res may be nil;
+	// otherwise len(res) must equal len(ops). A non-nil error means the
+	// batch did not commit (executor shut down, not a conflict — conflicts
+	// retry internally).
+	ExecBatch(ops []Op, res []Result) error
+}
+
+// Apply executes ops against m under tx: through m's Applier when it has
+// one (the shard-grouped path), one operation at a time otherwise. It is
+// the single batch-execution routine shared by every consumer of the
+// request API.
+//
+// Callers running Apply inside an open transaction must not include OpScan
+// alongside writes: see OpScan. Executors hoist scans out of the
+// transaction instead.
+func Apply(tx *core.Tx, m TxMap, ops []Op, res []Result) {
+	if a, ok := m.(Applier); ok {
+		a.Apply(tx, ops, res)
+		return
+	}
+	for i := range ops {
+		r := ApplyOne(tx, m, ops[i])
+		if res != nil {
+			res[i] = r
+		}
+	}
+}
+
+// ApplyOne executes a single operation against m under tx.
+func ApplyOne(tx *core.Tx, m TxMap, op Op) Result {
+	switch op.Kind {
+	case OpGet:
+		v, ok := m.Get(tx, op.Key)
+		return Result{Val: v, Ok: ok}
+	case OpPut:
+		prev, existed := m.Put(tx, op.Key, op.Val)
+		return Result{Val: prev, Ok: existed}
+	case OpDelete:
+		v, ok := m.Remove(tx, op.Key)
+		return Result{Val: v, Ok: ok}
+	case OpScan:
+		n := int(op.Val)
+		seen := uint64(0)
+		if n > 0 {
+			m.Range(func(_, _ uint64) bool {
+				seen++
+				n--
+				return n > 0
+			})
+		}
+		return Result{Val: seen, Ok: true}
+	case OpAdd:
+		v, ok := m.Get(tx, op.Key)
+		v += op.Val
+		m.Put(tx, op.Key, v)
+		return Result{Val: v, Ok: ok}
+	}
+	return Result{}
+}

@@ -1,0 +1,143 @@
+package kv
+
+import (
+	"testing"
+
+	"medley/internal/core"
+)
+
+// applyEnv builds an 8-shard store and a single instance over one manager,
+// so Apply's shard-grouped routing can be checked against the loop path.
+func applyEnv(t *testing.T) (*core.TxManager, *ShardedStore, TxMap) {
+	t.Helper()
+	mgr := core.NewTxManager()
+	sharded, err := NewShardedNamed("hash", 8, Options{Mgr: mgr, Buckets: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := New("hash", Options{Mgr: mgr, Buckets: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr, sharded, single
+}
+
+// TestApplySemantics pins the Op/Result contract on both the sharded
+// Applier path and the single-instance loop path: Get/Put/Delete results,
+// Add's fetch-and-add with wraparound debits, and Scan's entry count.
+func TestApplySemantics(t *testing.T) {
+	mgr, sharded, single := applyEnv(t)
+	for name, m := range map[string]TxMap{"sharded": sharded, "single": single} {
+		tx := mgr.Register()
+		ops := []Op{
+			{Kind: OpPut, Key: 1, Val: 100},
+			{Kind: OpPut, Key: 2, Val: 50},
+			{Kind: OpGet, Key: 1},
+			{Kind: OpAdd, Key: 1, Val: ^uint64(0) - 29}, // -30
+			{Kind: OpAdd, Key: 2, Val: 30},
+			{Kind: OpDelete, Key: 3},
+			{Kind: OpGet, Key: 404},
+		}
+		res := make([]Result, len(ops))
+		if err := tx.RunRetry(func() error {
+			Apply(tx, m, ops, res)
+			return nil
+		}); err != nil {
+			t.Fatalf("%s: apply: %v", name, err)
+		}
+		if res[2].Val != 100 || !res[2].Ok {
+			t.Fatalf("%s: get after put = %+v", name, res[2])
+		}
+		if res[3].Val != 70 || !res[3].Ok {
+			t.Fatalf("%s: add -30 = %+v, want 70", name, res[3])
+		}
+		if res[4].Val != 80 {
+			t.Fatalf("%s: add +30 = %+v, want 80", name, res[4])
+		}
+		if res[5].Ok {
+			t.Fatalf("%s: delete of absent key reported ok", name)
+		}
+		if res[6].Ok {
+			t.Fatalf("%s: get of absent key reported ok", name)
+		}
+		// Scans run outside transactions (see OpScan): apply with a nil tx
+		// after commit, the way Executor implementations hoist them.
+		scan := []Op{{Kind: OpScan, Val: 2}}
+		sres := make([]Result, 1)
+		Apply(nil, m, scan, sres)
+		if sres[0].Val != 2 || !sres[0].Ok {
+			t.Fatalf("%s: scan visited %+v entries, want 2", name, sres[0])
+		}
+		v, ok := m.Get(nil, 1)
+		if !ok || v != 70 {
+			t.Fatalf("%s: committed value = %d,%v, want 70", name, v, ok)
+		}
+	}
+}
+
+// TestApplyShardRoutingMatchesLoop runs the same mixed batch through the
+// sharded Applier and through ApplyOne loops and requires identical
+// results — the shard-grouped reordering must be invisible.
+func TestApplyShardRoutingMatchesLoop(t *testing.T) {
+	mgr, sharded, single := applyEnv(t)
+	var ops []Op
+	for i := uint64(0); i < 40; i++ {
+		ops = append(ops,
+			Op{Kind: OpPut, Key: i * 7, Val: i},
+			Op{Kind: OpGet, Key: i * 7},
+			Op{Kind: OpAdd, Key: i * 7, Val: 1},
+		)
+	}
+	run := func(m TxMap) []Result {
+		tx := mgr.Register()
+		res := make([]Result, len(ops))
+		if err := tx.RunRetry(func() error {
+			Apply(tx, m, ops, res)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	got, want := run(sharded), run(single)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("op %d: sharded %+v != single %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestApplyAtomicTransfer expresses a transfer as two Adds and checks a
+// concurrent reader never sees a torn intermediate across shards.
+func TestApplyAtomicTransfer(t *testing.T) {
+	mgr, sharded, _ := applyEnv(t)
+	sharded.Put(nil, 10, 1000)
+	sharded.Put(nil, 11, 1000)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tx := mgr.Register()
+		for i := 0; i < 2000; i++ {
+			_ = tx.RunRetry(func() error {
+				Apply(tx, sharded, []Op{
+					{Kind: OpAdd, Key: 10, Val: ^uint64(0)}, // -1
+					{Kind: OpAdd, Key: 11, Val: 1},
+				}, nil)
+				return nil
+			})
+		}
+	}()
+	tx := mgr.Register()
+	ops := []Op{{Kind: OpGet, Key: 10}, {Kind: OpGet, Key: 11}}
+	res := make([]Result, 2)
+	for i := 0; i < 2000; i++ {
+		_ = tx.RunRetry(func() error {
+			Apply(tx, sharded, ops, res)
+			return nil
+		})
+		if sum := res[0].Val + res[1].Val; sum != 2000 {
+			t.Fatalf("torn transfer observed: %d + %d = %d", res[0].Val, res[1].Val, sum)
+		}
+	}
+	<-done
+}

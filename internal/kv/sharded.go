@@ -172,6 +172,46 @@ func (s *ShardedStore) Bind(tx *core.Tx) TxMap {
 	return bound
 }
 
+// Apply implements Applier: the batch request API's entry point, routed
+// through the same shard-grouped pass (eachShardGroup) as GetBatch and
+// PutBatch so every batch consumer — the network service's tick executor,
+// the harness worker loop, and explicit Batcher callers — shares one
+// routing path. Keyed operations are visited shard by shard; scans have no
+// key and run store-wide after the keyed pass (they are non-linearizable
+// either way, exactly like Range).
+func (s *ShardedStore) Apply(tx *core.Tx, ops []Op, res []Result) {
+	record := func(i int, r Result) {
+		if res != nil {
+			res[i] = r
+		}
+	}
+	if len(ops) <= 1 || len(s.shards) == 1 {
+		for i := range ops {
+			if ops[i].Kind == OpScan {
+				record(i, ApplyOne(tx, s, ops[i])) // store-wide, like Range
+				continue
+			}
+			record(i, ApplyOne(tx, s.shard(ops[i].Key), ops[i]))
+		}
+		return
+	}
+	scans := false
+	s.eachShardGroup(len(ops), func(i int) uint64 { return ops[i].Key }, func(sh TxMap, i int) {
+		if ops[i].Kind == OpScan {
+			scans = true // store-wide, not shard-local: second pass below
+			return
+		}
+		record(i, ApplyOne(tx, sh, ops[i]))
+	})
+	if scans {
+		for i := range ops {
+			if ops[i].Kind == OpScan {
+				record(i, ApplyOne(tx, s, ops[i]))
+			}
+		}
+	}
+}
+
 // GetBatch implements Batcher: keys are visited shard by shard, so a
 // multi-key transaction touches each shard's memory once instead of
 // ping-ponging between shards per key.
@@ -189,7 +229,7 @@ func (s *ShardedStore) GetBatch(tx *core.Tx, keys []uint64, vals []uint64, oks [
 		}
 		return
 	}
-	s.eachShardGroup(keys, func(sh TxMap, i int) {
+	s.eachShardGroup(len(keys), func(i int) uint64 { return keys[i] }, func(sh TxMap, i int) {
 		vals[i], oks[i] = sh.Get(tx, keys[i])
 	})
 }
@@ -202,30 +242,31 @@ func (s *ShardedStore) PutBatch(tx *core.Tx, keys []uint64, vals []uint64) {
 		}
 		return
 	}
-	s.eachShardGroup(keys, func(sh TxMap, i int) {
+	s.eachShardGroup(len(keys), func(i int) uint64 { return keys[i] }, func(sh TxMap, i int) {
 		sh.Put(tx, keys[i], vals[i])
 	})
 }
 
-// eachShardGroup invokes fn(shard, i) for every key index i, grouped by
-// shard. Batches are short (transaction-sized), so the grouping is a
-// bitset pass rather than an allocation.
-func (s *ShardedStore) eachShardGroup(keys []uint64, fn func(sh TxMap, i int)) {
-	var done uint64 // bit i set once keys[i] is processed; batches are <= 64 ops
-	if len(keys) > 64 {
-		for i := range keys {
-			fn(s.shards[shardIndex(keys[i], s.mask)], i)
+// eachShardGroup invokes fn(shard, i) for indices 0..n-1 whose keys are
+// supplied by key(i), grouped by shard — the one routing pass behind
+// Apply, GetBatch and PutBatch. Batches are short (transaction-sized), so
+// the grouping is a bitset pass rather than an allocation.
+func (s *ShardedStore) eachShardGroup(n int, key func(i int) uint64, fn func(sh TxMap, i int)) {
+	var done uint64 // bit i set once index i is processed; batches are <= 64 ops
+	if n > 64 {
+		for i := 0; i < n; i++ {
+			fn(s.shards[shardIndex(key(i), s.mask)], i)
 		}
 		return
 	}
-	for i := range keys {
+	for i := 0; i < n; i++ {
 		if done&(1<<i) != 0 {
 			continue
 		}
-		si := shardIndex(keys[i], s.mask)
+		si := shardIndex(key(i), s.mask)
 		sh := s.shards[si]
-		for j := i; j < len(keys); j++ {
-			if done&(1<<j) == 0 && shardIndex(keys[j], s.mask) == si {
+		for j := i; j < n; j++ {
+			if done&(1<<j) == 0 && shardIndex(key(j), s.mask) == si {
 				fn(sh, j)
 				done |= 1 << j
 			}

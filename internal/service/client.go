@@ -1,0 +1,181 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"medley/internal/harness"
+	"medley/internal/kv"
+)
+
+// HTTPDriver implements harness.Driver over the wire: the open-loop
+// engine drives a medleyd server exactly as it drives an in-process
+// store, so one report compares raw store latency against the full
+// network pipeline. The server owns the backend's lifecycle; Start only
+// verifies reachability and learns the system's identity from /healthz.
+type HTTPDriver struct {
+	base   string
+	client *http.Client
+	system string
+	shards int
+}
+
+// NewHTTPDriver targets a running medleyd at base (e.g.
+// "http://127.0.0.1:7654").
+func NewHTTPDriver(base string) *HTTPDriver {
+	return &HTTPDriver{
+		base: base,
+		client: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				// Open-loop senders each hold one connection; the defaults
+				// (2 idle conns per host) would thrash the pool.
+				MaxIdleConns:        1024,
+				MaxIdleConnsPerHost: 1024,
+			},
+		},
+	}
+}
+
+// Kind implements harness.Driver.
+func (d *HTTPDriver) Kind() string { return "http" }
+
+// System implements harness.Driver; valid after Start.
+func (d *HTTPDriver) System() string { return d.system }
+
+// ShardCount implements harness.ShardCounter with the server's answer.
+func (d *HTTPDriver) ShardCount() int {
+	if d.shards > 0 {
+		return d.shards
+	}
+	return 1
+}
+
+// Start implements harness.Driver: polls /healthz until the server
+// answers (it may still be starting), then records its identity.
+func (d *HTTPDriver) Start() error {
+	var lastErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		if attempt > 0 {
+			time.Sleep(100 * time.Millisecond)
+		}
+		resp, err := d.client.Get(d.base + "/healthz")
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var h healthResponse
+		err = json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("healthz: status %d, %v", resp.StatusCode, err)
+			continue
+		}
+		d.system, d.shards = h.System, h.Shards
+		return nil
+	}
+	return fmt.Errorf("service: %s unreachable: %w", d.base, lastErr)
+}
+
+// preloadChunk bounds one preload batch to the server's op limit.
+const preloadChunk = 512
+
+// Preload implements harness.Driver: installs keys (key == value) with
+// put batches through the ordinary wire path.
+func (d *HTTPDriver) Preload(keys []uint64) error {
+	sess := &httpSession{d: d}
+	ops := make([]kv.Op, 0, preloadChunk)
+	for len(keys) > 0 {
+		n := len(keys)
+		if n > preloadChunk {
+			n = preloadChunk
+		}
+		ops = ops[:0]
+		for _, k := range keys[:n] {
+			ops = append(ops, kv.Op{Kind: kv.OpPut, Key: k, Val: k})
+		}
+		keys = keys[n:]
+		// A shed during preload is not overload to report — retry until
+		// the batch lands.
+		for {
+			err := sess.Do(ops, nil)
+			if err == nil {
+				break
+			}
+			if err == harness.ErrOverload {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// NewSession implements harness.Driver. The http.Client is shared
+// (connection pooling is per-transport); the session carries only its
+// encode buffer.
+func (d *HTTPDriver) NewSession() (harness.DriverSession, error) {
+	return &httpSession{d: d}, nil
+}
+
+// Close implements harness.Driver.
+func (d *HTTPDriver) Close() error {
+	d.client.CloseIdleConnections()
+	return nil
+}
+
+type httpSession struct {
+	d   *HTTPDriver
+	buf bytes.Buffer
+}
+
+// Do implements harness.DriverSession: one POST /v1/batch per
+// transaction. 429 maps back to harness.ErrOverload so the open-loop
+// engine counts sheds apart from failures.
+func (s *httpSession) Do(ops []kv.Op, res []kv.Result) error {
+	wire, err := encodeOps(ops)
+	if err != nil {
+		return err
+	}
+	s.buf.Reset()
+	if err := json.NewEncoder(&s.buf).Encode(BatchRequest{Ops: wire}); err != nil {
+		return err
+	}
+	resp, err := s.d.client.Post(s.d.base+"/v1/batch", "application/json", &s.buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return harness.ErrOverload
+	default:
+		var e ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("service: batch failed: status %d: %s", resp.StatusCode, e.Error)
+	}
+	if res == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return err
+	}
+	if len(br.Results) != len(res) {
+		return fmt.Errorf("service: %d results for %d ops", len(br.Results), len(res))
+	}
+	for i, r := range br.Results {
+		res[i] = kv.Result{Val: r.Val, Ok: r.Ok}
+	}
+	return nil
+}
+
+func (s *httpSession) Close() error { return nil }

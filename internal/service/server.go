@@ -1,0 +1,94 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"medley/internal/harness"
+	"medley/internal/kv"
+)
+
+// This file is medleyd's HTTP surface:
+//
+//	POST /v1/batch — execute one atomic transaction (wire.go)
+//	GET  /metrics  — counter/gauge snapshot of the whole stack
+//	GET  /healthz  — liveness + system identity
+//
+// Handlers are thin: decode, Submit, encode. Admission control lives in
+// the Service (Submit sheds with ErrShed → 429), not in the handler, so
+// in-process and HTTP callers are throttled identically.
+
+// maxBodyBytes bounds a request body; a batch of MaxOpsPerBatch ops fits
+// comfortably.
+const maxBodyBytes = 1 << 20
+
+// healthResponse is the body of GET /healthz.
+type healthResponse struct {
+	System string `json:"system"`
+	Shards int    `json:"shards"`
+}
+
+// metricsResponse is the body of GET /metrics: cumulative counters since
+// process start plus derived gauges, the same shape reports embed.
+type metricsResponse struct {
+	Counters []harness.Metric `json:"counters"`
+	Gauges   []harness.Gauge  `json:"gauges"`
+}
+
+// Handler serves the service API.
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		d, err := decodeBatch(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if err := validateOps(d.ops); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		rres := make([]kv.Result, len(d.ops))
+		switch err := s.Submit(d.ops, rres); {
+		case err == nil:
+			writeJSON(w, http.StatusOK, BatchResponse{Results: encodeResults(d, rres)})
+		case errors.Is(err, ErrShed):
+			writeError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, metricsResponse{
+			Counters: s.MetricsSnapshot(),
+			Gauges:   s.Gauges(),
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		shards := 1
+		if sc, ok := s.Backend().(harness.ShardCounter); ok {
+			shards = sc.ShardCount()
+		}
+		writeJSON(w, http.StatusOK, healthResponse{System: s.Backend().Name(), Shards: shards})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg})
+}

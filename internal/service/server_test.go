@@ -1,0 +1,264 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"medley/internal/harness"
+	"medley/internal/kv"
+)
+
+// kvBackend builds a real registry system as a service backend.
+func kvBackend(t *testing.T, spec string) Backend {
+	t.Helper()
+	sys, err := harness.NewSystem(spec, harness.SystemOpts{Buckets: 1 << 10, KeyRange: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, ok := sys.(Backend)
+	if !ok {
+		t.Fatalf("system %q is not a service backend", spec)
+	}
+	return be
+}
+
+func postBatch(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestHTTPTransferAtomicity is the wire-level torn-transfer check: writer
+// clients move money between two accounts with the transfer verb while
+// reader clients fetch both balances in one transaction through the HTTP
+// driver. Every observed sum must equal the initial total — a single
+// deviation means a reader saw a half-applied transfer through the full
+// network path (JSON decode, txpool, tick batch, executor).
+func TestHTTPTransferAtomicity(t *testing.T) {
+	svc := New(kvBackend(t, "medley-hash@2"), Config{Tick: 200 * time.Microsecond, Workers: 4})
+	defer svc.Close()
+	ts := httptest.NewServer(Handler(svc))
+	defer ts.Close()
+
+	const keyA, keyB, initial = 100, 200, 10000
+	resp, body := postBatch(t, ts.URL,
+		`{"ops":[{"op":"put","key":100,"val":10000},{"op":"put","key":200,"val":10000}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("preload: status %d: %s", resp.StatusCode, body)
+	}
+
+	const writers, transfers = 4, 200
+	var writerWG, readerWG sync.WaitGroup
+	errCh := make(chan error, writers+2)
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < transfers; i++ {
+				req := `{"ops":[{"op":"transfer","from":100,"to":200,"val":3}]}`
+				if (w+i)%2 == 1 {
+					req = `{"ops":[{"op":"transfer","from":200,"to":100,"val":3}]}`
+				}
+				resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(req))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var br BatchResponse
+				err = json.NewDecoder(resp.Body).Decode(&br)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || err != nil {
+					continue // shed under load is fine; atomicity is the readers' claim
+				}
+				if len(br.Results) != 1 || !br.Results[0].Ok {
+					t.Errorf("transfer on existing keys not ok: %+v", br.Results)
+					return
+				}
+			}
+		}(w)
+	}
+
+	stop := make(chan struct{})
+	d := NewHTTPDriver(ts.URL)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			sess, err := d.NewSession()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer sess.Close()
+			ops := []kv.Op{{Kind: kv.OpGet, Key: keyA}, {Kind: kv.OpGet, Key: keyB}}
+			res := make([]kv.Result, 2)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch err := sess.Do(ops, res); err {
+				case nil:
+					if sum := res[0].Val + res[1].Val; sum != 2*initial {
+						t.Errorf("torn transfer observed: %d + %d = %d, want %d",
+							res[0].Val, res[1].Val, sum, 2*initial)
+						return
+					}
+				case harness.ErrOverload:
+					// shed read: retry
+				default:
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+
+	// Readers observe throughout the writer run, then stop.
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("transport failure: %v", err)
+	}
+}
+
+// TestHTTPShedMapsTo429AndErrOverload pins the overload path across the
+// wire: a full txpool answers 429, and the HTTP driver maps 429 back to
+// harness.ErrOverload so open-loop accounting classifies it as shed.
+func TestHTTPShedMapsTo429AndErrOverload(t *testing.T) {
+	be := &fakeBackend{}
+	s := New(be, Config{PoolSize: 1, Tick: time.Hour, Workers: 1})
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	// Occupy the only pool slot directly (white-box) so the next wire
+	// request must shed.
+	blocker := &request{ops: oneOp(1), done: make(chan error, 1)}
+	s.pool <- blocker
+
+	resp, body := postBatch(t, ts.URL, `{"ops":[{"op":"get","key":7}]}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Errorf("429 body not an ErrorResponse: %q", body)
+	}
+
+	d := NewHTTPDriver(ts.URL)
+	sess, err := d.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Do([]kv.Op{{Kind: kv.OpGet, Key: 7}}, nil); err != harness.ErrOverload {
+		t.Fatalf("driver err = %v, want harness.ErrOverload", err)
+	}
+	s.Close() // drains the blocker
+	if err := <-blocker.done; err != nil {
+		t.Fatalf("blocker lost: %v", err)
+	}
+}
+
+// TestHTTPValidation pins the 400 surface: malformed JSON, empty batches,
+// unknown verbs, self-transfers and oversized batches are all refused
+// before admission.
+func TestHTTPValidation(t *testing.T) {
+	svc := New(&fakeBackend{}, Config{Tick: 200 * time.Microsecond})
+	defer svc.Close()
+	ts := httptest.NewServer(Handler(svc))
+	defer ts.Close()
+
+	var big strings.Builder
+	big.WriteString(`{"ops":[`)
+	for i := 0; i <= MaxOpsPerBatch/2; i++ {
+		if i > 0 {
+			big.WriteString(",")
+		}
+		big.WriteString(`{"op":"transfer","from":1,"to":2,"val":1}`)
+	}
+	big.WriteString(`]}`)
+
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed", `{"ops":`},
+		{"empty", `{"ops":[]}`},
+		{"unknown-verb", `{"ops":[{"op":"increment","key":1}]}`},
+		{"self-transfer", `{"ops":[{"op":"transfer","from":5,"to":5,"val":1}]}`},
+		{"oversized", big.String()},
+	}
+	for _, tc := range cases {
+		resp, body := postBatch(t, ts.URL, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (%s)", tc.name, resp.StatusCode, body)
+		}
+	}
+	if got := svc.accepted.Load(); got != 0 {
+		t.Errorf("invalid requests reached the pool: accepted = %d", got)
+	}
+}
+
+// TestMetricsAndHealthz pins the observability surface's shape.
+func TestMetricsAndHealthz(t *testing.T) {
+	svc := New(kvBackend(t, "medley-hash@2"), Config{Tick: 200 * time.Microsecond})
+	defer svc.Close()
+	ts := httptest.NewServer(Handler(svc))
+	defer ts.Close()
+
+	if resp, body := postBatch(t, ts.URL, `{"ops":[{"op":"put","key":1,"val":9}]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("put: status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.System == "" || h.Shards != 2 {
+		t.Errorf("healthz = %+v, want system name and 2 shards", h)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m metricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	counters := map[string]uint64{}
+	for _, c := range m.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["svc_executed"] != 1 {
+		t.Errorf("svc_executed = %d, want 1 (counters %v)", counters["svc_executed"], counters)
+	}
+	if _, ok := counters["tx_commits"]; !ok {
+		t.Error("backend counters not merged into /metrics (no tx_commits)")
+	}
+}

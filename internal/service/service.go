@@ -1,0 +1,329 @@
+// Package service is medleyd's engine: a network service layer that turns
+// the NBTC transactional store into a multi-key request/response system.
+//
+// The pipeline is txpool → tick → workers. Requests land in a bounded
+// transaction pool (one channel: the bound is the admission control, the
+// channel order is the FIFO fairness guarantee). A tick loop drains the
+// pool in batches — coalescing whatever arrived during the tick into one
+// scheduling decision — and splits each batch into contiguous chunks
+// executed by persistent worker goroutines, each request as its own
+// atomic transaction with a per-request promise carrying the result back
+// to the submitting handler. When execution falls behind the arrival
+// rate the pool fills and Submit sheds instead of queueing without bound:
+// overload surfaces as fast 429s, not as collapse.
+//
+// The layer deliberately adds no second concurrency control: atomicity
+// and strict serializability come entirely from the store's transactions
+// (internal/core); the service only decides when work runs and how much
+// of it is admitted.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"medley/internal/harness"
+	"medley/internal/kv"
+)
+
+// Backend is the store seam: what the service needs from a system under
+// it. *harness.KVSystem satisfies it structurally — medleyd is the
+// benchmark registry's systems behind a listener.
+type Backend interface {
+	Name() string
+	Preload(keys []uint64)
+	// Start launches background maintenance and returns its stop.
+	Start() func()
+	// NewExecutor hands out a per-goroutine batch executor; the service
+	// calls it on each worker goroutine (executors are goroutine-bound).
+	NewExecutor() kv.Executor
+}
+
+// ErrShed is returned by Submit when the txpool is full: the request was
+// refused at admission, nothing executed. HTTP maps it to 429.
+var ErrShed = errors.New("service: overloaded, request shed")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("service: closed")
+
+// Config sizes the pipeline. Zero values take defaults.
+type Config struct {
+	// PoolSize bounds the txpool; arrivals beyond it are shed (default
+	// 4096).
+	PoolSize int
+	// Tick is the batch period: how long arrivals coalesce before a
+	// drain (default 1ms). Shorter ticks trade batching efficiency for
+	// lower queueing latency.
+	Tick time.Duration
+	// MaxBatch caps how many requests one tick drains (default
+	// PoolSize). A tick that overruns simply delays the next: ticks
+	// never overlap.
+	MaxBatch int
+	// Workers is the number of executor goroutines a tick's batch is
+	// split across (default GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolSize <= 0 {
+		c.PoolSize = 4096
+	}
+	if c.Tick <= 0 {
+		c.Tick = time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = c.PoolSize
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// request is one admitted transaction: its operations, the caller's
+// result slice, and the promise the executing worker fulfills.
+type request struct {
+	ops  []kv.Op
+	res  []kv.Result
+	done chan error
+}
+
+// chunk is one worker's contiguous slice of a tick's batch.
+type chunk struct {
+	reqs []*request
+	wg   *sync.WaitGroup
+}
+
+// Service is the running pipeline. Create with New, stop with Close.
+type Service struct {
+	be  Backend
+	cfg Config
+
+	pool    chan *request
+	workers []chan chunk
+	stopCh  chan struct{}
+	loopWG  sync.WaitGroup
+	workWG  sync.WaitGroup
+	stopBE  func()
+	closed  atomic.Bool
+
+	accepted atomic.Uint64 // requests admitted to the pool
+	shed     atomic.Uint64 // requests refused at admission
+	executed atomic.Uint64 // requests executed successfully
+	errored  atomic.Uint64 // requests whose execution failed
+	ticks    atomic.Uint64 // ticks that drained at least one request
+	batches  atomic.Uint64 // batches dispatched (== non-empty ticks)
+	batched  atomic.Uint64 // requests dispatched inside batches
+}
+
+// New builds and starts the pipeline over be: backend maintenance, the
+// worker executors, and the tick loop.
+func New(be Backend, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		be:     be,
+		cfg:    cfg,
+		pool:   make(chan *request, cfg.PoolSize),
+		stopCh: make(chan struct{}),
+	}
+	s.stopBE = be.Start()
+	s.workers = make([]chan chunk, cfg.Workers)
+	for i := range s.workers {
+		ch := make(chan chunk, 1)
+		s.workers[i] = ch
+		s.workWG.Add(1)
+		go s.worker(ch)
+	}
+	s.loopWG.Add(1)
+	go s.tickLoop()
+	return s
+}
+
+// Backend returns the system under the service.
+func (s *Service) Backend() Backend { return s.be }
+
+// Config returns the resolved (defaulted) configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// Submit runs ops as one atomic transaction through the pipeline,
+// filling res when non-nil (len(res) must equal len(ops) then), and
+// blocks until the transaction executed or was refused. It is safe for
+// concurrent use. Admission is instantaneous: a full pool sheds
+// immediately with ErrShed rather than queueing the caller.
+func (s *Service) Submit(ops []kv.Op, res []kv.Result) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	req := &request{ops: ops, res: res, done: make(chan error, 1)}
+	select {
+	case s.pool <- req:
+		s.accepted.Add(1)
+	default:
+		s.shed.Add(1)
+		return ErrShed
+	}
+	return <-req.done
+}
+
+// tickLoop drains the pool once per tick. Dispatch is synchronous — the
+// loop waits for the batch to finish before the next drain — so a tick's
+// batch is bounded and execution backpressure propagates to the pool
+// (and from there to admission) instead of to an unbounded work queue.
+func (s *Service) tickLoop() {
+	defer s.loopWG.Done()
+	t := time.NewTicker(s.cfg.Tick)
+	defer t.Stop()
+	batch := make([]*request, 0, s.cfg.MaxBatch)
+	for {
+		select {
+		case <-s.stopCh:
+			// Final drains: closed is already set, so no new request can
+			// be admitted; loop until the pool is empty so every admitted
+			// request is answered.
+			for s.drainTick(batch[:0]) > 0 {
+			}
+			for _, ch := range s.workers {
+				close(ch)
+			}
+			return
+		case <-t.C:
+			s.drainTick(batch[:0])
+		}
+	}
+}
+
+// drainTick drains up to MaxBatch pooled requests and executes them,
+// returning how many it dispatched.
+func (s *Service) drainTick(batch []*request) int {
+drain:
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case r := <-s.pool:
+			batch = append(batch, r)
+		default:
+			break drain
+		}
+	}
+	if len(batch) == 0 {
+		return 0
+	}
+	s.ticks.Add(1)
+	s.batches.Add(1)
+	s.batched.Add(uint64(len(batch)))
+	// Contiguous chunks, round-robin over workers: request order within a
+	// chunk is pool (FIFO) order, so single-worker configurations preserve
+	// submission order end to end.
+	var wg sync.WaitGroup
+	n := len(s.workers)
+	per := (len(batch) + n - 1) / n
+	for i := 0; i < len(batch); i += per {
+		end := i + per
+		if end > len(batch) {
+			end = len(batch)
+		}
+		wg.Add(1)
+		s.workers[(i/per)%n] <- chunk{reqs: batch[i:end], wg: &wg}
+	}
+	wg.Wait()
+	return len(batch)
+}
+
+// worker executes chunks: one executor, created on this goroutine
+// (executors are goroutine-bound), each request its own transaction.
+func (s *Service) worker(ch chan chunk) {
+	defer s.workWG.Done()
+	ex := s.be.NewExecutor()
+	for c := range ch {
+		for _, r := range c.reqs {
+			err := ex.ExecBatch(r.ops, r.res)
+			if err != nil {
+				s.errored.Add(1)
+			} else {
+				s.executed.Add(1)
+			}
+			r.done <- err
+		}
+		c.wg.Done()
+	}
+}
+
+// Close drains the pipeline and stops the backend. Requests admitted
+// before Close still execute and get answers; requests submitted after
+// it get ErrClosed.
+func (s *Service) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	close(s.stopCh)
+	s.loopWG.Wait()
+	s.workWG.Wait()
+	if s.stopBE != nil {
+		s.stopBE()
+	}
+}
+
+// MetricsSnapshot exports the pipeline counters, prefixed svc_, merged
+// with the backend's own snapshot when it exports one — one endpoint
+// serves the whole stack's counters.
+func (s *Service) MetricsSnapshot() []harness.Metric {
+	out := []harness.Metric{
+		{Name: "svc_accepted", Value: s.accepted.Load()},
+		{Name: "svc_shed", Value: s.shed.Load()},
+		{Name: "svc_executed", Value: s.executed.Load()},
+		{Name: "svc_errors", Value: s.errored.Load()},
+		{Name: "svc_ticks", Value: s.ticks.Load()},
+		{Name: "svc_batches", Value: s.batches.Load()},
+		{Name: "svc_batched_txns", Value: s.batched.Load()},
+	}
+	if ms, ok := s.be.(harness.MetricsSnapshotter); ok {
+		out = append(out, ms.MetricsSnapshot()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Gauges derives the service-level ratios from the current counters.
+func (s *Service) Gauges() []harness.Gauge {
+	var out []harness.Gauge
+	add := func(name string, num, den uint64) {
+		if den > 0 {
+			out = append(out, harness.Gauge{Name: name, Value: float64(num) / float64(den)})
+		}
+	}
+	accepted, shed := s.accepted.Load(), s.shed.Load()
+	add("svc_shed_rate", shed, accepted+shed)
+	add("svc_batch_coalesce", s.batched.Load(), s.batches.Load())
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// validateOps rejects batches the executor cannot run: empty, oversized,
+// or containing unknown kinds. Validation happens before admission so a
+// malformed request never occupies pool capacity.
+func validateOps(ops []kv.Op) error {
+	if len(ops) == 0 {
+		return fmt.Errorf("empty batch")
+	}
+	if len(ops) > MaxOpsPerBatch {
+		return fmt.Errorf("batch of %d ops exceeds limit %d", len(ops), MaxOpsPerBatch)
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case kv.OpGet, kv.OpPut, kv.OpDelete, kv.OpScan, kv.OpAdd:
+		default:
+			return fmt.Errorf("op %d: unknown kind %d", i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// MaxOpsPerBatch bounds one request's operation count (after transfer
+// expansion). Transactions are meant to be short (the paper's
+// microbenchmarks run 1-10 ops); the bound keeps one request from
+// monopolizing a tick.
+const MaxOpsPerBatch = 1024

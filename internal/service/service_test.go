@@ -1,0 +1,211 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"medley/internal/kv"
+)
+
+// fakeBackend records execution order; its executors complete instantly.
+type fakeBackend struct {
+	mu    sync.Mutex
+	order []uint64
+}
+
+func (b *fakeBackend) Name() string          { return "fake" }
+func (b *fakeBackend) Preload(keys []uint64) {}
+func (b *fakeBackend) Start() func()         { return func() {} }
+func (b *fakeBackend) NewExecutor() kv.Executor {
+	return &fakeExec{b: b}
+}
+
+func (b *fakeBackend) executed() []uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]uint64(nil), b.order...)
+}
+
+type fakeExec struct{ b *fakeBackend }
+
+func (e *fakeExec) ExecBatch(ops []kv.Op, res []kv.Result) error {
+	e.b.mu.Lock()
+	for _, op := range ops {
+		e.b.order = append(e.b.order, op.Key)
+	}
+	e.b.mu.Unlock()
+	for i := range res {
+		res[i] = kv.Result{Val: ops[i].Val, Ok: true}
+	}
+	return nil
+}
+
+func oneOp(key uint64) []kv.Op {
+	return []kv.Op{{Kind: kv.OpPut, Key: key, Val: key}}
+}
+
+// TestTickCoalescesAndPreservesFIFO pins the pipeline's scheduling
+// contract: everything pooled when a tick fires drains as ONE batch (one
+// scheduling decision), and with a single worker the execution order is
+// exactly pool (FIFO) order. White-box: the pool is filled directly and
+// the tick forced by hand, so the test is deterministic.
+func TestTickCoalescesAndPreservesFIFO(t *testing.T) {
+	be := &fakeBackend{}
+	s := New(be, Config{Workers: 1, Tick: time.Hour, PoolSize: 64})
+	defer s.Close()
+
+	const n = 10
+	var reqs []*request
+	for i := uint64(0); i < n; i++ {
+		r := &request{ops: oneOp(i), done: make(chan error, 1)}
+		s.pool <- r
+		reqs = append(reqs, r)
+	}
+	if got := s.drainTick(make([]*request, 0, 64)); got != n {
+		t.Fatalf("drainTick dispatched %d, want %d", got, n)
+	}
+	for i, r := range reqs {
+		if err := <-r.done; err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if got := s.batches.Load(); got != 1 {
+		t.Errorf("batches = %d, want 1 (no coalescing)", got)
+	}
+	if got := s.batched.Load(); got != n {
+		t.Errorf("batched = %d, want %d", got, n)
+	}
+	order := be.executed()
+	if len(order) != n {
+		t.Fatalf("executed %d ops, want %d", len(order), n)
+	}
+	for i, k := range order {
+		if k != uint64(i) {
+			t.Fatalf("FIFO violated: position %d executed key %d (order %v)", i, k, order)
+		}
+	}
+}
+
+// TestSubmitRoundTrip drives the public path end to end: concurrent
+// Submits through a running tick loop, results filled per request.
+func TestSubmitRoundTrip(t *testing.T) {
+	be := &fakeBackend{}
+	s := New(be, Config{Tick: 200 * time.Microsecond, Workers: 2})
+	defer s.Close()
+
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res := make([]kv.Result, 1)
+			errs[i] = s.Submit(oneOp(uint64(i)), res)
+			if errs[i] == nil && (res[0].Val != uint64(i) || !res[0].Ok) {
+				errs[i] = fmt.Errorf("request %d: result %+v", i, res[0])
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if got := s.executed.Load(); got != n {
+		t.Errorf("executed = %d, want %d", got, n)
+	}
+}
+
+// TestShedOnOverflow pins admission control: a full pool refuses
+// instantly with ErrShed, already-admitted requests still complete (Close
+// drains them), and a closed service answers ErrClosed.
+func TestShedOnOverflow(t *testing.T) {
+	be := &fakeBackend{}
+	s := New(be, Config{PoolSize: 1, Tick: time.Hour, Workers: 1})
+
+	admitted := make(chan error, 1)
+	go func() { admitted <- s.Submit(oneOp(1), nil) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.pool) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never reached the pool")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	if err := s.Submit(oneOp(2), nil); err != ErrShed {
+		t.Fatalf("overflow submit: err = %v, want ErrShed", err)
+	}
+	if got := s.shed.Load(); got != 1 {
+		t.Errorf("shed = %d, want 1", got)
+	}
+
+	s.Close()
+	if err := <-admitted; err != nil {
+		t.Fatalf("admitted request lost at close: %v", err)
+	}
+	if got := be.executed(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("executed = %v, want [1]", got)
+	}
+	if err := s.Submit(oneOp(3), nil); err != ErrClosed {
+		t.Fatalf("post-close submit: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestValidateOps pins the admission-side batch validation.
+func TestValidateOps(t *testing.T) {
+	if err := validateOps(nil); err == nil {
+		t.Error("empty batch admitted")
+	}
+	big := make([]kv.Op, MaxOpsPerBatch+1)
+	if err := validateOps(big); err == nil {
+		t.Error("oversized batch admitted")
+	}
+	if err := validateOps([]kv.Op{{Kind: kv.OpKind(99)}}); err == nil {
+		t.Error("unknown kind admitted")
+	}
+	if err := validateOps(oneOp(1)); err != nil {
+		t.Errorf("valid batch refused: %v", err)
+	}
+}
+
+// TestGaugesDeriveRatios pins the derived-gauge math against the
+// counters.
+func TestGaugesDeriveRatios(t *testing.T) {
+	be := &fakeBackend{}
+	s := New(be, Config{Tick: 200 * time.Microsecond})
+	defer s.Close()
+	for i := 0; i < 8; i++ {
+		if err := s.Submit(oneOp(uint64(i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var coalesce, shedRate float64 = -1, -1
+	for _, g := range s.Gauges() {
+		switch g.Name {
+		case "svc_batch_coalesce":
+			coalesce = g.Value
+		case "svc_shed_rate":
+			shedRate = g.Value
+		}
+	}
+	if coalesce < 1 {
+		t.Errorf("svc_batch_coalesce = %v, want >= 1", coalesce)
+	}
+	if shedRate != 0 {
+		t.Errorf("svc_shed_rate = %v, want 0", shedRate)
+	}
+	found := false
+	for _, m := range s.MetricsSnapshot() {
+		if m.Name == "svc_executed" && m.Value == 8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("svc_executed counter missing or wrong")
+	}
+}

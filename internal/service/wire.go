@@ -1,0 +1,145 @@
+package service
+
+import (
+	"fmt"
+
+	"medley/internal/kv"
+)
+
+// This file is the wire protocol of POST /v1/batch: a JSON batch of
+// operations executed as one atomic transaction, one result per wire
+// operation. Point operations map 1:1 onto the kv request API
+// (internal/kv ops.go); "transfer" is the one compound verb — it expands
+// to a debit/credit pair of fetch-and-adds inside the same transaction,
+// so a wire client gets cross-key atomic transfers without a
+// read-modify-write round trip.
+
+// WireOp is one operation of a wire batch. Fields beyond Op are
+// per-verb:
+//
+//	{"op":"get","key":K}                 → result: value, ok=present
+//	{"op":"put","key":K,"val":V}         → result: previous value, ok=existed
+//	{"op":"delete","key":K}              → result: removed value, ok=existed
+//	{"op":"add","key":K,"val":D}         → result: new value, ok=existed (missing keys read as 0; D wraps uint64, so a debit is the two's complement)
+//	{"op":"scan","n":N}                  → result: entries visited, ok=true
+//	{"op":"transfer","from":F,"to":T,"val":A} → result: sender's new balance, ok=both keys existed
+type WireOp struct {
+	Op   string `json:"op"`
+	Key  uint64 `json:"key,omitempty"`
+	Val  uint64 `json:"val,omitempty"`
+	From uint64 `json:"from,omitempty"`
+	To   uint64 `json:"to,omitempty"`
+	N    uint64 `json:"n,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch. The whole batch is one
+// atomic transaction.
+type BatchRequest struct {
+	Ops []WireOp `json:"ops"`
+}
+
+// WireResult is one wire operation's outcome.
+type WireResult struct {
+	Val uint64 `json:"val"`
+	Ok  bool   `json:"ok"`
+}
+
+// BatchResponse is the success body: results[i] answers ops[i].
+type BatchResponse struct {
+	Results []WireResult `json:"results"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// decoded is a wire batch lowered onto the kv request API: the flat op
+// list the executor runs, plus each wire op's span in it (transfers
+// occupy two kv ops; everything else one).
+type decoded struct {
+	ops   []kv.Op
+	spans []int // spans[i] = kv ops consumed by wire op i
+}
+
+// decodeBatch lowers wire ops onto kv ops. Transfer expands to
+// Add(from, -amount) then Add(to, +amount): both legs in one transaction
+// is exactly the atomic cross-key composition the store provides.
+func decodeBatch(req BatchRequest) (decoded, error) {
+	d := decoded{
+		ops:   make([]kv.Op, 0, len(req.Ops)),
+		spans: make([]int, len(req.Ops)),
+	}
+	for i, w := range req.Ops {
+		switch w.Op {
+		case "get":
+			d.ops = append(d.ops, kv.Op{Kind: kv.OpGet, Key: w.Key})
+			d.spans[i] = 1
+		case "put":
+			d.ops = append(d.ops, kv.Op{Kind: kv.OpPut, Key: w.Key, Val: w.Val})
+			d.spans[i] = 1
+		case "delete":
+			d.ops = append(d.ops, kv.Op{Kind: kv.OpDelete, Key: w.Key})
+			d.spans[i] = 1
+		case "add":
+			d.ops = append(d.ops, kv.Op{Kind: kv.OpAdd, Key: w.Key, Val: w.Val})
+			d.spans[i] = 1
+		case "scan":
+			d.ops = append(d.ops, kv.Op{Kind: kv.OpScan, Val: w.N})
+			d.spans[i] = 1
+		case "transfer":
+			if w.From == w.To {
+				return decoded{}, fmt.Errorf("op %d: transfer from == to (%d)", i, w.From)
+			}
+			d.ops = append(d.ops,
+				kv.Op{Kind: kv.OpAdd, Key: w.From, Val: -w.Val},
+				kv.Op{Kind: kv.OpAdd, Key: w.To, Val: w.Val},
+			)
+			d.spans[i] = 2
+		default:
+			return decoded{}, fmt.Errorf("op %d: unknown op %q", i, w.Op)
+		}
+	}
+	return d, nil
+}
+
+// encodeResults folds executor results back onto wire spans. A
+// transfer's result is the sender's post-debit balance, ok when both
+// keys existed before the transfer.
+func encodeResults(d decoded, res []kv.Result) []WireResult {
+	out := make([]WireResult, len(d.spans))
+	at := 0
+	for i, n := range d.spans {
+		if n == 2 {
+			out[i] = WireResult{Val: res[at].Val, Ok: res[at].Ok && res[at+1].Ok}
+		} else {
+			out[i] = WireResult{Val: res[at].Val, Ok: res[at].Ok}
+		}
+		at += n
+	}
+	return out
+}
+
+// encodeOps is the client-side inverse of decodeBatch for the 1:1 verbs
+// — the HTTP driver speaks raw kv ops, so its batches never need the
+// transfer expansion (a transfer arrives as its two Adds).
+func encodeOps(ops []kv.Op) ([]WireOp, error) {
+	out := make([]WireOp, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case kv.OpGet:
+			out[i] = WireOp{Op: "get", Key: op.Key}
+		case kv.OpPut:
+			out[i] = WireOp{Op: "put", Key: op.Key, Val: op.Val}
+		case kv.OpDelete:
+			out[i] = WireOp{Op: "delete", Key: op.Key}
+		case kv.OpAdd:
+			out[i] = WireOp{Op: "add", Key: op.Key, Val: op.Val}
+		case kv.OpScan:
+			out[i] = WireOp{Op: "scan", N: op.Val}
+		default:
+			return nil, fmt.Errorf("op %d: unencodable kind %d", i, op.Kind)
+		}
+	}
+	return out, nil
+}
