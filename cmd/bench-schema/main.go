@@ -25,6 +25,13 @@
 // paths are actually taken, and its allocs/op must stay under the
 // read-only allocation ceiling.
 //
+// With -groupcommit-budget it enforces the committed group-commit budget
+// (testdata/groupcommit_budget.json) the same way: the grouped system
+// must beat its -groupcommit=off baseline by the required margin at every
+// thread count at or above the floor, and its group_share must show that
+// a non-trivial fraction of logical commits actually rode inside merged
+// groups.
+//
 //	bench-schema -schema testdata/bench_schema.json BENCH_*.json
 package main
 
@@ -45,6 +52,8 @@ var (
 		"also enforce this allocation-budget file against the reports' memory blocks")
 	fastpathFlag = flag.String("fastpath-budget", "",
 		"also enforce this fast-path budget file against the reports' fastpath blocks")
+	groupcommitFlag = flag.String("groupcommit-budget", "",
+		"also enforce this group-commit budget file against the reports' fastpath blocks")
 )
 
 func main() {
@@ -105,6 +114,17 @@ func run() int {
 			}
 			for _, msg := range budget.violations(data) {
 				fmt.Fprintf(os.Stderr, "%s: fastpath budget: %s\n", path, msg)
+				failed = true
+			}
+		}
+		if *groupcommitFlag != "" {
+			budget, err := loadGroupcommitBudget(*groupcommitFlag)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			for _, msg := range budget.violations(data) {
+				fmt.Fprintf(os.Stderr, "%s: groupcommit budget: %s\n", path, msg)
 				failed = true
 			}
 		}
@@ -311,6 +331,131 @@ func (b fastpathBudget) violations(data []byte) []string {
 		if b.MaxAllocsPerOp > 0 && m.hasMem && m.allocs > b.MaxAllocsPerOp {
 			out = append(out, fmt.Sprintf("%s threads=%d: %.3f allocs/op exceeds ceiling %.3f",
 				b.System, m.threads, m.allocs, b.MaxAllocsPerOp))
+		}
+		if m.threads < b.MinThreads {
+			continue
+		}
+		judged++
+		base, ok := baseline[m.threads]
+		if !ok {
+			out = append(out, fmt.Sprintf("no baseline %q record at threads=%d", b.Baseline, m.threads))
+			continue
+		}
+		if limit := (1 + b.MinSpeedup) * base; m.txnSec < limit {
+			out = append(out, fmt.Sprintf(
+				"%s threads=%d: %.0f txn/s not %.0f%% above baseline %.0f (limit %.0f)",
+				b.System, m.threads, m.txnSec, 100*b.MinSpeedup, base, limit))
+		}
+	}
+	if judged == 0 {
+		out = append(out, fmt.Sprintf("no %q records for %q at threads >= %d (gate would pass vacuously)",
+			phase, b.System, b.MinThreads))
+	}
+	return out
+}
+
+// groupcommitBudget is the committed group-commit budget
+// (testdata/groupcommit_budget.json): the regression contract for merged
+// group commits. It gates the committed BENCH_groupcommit.json the same
+// way the fast-path budget gates BENCH_readmostly.json: at every thread
+// count at or above the floor, the grouped system must beat its
+// -groupcommit=off baseline by the required margin, and its group_share
+// must show the merges are actually happening — a group-commit path
+// nothing takes is a dead gate.
+type groupcommitBudget struct {
+	// Scenario restricts the check to reports of this scenario ("" = any);
+	// reports of other scenarios pass vacuously.
+	Scenario string `json:"scenario"`
+	// Phase selects the records to judge ("" = "measured").
+	Phase string `json:"phase"`
+	// System is the grouped system; Baseline the -groupcommit=off
+	// configuration it must beat.
+	System   string `json:"system"`
+	Baseline string `json:"baseline"`
+	// MinThreads: the speedup must hold at every thread count >= this, and
+	// at least one such record must exist (the gate cannot pass vacuously).
+	MinThreads int `json:"min_threads"`
+	// MinSpeedup requires System's throughput >= (1+MinSpeedup) x
+	// Baseline's at the same thread count (0.15 = at least 15% faster).
+	MinSpeedup float64 `json:"min_speedup"`
+	// MinGroupShare is the floor on System's group_share — the fraction of
+	// logical commits that actually rode inside merged groups.
+	MinGroupShare float64 `json:"min_group_share"`
+}
+
+func loadGroupcommitBudget(path string) (groupcommitBudget, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return groupcommitBudget{}, err
+	}
+	var b groupcommitBudget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return groupcommitBudget{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.System == "" || b.Baseline == "" {
+		return groupcommitBudget{}, fmt.Errorf("%s: budget must name system and baseline", path)
+	}
+	return b, nil
+}
+
+// violations checks one report against the group-commit budget.
+func (b groupcommitBudget) violations(data []byte) []string {
+	phase := b.Phase
+	if phase == "" {
+		phase = "measured"
+	}
+	var doc struct {
+		Scenario string `json:"scenario"`
+		Results  []struct {
+			System   string                  `json:"system"`
+			Phase    string                  `json:"phase"`
+			Threads  int                     `json:"threads"`
+			TxnSec   float64                 `json:"throughput_txn_per_sec"`
+			Fastpath *harness.FastpathRecord `json:"fastpath"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return []string{err.Error()}
+	}
+	if b.Scenario != "" && doc.Scenario != b.Scenario {
+		return nil
+	}
+	type measured struct {
+		threads  int
+		txnSec   float64
+		share    float64
+		hasShare bool
+	}
+	var sys []measured
+	baseline := map[int]float64{} // threads -> baseline txn/s
+	for _, r := range doc.Results {
+		if r.Phase != phase {
+			continue
+		}
+		switch r.System {
+		case b.System:
+			m := measured{threads: r.Threads, txnSec: r.TxnSec}
+			if r.Fastpath != nil {
+				m.share, m.hasShare = r.Fastpath.GroupShare, true
+			}
+			sys = append(sys, m)
+		case b.Baseline:
+			baseline[r.Threads] = r.TxnSec
+		}
+	}
+	if len(sys) == 0 {
+		return []string{fmt.Sprintf("no %q records for system %q", phase, b.System)}
+	}
+	var out []string
+	judged := 0
+	for _, m := range sys {
+		if b.MinGroupShare > 0 {
+			if !m.hasShare {
+				out = append(out, fmt.Sprintf("%s threads=%d: no fastpath block", b.System, m.threads))
+			} else if m.share < b.MinGroupShare {
+				out = append(out, fmt.Sprintf("%s threads=%d: group share %.2f below floor %.2f",
+					b.System, m.threads, m.share, b.MinGroupShare))
+			}
 		}
 		if m.threads < b.MinThreads {
 			continue

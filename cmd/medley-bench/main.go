@@ -87,6 +87,8 @@ var (
 		"cell/node recycling arenas for Medley systems: on|off (-pooling=off is the unpooled allocation baseline)")
 	fastpathsFlag = flag.String("fastpaths", "on",
 		"commit fast paths for Medley systems: on|off (-fastpaths=off forces every commit through the full descriptor handshake)")
+	groupcommitFlag = flag.String("groupcommit", "on",
+		"merged group commits for Medley systems: on|off (-groupcommit=off commits every grouped transaction individually)")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 )
@@ -144,6 +146,10 @@ func run() int {
 		return 2
 	}
 	if _, err := fastpathsEnabled(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if _, err := groupcommitEnabled(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
@@ -253,11 +259,17 @@ func medleyFastpaths() bool {
 	return on
 }
 
+// medleyGroupcommit resolves the -groupcommit flag the same way.
+func medleyGroupcommit() bool {
+	on, _ := groupcommitEnabled()
+	return on
+}
+
 func fig7(threads []int) {
 	for _, ratio := range harness.PaperRatios {
 		fmt.Printf("\n== Figure 7 (hash table) get:insert:remove %s ==\n", ratio)
 		sweep(func() harness.System {
-			return harness.NewMedleyKV("hash", 1, *buckets, medleyPooling(), medleyFastpaths())
+			return harness.NewMedleyKV("hash", 1, *buckets, medleyPooling(), medleyFastpaths(), medleyGroupcommit())
 		}, threads, ratio)
 		sweep(func() harness.System {
 			return harness.NewMontage(harness.MontageOpts{
@@ -279,7 +291,7 @@ func fig8(threads []int) {
 	for _, ratio := range harness.PaperRatios {
 		fmt.Printf("\n== Figure 8 (skiplist) get:insert:remove %s ==\n", ratio)
 		sweep(func() harness.System {
-			return harness.NewMedleyKV("skip", 1, 0, medleyPooling(), medleyFastpaths())
+			return harness.NewMedleyKV("skip", 1, 0, medleyPooling(), medleyFastpaths(), medleyGroupcommit())
 		}, threads, ratio)
 		sweep(func() harness.System {
 			return harness.NewMontage(harness.MontageOpts{
@@ -375,7 +387,7 @@ func fig10(sub string, threads []int) {
 			sweep(func() harness.System { return harness.NewOriginalSkip() }, []int{th}, ratio)
 			sweep(func() harness.System { return harness.NewTxOffSkip() }, []int{th}, ratio)
 			sweep(func() harness.System {
-				return harness.NewMedleyKV("skip", 1, 0, medleyPooling(), medleyFastpaths())
+				return harness.NewMedleyKV("skip", 1, 0, medleyPooling(), medleyFastpaths(), medleyGroupcommit())
 			}, []int{th}, ratio)
 		case "b":
 			fmt.Printf("\n== Figure 10b (latency, payloads on NVM, persistence off) %s, %d threads ==\n", ratio, th)

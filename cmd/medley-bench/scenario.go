@@ -33,16 +33,29 @@ func fastpathsEnabled() (bool, error) {
 	return false, fmt.Errorf("bad -fastpaths %q (want on|off)", *fastpathsFlag)
 }
 
+// groupcommitEnabled parses the -groupcommit flag the same way.
+func groupcommitEnabled() (bool, error) {
+	switch *groupcommitFlag {
+	case "on", "true", "1":
+		return true, nil
+	case "off", "false", "0":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad -groupcommit %q (want on|off)", *groupcommitFlag)
+}
+
 // systemOpts bundles the shared sizing flags for the harness system
 // registry; every -systems name (optionally suffixed "@N" for N shards)
 // resolves through harness.NewSystem against these options.
 func systemOpts() harness.SystemOpts {
 	pooling, _ := poolingEnabled() // validated in run
 	fastpaths, _ := fastpathsEnabled()
+	groupcommit, _ := groupcommitEnabled()
 	return harness.SystemOpts{
 		Buckets: *buckets, Shards: *shardsFlag, KeyRange: uint64(*keyRange),
 		NoPooling:        !pooling,
 		NoFastPaths:      !fastpaths,
+		NoGroupCommit:    !groupcommit,
 		WriteBackLatency: *nvmWB, FenceLatency: *nvmFence, StoreLatency: *nvmStore,
 		AdvanceEvery: *advEvery,
 	}
@@ -155,6 +168,10 @@ func printScenarioResult(res harness.ScenarioResult) {
 	if fp := m.Fastpath; fp != nil && fp.Commits > 0 {
 		fmt.Printf("  fastpath            read-only=%d  single-write=%d  share=%5.1f%%\n",
 			fp.ReadOnlyCommits, fp.FastPathCommits-fp.ReadOnlyCommits, 100*fp.FastpathShare)
+		if fp.GroupCommits > 0 {
+			fmt.Printf("  groupcommit         groups=%d  grouped-txns=%d  share=%5.1f%%\n",
+				fp.GroupCommits, fp.GroupedTxns, 100*fp.GroupShare)
+		}
 	}
 	if len(res.Phases) > 1 {
 		for _, ph := range res.Phases {

@@ -27,15 +27,17 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":7654", "address to serve on")
-		system   = flag.String("system", "medley-hash@8", "system spec from the benchmark registry (see -list)")
-		list     = flag.Bool("list", false, "list registered systems and exit")
-		buckets  = flag.Int("buckets", 1<<16, "hash buckets for hash-structured systems")
-		keyRange = flag.Uint64("keyrange", 1<<20, "key range hint (sizes simulated NVM regions)")
-		pool     = flag.Int("pool", 4096, "txpool bound; arrivals beyond it are shed with 429")
-		tick     = flag.Duration("tick", time.Millisecond, "batch tick period")
-		batch    = flag.Int("batch", 0, "max requests drained per tick (0 = pool size)")
-		workers  = flag.Int("workers", 0, "executor goroutines per tick (0 = GOMAXPROCS)")
+		listen      = flag.String("listen", ":7654", "address to serve on")
+		system      = flag.String("system", "medley-hash@8", "system spec from the benchmark registry (see -list)")
+		list        = flag.Bool("list", false, "list registered systems and exit")
+		buckets     = flag.Int("buckets", 1<<16, "hash buckets for hash-structured systems")
+		keyRange    = flag.Uint64("keyrange", 1<<20, "key range hint (sizes simulated NVM regions)")
+		pool        = flag.Int("pool", 4096, "txpool bound; arrivals beyond it are shed with 429")
+		tick        = flag.Duration("tick", time.Millisecond, "batch tick period")
+		batch       = flag.Int("batch", 0, "max requests drained per tick (0 = pool size)")
+		workers     = flag.Int("workers", 0, "executor goroutines per tick (0 = GOMAXPROCS)")
+		groupcommit = flag.Bool("groupcommit", true,
+			"merge each worker chunk's requests into group commits (Medley systems; false commits each request individually)")
 	)
 	flag.Parse()
 
@@ -47,8 +49,9 @@ func main() {
 	}
 
 	sys, err := harness.NewSystem(*system, harness.SystemOpts{
-		Buckets:  *buckets,
-		KeyRange: *keyRange,
+		Buckets:       *buckets,
+		KeyRange:      *keyRange,
+		NoGroupCommit: !*groupcommit,
 	})
 	if err != nil {
 		log.Fatalf("medleyd: %v", err)

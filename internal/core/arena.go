@@ -80,6 +80,15 @@ type cellArena[T comparable] struct {
 	pending     []*cell[T]
 	freeBatches []*cellBatch[T]
 
+	// slab is the bump allocator behind pool misses: cells are carved from
+	// a block of cellSlabSize instead of allocated one by one, so a burst
+	// of misses (a cold pool, or EBR advance starved by oversubscription
+	// parking readers mid-transaction) costs one GC allocation per slab
+	// rather than one per cell. Pooled cells are immortal — once carved
+	// they circulate through freelists forever — so slab backing memory
+	// never needs to free individually.
+	slab []cell[T]
+
 	// Plain counters, owner-only; flushed to the owner's StatShard once
 	// per settle so the hot path performs no atomic ops for telemetry.
 	gets, hits, retires uint64
@@ -105,8 +114,11 @@ func arenaFor[T comparable](tx *Tx) *cellArena[T] {
 	return a
 }
 
-// get pops a recycled cell (grace period already elapsed) or falls back to
-// the heap, binding it to slot o.
+// cellSlabSize is how many cells one pool-miss slab carves into.
+const cellSlabSize = 32
+
+// get pops a recycled cell (grace period already elapsed) or carves one
+// from the miss slab, binding it to slot o.
 func (a *cellArena[T]) get(o *CASObj[T]) *cell[T] {
 	a.gets++
 	if n := len(a.free); n > 0 {
@@ -117,7 +129,11 @@ func (a *cellArena[T]) get(o *CASObj[T]) *cell[T] {
 		a.hits++
 		return c
 	}
-	c := &cell[T]{}
+	if len(a.slab) == 0 {
+		a.slab = make([]cell[T], cellSlabSize)
+	}
+	c := &a.slab[0]
+	a.slab = a.slab[1:]
 	c.slot.Store(o)
 	return c
 }

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGroupCommitMergesMembers checks the accounting of a clean merged
+// group: n members with disjoint write sets commit as one physical
+// transaction, counted once in Commits and expanded by
+// GroupCommits/GroupedTxns.
+func TestGroupCommitMergesMembers(t *testing.T) {
+	const n = 4
+	mgr := NewTxManager()
+	tx := mgr.Register()
+	objs := make([]*CASObj[int], n)
+	for i := range objs {
+		objs[i] = NewCASObj[int](0)
+	}
+	err := tx.RunGroup(n, func(i int) error {
+		v, w := objs[i].NbtcLoad(tx)
+		tx.AddToReadSet(w)
+		if !objs[i].NbtcCAS(tx, v, v+10+i, true, true) {
+			tx.Abort()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunGroup: %v", err)
+	}
+	for i, o := range objs {
+		if got := o.Load(); got != 10+i {
+			t.Fatalf("objs[%d] = %d, want %d", i, got, 10+i)
+		}
+	}
+	st := mgr.Stats()
+	if st.GroupCommits != 1 || st.GroupedTxns != n || st.Commits != 1 {
+		t.Fatalf("GroupCommits,GroupedTxns,Commits = %d,%d,%d, want 1,%d,1",
+			st.GroupCommits, st.GroupedTxns, st.Commits, n)
+	}
+	if got := st.LogicalCommits(); got != n {
+		t.Fatalf("LogicalCommits = %d, want %d", got, n)
+	}
+}
+
+// TestGroupCommitDisabled checks the ablation switch: with
+// TxManager.DisableGroupCommit the same group runs every member as its
+// own transaction and no merge is counted.
+func TestGroupCommitDisabled(t *testing.T) {
+	const n = 4
+	mgr := NewTxManager()
+	mgr.DisableGroupCommit()
+	tx := mgr.Register()
+	o := NewCASObj[int](0)
+	err := tx.RunGroup(n, func(i int) error {
+		v, w := o.NbtcLoad(tx)
+		tx.AddToReadSet(w)
+		if !o.NbtcCAS(tx, v, v+1, true, true) {
+			tx.Abort()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunGroup: %v", err)
+	}
+	st := mgr.Stats()
+	if st.GroupCommits != 0 || st.GroupedTxns != 0 {
+		t.Fatalf("GroupCommits,GroupedTxns = %d,%d, want 0,0 with group commit off",
+			st.GroupCommits, st.GroupedTxns)
+	}
+	if st.Commits != n {
+		t.Fatalf("Commits = %d, want %d individual commits", st.Commits, n)
+	}
+	if got := st.LogicalCommits(); got != n {
+		t.Fatalf("LogicalCommits = %d, want %d", got, n)
+	}
+	if got := o.Load(); got != n {
+		t.Fatalf("o = %d, want %d", got, n)
+	}
+}
+
+// TestGroupIntraGroupConflictsSequential checks merged-group semantics
+// when members are NOT disjoint: members hitting the same key must behave
+// exactly as if committed individually in member order — each member
+// reads its predecessors' speculative effects. The result is compared
+// against the same members run with group commit ablated.
+func TestGroupIntraGroupConflictsSequential(t *testing.T) {
+	const n = 8
+	run := func(mgr *TxManager) int {
+		tx := mgr.Register()
+		o := NewCASObj[int](1)
+		err := tx.RunGroup(n, func(i int) error {
+			v, w := o.NbtcLoad(tx)
+			tx.AddToReadSet(w)
+			if !o.NbtcCAS(tx, v, v*2+i, true, true) {
+				tx.Abort()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("RunGroup: %v", err)
+		}
+		return o.Load()
+	}
+	grouped := NewTxManager()
+	individual := NewTxManager()
+	individual.DisableGroupCommit()
+	g, ind := run(grouped), run(individual)
+	if g != ind {
+		t.Fatalf("merged group result %d != individual-commit result %d", g, ind)
+	}
+	if st := grouped.Stats(); st.GroupCommits != 1 || st.GroupedTxns != n {
+		t.Fatalf("GroupCommits,GroupedTxns = %d,%d, want 1,%d", st.GroupCommits, st.GroupedTxns, n)
+	}
+}
+
+// TestGroupMemberErrorFallsBackToIndividual checks that a member failing
+// of its own accord poisons only itself: the merged attempt rolls back,
+// the individual fallback commits every other member, and the member's
+// error surfaces from RunGroup.
+func TestGroupMemberErrorFallsBackToIndividual(t *testing.T) {
+	const n = 4
+	errBad := errors.New("member 2 declines")
+	mgr := NewTxManager()
+	tx := mgr.Register()
+	objs := make([]*CASObj[int], n)
+	for i := range objs {
+		objs[i] = NewCASObj[int](0)
+	}
+	err := tx.RunGroup(n, func(i int) error {
+		if i == 2 {
+			return errBad
+		}
+		v, w := objs[i].NbtcLoad(tx)
+		tx.AddToReadSet(w)
+		if !objs[i].NbtcCAS(tx, v, 7, true, true) {
+			tx.Abort()
+		}
+		return nil
+	})
+	if !errors.Is(err, errBad) {
+		t.Fatalf("RunGroup error = %v, want %v", err, errBad)
+	}
+	for i, o := range objs {
+		want := 7
+		if i == 2 {
+			want = 0
+		}
+		if got := o.Load(); got != want {
+			t.Fatalf("objs[%d] = %d, want %d", i, got, want)
+		}
+	}
+	if st := mgr.Stats(); st.GroupCommits != 0 {
+		t.Fatalf("GroupCommits = %d, want 0 (merged attempt must not commit)", st.GroupCommits)
+	}
+}
+
+// TestGroupCommitSerializable is the group-commit analogue of the torn-
+// transfer fast-path test, and the -race stress for merged commits racing
+// helper aborts: writer workers commit GROUPS of transfer members (each
+// member moves one unit between two slots, preserving their sum, through
+// the general two-write protocol where helpers can reach and eagerly
+// abort the merged descriptor), while reader workers commit read-only
+// snapshots of both slots. Every committed read must see the invariant
+// sum — whether the transfers around it merged or fell back — and the
+// final state must balance.
+func TestGroupCommitSerializable(t *testing.T) {
+	const (
+		writers   = 3
+		readers   = 2
+		total     = 1 << 10
+		rounds    = 4000
+		groupSize = 4
+	)
+	mgr := NewTxManager()
+	a, b := NewCASObj[int](total), NewCASObj[int](0)
+	var wg sync.WaitGroup
+	var torn atomic.Int64
+	transfer := func(tx *Tx) error {
+		av, aw := a.NbtcLoad(tx)
+		tx.AddToReadSet(aw)
+		bv, bw := b.NbtcLoad(tx)
+		tx.AddToReadSet(bw)
+		d := 1
+		if av == 0 {
+			d = -1
+		}
+		if !a.NbtcCAS(tx, av, av-d, false, true) {
+			tx.Abort()
+		}
+		if !b.NbtcCAS(tx, bv, bv+d, true, false) {
+			tx.Abort()
+		}
+		return nil
+	}
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tx := mgr.Register()
+			for i := 0; i < rounds; i++ {
+				if err := tx.RunGroup(groupSize, func(int) error { return transfer(tx) }); err != nil {
+					t.Errorf("transfer group: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tx := mgr.Register()
+			for i := 0; i < rounds*2; i++ {
+				var av, bv int
+				err := tx.Run(func() error {
+					v, w := a.NbtcLoad(tx)
+					tx.AddToReadSet(w)
+					av = v
+					v, w = b.NbtcLoad(tx)
+					tx.AddToReadSet(w)
+					bv = v
+					return nil
+				})
+				if err == nil && av+bv != total {
+					torn.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := torn.Load(); n != 0 {
+		t.Fatalf("%d committed reads observed a torn grouped transfer", n)
+	}
+	if got := a.Load() + b.Load(); got != total {
+		t.Fatalf("final sum = %d, want %d", got, total)
+	}
+	st := mgr.Stats()
+	if st.GroupCommits == 0 {
+		t.Fatal("no group ever merged under contention")
+	}
+	if st.LogicalCommits() < writers*rounds*groupSize {
+		t.Fatalf("LogicalCommits = %d, want >= %d transfer members",
+			st.LogicalCommits(), writers*rounds*groupSize)
+	}
+}
+
+// TestGroupEmptyAndSingleton checks the degenerate group sizes: zero
+// members is a no-op, and a singleton group is an ordinary transaction
+// with no merge counted.
+func TestGroupEmptyAndSingleton(t *testing.T) {
+	mgr := NewTxManager()
+	tx := mgr.Register()
+	if err := tx.RunGroup(0, func(int) error { t.Fatal("member ran"); return nil }); err != nil {
+		t.Fatalf("empty group: %v", err)
+	}
+	o := NewCASObj[int](0)
+	err := tx.RunGroup(1, func(int) error {
+		v, w := o.NbtcLoad(tx)
+		tx.AddToReadSet(w)
+		if !o.NbtcCAS(tx, v, v+1, true, true) {
+			tx.Abort()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("singleton group: %v", err)
+	}
+	st := mgr.Stats()
+	if st.GroupCommits != 0 || st.GroupedTxns != 0 || st.Commits != 1 {
+		t.Fatalf("GroupCommits,GroupedTxns,Commits = %d,%d,%d, want 0,0,1",
+			st.GroupCommits, st.GroupedTxns, st.Commits)
+	}
+}

@@ -1,10 +1,6 @@
 package core
 
-import (
-	"errors"
-	"runtime"
-	"time"
-)
+import "errors"
 
 // ErrTxAborted is returned by Tx.End / Tx.Run when the transaction aborted,
 // whether explicitly (Tx.Abort), by failed read validation, or by a
@@ -38,6 +34,7 @@ type Tx struct {
 	active bool
 	inSpec bool
 	fast   bool // commit fast paths enabled (TxManager.FastPathsEnabled at Register)
+	group  bool // group commit enabled (TxManager.GroupCommitEnabled at Register)
 
 	reads     []ReadWitness  // published at End; see readsFree for reuse rules
 	writes    []writeCell    // owner-only: truncate-and-reuse
@@ -62,7 +59,8 @@ type Tx struct {
 	rpFree    []*publishedReads
 	rpBin     rpBin
 
-	rngState uint64 // xorshift state for RunRetry backoff jitter
+	rngState uint64     // xorshift state for RunRetry backoff jitter
+	cm       contention // adaptive backoff state (backoff.go); owner-only
 }
 
 // rpBin is the ebr.Pool that receives a retired publishedReads once no
@@ -507,26 +505,21 @@ func (tx *Tx) Run(fn func() error) (err error) {
 // commits or fn returns a different error. This is the catch-block retry
 // loop of the paper's Figure 3, packaged for convenience.
 //
-// The backoff is allocation-free: a Gosched-first spin ladder (at typical
-// abort rates the conflict window is shorter than a timer sleep, so the
-// first few retries just yield the processor) followed by exponential
-// sleeps jittered by a per-Tx xorshift PRNG.
+// The backoff is allocation-free and contention-adaptive (backoff.go): a
+// Gosched-first spin ladder followed by exponential sleeps jittered by a
+// per-Tx xorshift PRNG, with the yield count and jitter window steered by
+// this Tx's abort-rate EWMA and hot-conflict detection.
 func (tx *Tx) RunRetry(fn func() error) error {
 	for attempt := 0; ; attempt++ {
 		err := tx.Run(fn)
 		if !errors.Is(err, ErrTxAborted) {
+			tx.cm.note(tx, false)
 			return err
 		}
+		tx.cm.note(tx, true)
 		tx.backoff(attempt)
 	}
 }
-
-// backoffYields retries are plain runtime.Gosched calls before the ladder
-// starts sleeping; backoffMax caps the jitter window.
-const (
-	backoffYields = 4
-	backoffMax    = 128 * time.Microsecond
-)
 
 // sectionPauser is the slice of an SMR handle RunRetry needs to step out
 // of its critical section while sleeping; *ebr.Handle satisfies it.
@@ -534,47 +527,6 @@ type sectionPauser interface {
 	Enter()
 	Exit()
 	Active() bool
-}
-
-// backoff delays the attempt-th retry. Sleeps happen outside the Tx's SMR
-// critical section: between attempts the previous transaction has settled
-// and no cell reference survives into the next attempt, so this is a
-// quiescent point — and a worker sleeping tens of microseconds while
-// announcing an old epoch would otherwise stall reclamation for the whole
-// domain exactly when contention (and displacement traffic) peaks.
-func (tx *Tx) backoff(attempt int) {
-	if attempt < backoffYields {
-		runtime.Gosched()
-		return
-	}
-	shift := attempt - backoffYields
-	if shift > 7 {
-		shift = 7 // 1us << 7 == backoffMax
-	}
-	window := time.Microsecond << uint(shift)
-	pause := tx.pauser != nil && tx.pauser.Active()
-	if pause {
-		tx.pauser.Exit()
-	}
-	time.Sleep(time.Duration(tx.nextRand()%uint64(window)) + 1)
-	if pause {
-		tx.pauser.Enter()
-	}
-}
-
-// nextRand steps the Tx's xorshift64* PRNG (Vigna 2016), seeded from the
-// thread id on first use. Cheap, allocation-free, and private to the
-// owning goroutine.
-func (tx *Tx) nextRand() uint64 {
-	x := tx.rngState
-	if x == 0 {
-		x = uint64(tx.desc.tid)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
-	}
-	x ^= x >> 12
-	x ^= x << 25
-	x ^= x >> 27
-	tx.rngState = x
-	return x * 0x2545F4914F6CDD1D
 }
 
 // TNew allocates a block inside a transaction (the paper's tNew). Under

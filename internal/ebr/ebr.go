@@ -174,6 +174,23 @@ func (h *Handle) flushSlot(slot int) {
 	h.limbo[slot] = h.limbo[slot][:0]
 }
 
+// Flush frees every limbo entry whose grace period has elapsed, without
+// attempting to advance the epoch. Owner-only, like Retire. Useful at
+// full-stop barriers: steady-state retiring only revisits the slot of the
+// current epoch, so entries parked in the other slots wait for the epoch
+// to rotate back around — which under a starved advance (oversubscription
+// parking readers mid-critical-section) can be never. A barrier that
+// advances the epoch (see TryAdvance) and then flushes each handle
+// reclaims everything at once.
+func (h *Handle) Flush() {
+	ne := h.mgr.globalEpoch.Load()
+	for s := 0; s < generations; s++ {
+		if h.limboEpochs[s]+2 <= ne {
+			h.flushSlot(s)
+		}
+	}
+}
+
 // TryAdvance attempts to advance the global epoch: it succeeds only if
 // every active handle has announced the current epoch. On success, blocks
 // retired two epochs ago become reclaimable and this handle frees its own

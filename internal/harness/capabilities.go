@@ -37,6 +37,17 @@ type FastPathStatser interface {
 	FastPathStats() (readOnly, fastpath, commits uint64, ok bool)
 }
 
+// GroupStatser is implemented by systems whose commit protocol can merge
+// a batch of logical transactions into one group commit (the Medley
+// KVSystem); the engine differences snapshots around each phase to report
+// how many commits merged and how many logical transactions rode in them.
+// ok follows the FastPathStatser convention: false when the system runs
+// no commit protocol, true with zero merges under the -groupcommit=off
+// ablation.
+type GroupStatser interface {
+	GroupStats() (groups, grouped, commits uint64, ok bool)
+}
+
 // MetricsSnapshotter is implemented by systems that can export their
 // engine-level counters (commits by path, aborts by cause, pool traffic,
 // EBR reclamation) as a point-in-time snapshot. Snapshots are cumulative
@@ -97,6 +108,31 @@ type Recoverable interface {
 	Snapshot(fn func(key, val uint64) bool)
 }
 
+// WorkerReleaser is implemented by systems that can take a phase's
+// workers back at the phase barrier and hand them out again from
+// NewWorker. Per-worker state that is expensive to rebuild — recycling
+// arenas, SMR handles — then stays warm across a scenario's phases
+// instead of being abandoned cold at every barrier (abandoned handles
+// also orphan their limbo: the EBR flush runs on the owning goroutine,
+// so retired blocks behind a dead handle are never recycled). Ownership
+// transfers at the barrier: the engine releases a worker only after its
+// phase goroutine has exited, and hands it to at most one goroutine at a
+// time afterwards.
+type WorkerReleaser interface {
+	ReleaseWorker(w Worker)
+}
+
+// Quiescer is implemented by systems that can use a full-stop barrier to
+// run maintenance that cannot make progress under load. The Medley
+// KVSystem pumps the EBR epoch here: an oversubscribed phase parks
+// workers mid-transaction, each a critical section blocking epoch
+// advance, so in-phase reclamation starves — the barrier, where every
+// worker is quiescent, is the one reliable point to advance past the
+// phase's garbage and make it reclaimable.
+type Quiescer interface {
+	Quiesce()
+}
+
 // ShardCounter is the capability interface of systems whose store is
 // hash-partitioned; the engine reports the shard count per record.
 // Systems that don't implement it are single-instance (shard count 1).
@@ -111,12 +147,15 @@ type Caps struct {
 	TxStats     TxStatser
 	PoolStats   PoolStatser
 	FastPaths   FastPathStatser
+	Groups      GroupStatser
 	Metrics     MetricsSnapshotter
 	Consistency ConsistencyChecker
 	Kinds       TxKindStatser
 	Snapshot    Snapshotter
 	Recovery    Recoverable
 	Shards      ShardCounter
+	Release     WorkerReleaser
+	Quiescent   Quiescer
 }
 
 // Capabilities probes sys for every optional capability in one place.
@@ -125,12 +164,15 @@ func Capabilities(sys System) Caps {
 	c.TxStats, _ = sys.(TxStatser)
 	c.PoolStats, _ = sys.(PoolStatser)
 	c.FastPaths, _ = sys.(FastPathStatser)
+	c.Groups, _ = sys.(GroupStatser)
 	c.Metrics, _ = sys.(MetricsSnapshotter)
 	c.Consistency, _ = sys.(ConsistencyChecker)
 	c.Kinds, _ = sys.(TxKindStatser)
 	c.Snapshot, _ = sys.(Snapshotter)
 	c.Recovery, _ = sys.(Recoverable)
 	c.Shards, _ = sys.(ShardCounter)
+	c.Release, _ = sys.(WorkerReleaser)
+	c.Quiescent, _ = sys.(Quiescer)
 	return c
 }
 

@@ -15,14 +15,34 @@ import (
 // counter and latency sample kept in a per-worker shard so that the
 // harness adds no shared-memory traffic of its own to the measurement.
 
-// FastpathResult is the commit fast-path digest of one phase: how many
+// FastpathResult is the commit-protocol digest of one phase: how many
 // commits took the read-only elision, how many took any fast path
-// (read-only + single-write), and the share of all commits that is.
+// (read-only + single-write), how many were merged group commits and how
+// many logical transactions rode in them, and the derived shares.
 type FastpathResult struct {
 	ReadOnlyCommits uint64  // commits via the read-only elision
 	FastPathCommits uint64  // commits via any fast path
-	Commits         uint64  // all commits in the phase
+	Commits         uint64  // all physical commits in the phase
 	FastpathShare   float64 // FastPathCommits / Commits, 0 when no commits
+	GroupCommits    uint64  // merged group commits (each counted once in Commits)
+	GroupedTxns     uint64  // logical transactions committed inside merged groups
+	GroupShare      float64 // GroupedTxns / logical commits, 0 when no commits
+}
+
+// logicalCommits re-expands merged groups: each group commit is one
+// physical commit standing for GroupedTxns logical transactions.
+func (f *FastpathResult) logicalCommits() uint64 {
+	return f.Commits - f.GroupCommits + f.GroupedTxns
+}
+
+// deriveShares fills the ratio fields from the counter fields.
+func (f *FastpathResult) deriveShares() {
+	if f.Commits > 0 {
+		f.FastpathShare = float64(f.FastPathCommits) / float64(f.Commits)
+	}
+	if lc := f.logicalCommits(); lc > 0 {
+		f.GroupShare = float64(f.GroupedTxns) / float64(lc)
+	}
 }
 
 // MemoryResult is the memory-pressure digest of one phase: allocation
@@ -325,6 +345,8 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 				agg.Fastpath.ReadOnlyCommits += pr.Fastpath.ReadOnlyCommits
 				agg.Fastpath.FastPathCommits += pr.Fastpath.FastPathCommits
 				agg.Fastpath.Commits += pr.Fastpath.Commits
+				agg.Fastpath.GroupCommits += pr.Fastpath.GroupCommits
+				agg.Fastpath.GroupedTxns += pr.Fastpath.GroupedTxns
 			}
 			if pr.Telemetry != nil {
 				if agg.Telemetry == nil {
@@ -352,8 +374,8 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 			agg.Memory.PoolHitRate = float64(agg.Memory.PoolHits) / float64(agg.Memory.PoolGets)
 		}
 	}
-	if agg.Fastpath != nil && agg.Fastpath.Commits > 0 {
-		agg.Fastpath.FastpathShare = float64(agg.Fastpath.FastPathCommits) / float64(agg.Fastpath.Commits)
+	if agg.Fastpath != nil {
+		agg.Fastpath.deriveShares()
 	}
 	if agg.Telemetry != nil {
 		agg.Telemetry.Gauges = deriveGauges(agg.Telemetry.Counters)
@@ -364,6 +386,49 @@ func RunScenario(sys System, sc Scenario, cfg EngineConfig) ScenarioResult {
 		res.FinalCheck = runFinalCheck(caps, vs)
 	}
 	return res
+}
+
+// runGroupedWorker is the GroupSize > 1 worker loop: it buffers size
+// generated transactions — each copied out of the generator's reused
+// buffer — and submits the run through DoGroup. Every member remains its
+// own logical transaction (journaled and counted individually); one
+// latency sample covers a whole run, so grouped latencies are
+// per-group, comparable across systems at equal GroupSize.
+func runGroupedWorker(gw GroupWorker, gen *TxGen, size int, shard *workerShard, jm map[uint64]modelVal, vs *verifyState, tid, workers int, cfg EngineConfig, every int, stopFlag *atomic.Bool) {
+	bufs := make([][]Op, size)
+	group := make([][]Op, size)
+	tick := 0
+	for !stopFlag.Load() {
+		total := 0
+		for n := 0; n < size; n++ {
+			ops := gen.Next()
+			if vs != nil && vs.partition {
+				for i := range ops {
+					if ops[i].Kind == OpInsert || ops[i].Kind == OpRemove {
+						ops[i].Key = partitionKey(ops[i].Key, tid, workers, cfg.KeyRange)
+					}
+				}
+			}
+			bufs[n] = append(bufs[n][:0], ops...)
+			group[n] = bufs[n]
+			total += len(ops)
+		}
+		if tick++; tick >= every {
+			tick = 0
+			t0 := time.Now()
+			gw.DoGroup(group)
+			shard.record(time.Since(t0), cfg.MaxLatencySamples)
+		} else {
+			gw.DoGroup(group)
+		}
+		if jm != nil {
+			for _, ops := range group {
+				applyOps(jm, ops)
+			}
+		}
+		shard.txns += uint64(size)
+		shard.ops += uint64(total)
+	}
 }
 
 // runPhase spawns the phase's workers (cfg.Threads, multiplied by the
@@ -385,6 +450,11 @@ func runPhase(sys System, caps Caps, sc Scenario, ph Phase, phaseIdx int, cfg En
 	hasFast := false
 	if caps.FastPaths != nil {
 		ro0, fp0, cm0, hasFast = caps.FastPaths.FastPathStats()
+	}
+	var gc0, gt0 uint64
+	hasGroups := false
+	if caps.Groups != nil {
+		gc0, gt0, _, hasGroups = caps.Groups.GroupStats()
 	}
 	var met0 []Metric
 	if caps.Metrics != nil {
@@ -412,6 +482,7 @@ func runPhase(sys System, caps Caps, sc Scenario, ph Phase, phaseIdx int, cfg En
 	var stopFlag atomic.Bool
 	var wg sync.WaitGroup
 	start := make(chan struct{})
+	ws := make([]Worker, workers)
 	for t := 0; t < workers; t++ {
 		seed := cfg.Seed + int64(phaseIdx)*104729 + int64(t)*7919
 		shard := &workerShard{r: rand.New(rand.NewSource(seed ^ 0x5DEECE66D))}
@@ -426,7 +497,15 @@ func runPhase(sys System, caps Caps, sc Scenario, ph Phase, phaseIdx int, cfg En
 		go func() {
 			defer wg.Done()
 			w := sys.NewWorker()
+			ws[tid] = w
 			gen := NewTxGen(dist, cfg.KeyRange, ph.Mix, seed)
+			if sc.GroupSize > 1 {
+				if gw, ok := w.(GroupWorker); ok {
+					<-start
+					runGroupedWorker(gw, gen, sc.GroupSize, shard, jm, vs, tid, workers, cfg, every, &stopFlag)
+					return
+				}
+			}
 			tick := 0
 			<-start
 			for !stopFlag.Load() {
@@ -460,6 +539,22 @@ func runPhase(sys System, caps Caps, sc Scenario, ph Phase, phaseIdx int, cfg En
 	stopFlag.Store(true)
 	wg.Wait()
 	elapsed := time.Since(begin)
+	// Phase barrier: workers are quiescent. Hand them back for the next
+	// phase (warm arenas and SMR handles; see WorkerReleaser) and let the
+	// system run barrier-only maintenance — for EBR systems, pumping the
+	// epoch past the phase's retired garbage so the returned workers'
+	// freelists refill at the start of the next phase instead of starving
+	// all the way through it.
+	if caps.Quiescent != nil {
+		caps.Quiescent.Quiesce()
+	}
+	if caps.Release != nil {
+		for _, w := range ws {
+			if w != nil {
+				caps.Release.ReleaseWorker(w)
+			}
+		}
+	}
 	mem1 := readMemSample()
 
 	pr := PhaseResult{Phase: ph.Name, Elapsed: elapsed}
@@ -482,9 +577,12 @@ func runPhase(sys System, caps Caps, sc Scenario, ph Phase, phaseIdx int, cfg En
 			FastPathCommits: fp1 - fp0,
 			Commits:         cm1 - cm0,
 		}
-		if fp.Commits > 0 {
-			fp.FastpathShare = float64(fp.FastPathCommits) / float64(fp.Commits)
+		if hasGroups {
+			gc1, gt1, _, _ := caps.Groups.GroupStats()
+			fp.GroupCommits = gc1 - gc0
+			fp.GroupedTxns = gt1 - gt0
 		}
+		fp.deriveShares()
 		pr.Fastpath = fp
 	}
 	// Worker write domains are disjoint (residue classes), so merging the

@@ -260,13 +260,65 @@ func TestFastpathBlockReported(t *testing.T) {
 		t.Fatalf("fastpath counters inconsistent: %+v", fp)
 	}
 
-	off := RunScenario(NewMedleyKV("hash", 1, 1<<10, true, false), sc, tinyEngineConfig(2))
+	off := RunScenario(NewMedleyKV("hash", 1, 1<<10, true, false, true), sc, tinyEngineConfig(2))
 	fp = off.Measured.Fastpath
 	if fp == nil || fp.Commits == 0 {
 		t.Fatalf("nofast system reported no commits: %+v", fp)
 	}
 	if fp.FastPathCommits != 0 || fp.FastpathShare != 0 {
 		t.Fatalf("nofast system took fast paths: %+v", fp)
+	}
+}
+
+// TestGroupCommitBlockReported checks that the engine reports the
+// group-commit digest for Medley systems on a grouped scenario: merged
+// commits must dominate (each merge carries >= 2 members), the
+// -groupcommit=off ablation must report a present-but-zero block, and
+// the VerifyFinal chaos variant must find the grouped execution
+// serializable (no state-vs-model violations).
+func TestGroupCommitBlockReported(t *testing.T) {
+	sc, err := LookupScenario("groupcommit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunScenario(NewMedleyHash(1<<10), sc, tinyEngineConfig(2))
+	fp := res.Measured.Fastpath
+	if fp == nil {
+		t.Fatal("Medley system reported no fastpath block")
+	}
+	if fp.GroupCommits == 0 || fp.GroupedTxns == 0 {
+		t.Fatalf("no group commits on a grouped scenario: %+v", fp)
+	}
+	if fp.GroupedTxns < 2*fp.GroupCommits {
+		t.Fatalf("merges carry < 2 members on average: %+v", fp)
+	}
+	if fp.GroupShare < 0.5 {
+		t.Fatalf("group share %.2f on a GroupSize-8 scenario, want > 0.5", fp.GroupShare)
+	}
+
+	off := RunScenario(NewMedleyKV("hash", 1, 1<<10, true, true, false), sc, tinyEngineConfig(2))
+	fp = off.Measured.Fastpath
+	if fp == nil || fp.Commits == 0 {
+		t.Fatalf("nogroup system reported no commits: %+v", fp)
+	}
+	if fp.GroupCommits != 0 || fp.GroupedTxns != 0 || fp.GroupShare != 0 {
+		t.Fatalf("nogroup system merged commits: %+v", fp)
+	}
+
+	chaos, err := LookupScenario("chaos-group-commit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres := RunScenario(NewMedleyHash(1<<10), chaos, tinyEngineConfig(4))
+	fc := cres.FinalCheck
+	if fc == nil || !fc.Checked {
+		t.Fatalf("chaos-group-commit skipped the final check: %+v", fc)
+	}
+	if v := fc.Violations(); v != 0 {
+		t.Fatalf("grouped execution diverged from the serial model: %d violations (%+v)", v, fc)
+	}
+	if cfp := cres.Measured.Fastpath; cfp == nil || cfp.GroupCommits == 0 {
+		t.Fatalf("chaos-group-commit took no merged commits: %+v", cfp)
 	}
 }
 

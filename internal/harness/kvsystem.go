@@ -7,6 +7,7 @@ package harness
 // replaces lived in systems.go.
 
 import (
+	"sync"
 	"time"
 
 	"medley/internal/core"
@@ -28,6 +29,16 @@ type KVSystem struct {
 	smr   *ebr.Manager
 	notx  bool // run operations outside any transaction (Original/TxOff)
 	shard int
+
+	// idle holds workers released at phase barriers for reuse (see
+	// WorkerReleaser in capabilities.go): a worker's recycling arenas and
+	// EBR handle stay warm across phases instead of starting cold — and
+	// leaking their limbo — every phase. pump is the handle Quiesce uses
+	// to advance the EBR epoch at barriers; it never enters a critical
+	// section or retires anything.
+	mu   sync.Mutex
+	idle []*kvWorker
+	pump *ebr.Handle
 }
 
 // newKVSystem builds a system over the named registry structure,
@@ -37,8 +48,10 @@ type KVSystem struct {
 // kvWorker.Do — and background maintenance is guarded the same way);
 // fastpaths keeps the core's commit fast paths on (the default — false is
 // the -fastpaths=off ablation baseline that forces every commit through
-// the full descriptor handshake).
-func newKVSystem(name, structure string, shards, buckets int, notx, pooling, fastpaths bool) *KVSystem {
+// the full descriptor handshake); groupcommit keeps the core's merged
+// group-commit path on (the default — false is the -groupcommit=off
+// ablation baseline that runs every RunGroup member as its own commit).
+func newKVSystem(name, structure string, shards, buckets int, notx, pooling, fastpaths, groupcommit bool) *KVSystem {
 	var mgr *core.TxManager
 	if kv.Composable(structure) {
 		mgr = core.NewTxManager()
@@ -62,6 +75,9 @@ func newKVSystem(name, structure string, shards, buckets int, notx, pooling, fas
 		if !fastpaths {
 			mgr.DisableFastPaths()
 		}
+		if !groupcommit {
+			mgr.DisableGroupCommit()
+		}
 	}
 	return s
 }
@@ -69,12 +85,12 @@ func newKVSystem(name, structure string, shards, buckets int, notx, pooling, fas
 // NewMedleyHash is the Figure 7 Medley configuration (Michael's hash
 // table, 1M buckets in the paper).
 func NewMedleyHash(buckets int) *KVSystem {
-	return newKVSystem("Medley-hash", "hash", 1, buckets, false, true, true)
+	return newKVSystem("Medley-hash", "hash", 1, buckets, false, true, true, true)
 }
 
 // NewMedleySkip is the Figure 8 Medley configuration (Fraser's skiplist).
 func NewMedleySkip() *KVSystem {
-	return newKVSystem("Medley-skip", "skip", 1, 0, false, true, true)
+	return newKVSystem("Medley-skip", "skip", 1, 0, false, true, true, true)
 }
 
 // NewMedleySharded is Medley over a ShardedStore of the named registry
@@ -90,15 +106,16 @@ func NewMedleySharded(structure string, shards, buckets int) *KVSystem {
 // pre-recycling behavior), named with a "-nopool" suffix so both
 // configurations are distinguishable in one report.
 func NewMedleyShardedPooling(structure string, shards, buckets int, pooling bool) *KVSystem {
-	return NewMedleyKV(structure, shards, buckets, pooling, true)
+	return NewMedleyKV(structure, shards, buckets, pooling, true, true)
 }
 
 // NewMedleyKV is the fully-parameterized Medley constructor: recycling
-// arenas (pooling) and commit fast paths (fastpaths) are independently
-// ablatable, and each disabled axis suffixes the system name ("-nopool",
-// "-nofast") so every configuration stays distinguishable when several
-// appear in one report.
-func NewMedleyKV(structure string, shards, buckets int, pooling, fastpaths bool) *KVSystem {
+// arenas (pooling), commit fast paths (fastpaths) and merged group
+// commits (groupcommit) are independently ablatable, and each disabled
+// axis suffixes the system name ("-nopool", "-nofast", "-nogroup") so
+// every configuration stays distinguishable when several appear in one
+// report.
+func NewMedleyKV(structure string, shards, buckets int, pooling, fastpaths, groupcommit bool) *KVSystem {
 	name := "Medley-" + structure
 	if !pooling {
 		name += "-nopool"
@@ -106,20 +123,25 @@ func NewMedleyKV(structure string, shards, buckets int, pooling, fastpaths bool)
 	if !fastpaths {
 		name += "-nofast"
 	}
-	return newKVSystem(name, structure, shards, buckets, false, pooling, fastpaths)
+	if !groupcommit {
+		name += "-nogroup"
+	}
+	return newKVSystem(name, structure, shards, buckets, false, pooling, fastpaths, groupcommit)
 }
 
 // NewOriginalSkip is Fraser's untransformed skiplist ("Original" in
 // Figure 10): operations execute directly, one group of 1-10 counted as a
 // "transaction" for latency comparability.
 func NewOriginalSkip() *KVSystem {
-	return newKVSystem("Original-skip", "plain-skip", 1, 0, true, false, true)
+	return newKVSystem("Original-skip", "plain-skip", 1, 0, true, false, true, true)
 }
 
 // NewTxOffSkip is the NBTC-transformed skiplist with transactions off
 // ("TxOff" in Figure 10): the transformed code paths run, but outside any
 // transaction, so all instrumentation is dynamically elided.
-func NewTxOffSkip() *KVSystem { return newKVSystem("TxOff-skip", "skip", 1, 0, true, false, true) }
+func NewTxOffSkip() *KVSystem {
+	return newKVSystem("TxOff-skip", "skip", 1, 0, true, false, true, true)
+}
 
 // Name implements System.
 func (s *KVSystem) Name() string { return s.name }
@@ -168,6 +190,18 @@ func (s *KVSystem) FastPathStats() (readOnly, fastpath, commits uint64, ok bool)
 	return st.ReadOnlyCommits, st.FastPathCommits, st.Commits, true
 }
 
+// GroupStats implements GroupStatser: cumulative group-commit counters
+// aggregated over all workers, plus the physical commit count the share
+// derivation needs. ok mirrors FastPathStats: false for systems running
+// no commit protocol, true with zero merges for a -groupcommit=off run.
+func (s *KVSystem) GroupStats() (groups, grouped, commits uint64, ok bool) {
+	if s.notx || s.mgr == nil {
+		return 0, 0, 0, false
+	}
+	st := s.mgr.Stats()
+	return st.GroupCommits, st.GroupedTxns, st.Commits, true
+}
+
 // MetricsSnapshot implements MetricsSnapshotter: cumulative transaction,
 // pool and EBR counters under stable statsd-style names. Baselines without
 // a manager export nothing (no block is reported).
@@ -181,6 +215,8 @@ func (s *KVSystem) MetricsSnapshot() []Metric {
 		{Name: "tx_commits", Value: st.Commits},
 		{Name: "tx_commits_read_only", Value: st.ReadOnlyCommits},
 		{Name: "tx_commits_fastpath", Value: st.FastPathCommits},
+		{Name: "tx_group_commits", Value: st.GroupCommits},
+		{Name: "tx_grouped_txns", Value: st.GroupedTxns},
 		{Name: "tx_aborts", Value: st.Aborts},
 		{Name: "tx_aborts_by_others", Value: st.AbortsByOthers},
 		{Name: "tx_help_events", Value: st.HelpEvents},
@@ -266,11 +302,78 @@ type kvWorker struct {
 	h  *ebr.Handle
 
 	kops []kv.Op // translation scratch, reused across transactions
+
+	// Group scratch, reused across DoGroup/ExecGroup calls: per-member
+	// translated op slices, the Batch headers over them, and the
+	// ApplyGroup flatten buffers.
+	gtrans   [][]kv.Op
+	gbatches []kv.Batch
+	gsc      kv.GroupScratch
 }
 
-// NewWorker implements System.
+// groupMaxMembers and groupMaxOps bound one merged commit: more members
+// amortize better but widen the abort blast radius, and groupMaxOps keeps
+// the flattened group within one shard-grouped routing pass
+// (kv.ApplyGroup's bitset bound).
+const (
+	groupMaxMembers = 16
+	groupMaxOps     = 64
+)
+
+// NewWorker implements System: a worker released at an earlier phase
+// barrier when one is available (warm arenas and handle), a fresh one
+// otherwise.
 func (s *KVSystem) NewWorker() Worker {
+	s.mu.Lock()
+	if n := len(s.idle); n > 0 {
+		w := s.idle[n-1]
+		s.idle[n-1] = nil
+		s.idle = s.idle[:n-1]
+		s.mu.Unlock()
+		return w
+	}
+	s.mu.Unlock()
 	return s.newWorker()
+}
+
+// ReleaseWorker implements WorkerReleaser: the engine returns each
+// phase's workers at the barrier for the next phase to reuse. The engine
+// quiesces first, so the handle flush here — run with barrier-exclusive
+// ownership of the worker — reclaims the whole phase's retired garbage
+// into the worker's freelists before the next phase starts.
+func (s *KVSystem) ReleaseWorker(w Worker) {
+	kw, ok := w.(*kvWorker)
+	if !ok {
+		return
+	}
+	if kw.h != nil {
+		kw.h.Flush()
+	}
+	s.mu.Lock()
+	s.idle = append(s.idle, kw)
+	s.mu.Unlock()
+}
+
+// Quiesce implements Quiescer: with every worker parked at the barrier,
+// pump the EBR epoch far enough (the three-epoch grace) that everything
+// retired during the phase becomes reclaimable — the released workers
+// then refill their freelists from it early in the next phase. Under
+// load this advance starves: an oversubscribed phase always has some
+// worker parked mid-transaction, holding a stale active epoch. Best
+// effort — a guarded maintenance goroutine mid-rebuild just stops the
+// pump early.
+func (s *KVSystem) Quiesce() {
+	if s.smr == nil {
+		return
+	}
+	if s.pump == nil {
+		s.pump = s.smr.Register()
+	}
+	for i := 0; i < 3; i++ {
+		if !s.pump.TryAdvance() {
+			break
+		}
+	}
 }
 
 // NewExecutor implements the backend seam of the network service layer
@@ -302,6 +405,94 @@ func (w *kvWorker) Do(ops []Op) {
 		w.kops = append(w.kops, kv.Op{Kind: kvKind(op.Kind), Key: op.Key, Val: op.Val})
 	}
 	_ = w.ExecBatch(w.kops, nil)
+}
+
+// DoGroup implements GroupWorker: each op list is one generated logical
+// transaction; the group commits through ExecGroup so compatible members
+// merge into group commits (or run individually under the -groupcommit
+// ablation — same loop, different commit protocol).
+func (w *kvWorker) DoGroup(opss [][]Op) {
+	if cap(w.gbatches) < len(opss) {
+		w.gbatches = make([]kv.Batch, len(opss))
+		w.gtrans = make([][]kv.Op, len(opss))
+	}
+	batches := w.gbatches[:len(opss)]
+	for i, ops := range opss {
+		t := w.gtrans[i][:0]
+		for _, op := range ops {
+			t = append(t, kv.Op{Kind: kvKind(op.Kind), Key: op.Key, Val: op.Val})
+		}
+		w.gtrans[i] = t
+		batches[i] = kv.Batch{Ops: t}
+	}
+	w.ExecGroup(batches, nil)
+}
+
+// scanIn reports whether ops carries an OpScan (which must execute alone:
+// scans are hoisted out of the transaction, see ExecBatch).
+func scanIn(ops []kv.Op) bool {
+	for i := range ops {
+		if ops[i].Kind == kv.OpScan {
+			return true
+		}
+	}
+	return false
+}
+
+// ExecGroup implements kv.GroupExecutor: batches are carved into greedy
+// runs of scan-free members within the merge bounds, and each run commits
+// through core's group-commit path — the merged attempt sweeping the whole
+// run through one flattened shard-grouped routing pass (kv.ApplyGroup),
+// the fallback re-running each member as its own transaction. Scan-
+// carrying and oversized batches execute alone via ExecBatch, exactly as
+// before grouping existed. It never fails; errs (when non-nil) is zeroed.
+func (w *kvWorker) ExecGroup(batches []kv.Batch, errs []error) {
+	if errs != nil {
+		for i := range errs {
+			errs[i] = nil
+		}
+	}
+	if w.tx == nil {
+		for i := range batches {
+			_ = w.ExecBatch(batches[i].Ops, batches[i].Res)
+		}
+		return
+	}
+	i := 0
+	for i < len(batches) {
+		j, ops := i, 0
+		for j < len(batches) && j-i < groupMaxMembers && ops+len(batches[j].Ops) <= groupMaxOps {
+			if scanIn(batches[j].Ops) {
+				break
+			}
+			ops += len(batches[j].Ops)
+			j++
+		}
+		if j-i <= 1 {
+			// A scan-carrying or oversized batch (j == i), or a run of one:
+			// the solo path.
+			_ = w.ExecBatch(batches[i].Ops, batches[i].Res)
+			i++
+			continue
+		}
+		run := batches[i:j]
+		if w.h != nil {
+			w.h.Enter()
+		}
+		_ = w.tx.RunGroupFused(len(run),
+			func() error {
+				kv.ApplyGroup(w.tx, w.m, run, &w.gsc)
+				return nil
+			},
+			func(k int) error {
+				kv.Apply(w.tx, w.m, run[k].Ops, run[k].Res)
+				return nil
+			})
+		if w.h != nil {
+			w.h.Exit()
+		}
+		i = j
+	}
 }
 
 // ExecBatch implements kv.Executor: one atomic transaction around the

@@ -38,16 +38,22 @@ type MemoryRecord struct {
 	PoolHitRate float64 `json:"pool_hit_rate"`
 }
 
-// FastpathRecord is the commit fast-path digest of one record: how many
+// FastpathRecord is the commit-protocol digest of one record: how many
 // commits skipped the descriptor handshake (read-only elision and the
-// single-write fold) and what share of all commits that was. Present on
-// run-phase records of systems with the tiered commit protocol (the
-// Medley family); absent on crash phases and on competitors.
+// single-write fold), how many merged a group of logical transactions
+// into one physical commit, and the derived shares. group_share is
+// grouped_txns over logical commits (commits − group_commits +
+// grouped_txns). Present on run-phase records of systems with the tiered
+// commit protocol (the Medley family); absent on crash phases and on
+// competitors.
 type FastpathRecord struct {
 	ReadOnlyCommits uint64  `json:"read_only_commits"`
 	FastPathCommits uint64  `json:"fastpath_commits"`
 	Commits         uint64  `json:"commits"`
 	FastpathShare   float64 `json:"fastpath_share"`
+	GroupCommits    uint64  `json:"group_commits"`
+	GroupedTxns     uint64  `json:"grouped_txns"`
+	GroupShare      float64 `json:"group_share"`
 }
 
 // RecoveryRecord is the recovery digest of a crash-phase record: how long
@@ -315,6 +321,9 @@ func recordOf(res ScenarioResult, ph PhaseResult) Record {
 			FastPathCommits: ph.Fastpath.FastPathCommits,
 			Commits:         ph.Fastpath.Commits,
 			FastpathShare:   ph.Fastpath.FastpathShare,
+			GroupCommits:    ph.Fastpath.GroupCommits,
+			GroupedTxns:     ph.Fastpath.GroupedTxns,
+			GroupShare:      ph.Fastpath.GroupShare,
 		}
 	}
 	var tel *TelemetryRecord

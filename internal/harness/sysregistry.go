@@ -26,6 +26,10 @@ type SystemOpts struct {
 	// NoFastPaths disables the core's commit fast paths for Medley systems
 	// (the -fastpaths=off ablation baseline); the zero value keeps them on.
 	NoFastPaths bool
+	// NoGroupCommit disables the core's merged group commits for Medley
+	// systems (the -groupcommit=off ablation baseline); the zero value
+	// keeps them on.
+	NoGroupCommit bool
 	// KeyRange sizes the simulated NVM regions: region size never changes
 	// measured latencies, only footprint, so smoke runs with small key
 	// spaces stop allocating paper-scale half-gigabyte regions.
@@ -113,19 +117,25 @@ func init() {
 	} {
 		c := c
 		RegisterSystem(c.cli, true, func(o SystemOpts) (System, error) {
-			return NewMedleyKV(c.structure, o.shards(), o.buckets(), !o.NoPooling, !o.NoFastPaths), nil
+			return NewMedleyKV(c.structure, o.shards(), o.buckets(), !o.NoPooling, !o.NoFastPaths, !o.NoGroupCommit), nil
 		})
 	}
 	// Unpooled baseline for the alloc-pressure comparison: identical to
 	// medley-hash but with recycling arenas off regardless of -pooling.
 	RegisterSystem("medley-hash-nopool", true, func(o SystemOpts) (System, error) {
-		return NewMedleyKV("hash", o.shards(), o.buckets(), false, !o.NoFastPaths), nil
+		return NewMedleyKV("hash", o.shards(), o.buckets(), false, !o.NoFastPaths, !o.NoGroupCommit), nil
 	})
 	// Full-handshake baseline for the commit fast-path comparison:
 	// identical to medley-hash but with the fast paths off regardless of
 	// -fastpaths, so one report carries the ablation side by side.
 	RegisterSystem("medley-hash-nofast", true, func(o SystemOpts) (System, error) {
-		return NewMedleyKV("hash", o.shards(), o.buckets(), !o.NoPooling, false), nil
+		return NewMedleyKV("hash", o.shards(), o.buckets(), !o.NoPooling, false, !o.NoGroupCommit), nil
+	})
+	// Ungrouped baseline for the group-commit comparison: identical to
+	// medley-hash but with merged group commits off regardless of
+	// -groupcommit, so one report carries the ablation side by side.
+	RegisterSystem("medley-hash-nogroup", true, func(o SystemOpts) (System, error) {
+		return NewMedleyKV("hash", o.shards(), o.buckets(), !o.NoPooling, !o.NoFastPaths, false), nil
 	})
 	// txMontage: shardable (N PStores over one System + one TxManager).
 	RegisterSystem("txmontage-hash", true, func(o SystemOpts) (System, error) {
@@ -250,6 +260,10 @@ func DefaultSystems(sc Scenario) []string {
 		return []string{"medley-hash@8"}
 	case sc.Name == "read-mostly" || sc.Name == "scan-heavy":
 		return []string{"medley-hash", "medley-hash-nofast"}
+	case sc.Name == "groupcommit":
+		return []string{"medley-hash", "medley-hash-nogroup", "onefile-hash", "tdsl"}
+	case sc.Name == "chaos-group-commit":
+		return []string{"medley-hash", "medley-hash-nogroup"}
 	case strings.HasPrefix(sc.Name, "sharded-"):
 		return []string{"medley-hash", "medley-hash@8", "medley-skip@8", "onefile-hash"}
 	default:

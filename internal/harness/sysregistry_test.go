@@ -68,22 +68,23 @@ func TestNewSystemShardSuffix(t *testing.T) {
 // history across PRs depends on them.
 func TestRegistryNamesUnchanged(t *testing.T) {
 	want := map[string]string{
-		"medley-hash":        "Medley-hash",
-		"medley-hash-nopool": "Medley-hash-nopool",
-		"medley-hash-nofast": "Medley-hash-nofast",
-		"medley-skip":        "Medley-skip",
-		"medley-bst":         "Medley-bst",
-		"medley-rotating":    "Medley-rotating",
-		"txmontage-hash":     "txMontage-hash",
-		"txmontage-skip":     "txMontage-skip",
-		"onefile-hash":       "OneFile-hash",
-		"onefile-skip":       "OneFile-skip",
-		"ponefile-hash":      "POneFile-hash",
-		"ponefile-skip":      "POneFile-skip",
-		"tdsl":               "TDSL-skip",
-		"lftt":               "LFTT-skip",
-		"plain-skip":         "Original-skip",
-		"txoff-skip":         "TxOff-skip",
+		"medley-hash":         "Medley-hash",
+		"medley-hash-nopool":  "Medley-hash-nopool",
+		"medley-hash-nofast":  "Medley-hash-nofast",
+		"medley-hash-nogroup": "Medley-hash-nogroup",
+		"medley-skip":         "Medley-skip",
+		"medley-bst":          "Medley-bst",
+		"medley-rotating":     "Medley-rotating",
+		"txmontage-hash":      "txMontage-hash",
+		"txmontage-skip":      "txMontage-skip",
+		"onefile-hash":        "OneFile-hash",
+		"onefile-skip":        "OneFile-skip",
+		"ponefile-hash":       "POneFile-hash",
+		"ponefile-skip":       "POneFile-skip",
+		"tdsl":                "TDSL-skip",
+		"lftt":                "LFTT-skip",
+		"plain-skip":          "Original-skip",
+		"txoff-skip":          "TxOff-skip",
 	}
 	names := SystemNames()
 	if len(names) != len(want) {

@@ -66,6 +66,10 @@ func deriveGauges(counters []Metric) []Gauge {
 	}
 	add("abort_rate", v["tx_aborts"], v["tx_commits"]+v["tx_aborts"])
 	add("fastpath_share", v["tx_commits_fastpath"], v["tx_commits"])
+	// Logical commits re-expand merged groups: each group commit is one
+	// physical commit standing for tx_grouped_txns logical transactions.
+	add("groupcommit_share", v["tx_grouped_txns"],
+		v["tx_commits"]-v["tx_group_commits"]+v["tx_grouped_txns"])
 	add("readonly_share", v["tx_commits_read_only"], v["tx_commits"])
 	add("pool_hit_rate", v["pool_hits"], v["pool_gets"])
 	add("ebr_reclaim_ratio", v["ebr_reclaimed"], v["ebr_retired"])

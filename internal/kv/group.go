@@ -1,0 +1,86 @@
+package kv
+
+import "medley/internal/core"
+
+// This file is the group-execution seam of the batch request API: a
+// commit group is several independent batch requests — each one logical
+// transaction — that an executor may merge into a single physical commit
+// (core.Tx.RunGroup). ApplyGroup is the store-side half: it flattens the
+// whole group through ONE shard-grouped routing pass, so a group touches
+// each shard's memory once rather than once per member batch.
+
+// Batch is one logical transaction's request inside a commit group: the
+// operations to run atomically and the result slice to fill (nil when the
+// caller discards outcomes; otherwise len(Res) must equal len(Ops)).
+type Batch struct {
+	Ops []Op
+	Res []Result
+}
+
+// GroupExecutor is the optional capability of Executors that can commit a
+// group of batch requests with amortized fences. Each batch remains its
+// own logical transaction — results are exactly what a loop of ExecBatch
+// calls in batch order would produce — but the executor may merge
+// compatible batches into group commits. errs, when non-nil, receives
+// per-batch outcomes (len(errs) must equal len(batches)); as with
+// ExecBatch, conflicts retry internally and never surface.
+type GroupExecutor interface {
+	Executor
+	ExecGroup(batches []Batch, errs []error)
+}
+
+// GroupScratch holds one caller's reusable flatten buffers for
+// ApplyGroup, so the group path stays allocation-free once warm. A
+// GroupScratch is owner-bound like the executor that holds it.
+type GroupScratch struct {
+	ops []Op
+	res []Result
+}
+
+// groupFlattenMax bounds the flattened-op count of one routing pass: it
+// is eachShardGroup's bitset capacity, above which the grouped pass would
+// degenerate to index order anyway.
+const groupFlattenMax = 64
+
+// ApplyGroup executes every batch's ops under tx, in batch order. When
+// the store routes batches through a shard-grouped pass (Applier, i.e.
+// ShardedStore) and the group is small enough for one bitset pass, the
+// members are flattened so the whole group pays one routing sweep; the
+// flattening preserves the relative order of any two operations on the
+// same key (same key → same shard, and the pass keeps index order within
+// a shard), so member semantics are exactly those of sequential
+// execution. Larger or unroutable groups fall back to per-batch Apply.
+//
+// ApplyGroup is called inside an open transaction (typically a RunGroup
+// member sweep); like Apply, it must not be handed OpScan alongside
+// writes — executors hoist scans out of the transaction instead.
+func ApplyGroup(tx *core.Tx, m TxMap, batches []Batch, sc *GroupScratch) {
+	total := 0
+	for i := range batches {
+		total += len(batches[i].Ops)
+	}
+	a, routable := m.(Applier)
+	if !routable || total > groupFlattenMax || len(batches) <= 1 {
+		for i := range batches {
+			Apply(tx, m, batches[i].Ops, batches[i].Res)
+		}
+		return
+	}
+	sc.ops = sc.ops[:0]
+	for i := range batches {
+		sc.ops = append(sc.ops, batches[i].Ops...)
+	}
+	if cap(sc.res) < total {
+		sc.res = make([]Result, total)
+	}
+	sc.res = sc.res[:total]
+	a.Apply(tx, sc.ops, sc.res)
+	at := 0
+	for i := range batches {
+		n := len(batches[i].Ops)
+		if batches[i].Res != nil {
+			copy(batches[i].Res, sc.res[at:at+n])
+		}
+		at += n
+	}
+}

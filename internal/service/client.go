@@ -3,9 +3,11 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"medley/internal/harness"
@@ -135,8 +137,11 @@ type httpSession struct {
 }
 
 // Do implements harness.DriverSession: one POST /v1/batch per
-// transaction. 429 maps back to harness.ErrOverload so the open-loop
-// engine counts sheds apart from failures.
+// transaction. A 429 carrying a Retry-After hint is honored once — the
+// session waits out the server's drain estimate and retries — before
+// mapping to harness.ErrOverload, so the open-loop engine only counts a
+// shed when the server is persistently full, not when one tick's backlog
+// was about to clear.
 func (s *httpSession) Do(ops []kv.Op, res []kv.Result) error {
 	wire, err := encodeOps(ops)
 	if err != nil {
@@ -146,36 +151,67 @@ func (s *httpSession) Do(ops []kv.Op, res []kv.Result) error {
 	if err := json.NewEncoder(&s.buf).Encode(BatchRequest{Ops: wire}); err != nil {
 		return err
 	}
-	resp, err := s.d.client.Post(s.d.base+"/v1/batch", "application/json", &s.buf)
+	payload := s.buf.Bytes()
+	for attempt := 0; ; attempt++ {
+		wait, err := s.post(payload, res)
+		if !errors.Is(err, harness.ErrOverload) || attempt > 0 || wait <= 0 {
+			return err
+		}
+		time.Sleep(wait)
+	}
+}
+
+// post runs one POST /v1/batch attempt. A 429 returns harness.ErrOverload
+// along with the server's Retry-After hint (0 when absent or unusable).
+func (s *httpSession) post(payload []byte, res []kv.Result) (time.Duration, error) {
+	resp, err := s.d.client.Post(s.d.base+"/v1/batch", "application/json", bytes.NewReader(payload))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusTooManyRequests:
 		_, _ = io.Copy(io.Discard, resp.Body)
-		return harness.ErrOverload
+		return retryAfterDelay(resp.Header.Get("Retry-After")), harness.ErrOverload
 	default:
 		var e ErrorResponse
 		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("service: batch failed: status %d: %s", resp.StatusCode, e.Error)
+		return 0, fmt.Errorf("service: batch failed: status %d: %s", resp.StatusCode, e.Error)
 	}
 	if res == nil {
 		_, _ = io.Copy(io.Discard, resp.Body)
-		return nil
+		return 0, nil
 	}
 	var br BatchResponse
 	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
-		return err
+		return 0, err
 	}
 	if len(br.Results) != len(res) {
-		return fmt.Errorf("service: %d results for %d ops", len(br.Results), len(res))
+		return 0, fmt.Errorf("service: %d results for %d ops", len(br.Results), len(res))
 	}
 	for i, r := range br.Results {
 		res[i] = kv.Result{Val: r.Val, Ok: r.Ok}
 	}
-	return nil
+	return 0, nil
+}
+
+// retryAfterDelay parses a Retry-After header as (possibly fractional)
+// seconds, clamped to at most a second so a confused server cannot stall
+// a sender. 0 means absent or unusable: classify the shed immediately.
+func retryAfterDelay(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.ParseFloat(h, 64)
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	d := time.Duration(secs * float64(time.Second))
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
 }
 
 func (s *httpSession) Close() error { return nil }

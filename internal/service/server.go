@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 
 	"medley/internal/harness"
 	"medley/internal/kv"
@@ -60,6 +61,12 @@ func Handler(s *Service) http.Handler {
 		case err == nil:
 			writeJSON(w, http.StatusOK, BatchResponse{Results: encodeResults(d, rres)})
 		case errors.Is(err, ErrShed):
+			// Tell the client when capacity should free up: the time to
+			// drain the current pool backlog, in (possibly fractional)
+			// seconds. Clients that honor it retry once instead of
+			// immediately reporting the shed.
+			w.Header().Set("Retry-After",
+				strconv.FormatFloat(s.RetryAfter().Seconds(), 'f', 3, 64))
 			writeError(w, http.StatusTooManyRequests, err.Error())
 		case errors.Is(err, ErrClosed):
 			writeError(w, http.StatusServiceUnavailable, err.Error())

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -176,6 +178,98 @@ func TestHTTPShedMapsTo429AndErrOverload(t *testing.T) {
 	s.Close() // drains the blocker
 	if err := <-blocker.done; err != nil {
 		t.Fatalf("blocker lost: %v", err)
+	}
+}
+
+// TestShedCarriesRetryAfter pins the server half of the backoff hint:
+// every 429 carries a Retry-After header derived from the pool backlog —
+// fractional seconds, at least one tick, at most a second.
+func TestShedCarriesRetryAfter(t *testing.T) {
+	s := New(&fakeBackend{}, Config{PoolSize: 1, Tick: time.Hour, Workers: 1})
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	blocker := &request{ops: oneOp(1), done: make(chan error, 1)}
+	s.pool <- blocker
+
+	resp, body := postBatch(t, ts.URL, `{"ops":[{"op":"get","key":7}]}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	secs, err := strconv.ParseFloat(h, 64)
+	if err != nil {
+		t.Fatalf("Retry-After %q not fractional seconds: %v", h, err)
+	}
+	if secs <= 0 || secs > 1 {
+		t.Errorf("Retry-After = %vs, want in (0, 1]", secs)
+	}
+	s.Close()
+	<-blocker.done
+}
+
+// TestHTTPDriverHonorsRetryAfter pins the client half: a 429 with a
+// Retry-After hint is retried exactly once after the advertised wait, a
+// persistent 429 still classifies as harness.ErrOverload after that one
+// retry, and a 429 without the hint sheds immediately.
+func TestHTTPDriverHonorsRetryAfter(t *testing.T) {
+	var attempts atomic.Int64
+	shed := func(w http.ResponseWriter, hint string) {
+		if hint != "" {
+			w.Header().Set("Retry-After", hint)
+		}
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"overloaded"}`))
+	}
+	mode := "recover" // recover | always | bare
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := attempts.Add(1)
+		switch {
+		case mode == "recover" && n > 1:
+			_, _ = w.Write([]byte(`{"results":[{"val":7,"ok":true}]}`))
+		case mode == "bare":
+			shed(w, "")
+		default:
+			shed(w, "0.01")
+		}
+	}))
+	defer ts.Close()
+
+	sess := &httpSession{d: NewHTTPDriver(ts.URL)}
+	ops := []kv.Op{{Kind: kv.OpGet, Key: 7}}
+
+	res := make([]kv.Result, 1)
+	start := time.Now()
+	if err := sess.Do(ops, res); err != nil {
+		t.Fatalf("recovering server: err = %v, want nil after one retry", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("recovering server: %d attempts, want 2", got)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("retried after %v, want >= the 10ms Retry-After hint", elapsed)
+	}
+	if res[0].Val != 7 || !res[0].Ok {
+		t.Errorf("retried result = %+v, want {7 true}", res[0])
+	}
+
+	mode, _ = "always", attempts.Swap(0)
+	if err := sess.Do(ops, nil); err != harness.ErrOverload {
+		t.Fatalf("persistent 429: err = %v, want harness.ErrOverload", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Errorf("persistent 429: %d attempts, want 2 (honored once)", got)
+	}
+
+	mode, _ = "bare", attempts.Swap(0)
+	if err := sess.Do(ops, nil); err != harness.ErrOverload {
+		t.Fatalf("bare 429: err = %v, want harness.ErrOverload", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("bare 429: %d attempts, want 1 (no hint, no retry)", got)
 	}
 }
 

@@ -119,6 +119,7 @@ type Service struct {
 	ticks    atomic.Uint64 // ticks that drained at least one request
 	batches  atomic.Uint64 // batches dispatched (== non-empty ticks)
 	batched  atomic.Uint64 // requests dispatched inside batches
+	grouped  atomic.Uint64 // requests handed to the group-commit path
 }
 
 // New builds and starts the pipeline over be: backend maintenance, the
@@ -234,11 +235,40 @@ drain:
 }
 
 // worker executes chunks: one executor, created on this goroutine
-// (executors are goroutine-bound), each request its own transaction.
+// (executors are goroutine-bound), each request its own logical
+// transaction. When the executor can group-commit (kv.GroupExecutor, the
+// Medley store path), a multi-request chunk is handed over as one group
+// so compatible neighbors merge into a single physical commit; outcomes
+// are exactly those of the per-request loop.
 func (s *Service) worker(ch chan chunk) {
 	defer s.workWG.Done()
 	ex := s.be.NewExecutor()
+	gx, canGroup := ex.(kv.GroupExecutor)
+	var batches []kv.Batch
+	var errs []error
 	for c := range ch {
+		if canGroup && len(c.reqs) > 1 {
+			batches = batches[:0]
+			for _, r := range c.reqs {
+				batches = append(batches, kv.Batch{Ops: r.ops, Res: r.res})
+			}
+			if cap(errs) < len(c.reqs) {
+				errs = make([]error, len(c.reqs))
+			}
+			errs = errs[:len(c.reqs)]
+			gx.ExecGroup(batches, errs)
+			s.grouped.Add(uint64(len(c.reqs)))
+			for i, r := range c.reqs {
+				if errs[i] != nil {
+					s.errored.Add(1)
+				} else {
+					s.executed.Add(1)
+				}
+				r.done <- errs[i]
+			}
+			c.wg.Done()
+			continue
+		}
 		for _, r := range c.reqs {
 			err := ex.ExecBatch(r.ops, r.res)
 			if err != nil {
@@ -250,6 +280,23 @@ func (s *Service) worker(ch chan chunk) {
 		}
 		c.wg.Done()
 	}
+}
+
+// RetryAfter estimates how long an overloaded client should wait before
+// retrying: the time to drain the current pool occupancy at one MaxBatch
+// per tick, clamped to [Tick, 1s]. The HTTP layer sends it with every
+// 429 so clients back off proportionally to the actual backlog instead
+// of guessing.
+func (s *Service) RetryAfter() time.Duration {
+	ticks := (len(s.pool) + s.cfg.MaxBatch - 1) / s.cfg.MaxBatch
+	if ticks < 1 {
+		ticks = 1
+	}
+	d := time.Duration(ticks) * s.cfg.Tick
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
 }
 
 // Close drains the pipeline and stops the backend. Requests admitted
@@ -279,6 +326,7 @@ func (s *Service) MetricsSnapshot() []harness.Metric {
 		{Name: "svc_ticks", Value: s.ticks.Load()},
 		{Name: "svc_batches", Value: s.batches.Load()},
 		{Name: "svc_batched_txns", Value: s.batched.Load()},
+		{Name: "svc_grouped_txns", Value: s.grouped.Load()},
 	}
 	if ms, ok := s.be.(harness.MetricsSnapshotter); ok {
 		out = append(out, ms.MetricsSnapshot()...)
@@ -298,6 +346,7 @@ func (s *Service) Gauges() []harness.Gauge {
 	accepted, shed := s.accepted.Load(), s.shed.Load()
 	add("svc_shed_rate", shed, accepted+shed)
 	add("svc_batch_coalesce", s.batched.Load(), s.batches.Load())
+	add("svc_group_share", s.grouped.Load(), s.executed.Load()+s.errored.Load())
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }

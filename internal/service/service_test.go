@@ -1,8 +1,12 @@
 package service
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -170,6 +174,115 @@ func TestValidateOps(t *testing.T) {
 	}
 	if err := validateOps(oneOp(1)); err != nil {
 		t.Errorf("valid batch refused: %v", err)
+	}
+}
+
+// groupBackend's executors implement kv.GroupExecutor: ExecGroup runs
+// each batch through the ordinary fake execution, failing any batch that
+// leads with groupFailKey, so the worker's group path and its per-request
+// error routing are observable.
+type groupBackend struct {
+	fakeBackend
+	groupCalls atomic.Uint64
+}
+
+const groupFailKey = 666
+
+var errGroupFail = errors.New("member failed")
+
+func (b *groupBackend) NewExecutor() kv.Executor { return &groupExec{b: b} }
+
+type groupExec struct{ b *groupBackend }
+
+func (e *groupExec) ExecBatch(ops []kv.Op, res []kv.Result) error {
+	fe := fakeExec{b: &e.b.fakeBackend}
+	if err := fe.ExecBatch(ops, res); err != nil {
+		return err
+	}
+	if ops[0].Key == groupFailKey {
+		return errGroupFail
+	}
+	return nil
+}
+
+func (e *groupExec) ExecGroup(batches []kv.Batch, errs []error) {
+	e.b.groupCalls.Add(1)
+	for i := range batches {
+		err := e.ExecBatch(batches[i].Ops, batches[i].Res)
+		if errs != nil {
+			errs[i] = err
+		}
+	}
+}
+
+// TestWorkerUsesGroupExecutor pins the service's group-commit seam: a
+// multi-request chunk reaches a group-capable executor as ONE ExecGroup
+// call, every submitter still gets its own per-request outcome (including
+// a member's own error), and the svc_grouped_txns counter records the
+// requests that took the group path.
+func TestWorkerUsesGroupExecutor(t *testing.T) {
+	be := &groupBackend{}
+	s := New(be, Config{Workers: 1, Tick: time.Hour, PoolSize: 64})
+	defer s.Close()
+
+	keys := []uint64{1, groupFailKey, 3}
+	var reqs []*request
+	for _, k := range keys {
+		r := &request{ops: oneOp(k), res: make([]kv.Result, 1), done: make(chan error, 1)}
+		s.pool <- r
+		reqs = append(reqs, r)
+	}
+	if got := s.drainTick(make([]*request, 0, 64)); got != len(keys) {
+		t.Fatalf("drainTick dispatched %d, want %d", got, len(keys))
+	}
+	for i, r := range reqs {
+		err := <-r.done
+		if keys[i] == groupFailKey {
+			if !errors.Is(err, errGroupFail) {
+				t.Errorf("failing member got err %v, want errGroupFail", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("request %d: %v", i, err)
+		}
+		if r.res[0].Val != keys[i] || !r.res[0].Ok {
+			t.Errorf("request %d: result %+v not scattered back", i, r.res[0])
+		}
+	}
+	if got := be.groupCalls.Load(); got != 1 {
+		t.Errorf("ExecGroup calls = %d, want 1 (chunk not grouped)", got)
+	}
+	if got := s.grouped.Load(); got != uint64(len(keys)) {
+		t.Errorf("grouped = %d, want %d", got, len(keys))
+	}
+	if ex, er := s.executed.Load(), s.errored.Load(); ex != 2 || er != 1 {
+		t.Errorf("executed/errored = %d/%d, want 2/1", ex, er)
+	}
+}
+
+// TestFreshServiceGaugesFinite pins the zero-denominator guard: a service
+// that has executed nothing must export no NaN/Inf gauge — ratios whose
+// denominator is zero are omitted, not divided — and the /metrics JSON
+// shape must stay encodable (encoding/json rejects NaN, so one bad gauge
+// would break the endpoint, silently with json.Encoder).
+func TestFreshServiceGaugesFinite(t *testing.T) {
+	s := New(&fakeBackend{}, Config{Tick: time.Hour})
+	defer s.Close()
+	for _, g := range s.Gauges() {
+		if math.IsNaN(g.Value) || math.IsInf(g.Value, 0) {
+			t.Errorf("gauge %s = %v on a fresh service", g.Name, g.Value)
+		}
+		switch g.Name {
+		case "svc_shed_rate", "svc_batch_coalesce", "svc_group_share":
+			t.Errorf("gauge %s exported with zero denominator", g.Name)
+		}
+	}
+	if _, err := json.Marshal(struct {
+		Counters any `json:"counters"`
+		Gauges   any `json:"gauges"`
+	}{s.MetricsSnapshot(), s.Gauges()}); err != nil {
+		t.Fatalf("fresh /metrics shape not encodable: %v", err)
 	}
 }
 
