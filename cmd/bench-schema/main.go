@@ -32,6 +32,13 @@
 // a non-trivial fraction of logical commits actually rode inside merged
 // groups.
 //
+// With -faults-budget it enforces the committed fault-tolerance budget
+// (testdata/faults_budget.json) against the reports' service blocks: the
+// chaos run must have survived the required number of restarts, kept
+// availability above the floor, completed enough transactions for the
+// gate to mean anything, and reported zero wire-level durability
+// violations (the recovery block of chaos records).
+//
 //	bench-schema -schema testdata/bench_schema.json BENCH_*.json
 package main
 
@@ -54,6 +61,8 @@ var (
 		"also enforce this fast-path budget file against the reports' fastpath blocks")
 	groupcommitFlag = flag.String("groupcommit-budget", "",
 		"also enforce this group-commit budget file against the reports' fastpath blocks")
+	faultsFlag = flag.String("faults-budget", "",
+		"also enforce this fault-tolerance budget file against the reports' service blocks")
 )
 
 func main() {
@@ -125,6 +134,17 @@ func run() int {
 			}
 			for _, msg := range budget.violations(data) {
 				fmt.Fprintf(os.Stderr, "%s: groupcommit budget: %s\n", path, msg)
+				failed = true
+			}
+		}
+		if *faultsFlag != "" {
+			budget, err := loadFaultsBudget(*faultsFlag)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			for _, msg := range budget.violations(data) {
+				fmt.Fprintf(os.Stderr, "%s: faults budget: %s\n", path, msg)
 				failed = true
 			}
 		}
@@ -475,6 +495,103 @@ func (b groupcommitBudget) violations(data []byte) []string {
 	if judged == 0 {
 		out = append(out, fmt.Sprintf("no %q records for %q at threads >= %d (gate would pass vacuously)",
 			phase, b.System, b.MinThreads))
+	}
+	return out
+}
+
+// faultsBudget is the committed fault-tolerance budget
+// (testdata/faults_budget.json): the regression contract for the chaos
+// service runs. It gates the committed BENCH_faults.json — a chaos
+// record that survived too few restarts, dipped below the availability
+// floor, completed too little work to judge, or reported wire-level
+// durability violations fails the build.
+type faultsBudget struct {
+	// Scenario restricts the check to reports of this scenario ("" = any);
+	// reports of other scenarios pass vacuously.
+	Scenario string `json:"scenario"`
+	// Phase selects the records to judge ("" = "chaos").
+	Phase string `json:"phase"`
+	// System is the budgeted system; "" judges every chaos record.
+	System string `json:"system"`
+	// MinRestarts: each judged record must have survived at least this many
+	// kill/recover/restart cycles (a chaos gate with no restarts is dead).
+	MinRestarts int `json:"min_restarts"`
+	// MinAvailability is the floor on completed / (completed + errors +
+	// expired + in-doubt).
+	MinAvailability float64 `json:"min_availability"`
+	// MinCompleted is the floor on completed transactions, so the gate
+	// cannot pass on a run that barely offered load.
+	MinCompleted uint64 `json:"min_completed"`
+}
+
+func loadFaultsBudget(path string) (faultsBudget, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return faultsBudget{}, err
+	}
+	var b faultsBudget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return faultsBudget{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.MinRestarts <= 0 && b.MinAvailability <= 0 {
+		return faultsBudget{}, fmt.Errorf("%s: budget sets no restart or availability floor", path)
+	}
+	return b, nil
+}
+
+// violations checks one report against the fault-tolerance budget.
+func (b faultsBudget) violations(data []byte) []string {
+	phase := b.Phase
+	if phase == "" {
+		phase = "chaos"
+	}
+	var doc struct {
+		Scenario string `json:"scenario"`
+		Results  []struct {
+			System   string                  `json:"system"`
+			Phase    string                  `json:"phase"`
+			Threads  int                     `json:"threads"`
+			Service  *harness.ServiceRecord  `json:"service"`
+			Recovery *harness.RecoveryRecord `json:"recovery"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return []string{err.Error()}
+	}
+	if b.Scenario != "" && doc.Scenario != b.Scenario {
+		return nil
+	}
+	var out []string
+	judged := 0
+	for _, r := range doc.Results {
+		if r.Phase != phase || (b.System != "" && r.System != b.System) {
+			continue
+		}
+		if r.Service == nil {
+			out = append(out, fmt.Sprintf("%s threads=%d: no service block on %s record", r.System, r.Threads, phase))
+			continue
+		}
+		judged++
+		s := r.Service
+		if s.Restarts < b.MinRestarts {
+			out = append(out, fmt.Sprintf("%s threads=%d: %d restarts below floor %d",
+				r.System, r.Threads, s.Restarts, b.MinRestarts))
+		}
+		if b.MinAvailability > 0 && s.Availability < b.MinAvailability {
+			out = append(out, fmt.Sprintf("%s threads=%d: availability %.4f below floor %.4f",
+				r.System, r.Threads, s.Availability, b.MinAvailability))
+		}
+		if s.CompletedTxns < b.MinCompleted {
+			out = append(out, fmt.Sprintf("%s threads=%d: %d completed txns below floor %d",
+				r.System, r.Threads, s.CompletedTxns, b.MinCompleted))
+		}
+		if rec := r.Recovery; rec != nil && rec.Violations > 0 {
+			out = append(out, fmt.Sprintf("%s threads=%d: %d wire-level durability violations",
+				r.System, r.Threads, rec.Violations))
+		}
+	}
+	if judged == 0 {
+		out = append(out, fmt.Sprintf("no %q records to judge (gate would pass vacuously)", phase))
 	}
 	return out
 }

@@ -1,0 +1,58 @@
+// Command faultnetd runs the fault-injecting TCP proxy (internal/faultnet)
+// as a standalone process, for chaos runs where the client and medleyd
+// live in separate processes (CI smoke tests, manual experiments).
+//
+// Usage:
+//
+//	faultnetd -listen 127.0.0.1:7655 -upstream 127.0.0.1:7654 \
+//	    -latency 2ms -jitter 3ms -reset-every 10
+//
+// The standing fault plan is fixed at startup; in-process chaos runs use
+// the faultnet API directly for mid-run scripting.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"medley/internal/faultnet"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7655", "address to listen on (clients connect here)")
+		upstream   = flag.String("upstream", "127.0.0.1:7654", "medleyd address to forward to")
+		latency    = flag.Duration("latency", 0, "added delay per forwarded chunk, both directions")
+		jitter     = flag.Duration("jitter", 0, "uniform extra delay in [0, jitter) per chunk")
+		resetEvery = flag.Int("reset-every", 0, "reset every Nth connection after its first request (0 disables)")
+		slowClose  = flag.Duration("slow-close", 0, "half-open dwell before an injected reset's RST")
+	)
+	flag.Parse()
+
+	p, err := faultnet.New(*listen, *upstream)
+	if err != nil {
+		log.Fatalf("faultnetd: %v", err)
+	}
+	p.Set(faultnet.Faults{
+		Latency:     *latency,
+		Jitter:      *jitter,
+		ResetEveryN: *resetEvery,
+		SlowClose:   *slowClose,
+	})
+	log.Printf("faultnetd: %s -> %s (latency=%v jitter=%v reset-every=%d slow-close=%v)",
+		p.Addr(), *upstream, *latency, *jitter, *resetEvery, *slowClose)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("faultnetd: shutting down")
+	_ = p.Close()
+	// Give pumps' RSTs a moment to land before the process exits.
+	time.Sleep(10 * time.Millisecond)
+	st := p.Stats()
+	log.Printf("faultnetd: %d connections, %d injected resets", st.Accepted, st.Resets)
+}

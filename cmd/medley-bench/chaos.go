@@ -1,0 +1,190 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"medley/internal/faultnet"
+	"medley/internal/harness"
+	"medley/internal/service"
+)
+
+// Chaos-service mode: scenarios marked ServiceChaos run through the
+// crash-restart chaos runner (internal/service chaos.go) instead of the
+// closed-loop engine — medleyd hosted over a durable backend behind a
+// faultnet proxy, SIGKILL-equivalent restarts mid-traffic, and wire-level
+// journal verification against the recovered state. The scenario name
+// keys the fault plan and kill schedule below; its distribution and first
+// run phase's mix shape the workload, like open-loop mode.
+
+// chaosPlan is one scenario's fault plan and kill schedule.
+type chaosPlan struct {
+	restarts int
+	rate     float64
+	faults   faultnet.Faults
+	client   service.HTTPDriverConfig
+}
+
+// chaosPlanFor maps a ServiceChaos scenario to its plan. Unknown names
+// get the restart-only plan, so new scenario entries fail safe (clean
+// network, kills only).
+func chaosPlanFor(name string) chaosPlan {
+	base := service.HTTPDriverConfig{Deadline: 250 * time.Millisecond}
+	switch name {
+	case "chaos-net-flaky":
+		// Flaky network on top of the restarts: small base latency, heavy
+		// jitter, and every 7th connection reset mid-request — the retry,
+		// dedup and in-doubt machinery all stay hot.
+		return chaosPlan{
+			restarts: 3, rate: 4000,
+			faults: faultnet.Faults{
+				Latency:     200 * time.Microsecond,
+				Jitter:      2 * time.Millisecond,
+				ResetEveryN: 7,
+			},
+			client: base,
+		}
+	case "chaos-slow-client":
+		// Slow links against tight deadlines: most of the deadline is
+		// eaten on the wire, so admission-time and pre-commit expiry both
+		// fire; slow-close keeps resets from looking instantaneous.
+		return chaosPlan{
+			restarts: 1, rate: 2000,
+			faults: faultnet.Faults{
+				Latency:   2 * time.Millisecond,
+				Jitter:    5 * time.Millisecond,
+				SlowClose: 10 * time.Millisecond,
+			},
+			client: service.HTTPDriverConfig{Deadline: 50 * time.Millisecond},
+		}
+	default: // chaos-service-restart and future entries
+		return chaosPlan{restarts: 3, rate: 4000, client: base}
+	}
+}
+
+// chaosSystems resolves -systems for a chaos scenario (auto → the durable
+// default set).
+func chaosSystems(sc harness.Scenario) []string {
+	if *systemsFlag == "auto" {
+		return harness.DefaultSystems(sc)
+	}
+	var names []string
+	for _, part := range strings.Split(*systemsFlag, ",") {
+		names = append(names, strings.TrimSpace(part))
+	}
+	return names
+}
+
+// runChaosScenario is the ServiceChaos entry point: one chaos run per
+// selected system, senders = the largest -threads count, one Report. The
+// dedup window stays at the medleyd default so retries under connection
+// resets stay exactly-once.
+func runChaosScenario(sc harness.Scenario, threads []int) error {
+	plan := chaosPlanFor(sc.Name)
+	senders := threads[len(threads)-1]
+	var mix harness.Mix
+	for _, ph := range sc.Phases {
+		if ph.Kind == harness.PhaseRun {
+			mix = ph.Mix
+			break
+		}
+	}
+
+	rep := harness.NewReport(sc.Name, threads, *durationFlag, uint64(*keyRange), *preload, *seedFlag)
+	for _, name := range chaosSystems(sc) {
+		if err := harness.ValidateSystemSpec(name, systemOpts()); err != nil {
+			return err
+		}
+		res, err := service.RunChaos(service.ChaosConfig{
+			System:     name,
+			SystemOpts: systemOpts(),
+			Service:    service.Config{DedupWindow: 4096},
+			Client:     plan.client,
+			Faults:     plan.faults,
+			Restarts:   plan.restarts,
+			Senders:    senders,
+			Rate:       plan.rate,
+			Duration:   *durationFlag,
+			KeyRange:   uint64(*keyRange),
+			Preload:    *preload,
+			Seed:       *seedFlag,
+			Mix:        mix,
+			Dist:       sc.Dist,
+		})
+		if err != nil {
+			return err
+		}
+		rep.Results = append(rep.Results, chaosRecord(sc.Name, res))
+		if !*jsonFlag {
+			printChaosResult(sc.Name, res)
+		}
+	}
+	if !*jsonFlag && *outFlag == "" {
+		return nil
+	}
+	return writeReport(rep)
+}
+
+// chaosRecord converts a chaos run into one report record, phase "chaos":
+// the service block carries dispositions and availability, the recovery
+// block carries the accumulated recovery time and the wire-level
+// verification diff (model entries and violations come from VerifyWire,
+// not an in-process journal).
+func chaosRecord(scenario string, res service.ChaosResult) harness.Record {
+	return harness.Record{
+		System:    res.System,
+		Scenario:  scenario,
+		Phase:     "chaos",
+		Threads:   res.Senders,
+		Shards:    1,
+		Txns:      res.Completed,
+		ElapsedNs: int64(res.Elapsed),
+		TxnPerSec: res.Goodput,
+		Latency:   harness.LatencySummary{AvgNs: res.AvgNs, P50Ns: res.P50Ns, P99Ns: res.P99Ns},
+		Service: &harness.ServiceRecord{
+			Driver:        "http",
+			OfferedTxns:   res.Completed + res.Shed + res.Errors + res.Expired + res.InDoubt,
+			CompletedTxns: res.Completed,
+			ShedTxns:      res.Shed,
+			ErrorTxns:     res.Errors,
+			ExpiredTxns:   res.Expired,
+			InDoubtTxns:   res.InDoubt,
+			RetriedTxns:   res.Retries,
+			BreakerOpens:  res.BreakerOpens,
+			Restarts:      res.Restarts,
+			DowntimeNs:    res.DowntimeNs,
+			Availability:  res.Availability,
+			TaintedKeys:   res.Tainted,
+			Goodput:       res.Goodput,
+			P999Ns:        res.P999Ns,
+		},
+		Recovery: &harness.RecoveryRecord{
+			Recoverable:      true,
+			RecoveryNs:       res.RecoveryNs,
+			RecoveredEntries: res.Verify.ModelEntries,
+			ModelEntries:     res.Verify.ModelEntries,
+			MissingWrites:    res.Verify.Missing,
+			MismatchedWrites: res.Verify.Mismatched,
+			LeakedWrites:     res.Verify.Leaked,
+			Violations:       res.Violations(),
+		},
+	}
+}
+
+func printChaosResult(scenario string, res service.ChaosResult) {
+	fmt.Printf("%-22s %-24s senders=%-3d goodput=%8.0f txn/s  avail=%6.4f  p50=%8.0fns  p99=%8.0fns  p99.9=%8.0fns\n",
+		scenario, res.System, res.Senders, res.Goodput, res.Availability,
+		res.P50Ns, res.P99Ns, res.P999Ns)
+	fmt.Printf("  disposition           completed=%d shed=%d errors=%d expired=%d in-doubt=%d retries=%d breaker-opens=%d\n",
+		res.Completed, res.Shed, res.Errors, res.Expired, res.InDoubt, res.Retries, res.BreakerOpens)
+	fmt.Printf("  restarts              n=%d downtime=%v recovery=%v\n",
+		res.Restarts, time.Duration(res.DowntimeNs), time.Duration(res.RecoveryNs))
+	if v := res.Violations(); v == 0 {
+		fmt.Printf("  wire-verify           OK (%d entries, %d tainted keys excluded)\n",
+			res.Verify.ModelEntries, res.Tainted)
+	} else {
+		fmt.Printf("  wire-verify           FAILED: %d violations (missing=%d mismatched=%d leaked=%d; %d tainted)\n",
+			v, res.Verify.Missing, res.Verify.Mismatched, res.Verify.Leaked, res.Tainted)
+	}
+}

@@ -51,8 +51,8 @@ func openLoopScenario() (harness.Scenario, error) {
 	if err != nil {
 		return harness.Scenario{}, err
 	}
-	if sc.TPCC || sc.HasCrash() {
-		return harness.Scenario{}, fmt.Errorf("open-loop mode cannot run scenario %q (TPC-C and crash scripts are closed-loop only)", name)
+	if sc.TPCC || sc.HasCrash() || sc.ServiceChaos {
+		return harness.Scenario{}, fmt.Errorf("open-loop mode cannot run scenario %q (TPC-C, crash and service-chaos scripts have their own drivers)", name)
 	}
 	return sc, nil
 }

@@ -111,6 +111,9 @@ func runScenario(name string, threads []int) error {
 	if err != nil {
 		return err
 	}
+	if sc.ServiceChaos {
+		return runChaosScenario(sc, threads)
+	}
 	mks, err := selectSystems(sc)
 	if err != nil {
 		return err

@@ -38,6 +38,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "executor goroutines per tick (0 = GOMAXPROCS)")
 		groupcommit = flag.Bool("groupcommit", true,
 			"merge each worker chunk's requests into group commits (Medley systems; false commits each request individually)")
+		dedup = flag.Int("dedup", 4096,
+			"idempotency window: remembered outcomes for request-ID dedup (0 disables; retried IDs then re-execute)")
 	)
 	flag.Parse()
 
@@ -62,10 +64,11 @@ func main() {
 	}
 
 	svc := service.New(be, service.Config{
-		PoolSize: *pool,
-		Tick:     *tick,
-		MaxBatch: *batch,
-		Workers:  *workers,
+		PoolSize:    *pool,
+		Tick:        *tick,
+		MaxBatch:    *batch,
+		Workers:     *workers,
+		DedupWindow: *dedup,
 	})
 	defer svc.Close()
 

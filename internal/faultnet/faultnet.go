@@ -1,0 +1,354 @@
+// Package faultnet is a fault-injecting TCP proxy for chaos testing: it
+// sits between an HTTP client and medleyd and applies scripted network
+// faults — added latency and jitter, connection resets, a full
+// partition (blackhole), and slow half-open closes — so the harness can
+// exercise the client's retry policy and the server's idempotency
+// window against the failure modes a real network produces.
+//
+// The proxy is scripted two ways. Standing behavior is a Faults plan
+// installed with Set and read atomically by every connection pump, so a
+// scenario can flip latency or a partition on and off mid-run. One-shot
+// events are injected with triggers: ResetNextResponses arms a counter
+// that kills the connection carrying the next upstream response after
+// the request was delivered — the canonical "executed but the answer
+// died" fault that makes a retry dangerous without deduplication — and
+// CutConnections RSTs every live connection at once, as a crashing
+// server would.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Faults is a standing fault plan. The zero value forwards traffic
+// untouched.
+type Faults struct {
+	// Latency delays every forwarded chunk, both directions.
+	Latency time.Duration
+	// Jitter adds a uniform extra delay in [0, Jitter) per chunk.
+	Jitter time.Duration
+	// Partition stalls all forwarding: established connections stop
+	// moving bytes (TCP backpressure reaches the endpoints) and new
+	// connections are accepted but never serviced. Clearing it heals the
+	// network; stalled chunks resume.
+	Partition bool
+	// ResetEveryN marks every Nth accepted connection for an abrupt
+	// reset once its first request chunk has been forwarded upstream —
+	// the request likely executes, the answer never comes back.
+	ResetEveryN int
+	// SlowClose is how long a killed connection lingers half-open
+	// (request delivered, nothing flowing) before the RST is sent.
+	SlowClose time.Duration
+}
+
+// Stats counts the proxy's activity.
+type Stats struct {
+	Accepted uint64 // connections accepted
+	Resets   uint64 // connections the proxy killed with RST
+}
+
+// Proxy is one listening fault-injecting proxy. Create with New; all
+// methods are safe for concurrent use.
+type Proxy struct {
+	upstream string
+	ln       net.Listener
+
+	faults    atomic.Pointer[Faults]
+	respReset atomic.Int64 // armed response-reset count
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	accepted atomic.Uint64
+	resets   atomic.Uint64
+	wg       sync.WaitGroup
+}
+
+// New starts a proxy on listen (use "127.0.0.1:0" for an ephemeral
+// port) forwarding to upstream.
+func New(listen, upstream string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: listen %s: %w", listen, err)
+	}
+	p := &Proxy{
+		upstream: upstream,
+		ln:       ln,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	p.faults.Store(&Faults{})
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listening address — point the client here.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Set installs a new standing fault plan, read by every pump on its
+// next chunk.
+func (p *Proxy) Set(f Faults) { p.faults.Store(&f) }
+
+// ResetNextResponses arms n one-shot response kills: for each of the
+// next n upstream responses (across all connections), the carrying
+// connection is reset after the request was forwarded and before any
+// response byte reaches the client. The server executed; the client
+// cannot know.
+func (p *Proxy) ResetNextResponses(n int) { p.respReset.Store(int64(n)) }
+
+// CutConnections resets every live connection at once — the view a
+// client has of a server being SIGKILLed.
+func (p *Proxy) CutConnections() {
+	p.mu.Lock()
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		p.rst(c)
+	}
+}
+
+// Stats snapshots the proxy's counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{Accepted: p.accepted.Load(), Resets: p.resets.Load()}
+}
+
+// Close stops accepting, kills all connections, and waits for pumps to
+// drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.CutConnections()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// track registers c for CutConnections/Close; returns false when the
+// proxy is already closed.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// rst closes c abruptly: linger 0 turns the close into a TCP RST, so
+// the peer sees "connection reset", not a graceful EOF.
+func (p *Proxy) rst(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = c.Close()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		n := p.accepted.Add(1)
+		f := p.faults.Load()
+		marked := f.ResetEveryN > 0 && n%uint64(f.ResetEveryN) == 0
+		p.wg.Add(1)
+		go p.serve(client, marked)
+	}
+}
+
+// serve proxies one client connection to a fresh upstream connection.
+func (p *Proxy) serve(client net.Conn, marked bool) {
+	defer p.wg.Done()
+	if !p.track(client) {
+		p.rst(client)
+		return
+	}
+	defer p.untrack(client)
+
+	// Under a partition, hold the connection open but never dial or
+	// serve: the client's request vanishes into the hole until its own
+	// timeout, exactly like a dropped SYN-ACK path.
+	if p.stallWhilePartitioned(client) {
+		return
+	}
+
+	up, err := net.Dial("tcp", p.upstream)
+	if err != nil {
+		p.rst(client)
+		return
+	}
+	if !p.track(up) {
+		p.rst(client)
+		p.rst(up)
+		return
+	}
+	defer p.untrack(up)
+
+	c := &proxyConn{p: p, client: client, up: up, marked: marked}
+	var pumps sync.WaitGroup
+	pumps.Add(2)
+	go func() { defer pumps.Done(); c.pumpRequests() }()
+	go func() { defer pumps.Done(); c.pumpResponses() }()
+	pumps.Wait()
+	_ = client.Close()
+	_ = up.Close()
+}
+
+// stallWhilePartitioned parks a just-accepted connection while the
+// partition holds. It returns true when the connection died (proxy
+// closed or peer gave up) before the partition healed.
+func (p *Proxy) stallWhilePartitioned(client net.Conn) bool {
+	for p.faults.Load().Partition {
+		if p.isClosed() {
+			p.rst(client)
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+// proxyConn is one client↔upstream pair being pumped.
+type proxyConn struct {
+	p      *Proxy
+	client net.Conn
+	up     net.Conn
+	marked bool
+
+	killed atomic.Bool // one side decided to RST the pair
+}
+
+// kill RSTs both sides after the slow-close dwell, once.
+func (c *proxyConn) kill() {
+	if !c.killed.CompareAndSwap(false, true) {
+		return
+	}
+	if d := c.p.faults.Load().SlowClose; d > 0 {
+		time.Sleep(d)
+	}
+	c.p.resets.Add(1)
+	c.p.rst(c.client)
+	c.p.rst(c.up)
+}
+
+// delayChunk applies the standing per-chunk faults (partition stall,
+// latency, jitter) before a chunk is forwarded.
+func (c *proxyConn) delayChunk() {
+	for c.p.faults.Load().Partition && !c.p.isClosed() && !c.killed.Load() {
+		time.Sleep(2 * time.Millisecond)
+	}
+	f := c.p.faults.Load()
+	d := f.Latency
+	if f.Jitter > 0 {
+		d += rand.N(f.Jitter)
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// pumpRequests forwards client→upstream. On a marked connection the
+// first request is delivered and then the pair is killed: each read
+// after the first chunk runs under a short deadline, and the idle
+// timeout (request fully drained, client now waiting for an answer that
+// will never come) triggers the reset.
+func (c *proxyConn) pumpRequests() {
+	buf := make([]byte, 32<<10)
+	sawChunk := false
+	for {
+		if c.marked && sawChunk {
+			_ = c.client.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+		}
+		n, err := c.client.Read(buf)
+		if n > 0 {
+			c.delayChunk()
+			if c.killed.Load() {
+				return
+			}
+			if _, werr := c.up.Write(buf[:n]); werr != nil {
+				return
+			}
+			sawChunk = true
+		}
+		if err != nil {
+			if c.marked && sawChunk && errors.Is(err, os.ErrDeadlineExceeded) {
+				c.kill()
+				return
+			}
+			// EOF from the client: half-close toward the upstream so a
+			// streaming request still completes.
+			if cw, ok := c.up.(interface{ CloseWrite() error }); ok {
+				_ = cw.CloseWrite()
+			}
+			return
+		}
+	}
+}
+
+// pumpResponses forwards upstream→client. A marked connection never
+// forwards a response (the kill races the answer otherwise); an armed
+// ResetNextResponses trigger converts the first response byte into a
+// kill.
+func (c *proxyConn) pumpResponses() {
+	buf := make([]byte, 32<<10)
+	discard := c.marked
+	for {
+		n, err := c.up.Read(buf)
+		if n > 0 && !discard {
+			if c.p.respReset.Add(-1) >= 0 {
+				// The request executed upstream; eat the answer and kill
+				// the pair so the client must retry blind.
+				discard = true
+				c.kill()
+			} else {
+				c.p.respReset.Add(1) // undo the probe decrement
+			}
+		}
+		if n > 0 && !discard {
+			c.delayChunk()
+			if c.killed.Load() {
+				return
+			}
+			if _, werr := c.client.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if cw, ok := c.client.(interface{ CloseWrite() error }); ok {
+				_ = cw.CloseWrite()
+			}
+			return
+		}
+	}
+}

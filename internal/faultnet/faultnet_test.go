@@ -1,0 +1,171 @@
+package faultnet
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoUpstream starts a TCP server that echoes every byte back, the
+// minimal upstream for observing what the proxy lets through.
+func echoUpstream(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func newProxy(t *testing.T) *Proxy {
+	t.Helper()
+	p, err := New("127.0.0.1:0", echoUpstream(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// roundTrip writes one line and reads the echo under deadline.
+func roundTrip(c net.Conn, line string, deadline time.Duration) (string, error) {
+	if _, err := c.Write([]byte(line + "\n")); err != nil {
+		return "", err
+	}
+	_ = c.SetReadDeadline(time.Now().Add(deadline))
+	defer c.SetReadDeadline(time.Time{})
+	return bufio.NewReader(c).ReadString('\n')
+}
+
+// TestPassThroughAndLatency pins the transparent path and the standing
+// latency fault: bytes arrive intact, and each direction's chunks wait
+// at least the configured latency.
+func TestPassThroughAndLatency(t *testing.T) {
+	p := newProxy(t)
+	c := dialProxy(t, p)
+	if got, err := roundTrip(c, "hello", 2*time.Second); err != nil || got != "hello\n" {
+		t.Fatalf("clean roundtrip = %q, %v", got, err)
+	}
+
+	p.Set(Faults{Latency: 15 * time.Millisecond})
+	start := time.Now()
+	if got, err := roundTrip(c, "delayed", 2*time.Second); err != nil || got != "delayed\n" {
+		t.Fatalf("delayed roundtrip = %q, %v", got, err)
+	}
+	// Latency applies per chunk in both directions: 2 x 15ms minimum.
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("roundtrip took %v, want >= 30ms with 15ms per-chunk latency", elapsed)
+	}
+	if st := p.Stats(); st.Accepted != 1 {
+		t.Errorf("accepted = %d, want 1", st.Accepted)
+	}
+}
+
+// TestResetEveryN pins the marked-connection fault: with every
+// connection marked, the request is forwarded upstream but the answer
+// never returns — the connection dies instead.
+func TestResetEveryN(t *testing.T) {
+	p := newProxy(t)
+	p.Set(Faults{ResetEveryN: 1})
+	c := dialProxy(t, p)
+	if _, err := roundTrip(c, "doomed", 2*time.Second); err == nil {
+		t.Fatal("marked connection delivered a response")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Stats().Resets == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("reset never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestResetNextResponses pins the one-shot trigger: the armed response
+// is eaten and its connection killed, the next connection is clean.
+func TestResetNextResponses(t *testing.T) {
+	p := newProxy(t)
+	a := dialProxy(t, p)
+	if got, err := roundTrip(a, "warm", 2*time.Second); err != nil || got != "warm\n" {
+		t.Fatalf("warmup roundtrip = %q, %v", got, err)
+	}
+
+	p.ResetNextResponses(1)
+	if _, err := roundTrip(a, "eaten", 2*time.Second); err == nil {
+		t.Fatal("armed response reached the client")
+	}
+	b := dialProxy(t, p)
+	if got, err := roundTrip(b, "fresh", 2*time.Second); err != nil || got != "fresh\n" {
+		t.Fatalf("post-trigger roundtrip = %q, %v (trigger not one-shot?)", got, err)
+	}
+	if st := p.Stats(); st.Resets != 1 {
+		t.Errorf("resets = %d, want 1", st.Resets)
+	}
+}
+
+// TestPartitionStallsAndHeals pins the blackhole: an established
+// connection stops moving bytes while partitioned, and the stalled
+// chunk resumes — not lost — when the partition clears.
+func TestPartitionStallsAndHeals(t *testing.T) {
+	p := newProxy(t)
+	c := dialProxy(t, p)
+	if got, err := roundTrip(c, "before", 2*time.Second); err != nil || got != "before\n" {
+		t.Fatalf("pre-partition roundtrip = %q, %v", got, err)
+	}
+
+	p.Set(Faults{Partition: true})
+	if got, err := roundTrip(c, "held", 60*time.Millisecond); err == nil {
+		t.Fatalf("read %q through a partition", got)
+	}
+
+	p.Set(Faults{})
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got, err := bufio.NewReader(c).ReadString('\n')
+	if err != nil || got != "held\n" {
+		t.Fatalf("healed read = %q, %v (stalled chunk lost?)", got, err)
+	}
+}
+
+// TestCutConnections pins the crash view: every live connection dies at
+// once, and new connections still work afterwards.
+func TestCutConnections(t *testing.T) {
+	p := newProxy(t)
+	c := dialProxy(t, p)
+	if _, err := roundTrip(c, "alive", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	p.CutConnections()
+	if _, err := roundTrip(c, "dead", 2*time.Second); err == nil {
+		t.Fatal("cut connection still answered")
+	}
+
+	c2 := dialProxy(t, p)
+	if got, err := roundTrip(c2, "after", 2*time.Second); err != nil || got != "after\n" {
+		t.Fatalf("post-cut roundtrip = %q, %v", got, err)
+	}
+}

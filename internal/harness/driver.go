@@ -20,6 +20,13 @@ import (
 // failure.
 var ErrOverload = errors.New("harness: request shed by admission control")
 
+// ErrExpired is the sentinel a DriverSession returns when the request's
+// deadline passed before the service executed it (HTTP 504 on the wire,
+// or the client giving up before sending). The server guarantees an
+// expired request never ran, so the open-loop engine counts it as its
+// own disposition — a latency casualty, not a failure and not a shed.
+var ErrExpired = errors.New("harness: request deadline expired before execution")
+
 // Driver provisions the system under test and hands out sessions. Start,
 // Preload and Close are called once per run, from one goroutine;
 // NewSession is called once per sender goroutine.

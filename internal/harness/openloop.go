@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -58,6 +59,7 @@ type OpenLoopPhase struct {
 	Completed   uint64  // transactions executed and acknowledged
 	Shed        uint64  // rejected by the service's admission control
 	Errors      uint64  // transport or server failures
+	Expired     uint64  // deadline passed before execution (never ran)
 	Dropped     uint64  // arrivals dropped at the full client queue
 	Ops         uint64  // operations inside completed transactions
 	Elapsed     time.Duration
@@ -152,6 +154,7 @@ type olSender struct {
 	completed uint64
 	shed      uint64
 	errors    uint64
+	expired   uint64
 	ops       uint64
 	samples   []int64
 	seen      int64
@@ -195,13 +198,17 @@ func runOpenLoopStep(d Driver, cfg OpenLoopConfig, rate float64, step int) (Open
 			for req := range work {
 				err := sess.Do(req.ops, nil)
 				lat := time.Since(req.sched)
+				// errors.Is, not ==: a fault-tolerant driver may wrap the
+				// sentinel (e.g. in an in-doubt marker) after retries.
 				switch {
 				case err == nil:
 					s.completed++
 					s.ops += uint64(len(req.ops))
 					s.record(lat, cfg.MaxLatencySamples)
-				case err == ErrOverload:
+				case errors.Is(err, ErrOverload):
 					s.shed++
+				case errors.Is(err, ErrExpired):
+					s.expired++
 				default:
 					s.errors++
 					sessErrOnce.Do(func() { sessErr = err })
@@ -253,6 +260,7 @@ func runOpenLoopStep(d Driver, cfg OpenLoopConfig, rate float64, step int) (Open
 		ph.Completed += s.completed
 		ph.Shed += s.shed
 		ph.Errors += s.errors
+		ph.Expired += s.expired
 		ph.Ops += s.ops
 		samples = append(samples, s.samples...)
 	}

@@ -151,6 +151,22 @@ type ServiceRecord struct {
 	DroppedTxns   uint64  `json:"dropped_txns"`
 	Goodput       float64 `json:"goodput_txn_per_sec"`
 	P999Ns        float64 `json:"p999_ns"`
+
+	// Fault-tolerance fields, present on runs with deadlines, retries or
+	// chaos (zero-valued and omitted otherwise). Availability is
+	// completed / (completed + errors + expired + in-doubt): the share
+	// of requests that wanted an answer and got one — sheds and client-
+	// queue drops are excluded (backpressure is the system working), and
+	// an in-doubt outcome counts against availability because the client
+	// cannot act on it.
+	ExpiredTxns  uint64  `json:"expired_txns,omitempty"`
+	InDoubtTxns  uint64  `json:"in_doubt_txns,omitempty"`
+	RetriedTxns  uint64  `json:"retried_txns,omitempty"`
+	BreakerOpens uint64  `json:"breaker_opens,omitempty"`
+	Restarts     int     `json:"restarts,omitempty"`
+	DowntimeNs   int64   `json:"downtime_ns,omitempty"`
+	Availability float64 `json:"availability,omitempty"`
+	TaintedKeys  int     `json:"tainted_keys,omitempty"`
 }
 
 // Record is one (system, scenario, phase, thread count) measurement.
@@ -280,7 +296,8 @@ func (rep *Report) AddOpenLoop(res OpenLoopResult, scenario string, inFlight int
 				OfferedRate: ph.OfferedRate,
 				OfferedTxns: ph.Offered, CompletedTxns: ph.Completed,
 				ShedTxns: ph.Shed, ErrorTxns: ph.Errors, DroppedTxns: ph.Dropped,
-				Goodput: ph.Goodput, P999Ns: ph.P999Ns,
+				ExpiredTxns: ph.Expired,
+				Goodput:     ph.Goodput, P999Ns: ph.P999Ns,
 			},
 		})
 	}

@@ -111,6 +111,15 @@ type Scenario struct {
 	// state against the model (see verify.go) — chaos runs are checked,
 	// not just timed.
 	VerifyFinal bool
+
+	// ServiceChaos marks scenarios that run the service-layer chaos
+	// harness instead of the closed-loop engine: medleyd hosted over a
+	// durable backend behind a fault-injecting proxy, killed and
+	// restarted mid-run, with wire-level journal verification against
+	// the recovered state (internal/service RunChaos). The scenario's
+	// Dist and first phase's Mix shape the workload; the fault plan and
+	// kill schedule are keyed by scenario name in the bench driver.
+	ServiceChaos bool
 }
 
 // HasCrash reports whether the scenario contains a crash phase. Crash
@@ -440,6 +449,30 @@ var builtin = map[string]Scenario{
 		Phases: onePhase(Mix{
 			Ratio: Ratio{Get: 18, Insert: 1, Remove: 1}, TxMin: 1, TxMax: 8,
 			Mixed: 4, Transfer: 1,
+		}),
+	},
+	"chaos-service-restart": {
+		Description:  "service chaos: medleyd over a durable backend is killed and restarted 3 times mid-traffic on a clean network; client journals of definitively acked put/delete batches must match the recovered state exactly (zero wire-level durability violations)",
+		Dist:         Dist{Kind: DistUniform},
+		ServiceChaos: true,
+		Phases: onePhase(Mix{
+			Ratio: Ratio{Get: 2, Insert: 1, Remove: 1}, TxMin: 1, TxMax: 8, Mixed: 1,
+		}),
+	},
+	"chaos-net-flaky": {
+		Description:  "service chaos: 3 restarts under a flaky network — per-chunk latency and jitter, every 7th connection reset after its request is delivered — exercising retry backoff, the circuit breaker and the dedup window together; wire-level verification on the recovered state",
+		Dist:         Dist{Kind: DistUniform},
+		ServiceChaos: true,
+		Phases: onePhase(Mix{
+			Ratio: Ratio{Get: 2, Insert: 1, Remove: 1}, TxMin: 1, TxMax: 8, Mixed: 1,
+		}),
+	},
+	"chaos-slow-client": {
+		Description:  "service chaos: a slow, lossy edge — heavy per-chunk latency and slow half-open closes — with tight request deadlines, so expired dispositions and deadline culls dominate; one restart, wire-level verification on the recovered state",
+		Dist:         Dist{Kind: DistUniform},
+		ServiceChaos: true,
+		Phases: onePhase(Mix{
+			Ratio: Ratio{Get: 4, Insert: 1, Remove: 1}, TxMin: 1, TxMax: 6, Mixed: 1,
 		}),
 	},
 	"load-mixed-drain": {

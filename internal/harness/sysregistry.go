@@ -242,6 +242,11 @@ func DefaultSystems(sc Scenario) []string {
 		// TPC-C scenarios run only on the Medley registry backends; the
 		// sharded variant exercises cross-shard deliveries and payments.
 		return []string{"medley-hash", "medley-hash@4"}
+	case sc.ServiceChaos:
+		// Crash-restart over the wire needs a durable, snapshot-capable
+		// backend; POneFile persists eagerly at every commit, so an acked
+		// batch is durable by construction — the strongest gate.
+		return []string{"ponefile-hash"}
 	case sc.HasCrash():
 		return []string{"txmontage-hash", "ponefile-hash", "medley-hash"}
 	case sc.Name == "chaos-hot-key":

@@ -254,6 +254,14 @@ func (s *MontageSystem) NewWorker() Worker {
 	return &kvWorker{m: m, tx: tx}
 }
 
+// NewExecutor implements the service layer's backend seam: Montage
+// workers are kvWorkers already, so medleyd's per-goroutine executors
+// run the same epoch-wrapped transactional path as benchmark workers —
+// which is what lets medleyd serve a durable, crash-recoverable store.
+func (s *MontageSystem) NewExecutor() kv.Executor {
+	return s.NewWorker().(*kvWorker)
+}
+
 // ---------------------------------------------------------------- OneFile
 
 // ofMap is the shape shared by OneFile's structures and the persistent
@@ -364,6 +372,13 @@ func (s *OneFileSystem) Snapshot(fn func(key, val uint64) bool) {
 	}
 }
 
+// StateSnapshot implements Snapshotter: walk live contents through the
+// structure's own Range (the PMap for the persistent flavor). Callers
+// must be quiesced, like every StateSnapshot.
+func (s *OneFileSystem) StateSnapshot(fn func(key, val uint64) bool) {
+	s.m.Range(fn)
+}
+
 // Name implements System.
 func (s *OneFileSystem) Name() string { return s.name }
 
@@ -394,6 +409,76 @@ type onefileWorker struct{ s *OneFileSystem }
 
 // NewWorker implements System.
 func (s *OneFileSystem) NewWorker() Worker { return &onefileWorker{s} }
+
+// NewExecutor implements the service layer's backend seam, so medleyd
+// can serve OneFile — in the persistent flavor, a store whose every
+// acked commit is already durable, the property the crash-restart chaos
+// scenarios gate on.
+func (s *OneFileSystem) NewExecutor() kv.Executor { return &onefileExecutor{s} }
+
+// onefileExecutor adapts OneFile to the kv batch request API with the
+// same discipline as onefileWorker.Do: scans hoisted out of the
+// transaction through the structure's own Range, keyed ops in one
+// read-only or write transaction. OpAdd is read-modify-write inside the
+// transaction — OneFile's opacity makes the fetch-and-add atomic.
+type onefileExecutor struct{ s *OneFileSystem }
+
+func (e *onefileExecutor) ExecBatch(ops []kv.Op, res []kv.Result) error {
+	readOnly, keyed := true, false
+	for i := range ops {
+		switch ops[i].Kind {
+		case kv.OpScan:
+		case kv.OpGet:
+			keyed = true
+		default:
+			keyed = true
+			readOnly = false
+		}
+	}
+	for i := range ops {
+		if ops[i].Kind != kv.OpScan {
+			continue
+		}
+		n := int(ops[i].Val)
+		var visited uint64
+		e.s.m.Range(func(_, _ uint64) bool { visited++; n--; return n > 0 })
+		if res != nil {
+			res[i] = kv.Result{Val: visited, Ok: true}
+		}
+	}
+	if !keyed {
+		return nil
+	}
+	body := func(tx *onefile.Tx) error {
+		for i := range ops {
+			op := &ops[i]
+			var r kv.Result
+			switch op.Kind {
+			case kv.OpGet:
+				r.Val, r.Ok = e.s.m.Get(tx, op.Key)
+			case kv.OpPut:
+				r.Val, r.Ok = e.s.m.Put(tx, op.Key, op.Val)
+			case kv.OpDelete:
+				r.Val, r.Ok = e.s.m.Remove(tx, op.Key)
+			case kv.OpAdd:
+				v, ok := e.s.m.Get(tx, op.Key)
+				v += op.Val
+				e.s.m.Put(tx, op.Key, v)
+				r = kv.Result{Val: v, Ok: ok}
+			default:
+				continue
+			}
+			if res != nil {
+				res[i] = r
+			}
+		}
+		return nil
+	}
+	if readOnly {
+		return e.s.stm.ReadTx(body)
+	}
+	return e.s.stm.WriteTx(body)
+}
 
 func (w *onefileWorker) Do(ops []Op) {
 	readOnly := true

@@ -1,5 +1,7 @@
 package harness
 
+import "medley/internal/kv"
+
 // This file is the crash–recovery verification layer of the workload
 // engine. The paper's headline property is nonblocking persistence: after
 // a crash, every committed transaction's effects are recoverable and no
@@ -152,6 +154,111 @@ type FinalCheckResult struct {
 // Violations is the total final-state violation count.
 func (f FinalCheckResult) Violations() uint64 {
 	return f.Missing + f.Mismatched + f.Leaked
+}
+
+// --------------------------------------------------- wire-level verification
+//
+// The journal verifier above lives inside the engine: workers journal
+// in-process, so "committed" is unambiguous. Behind a wire it is not — a
+// client whose connection dies mid-request cannot know whether the
+// server executed it. The wire verifier extends the same model-diff
+// machinery across that gap: each sender journals only definitively
+// acknowledged batches, marks the write keys of in-doubt outcomes as
+// tainted, and VerifyWire excludes tainted keys from both the model and
+// the server snapshot before diffing. Everything that remains is a key
+// the client knows the committed value of, so a post-restart difference
+// there is a real durability (or duplicated-execution) violation, never
+// retry ambiguity. Exactness still requires partitioned writes
+// (PartitionKey): one sender per residue class, sole writer of its keys.
+
+// PartitionKey is the exported form of partitionKey for wire-level
+// verifiers whose senders journal outside the engine: it maps k into
+// sender tid's residue class modulo senders, staying inside
+// [0, keyRange) (callers ensure keyRange >= senders).
+func PartitionKey(k uint64, tid, senders int, keyRange uint64) uint64 {
+	return partitionKey(k, tid, senders, keyRange)
+}
+
+// WireJournal is one sender's client-side record of what it knows about
+// the server's state: the last committed value of every key it wrote
+// with a definitive acknowledgement, and the set of keys whose state is
+// unknowable (touched by an in-doubt request). Single-goroutine, like
+// the engine's per-worker journals.
+type WireJournal struct {
+	model map[uint64]modelVal
+	taint map[uint64]struct{}
+}
+
+// NewWireJournal creates an empty journal.
+func NewWireJournal() *WireJournal {
+	return &WireJournal{
+		model: make(map[uint64]modelVal),
+		taint: make(map[uint64]struct{}),
+	}
+}
+
+// Commit folds a definitively acknowledged batch's effects into the
+// journal, in operation order. Only idempotent writes (put, delete) are
+// modelable from the client side; an acked OpAdd is tainted instead —
+// its final value depends on how many times it ran, which is exactly
+// what a client cannot count (chaos workloads avoid adds for this
+// reason).
+func (j *WireJournal) Commit(ops []kv.Op) {
+	for _, op := range ops {
+		switch op.Kind {
+		case kv.OpPut:
+			j.model[op.Key] = modelVal{val: op.Val, present: true}
+		case kv.OpDelete:
+			j.model[op.Key] = modelVal{}
+		case kv.OpAdd:
+			j.taint[op.Key] = struct{}{}
+		}
+	}
+}
+
+// Taint marks every write key of an in-doubt batch as unknowable: the
+// request may or may not have executed, so nothing about these keys can
+// be asserted afterwards.
+func (j *WireJournal) Taint(ops []kv.Op) {
+	for _, op := range ops {
+		switch op.Kind {
+		case kv.OpPut, kv.OpDelete, kv.OpAdd:
+			j.taint[op.Key] = struct{}{}
+		}
+	}
+}
+
+// VerifyWire merges the senders' journals and diffs them against a
+// server state snapshot (quiesced — typically just recovered), after
+// removing tainted keys from both sides. It returns the diff and the
+// number of keys excluded as tainted, so reports can show how much
+// coverage ambiguity cost.
+func VerifyWire(journals []*WireJournal, snap func(fn func(key, val uint64) bool)) (FinalCheckResult, int) {
+	model := make(map[uint64]modelVal)
+	taint := make(map[uint64]struct{})
+	for _, j := range journals {
+		// Partitioned writes make per-key overrides impossible across
+		// journals; plain merge is exact.
+		for k, v := range j.model {
+			model[k] = v
+		}
+		for k := range j.taint {
+			taint[k] = struct{}{}
+		}
+	}
+	for k := range taint {
+		delete(model, k)
+	}
+	got := make(map[uint64]uint64, len(model))
+	snap(func(k, v uint64) bool {
+		if _, bad := taint[k]; !bad {
+			got[k] = v
+		}
+		return true
+	})
+	fc := FinalCheckResult{Checked: true}
+	fc.ModelEntries, fc.Missing, fc.Mismatched, fc.Leaked = diffCounts(model, got)
+	return fc, len(taint)
 }
 
 // runFinalCheck diffs the live state against the model at the end of a

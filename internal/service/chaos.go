@@ -1,0 +1,463 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"medley/internal/faultnet"
+	"medley/internal/harness"
+	"medley/internal/kv"
+)
+
+// This file is the crash-restart chaos runner: medleyd hosted in-process
+// over a durable registry backend, a faultnet proxy in front of it, a
+// fleet of journaling HTTP senders behind that, and a kill schedule that
+// takes the daemon down mid-traffic. "SIGKILL" here is the in-process
+// equivalent of the real thing: the HTTP server is torn down hard
+// (every connection reset mid-request, exactly what clients of a killed
+// process see), the service drains, and the store then goes through the
+// PR 2 crash machinery — Persist barrier, simulated device crash, timed
+// recovery — before a fresh daemon rebinds the same address. The reason
+// the store cannot literally be killed as a subprocess is that the
+// simulated pmem device lives in this process's DRAM; the wire-visible
+// failure (connection resets, downtime, an empty dedup window
+// afterwards) is identical, and the durable image crossing the crash is
+// the same one a real restart would reload. CI separately smoke-tests a
+// real medleyd process under kill -9 for the process-level half.
+//
+// Verification is the wire extension of the PR 2 journal verifier
+// (harness.VerifyWire): senders write only put/delete on partitioned
+// keys, journal definitive acks, taint in-doubt outcomes, and the final
+// recovered state must match the merged journals exactly on every
+// untainted key.
+
+// ChaosConfig parameterizes one chaos run.
+type ChaosConfig struct {
+	// System is a benchmark-registry spec; it must resolve to a durable,
+	// snapshot-capable backend (e.g. "ponefile-hash", "txmontage-hash").
+	System string
+	// SystemOpts passes through registry sizing knobs.
+	SystemOpts harness.SystemOpts
+
+	// Service is the daemon's pipeline config (DedupWindow included).
+	Service Config
+
+	// Client tunes the HTTPDriver's retry policy; Deadline also bounds
+	// each request.
+	Client HTTPDriverConfig
+
+	// Faults is the standing fault plan installed on the proxy for the
+	// whole run.
+	Faults faultnet.Faults
+
+	// Restarts is how many kill/recover/restart cycles land mid-run,
+	// spread evenly across Duration.
+	Restarts int
+
+	// Senders, Rate, Duration shape the workload: Senders goroutines
+	// offering Rate transactions/second in total for Duration.
+	Senders  int
+	Rate     float64
+	Duration time.Duration
+
+	KeyRange uint64
+	Preload  int
+	Seed     int64
+	Mix      harness.Mix
+	Dist     harness.Dist
+}
+
+// ChaosResult is the outcome of one chaos run: dispositions, tail
+// latency, downtime, recovery, and the wire-level verification diff.
+type ChaosResult struct {
+	System  string
+	Senders int
+	Elapsed time.Duration
+
+	Completed uint64
+	Shed      uint64
+	Errors    uint64
+	Expired   uint64
+	InDoubt   uint64
+
+	Retries      uint64
+	BreakerOpens uint64
+
+	Restarts   int
+	DowntimeNs int64 // total wall time from each kill to serving again
+	RecoveryNs int64 // portion of downtime spent in CrashAndRecover
+
+	Goodput      float64 // completed / elapsed, txn/s
+	Availability float64 // completed / (completed + errors + expired + in-doubt)
+
+	AvgNs, P50Ns, P99Ns, P999Ns float64
+
+	// Verification: merged sender journals vs. the recovered state.
+	Verify  harness.FinalCheckResult
+	Tainted int // keys excluded from the diff as in-doubt
+}
+
+// Violations is the wire-level durability violation total.
+func (r ChaosResult) Violations() uint64 { return r.Verify.Violations() }
+
+// chaosDaemon hosts one incarnation of medleyd: a Service over the
+// shared durable backend behind a real TCP listener. Kill tears the
+// incarnation down; the backend (and its durable image) survives to the
+// next start.
+type chaosDaemon struct {
+	be   Backend
+	cfg  Config
+	addr string
+	ln   net.Listener
+	srv  *http.Server
+	svc  *Service
+}
+
+// start binds the daemon's address and serves. The first call may use
+// ":0"; later calls rebind the same port (retrying briefly — the old
+// listener's close races the rebind).
+func (d *chaosDaemon) start() error {
+	var ln net.Listener
+	var err error
+	for i := 0; i < 100; i++ {
+		ln, err = net.Listen("tcp", d.addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("chaos: rebind %s: %w", d.addr, err)
+	}
+	d.ln = ln
+	d.addr = ln.Addr().String()
+	d.svc = New(d.be, d.cfg)
+	d.srv = &http.Server{Handler: Handler(d.svc)}
+	go func(srv *http.Server, ln net.Listener) { _ = srv.Serve(ln) }(d.srv, ln)
+	return nil
+}
+
+// kill tears the incarnation down the way a SIGKILL looks from outside:
+// srv.Close resets every live connection mid-request (in-flight clients
+// get no answer), then the service drains so the store is quiescent for
+// the crash that follows. The dedup window dies with the service, as it
+// would with a process.
+func (d *chaosDaemon) kill() {
+	_ = d.srv.Close()
+	d.svc.Close()
+}
+
+// chaosSender is one journaling sender's counters, padded like the
+// engine's worker shards.
+type chaosSender struct {
+	completed uint64
+	shed      uint64
+	errors    uint64
+	expired   uint64
+	indoubt   uint64
+	samples   []int64
+	seen      int64
+	r         *rand.Rand
+	journal   *harness.WireJournal
+	_         [40]byte
+}
+
+func (s *chaosSender) record(d time.Duration) {
+	const maxSamples = 8192
+	s.seen++
+	if len(s.samples) < maxSamples {
+		s.samples = append(s.samples, int64(d))
+		return
+	}
+	if j := s.r.Int63n(s.seen); j < maxSamples {
+		s.samples[j] = int64(d)
+	}
+}
+
+// RunChaos executes one chaos run. See the file comment for the
+// architecture; the sequence is: build backend → start daemon → start
+// proxy → preload (journaled) → senders offer load while the kill
+// schedule cycles the daemon → stop → one final kill + crash + recovery
+// → VerifyWire against the recovered snapshot.
+func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
+	if cfg.Senders <= 0 {
+		cfg.Senders = 8
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 2000
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 3 * time.Second
+	}
+	if cfg.KeyRange == 0 {
+		cfg.KeyRange = 1 << 16
+	}
+	if cfg.KeyRange < uint64(cfg.Senders) {
+		return ChaosResult{}, fmt.Errorf("chaos: key range %d < %d senders", cfg.KeyRange, cfg.Senders)
+	}
+
+	sys, err := harness.NewSystem(cfg.System, cfg.SystemOpts)
+	if err != nil {
+		return ChaosResult{}, fmt.Errorf("chaos: %w", err)
+	}
+	be, ok := sys.(Backend)
+	if !ok {
+		return ChaosResult{}, fmt.Errorf("chaos: system %q has no batch executor", cfg.System)
+	}
+	caps := harness.Capabilities(sys)
+	if !caps.CanRecover() {
+		return ChaosResult{}, fmt.Errorf("chaos: system %q is not durable (crash-restart needs a recoverable backend)", cfg.System)
+	}
+	if caps.Snapshot == nil {
+		return ChaosResult{}, fmt.Errorf("chaos: system %q cannot snapshot state for verification", cfg.System)
+	}
+
+	d := &chaosDaemon{be: be, cfg: cfg.Service, addr: "127.0.0.1:0"}
+	if err := d.start(); err != nil {
+		return ChaosResult{}, err
+	}
+	proxy, err := faultnet.New("127.0.0.1:0", d.addr)
+	if err != nil {
+		d.kill()
+		return ChaosResult{}, err
+	}
+	defer proxy.Close()
+
+	driver := NewHTTPDriverConfig("http://"+proxy.Addr(), cfg.Client)
+	if err := driver.Start(); err != nil {
+		d.kill()
+		return ChaosResult{}, fmt.Errorf("chaos: %w", err)
+	}
+	defer driver.Close()
+
+	// Preload through the wire, journaled: the preload puts seed the
+	// model, so untouched keys verify too. Keys are partitioned round-
+	// robin so each lands in some sender's residue class — the journal
+	// merge stays exact. Preload bypasses the proxy and the client's
+	// deadline (it is setup, not chaos): the fault plan is installed
+	// only once the store is loaded.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := harness.NewWireJournal()
+	if cfg.Preload > 0 {
+		pre := NewHTTPDriverConfig("http://"+d.addr, HTTPDriverConfig{})
+		if err := pre.Start(); err != nil {
+			d.kill()
+			return ChaosResult{}, fmt.Errorf("chaos: %w", err)
+		}
+		sess, err := pre.NewSession()
+		if err != nil {
+			d.kill()
+			return ChaosResult{}, err
+		}
+		ops := make([]kv.Op, 0, preloadChunk)
+		flush := func() error {
+			if len(ops) == 0 {
+				return nil
+			}
+			for {
+				err := sess.Do(ops, nil)
+				if err == nil {
+					base.Commit(ops)
+					ops = ops[:0]
+					return nil
+				}
+				if IsInDoubt(err) {
+					base.Taint(ops)
+					ops = ops[:0]
+					return nil
+				}
+				if err == harness.ErrOverload {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				return err
+			}
+		}
+		for i := 0; i < cfg.Preload; i++ {
+			k := uint64(rng.Int63n(int64(cfg.KeyRange)))
+			k = harness.PartitionKey(k, i%cfg.Senders, cfg.Senders, cfg.KeyRange)
+			ops = append(ops, kv.Op{Kind: kv.OpPut, Key: k, Val: k})
+			if len(ops) == preloadChunk {
+				if err := flush(); err != nil {
+					d.kill()
+					return ChaosResult{}, fmt.Errorf("chaos: preload: %w", err)
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			d.kill()
+			return ChaosResult{}, fmt.Errorf("chaos: preload: %w", err)
+		}
+		_ = sess.Close()
+		_ = pre.Close()
+	}
+	proxy.Set(cfg.Faults)
+
+	// Sender fleet: each sender paces itself at Rate/Senders with
+	// exponential interarrivals, writes only inside its residue class,
+	// and journals what it definitively knows.
+	stop := make(chan struct{})
+	senders := make([]*chaosSender, cfg.Senders)
+	var wg sync.WaitGroup
+	interval := float64(time.Second) * float64(cfg.Senders) / cfg.Rate
+	for i := 0; i < cfg.Senders; i++ {
+		seed := cfg.Seed + int64(i)*7919 + 1
+		s := &chaosSender{
+			r:       rand.New(rand.NewSource(seed)),
+			journal: harness.NewWireJournal(),
+		}
+		senders[i] = s
+		sess, err := driver.NewSession()
+		if err != nil {
+			close(stop)
+			d.kill()
+			return ChaosResult{}, err
+		}
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			defer sess.Close()
+			gen := harness.NewTxGen(cfg.Dist, cfg.KeyRange, cfg.Mix, seed^0x5DEECE66D)
+			var kops []kv.Op
+			next := time.Now()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				next = next.Add(time.Duration(s.r.ExpFloat64() * interval))
+				if wait := time.Until(next); wait > 0 {
+					time.Sleep(wait)
+				}
+				ops := gen.Next()
+				for j := range ops {
+					if ops[j].Kind != harness.OpGet {
+						ops[j].Key = harness.PartitionKey(ops[j].Key, tid, cfg.Senders, cfg.KeyRange)
+					}
+				}
+				kops = harness.KvOps(kops, ops)
+				startReq := time.Now()
+				err := sess.Do(kops, nil)
+				switch {
+				case err == nil:
+					s.completed++
+					s.journal.Commit(kops)
+					s.record(time.Since(startReq))
+				case IsInDoubt(err):
+					s.indoubt++
+					s.journal.Taint(kops)
+				case err == harness.ErrOverload:
+					s.shed++
+				case err == harness.ErrExpired:
+					s.expired++
+				default:
+					s.errors++
+				}
+			}
+		}(i)
+	}
+
+	// Kill schedule: Restarts kills spread evenly across the run, each
+	// followed by Persist → CrashAndRecover → rebind. The dedup window
+	// and pool die with each incarnation; only the durable image and
+	// the store's DRAM state cross, exactly as PR 2's crash phases
+	// define it.
+	res := ChaosResult{System: sys.Name(), Senders: cfg.Senders, Restarts: cfg.Restarts}
+	start := time.Now()
+	runErr := func() error {
+		for i := 0; i < cfg.Restarts; i++ {
+			at := start.Add(cfg.Duration * time.Duration(i+1) / time.Duration(cfg.Restarts+1))
+			if wait := time.Until(at); wait > 0 {
+				time.Sleep(wait)
+			}
+			killStart := time.Now()
+			proxy.CutConnections()
+			d.kill()
+			caps.Recovery.Persist()
+			recStart := time.Now()
+			caps.Recovery.CrashAndRecover()
+			res.RecoveryNs += int64(time.Since(recStart))
+			if err := d.start(); err != nil {
+				return err
+			}
+			res.DowntimeNs += int64(time.Since(killStart))
+		}
+		if wait := time.Until(start.Add(cfg.Duration)); wait > 0 {
+			time.Sleep(wait)
+		}
+		return nil
+	}()
+	close(stop)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if runErr != nil {
+		d.kill()
+		return res, runErr
+	}
+
+	// Final crash: the verification target is the RECOVERED state, so
+	// the last incarnation goes down the same way the mid-run ones did.
+	d.kill()
+	caps.Recovery.Persist()
+	recStart := time.Now()
+	caps.Recovery.CrashAndRecover()
+	res.RecoveryNs += int64(time.Since(recStart))
+
+	journals := make([]*harness.WireJournal, 0, cfg.Senders+1)
+	journals = append(journals, base)
+	var samples []int64
+	for _, s := range senders {
+		res.Completed += s.completed
+		res.Shed += s.shed
+		res.Errors += s.errors
+		res.Expired += s.expired
+		res.InDoubt += s.indoubt
+		journals = append(journals, s.journal)
+		samples = append(samples, s.samples...)
+	}
+	st := driver.Stats()
+	res.Retries, res.BreakerOpens = st.Retries, st.BreakerOpens
+
+	res.Verify, res.Tainted = harness.VerifyWire(journals, caps.Snapshot.StateSnapshot)
+
+	if res.Elapsed > 0 {
+		res.Goodput = float64(res.Completed) / res.Elapsed.Seconds()
+	}
+	if answered := res.Completed + res.Errors + res.Expired + res.InDoubt; answered > 0 {
+		res.Availability = float64(res.Completed) / float64(answered)
+	}
+	if len(samples) > 0 {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		var sum int64
+		for _, v := range samples {
+			sum += v
+		}
+		res.AvgNs = float64(sum) / float64(len(samples))
+		res.P50Ns = float64(chaosPermille(samples, 500))
+		res.P99Ns = float64(chaosPermille(samples, 990))
+		res.P999Ns = float64(chaosPermille(samples, 999))
+	}
+	return res, nil
+}
+
+// chaosPermille is nearest-rank over a sorted slice in tenths of a
+// percent (the harness keeps its own unexported copy).
+func chaosPermille(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 999) / 1000
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

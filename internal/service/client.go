@@ -6,8 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"medley/internal/harness"
@@ -19,18 +22,104 @@ import (
 // store, so one report compares raw store latency against the full
 // network pipeline. The server owns the backend's lifecycle; Start only
 // verifies reachability and learns the system's identity from /healthz.
+//
+// The driver is fault-tolerant: every batch carries a request ID (the
+// server's dedup window makes retries exactly-once), transport errors
+// and 503s are retried with capped exponential backoff under a
+// per-session retry budget, and a circuit breaker shared by all
+// sessions opens after consecutive transport errors — failing fast
+// until a healthz probe confirms the server is back.
 type HTTPDriver struct {
 	base   string
+	cfg    HTTPDriverConfig
 	client *http.Client
 	system string
 	shards int
+
+	breaker *breaker
+	idBase  string        // per-driver prefix making request IDs unique
+	idSeq   atomic.Uint64 // per-driver counter completing each ID
+
+	retries atomic.Uint64 // attempts beyond the first, all sessions
+	inDoubt atomic.Uint64 // requests whose execution is unknown
+	expired atomic.Uint64 // requests that expired client- or server-side
+}
+
+// HTTPDriverConfig tunes the driver's fault-tolerance machinery. The
+// zero value means: no deadline, 3 retries per request, 2ms..250ms
+// backoff, a 256-retry session budget, breaker opening after 8
+// consecutive transport errors with a 200ms cooldown, and a 5s Start
+// bound.
+type HTTPDriverConfig struct {
+	// Deadline, when positive, bounds each request end to end: the wire
+	// request carries the remaining budget as deadline_ms, and the
+	// client stops retrying (harness.ErrExpired) once it is spent.
+	Deadline time.Duration
+	// MaxRetries caps attempts beyond the first per request. Negative
+	// disables retries entirely.
+	MaxRetries int
+	// BackoffBase and BackoffCap shape the retry backoff: the nth retry
+	// waits ~BackoffBase·2ⁿ (full jitter), capped at BackoffCap.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// RetryBudget caps total retries per session across all requests, so
+	// a dying server cannot multiply offered load. Negative is unlimited.
+	RetryBudget int
+	// BreakerThreshold opens the circuit after that many consecutive
+	// transport errors. Negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker fails fast before
+	// half-opening with a healthz probe.
+	BreakerCooldown time.Duration
+	// StartTimeout bounds Start's healthz polling.
+	StartTimeout time.Duration
+}
+
+func (c HTTPDriverConfig) withDefaults() HTTPDriverConfig {
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 2 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 250 * time.Millisecond
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 256
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 8
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 200 * time.Millisecond
+	}
+	if c.StartTimeout <= 0 {
+		c.StartTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// HTTPDriverStats is a snapshot of the driver's fault counters.
+type HTTPDriverStats struct {
+	Retries      uint64 // attempts beyond the first
+	InDoubt      uint64 // requests whose execution is unknown
+	Expired      uint64 // requests that ran out of deadline
+	BreakerOpens uint64 // closed→open transitions
 }
 
 // NewHTTPDriver targets a running medleyd at base (e.g.
-// "http://127.0.0.1:7654").
+// "http://127.0.0.1:7654") with default fault tolerance.
 func NewHTTPDriver(base string) *HTTPDriver {
-	return &HTTPDriver{
+	return NewHTTPDriverConfig(base, HTTPDriverConfig{})
+}
+
+// NewHTTPDriverConfig is NewHTTPDriver with explicit tuning.
+func NewHTTPDriverConfig(base string, cfg HTTPDriverConfig) *HTTPDriver {
+	cfg = cfg.withDefaults()
+	d := &HTTPDriver{
 		base: base,
+		cfg:  cfg,
 		client: &http.Client{
 			Timeout: 30 * time.Second,
 			Transport: &http.Transport{
@@ -40,7 +129,16 @@ func NewHTTPDriver(base string) *HTTPDriver {
 				MaxIdleConnsPerHost: 1024,
 			},
 		},
+		idBase: fmt.Sprintf("%08x", rand.Uint32()),
 	}
+	if cfg.BreakerThreshold > 0 {
+		d.breaker = &breaker{
+			threshold: cfg.BreakerThreshold,
+			cooldown:  cfg.BreakerCooldown,
+			probe:     d.healthz,
+		}
+	}
+	return d
 }
 
 // Kind implements harness.Driver.
@@ -57,12 +155,49 @@ func (d *HTTPDriver) ShardCount() int {
 	return 1
 }
 
+// Stats snapshots the driver's fault counters across all sessions.
+func (d *HTTPDriver) Stats() HTTPDriverStats {
+	s := HTTPDriverStats{
+		Retries: d.retries.Load(),
+		InDoubt: d.inDoubt.Load(),
+		Expired: d.expired.Load(),
+	}
+	if d.breaker != nil {
+		s.BreakerOpens = d.breaker.opens.Load()
+	}
+	return s
+}
+
+// healthz runs one liveness probe, recording the server identity on
+// success.
+func (d *HTTPDriver) healthz() bool {
+	resp, err := d.client.Get(d.base + "/healthz")
+	if err != nil {
+		return false
+	}
+	var h healthResponse
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return false
+	}
+	d.system, d.shards = h.System, h.Shards
+	return true
+}
+
 // Start implements harness.Driver: polls /healthz until the server
-// answers (it may still be starting), then records its identity.
+// answers (it may still be starting), failing with the last probe error
+// once cfg.StartTimeout is spent — a server that never comes up is a
+// configuration mistake to report, not a condition to poll forever.
 func (d *HTTPDriver) Start() error {
+	deadline := time.Now().Add(d.cfg.StartTimeout)
 	var lastErr error
-	for attempt := 0; attempt < 50; attempt++ {
+	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("service: %s unreachable after %v: %w",
+					d.base, d.cfg.StartTimeout, lastErr)
+			}
 			time.Sleep(100 * time.Millisecond)
 		}
 		resp, err := d.client.Get(d.base + "/healthz")
@@ -80,7 +215,6 @@ func (d *HTTPDriver) Start() error {
 		d.system, d.shards = h.System, h.Shards
 		return nil
 	}
-	return fmt.Errorf("service: %s unreachable: %w", d.base, lastErr)
 }
 
 // preloadChunk bounds one preload batch to the server's op limit.
@@ -89,7 +223,7 @@ const preloadChunk = 512
 // Preload implements harness.Driver: installs keys (key == value) with
 // put batches through the ordinary wire path.
 func (d *HTTPDriver) Preload(keys []uint64) error {
-	sess := &httpSession{d: d}
+	sess := &httpSession{d: d} // zero retryBudget: preload is setup, unlimited
 	ops := make([]kv.Op, 0, preloadChunk)
 	for len(keys) > 0 {
 		n := len(keys)
@@ -108,7 +242,7 @@ func (d *HTTPDriver) Preload(keys []uint64) error {
 			if err == nil {
 				break
 			}
-			if err == harness.ErrOverload {
+			if errors.Is(err, harness.ErrOverload) {
 				time.Sleep(time.Millisecond)
 				continue
 			}
@@ -120,9 +254,9 @@ func (d *HTTPDriver) Preload(keys []uint64) error {
 
 // NewSession implements harness.Driver. The http.Client is shared
 // (connection pooling is per-transport); the session carries only its
-// encode buffer.
+// encode buffer and retry budget.
 func (d *HTTPDriver) NewSession() (harness.DriverSession, error) {
-	return &httpSession{d: d}, nil
+	return &httpSession{d: d, retryBudget: d.cfg.RetryBudget}, nil
 }
 
 // Close implements harness.Driver.
@@ -131,42 +265,199 @@ func (d *HTTPDriver) Close() error {
 	return nil
 }
 
+// ErrCircuitOpen is returned without touching the network while the
+// driver's circuit breaker is open: the server was unreachable on
+// consecutive recent attempts and the cooldown's healthz probe has not
+// yet confirmed recovery. The request was never sent.
+var ErrCircuitOpen = errors.New("service: circuit breaker open")
+
+// inDoubtError marks an outcome where the request may or may not have
+// executed: some attempt reached into the network and died without a
+// definitive server answer. Unwrap keeps sentinel classification
+// (errors.Is on the underlying cause) working.
+type inDoubtError struct{ err error }
+
+func (e *inDoubtError) Error() string { return "in doubt: " + e.err.Error() }
+func (e *inDoubtError) Unwrap() error { return e.err }
+
+// IsInDoubt reports whether err leaves the request's execution unknown —
+// a transport failure after the request may have reached the server,
+// never resolved by a later definitive answer. Verifiers must treat the
+// request's effects as neither committed nor absent.
+func IsInDoubt(err error) bool {
+	var ide *inDoubtError
+	return errors.As(err, &ide)
+}
+
 type httpSession struct {
 	d   *HTTPDriver
 	buf bytes.Buffer
+	// retryBudget caps retries across the session's lifetime when
+	// positive; zero or negative is unlimited.
+	retryBudget int
+	retryUsed   int
+	rng         rand.PCG
+	rngSet      bool
+}
+
+// jitter returns a uniform duration in [0, max) from a session-local
+// generator (the global one would serialize senders).
+func (s *httpSession) jitter(max time.Duration) time.Duration {
+	if !s.rngSet {
+		s.rng = *rand.NewPCG(rand.Uint64(), rand.Uint64())
+		s.rngSet = true
+	}
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(s.rng.Uint64() % uint64(max))
+}
+
+// backoff returns the full-jitter backoff before retry n (0-based):
+// uniform in (0, min(base·2ⁿ, cap)].
+func (s *httpSession) backoff(n int) time.Duration {
+	c := s.d.cfg
+	d := c.BackoffBase << uint(n)
+	if d <= 0 || d > c.BackoffCap {
+		d = c.BackoffCap
+	}
+	return s.jitter(d) + time.Millisecond/4
 }
 
 // Do implements harness.DriverSession: one POST /v1/batch per
-// transaction. A 429 carrying a Retry-After hint is honored once — the
-// session waits out the server's drain estimate and retries — before
-// mapping to harness.ErrOverload, so the open-loop engine only counts a
-// shed when the server is persistently full, not when one tick's backlog
-// was about to clear.
+// transaction, retried under the driver's fault policy. Every request
+// carries a fresh ID, and every retry reuses it, so a server with a
+// dedup window executes the batch at most once no matter how many
+// attempts the network eats.
+//
+// Outcome classification, in the order the loop settles it:
+//
+//   - 200 → nil (definitive; a dedup replay is indistinguishable by design)
+//   - 429 → harness.ErrOverload after honoring Retry-After once
+//   - 504 → harness.ErrExpired (server never executed it)
+//   - client-side deadline spent → harness.ErrExpired
+//   - 4xx → permanent error, no retry
+//   - transport error, 503 → retry with backoff while attempts and budget
+//     last, then the last error
+//
+// Any terminal error after a transport-errored attempt is wrapped so
+// IsInDoubt reports true: the dead attempt may have executed. Only a
+// 200 clears the doubt — success means the batch's effects are in
+// (directly, or replayed out of the dedup window). Non-200 answers
+// speak for their own attempt only: after a server restart the dedup
+// window is empty, so a 429/503/504 on a retry cannot prove the dead
+// original never ran.
 func (s *httpSession) Do(ops []kv.Op, res []kv.Result) error {
 	wire, err := encodeOps(ops)
 	if err != nil {
 		return err
 	}
-	s.buf.Reset()
-	if err := json.NewEncoder(&s.buf).Encode(BatchRequest{Ops: wire}); err != nil {
+	req := BatchRequest{Ops: wire}
+	req.ID = s.d.idBase + "-" + strconv.FormatUint(s.d.idSeq.Add(1), 36)
+
+	var deadline time.Time
+	if s.d.cfg.Deadline > 0 {
+		deadline = time.Now().Add(s.d.cfg.Deadline)
+	}
+
+	inDoubt := false // a dead attempt may have executed
+	fail := func(err error) error {
+		if inDoubt {
+			s.d.inDoubt.Add(1)
+			return &inDoubtError{err: err}
+		}
 		return err
 	}
-	payload := s.buf.Bytes()
+
+	var lastErr error
 	for attempt := 0; ; attempt++ {
-		wait, err := s.post(payload, res)
-		if !errors.Is(err, harness.ErrOverload) || attempt > 0 || wait <= 0 {
+		if attempt > 0 {
+			if attempt > s.d.cfg.MaxRetries ||
+				(s.retryBudget > 0 && s.retryUsed >= s.retryBudget) {
+				return fail(lastErr)
+			}
+			s.retryUsed++
+			s.d.retries.Add(1)
+			time.Sleep(s.backoff(attempt - 1))
+		}
+		if !deadline.IsZero() {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				s.d.expired.Add(1)
+				return fail(harness.ErrExpired)
+			}
+			req.DeadlineMs = int64(remaining / time.Millisecond)
+			if req.DeadlineMs == 0 {
+				req.DeadlineMs = 1
+			}
+		}
+		if b := s.d.breaker; b != nil && !b.allow() {
+			lastErr = ErrCircuitOpen
+			continue
+		}
+		s.buf.Reset()
+		if err := json.NewEncoder(&s.buf).Encode(req); err != nil {
 			return err
 		}
-		time.Sleep(wait)
+		wait, err := s.post(s.buf.Bytes(), res)
+		switch {
+		case err == nil:
+			// Definitive: executed (a dedup replay of a dead attempt is
+			// indistinguishable from first execution by design).
+			return nil
+		case errors.Is(err, errTransport):
+			// The request may have executed and the answer died on the
+			// wire; only a later definitive server answer can tell.
+			inDoubt = true
+			lastErr = err
+			continue
+		case errors.Is(err, harness.ErrOverload):
+			// The server shed this attempt at admission. Honor the drain
+			// hint once (pre-existing 429 behavior), then report the shed
+			// rather than burning the retry budget: sheds are backpressure
+			// working, not faults. Doubt from an earlier dead attempt is
+			// NOT cleared: a shed answers for this attempt only (after a
+			// restart the dedup window is empty, so it says nothing about
+			// whether the original executed).
+			if wait > 0 && attempt == 0 {
+				time.Sleep(wait)
+				lastErr = err
+				continue
+			}
+			return fail(err)
+		case errors.Is(err, harness.ErrExpired):
+			// 504: the server guarantees this attempt never executed.
+			s.d.expired.Add(1)
+			return fail(err)
+		case errors.Is(err, errRetryable):
+			// 503: the service is draining for shutdown/restart — this
+			// attempt was not executed, worth retrying into the restart.
+			lastErr = err
+			continue
+		default:
+			// Server rejection (4xx, decode mismatch) — definitive for
+			// this attempt; still in doubt if an earlier attempt died.
+			return fail(err)
+		}
 	}
 }
+
+// errTransport tags errors where no server answer arrived; errRetryable
+// tags definitive not-executed answers worth retrying (503).
+var (
+	errTransport = errors.New("service: transport error")
+	errRetryable = errors.New("service: transient server error")
+)
 
 // post runs one POST /v1/batch attempt. A 429 returns harness.ErrOverload
 // along with the server's Retry-After hint (0 when absent or unusable).
 func (s *httpSession) post(payload []byte, res []kv.Result) (time.Duration, error) {
 	resp, err := s.d.client.Post(s.d.base+"/v1/batch", "application/json", bytes.NewReader(payload))
+	if b := s.d.breaker; b != nil {
+		b.observe(err == nil)
+	}
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("%w: %w", errTransport, err)
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
@@ -174,6 +465,12 @@ func (s *httpSession) post(payload []byte, res []kv.Result) (time.Duration, erro
 	case http.StatusTooManyRequests:
 		_, _ = io.Copy(io.Discard, resp.Body)
 		return retryAfterDelay(resp.Header.Get("Retry-After")), harness.ErrOverload
+	case http.StatusGatewayTimeout:
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return 0, harness.ErrExpired
+	case http.StatusServiceUnavailable:
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("%w: status 503", errRetryable)
 	default:
 		var e ErrorResponse
 		_ = json.NewDecoder(resp.Body).Decode(&e)
@@ -185,7 +482,8 @@ func (s *httpSession) post(payload []byte, res []kv.Result) (time.Duration, erro
 	}
 	var br BatchResponse
 	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
-		return 0, err
+		// The transaction committed server-side; only the answer died.
+		return 0, fmt.Errorf("%w: reading response: %w", errTransport, err)
 	}
 	if len(br.Results) != len(res) {
 		return 0, fmt.Errorf("service: %d results for %d ops", len(br.Results), len(res))
@@ -215,3 +513,67 @@ func retryAfterDelay(h string) time.Duration {
 }
 
 func (s *httpSession) Close() error { return nil }
+
+// breaker is the driver-wide circuit breaker. Closed, it only counts
+// consecutive transport failures; at threshold it opens and every
+// session fails fast (no network) for cooldown, after which exactly one
+// caller per cooldown half-opens the circuit by probing healthz —
+// success closes it, failure re-arms the cooldown. Sharing one breaker
+// across sessions means one recovered probe re-admits the whole fleet
+// at once instead of each sender rediscovering the server.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	probe     func() bool
+
+	mu         sync.Mutex
+	open       bool
+	downconsec int
+	until      time.Time // while open: next probe time
+
+	opens atomic.Uint64
+}
+
+// allow reports whether a request may go to the network now, running the
+// half-open probe when the cooldown has elapsed.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	if !b.open {
+		b.mu.Unlock()
+		return true
+	}
+	if time.Now().Before(b.until) {
+		b.mu.Unlock()
+		return false
+	}
+	// Claim the probe slot before unlocking so concurrent callers fail
+	// fast instead of stampeding healthz.
+	b.until = time.Now().Add(b.cooldown)
+	b.mu.Unlock()
+	if b.probe() {
+		b.mu.Lock()
+		b.open = false
+		b.downconsec = 0
+		b.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// observe records one network attempt's fate (ok = any HTTP answer
+// arrived; status codes are the server being alive).
+func (b *breaker) observe(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.downconsec = 0
+		b.open = false
+		return
+	}
+	b.downconsec++
+	if !b.open && b.downconsec >= b.threshold {
+		b.open = true
+		b.until = time.Now().Add(b.cooldown)
+		b.opens.Add(1)
+	}
+}

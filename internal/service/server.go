@@ -1,10 +1,13 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"medley/internal/harness"
 	"medley/internal/kv"
@@ -47,6 +50,16 @@ func Handler(s *Service) http.Handler {
 			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 			return
 		}
+		if req.DeadlineMs < 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("negative deadline_ms %d", req.DeadlineMs))
+			return
+		}
+		if len(req.ID) > MaxRequestID {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("request id of %d bytes exceeds limit %d", len(req.ID), MaxRequestID))
+			return
+		}
 		d, err := decodeBatch(req)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
@@ -56,8 +69,14 @@ func Handler(s *Service) http.Handler {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		ctx := r.Context()
+		if req.DeadlineMs > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
+			defer cancel()
+		}
 		rres := make([]kv.Result, len(d.ops))
-		switch err := s.Submit(d.ops, rres); {
+		switch err := s.SubmitCtx(ctx, req.ID, d.ops, rres); {
 		case err == nil:
 			writeJSON(w, http.StatusOK, BatchResponse{Results: encodeResults(d, rres)})
 		case errors.Is(err, ErrShed):
@@ -68,6 +87,10 @@ func Handler(s *Service) http.Handler {
 			w.Header().Set("Retry-After",
 				strconv.FormatFloat(s.RetryAfter().Seconds(), 'f', 3, 64))
 			writeError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, ErrExpired):
+			// The deadline passed before execution began; nothing ran, so
+			// the client may retry (a fresh deadline, the same ID).
+			writeError(w, http.StatusGatewayTimeout, err.Error())
 		case errors.Is(err, ErrClosed):
 			writeError(w, http.StatusServiceUnavailable, err.Error())
 		default:

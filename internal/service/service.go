@@ -19,6 +19,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -51,6 +52,12 @@ var ErrShed = errors.New("service: overloaded, request shed")
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("service: closed")
 
+// ErrExpired is returned by Submit when the request's deadline passed
+// before execution began: the request was dropped at admission, in the
+// tick loop, or by the worker — never executed, so it is always safe to
+// retry. HTTP maps it to 504.
+var ErrExpired = errors.New("service: deadline expired before execution")
+
 // Config sizes the pipeline. Zero values take defaults.
 type Config struct {
 	// PoolSize bounds the txpool; arrivals beyond it are shed (default
@@ -67,6 +74,12 @@ type Config struct {
 	// Workers is the number of executor goroutines a tick's batch is
 	// split across (default GOMAXPROCS).
 	Workers int
+	// DedupWindow bounds the completed-request window that answers
+	// idempotent retries (requests carrying an ID): the outcomes of the
+	// last DedupWindow ID-carrying requests are remembered, so a retry
+	// inside the window returns the original results instead of
+	// re-executing. 0 disables deduplication (retries re-execute).
+	DedupWindow int
 }
 
 func (c Config) withDefaults() Config {
@@ -86,11 +99,21 @@ func (c Config) withDefaults() Config {
 }
 
 // request is one admitted transaction: its operations, the caller's
-// result slice, and the promise the executing worker fulfills.
+// result slice, and the promise the executing worker fulfills. deadline
+// (when non-zero) is checked at admission, at tick drain, and once more
+// by the worker just before execution; ent (when non-nil) is the
+// request's claim in the dedup window, settled with the outcome.
 type request struct {
-	ops  []kv.Op
-	res  []kv.Result
-	done chan error
+	ops      []kv.Op
+	res      []kv.Result
+	done     chan error
+	deadline time.Time
+	ent      *dedupEntry
+}
+
+// expired reports whether the request's deadline passed as of now.
+func (r *request) expired(now time.Time) bool {
+	return !r.deadline.IsZero() && now.After(r.deadline)
 }
 
 // chunk is one worker's contiguous slice of a tick's batch.
@@ -110,16 +133,26 @@ type Service struct {
 	loopWG  sync.WaitGroup
 	workWG  sync.WaitGroup
 	stopBE  func()
-	closed  atomic.Bool
+	window  *dedupWindow // nil when deduplication is disabled
 
-	accepted atomic.Uint64 // requests admitted to the pool
-	shed     atomic.Uint64 // requests refused at admission
-	executed atomic.Uint64 // requests executed successfully
-	errored  atomic.Uint64 // requests whose execution failed
-	ticks    atomic.Uint64 // ticks that drained at least one request
-	batches  atomic.Uint64 // batches dispatched (== non-empty ticks)
-	batched  atomic.Uint64 // requests dispatched inside batches
-	grouped  atomic.Uint64 // requests handed to the group-commit path
+	// mu gates admission against Close: Submit holds the read side across
+	// the closed check and the pool send, Close takes the write side to
+	// flip closed. After Close's critical section, no Submit can still be
+	// between its check and its send, so the tick loop's final drains see
+	// every admitted request — no promise is left unresolved.
+	mu     sync.RWMutex
+	closed bool
+
+	accepted  atomic.Uint64 // requests admitted to the pool
+	shed      atomic.Uint64 // requests refused at admission
+	executed  atomic.Uint64 // requests executed successfully
+	errored   atomic.Uint64 // requests whose execution failed
+	expired   atomic.Uint64 // requests dropped, unexecuted, at their deadline
+	dedupHits atomic.Uint64 // retries answered from the dedup window
+	ticks     atomic.Uint64 // ticks that drained at least one request
+	batches   atomic.Uint64 // batches dispatched (== non-empty ticks)
+	batched   atomic.Uint64 // requests dispatched inside batches
+	grouped   atomic.Uint64 // requests handed to the group-commit path
 }
 
 // New builds and starts the pipeline over be: backend maintenance, the
@@ -131,6 +164,7 @@ func New(be Backend, cfg Config) *Service {
 		cfg:    cfg,
 		pool:   make(chan *request, cfg.PoolSize),
 		stopCh: make(chan struct{}),
+		window: newDedupWindow(cfg.DedupWindow),
 	}
 	s.stopBE = be.Start()
 	s.workers = make([]chan chunk, cfg.Workers)
@@ -157,18 +191,93 @@ func (s *Service) Config() Config { return s.cfg }
 // concurrent use. Admission is instantaneous: a full pool sheds
 // immediately with ErrShed rather than queueing the caller.
 func (s *Service) Submit(ops []kv.Op, res []kv.Result) error {
-	if s.closed.Load() {
+	return s.SubmitCtx(context.Background(), "", ops, res)
+}
+
+// SubmitCtx is Submit with the fault-tolerance contract attached.
+//
+// ctx's deadline, when set, bounds the request end to end: a request
+// whose deadline passes before execution begins is dropped — at
+// admission, at tick drain, or by the worker immediately before the
+// transaction would start — and answered with ErrExpired. Expired
+// requests are never executed, so retrying one is always safe. A request
+// whose execution has already started runs to completion regardless
+// (the store's transactions are not cancellable mid-flight).
+//
+// id, when non-empty, makes the request idempotent across retries: the
+// outcome is remembered in the dedup window (Config.DedupWindow), and a
+// second SubmitCtx with the same id inside the window returns the
+// original results without re-executing — including when the retry races
+// the original in flight, in which case it parks until the original
+// settles. With id == "" or the window disabled, every call executes.
+func (s *Service) SubmitCtx(ctx context.Context, id string, ops []kv.Op, res []kv.Result) error {
+	deadline, _ := ctx.Deadline()
+	now := time.Now()
+	if !deadline.IsZero() && now.After(deadline) {
+		s.expired.Add(1)
+		return ErrExpired
+	}
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
 		return ErrClosed
 	}
-	req := &request{ops: ops, res: res, done: make(chan error, 1)}
+	var ent *dedupEntry
+	if id != "" && s.window != nil {
+		mine, prior := s.window.claim(id)
+		if prior != nil {
+			stop := s.stopCh
+			s.mu.RUnlock()
+			hit, err := prior.await(res, stop, deadline)
+			if hit {
+				s.dedupHits.Add(1)
+			} else if errors.Is(err, ErrExpired) {
+				s.expired.Add(1)
+			}
+			return err
+		}
+		ent = mine
+	}
+	req := &request{ops: ops, res: res, done: make(chan error, 1), deadline: deadline, ent: ent}
 	select {
 	case s.pool <- req:
 		s.accepted.Add(1)
 	default:
 		s.shed.Add(1)
+		if ent != nil {
+			s.window.abandon(ent, ErrShed)
+		}
+		s.mu.RUnlock()
 		return ErrShed
 	}
+	s.mu.RUnlock()
 	return <-req.done
+}
+
+// finishExecuted settles a request that ran: counters, dedup window,
+// promise.
+func (s *Service) finishExecuted(r *request, err error) {
+	if err != nil {
+		s.errored.Add(1)
+	} else {
+		s.executed.Add(1)
+	}
+	if r.ent != nil {
+		s.window.complete(r.ent, r.res, err)
+	}
+	r.done <- err
+}
+
+// finishExpired settles a request dropped, unexecuted, at its deadline.
+// The dedup claim is abandoned — nothing executed, so a retry with the
+// same ID must claim fresh and actually run.
+func (s *Service) finishExpired(r *request) {
+	s.expired.Add(1)
+	if r.ent != nil {
+		s.window.abandon(r.ent, ErrExpired)
+	}
+	r.done <- ErrExpired
 }
 
 // tickLoop drains the pool once per tick. Dispatch is synchronous — the
@@ -199,7 +308,7 @@ func (s *Service) tickLoop() {
 }
 
 // drainTick drains up to MaxBatch pooled requests and executes them,
-// returning how many it dispatched.
+// returning how many it disposed of (dispatched or expired).
 func (s *Service) drainTick(batch []*request) int {
 drain:
 	for len(batch) < s.cfg.MaxBatch {
@@ -212,6 +321,23 @@ drain:
 	}
 	if len(batch) == 0 {
 		return 0
+	}
+	drained := len(batch)
+	// Deadline cull: requests that expired while pooled are answered here
+	// and never reach a worker, so a backlogged pool sheds dead work
+	// before spending execution capacity on it.
+	now := time.Now()
+	live := batch[:0]
+	for _, r := range batch {
+		if r.expired(now) {
+			s.finishExpired(r)
+			continue
+		}
+		live = append(live, r)
+	}
+	batch = live
+	if len(batch) == 0 {
+		return drained
 	}
 	s.ticks.Add(1)
 	s.batches.Add(1)
@@ -231,7 +357,7 @@ drain:
 		s.workers[(i/per)%n] <- chunk{reqs: batch[i:end], wg: &wg}
 	}
 	wg.Wait()
-	return len(batch)
+	return drained
 }
 
 // worker executes chunks: one executor, created on this goroutine
@@ -246,37 +372,44 @@ func (s *Service) worker(ch chan chunk) {
 	gx, canGroup := ex.(kv.GroupExecutor)
 	var batches []kv.Batch
 	var errs []error
+	var live []*request
 	for c := range ch {
-		if canGroup && len(c.reqs) > 1 {
+		// Last deadline check, immediately before execution: a request can
+		// expire between the tick drain and its worker slot, and once the
+		// transaction starts it is not cancellable — this is the final
+		// point where "expired" can still mean "never executed".
+		now := time.Now()
+		live = live[:0]
+		for _, r := range c.reqs {
+			if r.expired(now) {
+				s.finishExpired(r)
+				continue
+			}
+			live = append(live, r)
+		}
+		if len(live) == 0 {
+			c.wg.Done()
+			continue
+		}
+		if canGroup && len(live) > 1 {
 			batches = batches[:0]
-			for _, r := range c.reqs {
+			for _, r := range live {
 				batches = append(batches, kv.Batch{Ops: r.ops, Res: r.res})
 			}
-			if cap(errs) < len(c.reqs) {
-				errs = make([]error, len(c.reqs))
+			if cap(errs) < len(live) {
+				errs = make([]error, len(live))
 			}
-			errs = errs[:len(c.reqs)]
+			errs = errs[:len(live)]
 			gx.ExecGroup(batches, errs)
-			s.grouped.Add(uint64(len(c.reqs)))
-			for i, r := range c.reqs {
-				if errs[i] != nil {
-					s.errored.Add(1)
-				} else {
-					s.executed.Add(1)
-				}
-				r.done <- errs[i]
+			s.grouped.Add(uint64(len(live)))
+			for i, r := range live {
+				s.finishExecuted(r, errs[i])
 			}
 			c.wg.Done()
 			continue
 		}
-		for _, r := range c.reqs {
-			err := ex.ExecBatch(r.ops, r.res)
-			if err != nil {
-				s.errored.Add(1)
-			} else {
-				s.executed.Add(1)
-			}
-			r.done <- err
+		for _, r := range live {
+			s.finishExecuted(r, ex.ExecBatch(r.ops, r.res))
 		}
 		c.wg.Done()
 	}
@@ -299,13 +432,21 @@ func (s *Service) RetryAfter() time.Duration {
 	return d
 }
 
-// Close drains the pipeline and stops the backend. Requests admitted
-// before Close still execute and get answers; requests submitted after
-// it get ErrClosed.
+// Close drains the pipeline and stops the backend. The drain is
+// deterministic: every request admitted before Close executes and gets
+// an answer (or ErrExpired at its deadline), and every Submit after it
+// gets ErrClosed — the mu write lock below cannot be taken while any
+// Submit sits between its closed check and its pool send, so once it is
+// held the pool holds the complete set of outstanding requests and the
+// tick loop's final drains answer all of them.
 func (s *Service) Close() {
-	if s.closed.Swap(true) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
 		return
 	}
+	s.closed = true
+	s.mu.Unlock()
 	close(s.stopCh)
 	s.loopWG.Wait()
 	s.workWG.Wait()
@@ -323,6 +464,8 @@ func (s *Service) MetricsSnapshot() []harness.Metric {
 		{Name: "svc_shed", Value: s.shed.Load()},
 		{Name: "svc_executed", Value: s.executed.Load()},
 		{Name: "svc_errors", Value: s.errored.Load()},
+		{Name: "svc_expired", Value: s.expired.Load()},
+		{Name: "svc_dedup_hits", Value: s.dedupHits.Load()},
 		{Name: "svc_ticks", Value: s.ticks.Load()},
 		{Name: "svc_batches", Value: s.batches.Load()},
 		{Name: "svc_batched_txns", Value: s.batched.Load()},
@@ -347,6 +490,8 @@ func (s *Service) Gauges() []harness.Gauge {
 	add("svc_shed_rate", shed, accepted+shed)
 	add("svc_batch_coalesce", s.batched.Load(), s.batches.Load())
 	add("svc_group_share", s.grouped.Load(), s.executed.Load()+s.errored.Load())
+	add("svc_expired_share", s.expired.Load(),
+		s.executed.Load()+s.errored.Load()+s.expired.Load())
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }

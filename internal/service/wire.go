@@ -34,9 +34,27 @@ type WireOp struct {
 
 // BatchRequest is the body of POST /v1/batch. The whole batch is one
 // atomic transaction.
+//
+// ID, when non-empty, is the client's idempotency key: a retried request
+// carrying the same ID inside the server's dedup window returns the
+// original results instead of re-executing, making non-idempotent
+// batches (transfer) exactly-once across retries. IDs longer than
+// MaxRequestID are rejected with 400.
+//
+// DeadlineMs, when positive, bounds the request relative to its receipt:
+// a request still queued when the deadline passes is dropped without
+// executing and answered with 504. Deadlines are relative, not absolute,
+// so client and server clocks never need to agree. Negative values are
+// rejected with 400.
 type BatchRequest struct {
-	Ops []WireOp `json:"ops"`
+	ID         string   `json:"id,omitempty"`
+	DeadlineMs int64    `json:"deadline_ms,omitempty"`
+	Ops        []WireOp `json:"ops"`
 }
+
+// MaxRequestID bounds the idempotency key length: IDs index the server's
+// dedup window, so their size is server memory.
+const MaxRequestID = 128
 
 // WireResult is one wire operation's outcome.
 type WireResult struct {
