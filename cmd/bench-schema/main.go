@@ -7,10 +7,11 @@
 //
 // With -fail-on-violations it additionally fails when any recoverable
 // crash record reports durability violations, when any consistency block
-// reports failed domain invariants (the TPC-C clause 3.3.2 classes), or
-// when a final-check block reports live state diverging from the journaled
-// model — which is what turns the crash, TPC-C and chaos soaks into
-// correctness gates.
+// reports failed domain invariants (the TPC-C clause 3.3.2 classes),
+// when a final-check block reports live state diverging from the
+// journaled model, or when a replica block reports the surviving
+// replica diverging from the acknowledged-write model — which is what
+// turns the crash, TPC-C and chaos soaks into correctness gates.
 //
 // With -alloc-budget it enforces the committed allocation budget
 // (testdata/alloc_budget.json) against the reports' memory blocks: the
@@ -39,6 +40,14 @@
 // gate to mean anything, and reported zero wire-level durability
 // violations (the recovery block of chaos records).
 //
+// With -replica-budget it enforces the committed replication budget
+// (testdata/replica_budget.json) against the reports' replica blocks: the
+// chaos run must have performed the required number of leader kill +
+// promotion cycles (or partition episodes), kept availability above the
+// floor, completed enough transactions to judge, and reported zero
+// divergence violations outside the enumerated-and-tainted promotion
+// losses.
+//
 //	bench-schema -schema testdata/bench_schema.json BENCH_*.json
 package main
 
@@ -63,6 +72,8 @@ var (
 		"also enforce this group-commit budget file against the reports' fastpath blocks")
 	faultsFlag = flag.String("faults-budget", "",
 		"also enforce this fault-tolerance budget file against the reports' service blocks")
+	replicaFlag = flag.String("replica-budget", "",
+		"also enforce this replication budget file against the reports' replica blocks")
 )
 
 func main() {
@@ -148,6 +159,17 @@ func run() int {
 				failed = true
 			}
 		}
+		if *replicaFlag != "" {
+			budget, err := loadReplicaBudget(*replicaFlag)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			for _, msg := range budget.violations(data) {
+				fmt.Fprintf(os.Stderr, "%s: replica budget: %s\n", path, msg)
+				failed = true
+			}
+		}
 	}
 	if failed {
 		return 1
@@ -158,8 +180,9 @@ func run() int {
 
 // durabilityViolations scans a report for records whose verifiers counted
 // violations: recoverable crash records with durability violations,
-// consistency blocks with failed domain invariants, and final-check blocks
-// whose live state diverged from the journaled model.
+// consistency blocks with failed domain invariants, final-check blocks
+// whose live state diverged from the journaled model, and replica blocks
+// whose surviving replica diverged from the acknowledged-write model.
 func durabilityViolations(data []byte) []string {
 	var doc struct {
 		Results []struct {
@@ -169,6 +192,7 @@ func durabilityViolations(data []byte) []string {
 			Recovery    *harness.RecoveryRecord    `json:"recovery"`
 			Consistency *harness.ConsistencyRecord `json:"consistency"`
 			FinalCheck  *harness.FinalCheckRecord  `json:"final_check"`
+			Replica     *harness.ReplicaRecord     `json:"replica"`
 		} `json:"results"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
@@ -199,6 +223,12 @@ func durabilityViolations(data []byte) []string {
 				"%s threads=%d: %d final-state violations (missing=%d mismatched=%d leaked=%d)",
 				r.System, r.Threads, fc.Violations, fc.MissingWrites,
 				fc.MismatchedWrites, fc.LeakedWrites))
+		}
+		if rp := r.Replica; rp != nil && rp.Violations > 0 {
+			out = append(out, fmt.Sprintf(
+				"%s threads=%d: %d replica divergence violations (missing=%d stale=%d mismatched=%d leaked=%d)",
+				r.System, r.Threads, rp.Violations, rp.MissingKeys,
+				rp.StaleKeys, rp.MismatchedKeys, rp.LeakedKeys))
 		}
 	}
 	return out
@@ -588,6 +618,117 @@ func (b faultsBudget) violations(data []byte) []string {
 		if rec := r.Recovery; rec != nil && rec.Violations > 0 {
 			out = append(out, fmt.Sprintf("%s threads=%d: %d wire-level durability violations",
 				r.System, r.Threads, rec.Violations))
+		}
+	}
+	if judged == 0 {
+		out = append(out, fmt.Sprintf("no %q records to judge (gate would pass vacuously)", phase))
+	}
+	return out
+}
+
+// replicaBudget is the committed replication budget
+// (testdata/replica_budget.json): the regression contract for the
+// replication chaos runs. It gates the committed BENCH_replica.json — a
+// replica-chaos record that performed too few leader kill + promotion
+// cycles (or partition episodes), dipped below the availability floor,
+// completed too little work to judge, or reported any divergence
+// violation between the surviving replica and the acknowledged-write
+// model fails the build. Divergence is a hard zero: promotion-time
+// losses are enumerated and tainted by the harness, so anything the
+// verifier still counts is a real replication bug.
+type replicaBudget struct {
+	// Scenario restricts the check to reports of this scenario ("" = any);
+	// reports of other scenarios pass vacuously.
+	Scenario string `json:"scenario"`
+	// Phase selects the records to judge ("" = "replica-chaos").
+	Phase string `json:"phase"`
+	// System is the budgeted system; "" judges every replica-chaos record.
+	System string `json:"system"`
+	// MinFailovers: each judged record must have survived at least this
+	// many leader kill + follower promotion cycles.
+	MinFailovers int `json:"min_failovers"`
+	// MinPartitions: each judged record must have ridden out at least this
+	// many replication-path partition episodes.
+	MinPartitions int `json:"min_partitions"`
+	// MinAvailability is the floor on completed / (completed + errors +
+	// expired + in-doubt).
+	MinAvailability float64 `json:"min_availability"`
+	// MinCompleted is the floor on completed transactions, so the gate
+	// cannot pass on a run that barely offered load.
+	MinCompleted uint64 `json:"min_completed"`
+}
+
+func loadReplicaBudget(path string) (replicaBudget, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return replicaBudget{}, err
+	}
+	var b replicaBudget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return replicaBudget{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.MinFailovers <= 0 && b.MinPartitions <= 0 && b.MinAvailability <= 0 {
+		return replicaBudget{}, fmt.Errorf("%s: budget sets no failover, partition or availability floor", path)
+	}
+	return b, nil
+}
+
+// violations checks one report against the replication budget.
+func (b replicaBudget) violations(data []byte) []string {
+	phase := b.Phase
+	if phase == "" {
+		phase = "replica-chaos"
+	}
+	var doc struct {
+		Scenario string `json:"scenario"`
+		Results  []struct {
+			System  string                 `json:"system"`
+			Threads int                    `json:"threads"`
+			Phase   string                 `json:"phase"`
+			Service *harness.ServiceRecord `json:"service"`
+			Replica *harness.ReplicaRecord `json:"replica"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return []string{err.Error()}
+	}
+	if b.Scenario != "" && doc.Scenario != b.Scenario {
+		return nil
+	}
+	var out []string
+	judged := 0
+	for _, r := range doc.Results {
+		if r.Phase != phase || (b.System != "" && r.System != b.System) {
+			continue
+		}
+		if r.Service == nil || r.Replica == nil {
+			out = append(out, fmt.Sprintf("%s threads=%d: %s record missing service or replica block",
+				r.System, r.Threads, phase))
+			continue
+		}
+		judged++
+		s, rp := r.Service, r.Replica
+		if rp.Failovers < b.MinFailovers {
+			out = append(out, fmt.Sprintf("%s threads=%d: %d failover cycles below floor %d",
+				r.System, r.Threads, rp.Failovers, b.MinFailovers))
+		}
+		if rp.Partitions < b.MinPartitions {
+			out = append(out, fmt.Sprintf("%s threads=%d: %d partition episodes below floor %d",
+				r.System, r.Threads, rp.Partitions, b.MinPartitions))
+		}
+		if b.MinAvailability > 0 && s.Availability < b.MinAvailability {
+			out = append(out, fmt.Sprintf("%s threads=%d: availability %.4f below floor %.4f",
+				r.System, r.Threads, s.Availability, b.MinAvailability))
+		}
+		if s.CompletedTxns < b.MinCompleted {
+			out = append(out, fmt.Sprintf("%s threads=%d: %d completed txns below floor %d",
+				r.System, r.Threads, s.CompletedTxns, b.MinCompleted))
+		}
+		if rp.Violations > 0 {
+			out = append(out, fmt.Sprintf(
+				"%s threads=%d: %d divergence violations (missing=%d stale=%d mismatched=%d leaked=%d)",
+				r.System, r.Threads, rp.Violations, rp.MissingKeys, rp.StaleKeys,
+				rp.MismatchedKeys, rp.LeakedKeys))
 		}
 	}
 	if judged == 0 {

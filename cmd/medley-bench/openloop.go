@@ -51,8 +51,8 @@ func openLoopScenario() (harness.Scenario, error) {
 	if err != nil {
 		return harness.Scenario{}, err
 	}
-	if sc.TPCC || sc.HasCrash() || sc.ServiceChaos {
-		return harness.Scenario{}, fmt.Errorf("open-loop mode cannot run scenario %q (TPC-C, crash and service-chaos scripts have their own drivers)", name)
+	if sc.TPCC || sc.HasCrash() || sc.ServiceChaos || sc.ReplicaChaos {
+		return harness.Scenario{}, fmt.Errorf("open-loop mode cannot run scenario %q (TPC-C, crash and chaos scripts have their own drivers)", name)
 	}
 	return sc, nil
 }

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"medley/internal/harness"
+	"medley/internal/service"
+)
+
+// Replica-chaos mode: scenarios marked ReplicaChaos run through the
+// replication chaos runner (internal/service replchaos.go) — a leader
+// and a follower replaying its commit-ordered feed behind real
+// listeners, with leader kill + promotion cycles or replication-path
+// partitions mid-traffic, and a divergence check classifying every
+// replica/model difference at the end. The scenario name keys the fault
+// plan below; its distribution and first run phase's mix shape the
+// workload, like service-chaos mode.
+
+// replicaPlan is one scenario's replication fault plan.
+type replicaPlan struct {
+	failovers    int
+	partitions   int
+	partitionDur time.Duration
+	feedShards   int
+	maxLag       uint64
+	maxSilence   time.Duration
+	rate         float64
+	client       service.HTTPDriverConfig
+}
+
+// replicaPlanFor maps a ReplicaChaos scenario to its plan. Unknown names
+// get a single-failover plan, so new scenario entries fail safe.
+func replicaPlanFor(name string) replicaPlan {
+	client := service.HTTPDriverConfig{Deadline: 2 * time.Second, RetryBudget: -1}
+	switch name {
+	case "chaos-replica-lag":
+		// Two partition episodes long enough to push replay lag past the
+		// bound; MaxSilence below the episode length so a cut feed (which
+		// freezes the follower's own lag estimate at zero) still trips the
+		// staleness gate.
+		return replicaPlan{
+			partitions: 2, partitionDur: 500 * time.Millisecond,
+			feedShards: 4, maxLag: 16, maxSilence: 150 * time.Millisecond,
+			rate: 2000, client: client,
+		}
+	case "chaos-replica-failover":
+		return replicaPlan{
+			failovers:  3,
+			feedShards: 4, maxLag: 4096,
+			rate: 2000, client: client,
+		}
+	default:
+		return replicaPlan{failovers: 1, feedShards: 4, maxLag: 4096, rate: 1000, client: client}
+	}
+}
+
+// replicaPreload caps the wire preload for replica runs: the scenario
+// measures failover availability and divergence, not load scale, and the
+// preload must fit the feed rings with room for the run's writes (the
+// dead leader's feed is read back for the lost-suffix accounting).
+func replicaPreload() int {
+	if *preload > 1<<14 {
+		return 1 << 14
+	}
+	return *preload
+}
+
+// runReplicaScenario is the ReplicaChaos entry point: one replication
+// chaos run per selected system, senders = the largest -threads count,
+// one Report.
+func runReplicaScenario(sc harness.Scenario, threads []int) error {
+	plan := replicaPlanFor(sc.Name)
+	senders := threads[len(threads)-1]
+	var mix harness.Mix
+	for _, ph := range sc.Phases {
+		if ph.Kind == harness.PhaseRun {
+			mix = ph.Mix
+			break
+		}
+	}
+
+	rep := harness.NewReport(sc.Name, threads, *durationFlag, uint64(*keyRange), replicaPreload(), *seedFlag)
+	for _, name := range chaosSystems(sc) {
+		if err := harness.ValidateSystemSpec(name, systemOpts()); err != nil {
+			return err
+		}
+		res, err := service.RunReplicaChaos(service.ReplicaChaosConfig{
+			System:       name,
+			SystemOpts:   systemOpts(),
+			Service:      service.Config{DedupWindow: 4096},
+			Client:       plan.client,
+			FeedShards:   plan.feedShards,
+			MaxLag:       plan.maxLag,
+			MaxSilence:   plan.maxSilence,
+			Failovers:    plan.failovers,
+			Partitions:   plan.partitions,
+			PartitionDur: plan.partitionDur,
+			Senders:      senders,
+			Rate:         plan.rate,
+			Duration:     *durationFlag,
+			KeyRange:     uint64(*keyRange),
+			Preload:      replicaPreload(),
+			Seed:         *seedFlag,
+			Mix:          mix,
+			Dist:         sc.Dist,
+		})
+		if err != nil {
+			return err
+		}
+		rep.Results = append(rep.Results, replicaRecord(sc.Name, res))
+		if !*jsonFlag {
+			printReplicaResult(sc.Name, res)
+		}
+	}
+	if !*jsonFlag && *outFlag == "" {
+		return nil
+	}
+	return writeReport(rep)
+}
+
+// replicaRecord converts a replication chaos run into one report record,
+// phase "replica-chaos": the service block carries dispositions and
+// availability, the replica block the fault schedule, leadership
+// tracking, promotion-time loss and the classified divergence diff.
+func replicaRecord(scenario string, res service.ReplicaChaosResult) harness.Record {
+	return harness.Record{
+		System:    res.System,
+		Scenario:  scenario,
+		Phase:     "replica-chaos",
+		Threads:   res.Senders,
+		Shards:    1,
+		Txns:      res.Completed,
+		ElapsedNs: int64(res.Elapsed),
+		TxnPerSec: res.Goodput,
+		Service: &harness.ServiceRecord{
+			Driver:        "http",
+			OfferedTxns:   res.Completed + res.Shed + res.Errors + res.Expired + res.InDoubt,
+			CompletedTxns: res.Completed,
+			ShedTxns:      res.Shed,
+			ErrorTxns:     res.Errors,
+			ExpiredTxns:   res.Expired,
+			InDoubtTxns:   res.InDoubt,
+			RetriedTxns:   res.Retries,
+			DowntimeNs:    res.DowntimeNs,
+			Availability:  res.Availability,
+			TaintedKeys:   res.Tainted,
+			Goodput:       res.Goodput,
+		},
+		Replica: &harness.ReplicaRecord{
+			Failovers:        res.Failovers,
+			Partitions:       res.Partitions,
+			DriverFailovers:  res.DriverFailovers,
+			DriverRecoveries: res.DriverRecoveries,
+			StaleRejections:  res.StaleRejections,
+			LostWrites:       res.LostWrites,
+			MaxReplayLag:     res.MaxReplayLag,
+			ModelEntries:     res.Verify.ModelEntries,
+			MissingKeys:      res.Verify.Missing,
+			StaleKeys:        res.Verify.Stale,
+			MismatchedKeys:   res.Verify.Mismatched,
+			LeakedKeys:       res.Verify.Leaked,
+			Violations:       res.Violations(),
+		},
+	}
+}
+
+func printReplicaResult(scenario string, res service.ReplicaChaosResult) {
+	fmt.Printf("%-24s %-16s senders=%-3d goodput=%8.0f txn/s  avail=%6.4f\n",
+		scenario, res.System, res.Senders, res.Goodput, res.Availability)
+	fmt.Printf("  disposition           completed=%d shed=%d errors=%d expired=%d in-doubt=%d retries=%d\n",
+		res.Completed, res.Shed, res.Errors, res.Expired, res.InDoubt, res.Retries)
+	if res.Failovers > 0 {
+		fmt.Printf("  failovers             cycles=%d driver-swaps=%d driver-recoveries=%d lost-at-promotion=%d downtime=%v\n",
+			res.Failovers, res.DriverFailovers, res.DriverRecoveries, res.LostWrites, time.Duration(res.DowntimeNs))
+	}
+	if res.Partitions > 0 {
+		fmt.Printf("  partitions            episodes=%d max-replay-lag=%d stale-rejections=%d lost=%d\n",
+			res.Partitions, res.MaxReplayLag, res.StaleRejections, res.LostWrites)
+	}
+	if v := res.Violations(); v == 0 {
+		fmt.Printf("  divergence            OK (%d entries, %d tainted keys excluded)\n",
+			res.Verify.ModelEntries, res.Tainted)
+	} else {
+		fmt.Printf("  divergence            FAILED: %d violations (missing=%d stale=%d mismatched=%d leaked=%d; %d tainted)\n",
+			v, res.Verify.Missing, res.Verify.Stale, res.Verify.Mismatched, res.Verify.Leaked, res.Tainted)
+	}
+}

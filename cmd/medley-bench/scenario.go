@@ -114,6 +114,9 @@ func runScenario(name string, threads []int) error {
 	if sc.ServiceChaos {
 		return runChaosScenario(sc, threads)
 	}
+	if sc.ReplicaChaos {
+		return runReplicaScenario(sc, threads)
+	}
 	mks, err := selectSystems(sc)
 	if err != nil {
 		return err

@@ -2,11 +2,23 @@
 // over HTTP: POST /v1/batch executes a multi-key transaction through the
 // service pipeline (coalescing txpool, tick-batch execution, admission
 // control), GET /metrics exports the stack's counters, GET /healthz
-// reports liveness. See internal/service.
+// reports liveness and role.
+//
+// With -cdc-shards > 0 (the default) the node carries a commit-ordered
+// change feed: GET /v1/watch streams committed writes per shard and
+// GET /v1/snapshot serves bootstrap state, so another medleyd can follow
+// this one. With -follow the process starts as a follower of the leader
+// at that URL: it replays the leader's feed through its own pipeline,
+// rejects writes with 503 "not leader", serves bounded-staleness reads
+// (409 once replay lag exceeds -max-lag or the feed has been silent
+// past -max-silence), and promotes itself — manually via POST
+// /v1/promote, or automatically after -promote-after consecutive failed
+// leader round trips. See internal/service and internal/replica.
 //
 // Usage:
 //
 //	medleyd -listen :7654 -system medley-hash@8 -pool 4096 -tick 1ms
+//	medleyd -listen :7655 -system medley-hash@8 -follow http://127.0.0.1:7654 -promote-after 5
 package main
 
 import (
@@ -40,6 +52,16 @@ func main() {
 			"merge each worker chunk's requests into group commits (Medley systems; false commits each request individually)")
 		dedup = flag.Int("dedup", 4096,
 			"idempotency window: remembered outcomes for request-ID dedup (0 disables; retried IDs then re-execute)")
+		cdcShards = flag.Int("cdc-shards", 4,
+			"commit-ordered change feed streams for /v1/watch (0 disables the feed; the node is then not followable)")
+		follow = flag.String("follow", "",
+			"start as a follower replaying the leader at this base URL (requires -cdc-shards > 0)")
+		maxLag = flag.Uint64("max-lag", 4096,
+			"follower staleness bound: reads answer 409 while replay lag exceeds this many entries")
+		maxSilence = flag.Duration("max-silence", time.Second,
+			"follower staleness bound a partition cannot fool: reads answer 409 once the leader has been silent this long (negative disables)")
+		promoteAfter = flag.Int("promote-after", 0,
+			"auto-promote the follower to leader after this many consecutive failed leader round trips (0 = manual POST /v1/promote only)")
 	)
 	flag.Parse()
 
@@ -48,6 +70,9 @@ func main() {
 			fmt.Println(n)
 		}
 		return
+	}
+	if *follow != "" && *cdcShards <= 0 {
+		log.Fatalf("medleyd: -follow requires -cdc-shards > 0 (the follower replays the leader's feed into its own)")
 	}
 
 	sys, err := harness.NewSystem(*system, harness.SystemOpts{
@@ -63,20 +88,51 @@ func main() {
 		log.Fatalf("medleyd: system %q does not support batch execution (no NewExecutor)", *system)
 	}
 
-	svc := service.New(be, service.Config{
+	svcCfg := service.Config{
 		PoolSize:    *pool,
 		Tick:        *tick,
 		MaxBatch:    *batch,
 		Workers:     *workers,
 		DedupWindow: *dedup,
-	})
-	defer svc.Close()
+	}
+
+	// -cdc-shards = 0: the standalone pipeline, exactly as before the
+	// replication layer existed. Otherwise a Node: a leader with a
+	// followable feed, or (with -follow) a follower of one.
+	var (
+		handler http.Handler
+		svc     *service.Service
+		role    = "standalone"
+	)
+	if *cdcShards > 0 {
+		node, err := service.NewNode(service.NodeConfig{
+			Backend:      be,
+			Service:      svcCfg,
+			FeedShards:   *cdcShards,
+			Follow:       *follow,
+			MaxLag:       *maxLag,
+			MaxSilence:   *maxSilence,
+			PromoteAfter: *promoteAfter,
+		})
+		if err != nil {
+			log.Fatalf("medleyd: %v", err)
+		}
+		defer node.Close()
+		handler, svc, role = node.Handler(), node.Service(), node.Role()
+	} else {
+		svc = service.New(be, svcCfg)
+		defer svc.Close()
+		handler = service.Handler(svc)
+	}
 
 	srv := &http.Server{
-		Addr:         *listen,
-		Handler:      service.Handler(svc),
-		ReadTimeout:  30 * time.Second,
-		WriteTimeout: 30 * time.Second,
+		Addr:        *listen,
+		Handler:     handler,
+		ReadTimeout: 30 * time.Second,
+		// No write timeout: /v1/watch streams hold their response open for
+		// the life of the follower. Batch responses are bounded by the
+		// pipeline's own deadlines.
+		WriteTimeout: 0,
 	}
 
 	// Serve until SIGINT/SIGTERM, then drain: in-flight transactions
@@ -86,8 +142,12 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	cfg := svc.Config()
-	log.Printf("medleyd: serving %s on %s (pool=%d tick=%v batch=%d workers=%d)",
-		be.Name(), *listen, cfg.PoolSize, cfg.Tick, cfg.MaxBatch, cfg.Workers)
+	log.Printf("medleyd: serving %s on %s as %s (pool=%d tick=%v batch=%d workers=%d cdc-shards=%d)",
+		be.Name(), *listen, role, cfg.PoolSize, cfg.Tick, cfg.MaxBatch, cfg.Workers, *cdcShards)
+	if *follow != "" {
+		log.Printf("medleyd: following %s (max-lag=%d max-silence=%v promote-after=%d)",
+			*follow, *maxLag, *maxSilence, *promoteAfter)
+	}
 
 	select {
 	case err := <-errCh:

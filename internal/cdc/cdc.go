@@ -1,0 +1,316 @@
+// Package cdc is the commit-ordered change feed of the replication
+// subsystem: a per-shard, sequence-numbered stream of committed writes,
+// tapped at the store's commit path through the core's ticket hook
+// (core.CommitTicketer) and consumed by followers (internal/replica) and
+// the service layer's watch endpoint (GET /v1/watch).
+//
+// Ordering. Writing transactions draw dense tickets strictly before
+// their commit point (see internal/core ticket.go for the argument that
+// ticket order is a legal serialization order). Owners publish each
+// committed ticket's writes; aborted draws are cancelled. The feed admits
+// tickets in strictly contiguous order — a reorder buffer holds
+// early-arriving publications until every lower ticket has been
+// published or cancelled — so entries reach the per-shard rings in a
+// global order that respects every write-write and write-read
+// dependency. Within a shard, entries get dense per-shard sequence
+// numbers starting at 1; per-key order is preserved exactly (a key
+// always maps to the same shard), which is what replay correctness needs.
+//
+// Values are absolute. An entry carries the post-state of its key (the
+// value written, or a tombstone), never a delta: replay is idempotent
+// and last-writer-wins, so a follower can bootstrap from a fuzzy
+// snapshot taken at shard head S and replay from S+1 — entries replayed
+// twice, or already folded into the snapshot, converge to the same state.
+//
+// Bounded memory. Each shard keeps the last ringCap entries. A reader
+// whose cursor has fallen off the ring gets ErrCompacted and must
+// re-bootstrap from a snapshot — the overflow-to-snapshot contract the
+// service layer maps to HTTP 410.
+package cdc
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Entry is one committed write in a shard's feed: dense per-shard
+// sequence number, the key's absolute post-state (Val, or Del for a
+// tombstone), and the commit ticket of the transaction that wrote it
+// (TxID — shared by all writes of one transaction, globally ordered).
+type Entry struct {
+	Seq  uint64 `json:"seq"`
+	Key  uint64 `json:"key"`
+	Val  uint64 `json:"val"`
+	Del  bool   `json:"del,omitempty"`
+	TxID uint64 `json:"txid"`
+}
+
+// Write is one key's post-state in a transaction's publication, before
+// shard routing and sequence assignment.
+type Write struct {
+	Key uint64
+	Val uint64
+	Del bool
+}
+
+// ErrCompacted is returned by ReadFrom when the requested sequence has
+// been overwritten in the bounded ring: the reader is too far behind and
+// must re-bootstrap from a snapshot, then resume from the snapshot's
+// head (overflow-to-snapshot semantics).
+var ErrCompacted = errors.New("cdc: sequence compacted, re-bootstrap from snapshot")
+
+// Stats is a snapshot of the feed's counters.
+type Stats struct {
+	Drawn     uint64 // tickets drawn
+	Published uint64 // tickets published with writes
+	Cancelled uint64 // tickets cancelled (aborted draws)
+	Entries   uint64 // entries admitted across all shards
+	Compacted uint64 // entries dropped off ring tails
+	Pending   int    // publications parked in the reorder buffer
+}
+
+// pendingTx is one settled-but-not-yet-admitted ticket in the reorder
+// buffer: its writes, or a cancellation marker.
+type pendingTx struct {
+	writes    []Write
+	cancelled bool
+}
+
+// ring is one shard's bounded entry buffer. Entries seq s lives at
+// buf[(s-1) % cap] while head-s < len: head is the last assigned seq,
+// and the oldest retained seq is head-count+1.
+type ring struct {
+	buf   []Entry
+	head  uint64 // last assigned seq (0 = none yet)
+	count int    // live entries, <= cap(buf)
+}
+
+func (r *ring) push(e Entry) (compacted bool) {
+	r.head++
+	e.Seq = r.head
+	r.buf[(r.head-1)%uint64(cap(r.buf))] = e
+	if r.count < cap(r.buf) {
+		r.count++
+		return false
+	}
+	return true // overwrote the oldest retained entry
+}
+
+// oldest returns the lowest retained seq (head+1 when empty: nothing
+// retained, but nothing missed either).
+func (r *ring) oldest() uint64 { return r.head - uint64(r.count) + 1 }
+
+// Feed is the commit-ordered change feed over one store: it implements
+// core.CommitTicketer (attach with Tx.SetCommitTicketer, typically via
+// the executor's AttachFeed seam), collects each committed transaction's
+// writes through Publish, and serves them per shard through ReadFrom.
+// All methods are safe for concurrent use.
+type Feed struct {
+	shardOf func(key uint64) int
+	next    atomic.Uint64 // last ticket drawn
+
+	mu        sync.Mutex
+	watermark uint64 // all tickets <= watermark admitted or skipped
+	pending   map[uint64]pendingTx
+	shards    []ring
+	notify    chan struct{} // closed and replaced on every admission
+	closed    bool
+
+	published atomic.Uint64
+	cancelled atomic.Uint64
+	entries   atomic.Uint64
+	compacted atomic.Uint64
+}
+
+// New creates a feed over nshards per-shard streams of ringCap retained
+// entries each. shardOf routes keys to streams; it must be deterministic
+// (per-key order is only preserved within a stream). nil shardOf routes
+// key % nshards.
+func New(nshards, ringCap int, shardOf func(key uint64) int) *Feed {
+	if nshards <= 0 {
+		nshards = 1
+	}
+	if ringCap <= 0 {
+		ringCap = 1 << 14
+	}
+	if shardOf == nil {
+		n := uint64(nshards)
+		shardOf = func(key uint64) int { return int(key % n) }
+	}
+	f := &Feed{
+		shardOf: shardOf,
+		pending: make(map[uint64]pendingTx),
+		shards:  make([]ring, nshards),
+		notify:  make(chan struct{}),
+	}
+	for i := range f.shards {
+		f.shards[i].buf = make([]Entry, ringCap)
+	}
+	return f
+}
+
+// ShardCount is the number of per-shard streams.
+func (f *Feed) ShardCount() int { return len(f.shards) }
+
+// ShardOf is the feed's key→stream routing, exported so snapshot
+// producers can filter state by the same partition the feed uses.
+func (f *Feed) ShardOf(key uint64) int { return f.shardOf(key) }
+
+// DrawTicket implements core.CommitTicketer: one atomic increment, the
+// whole pre-visibility commit-path cost of the feed.
+func (f *Feed) DrawTicket() uint64 { return f.next.Add(1) }
+
+// CancelTicket implements core.CommitTicketer: the ticket's transaction
+// aborted after drawing; mark the hole so the contiguity drain can pass.
+func (f *Feed) CancelTicket(t uint64) {
+	f.cancelled.Add(1)
+	f.mu.Lock()
+	f.pending[t] = pendingTx{cancelled: true}
+	f.drainLocked()
+	f.mu.Unlock()
+}
+
+// Publish hands a committed ticket's writes to the feed, in transaction
+// (op) order. writes is copied; the caller's slice is reusable on
+// return. Publishing admits the ticket once every lower ticket has
+// settled — until then it parks in the reorder buffer.
+func (f *Feed) Publish(ticket uint64, writes []Write) {
+	f.published.Add(1)
+	cp := make([]Write, len(writes))
+	copy(cp, writes)
+	f.mu.Lock()
+	f.pending[ticket] = pendingTx{writes: cp}
+	f.drainLocked()
+	f.mu.Unlock()
+}
+
+// drainLocked advances the watermark over every contiguously settled
+// ticket, appending published writes to their shards' rings and skipping
+// cancelled holes, then wakes waiting readers if anything was admitted.
+func (f *Feed) drainLocked() {
+	admitted := false
+	for {
+		p, ok := f.pending[f.watermark+1]
+		if !ok {
+			break
+		}
+		f.watermark++
+		delete(f.pending, f.watermark)
+		if p.cancelled {
+			continue
+		}
+		for _, w := range p.writes {
+			r := &f.shards[f.shardOf(w.Key)]
+			if r.push(Entry{Key: w.Key, Val: w.Val, Del: w.Del, TxID: f.watermark}) {
+				f.compacted.Add(1)
+			}
+			f.entries.Add(1)
+		}
+		admitted = true
+	}
+	if admitted {
+		close(f.notify)
+		f.notify = make(chan struct{})
+	}
+}
+
+// Head returns the last assigned sequence of shard (0 when none).
+func (f *Feed) Head(shard int) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.shards[shard].head
+}
+
+// Heads returns every shard's head sequence, index-aligned with shard
+// numbers — the fuzzy-snapshot anchor: read Heads, then scan state, and
+// a follower replaying each shard from heads[i]+1 converges.
+func (f *Feed) Heads() []uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]uint64, len(f.shards))
+	for i := range f.shards {
+		out[i] = f.shards[i].head
+	}
+	return out
+}
+
+// readChunkDefault sizes the batch when ReadFrom is handed a zero-capacity
+// buffer.
+const readChunkDefault = 256
+
+// ReadFrom copies into buf up to cap(buf) entries of shard with
+// Seq >= from, in sequence order, returning the filled prefix (a
+// zero-capacity buf gets a fresh readChunkDefault-sized one — a caller
+// passing nil must still see entries, not a permanently empty result).
+// An empty result means the reader is caught up (wait on Notify).
+// ErrCompacted means from has fallen off the ring: re-bootstrap from a
+// snapshot.
+func (f *Feed) ReadFrom(shard int, from uint64, buf []Entry) ([]Entry, error) {
+	if from == 0 {
+		from = 1
+	}
+	if cap(buf) == 0 {
+		buf = make([]Entry, 0, readChunkDefault)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := &f.shards[shard]
+	if from > r.head {
+		return buf[:0], nil
+	}
+	if from < r.oldest() {
+		return nil, ErrCompacted
+	}
+	n := 0
+	for s := from; s <= r.head && n < cap(buf); s++ {
+		buf = buf[:n+1]
+		buf[n] = r.buf[(s-1)%uint64(cap(r.buf))]
+		n++
+	}
+	return buf[:n], nil
+}
+
+// Notify returns a channel closed at the next admission (any shard); a
+// caught-up reader selects on it alongside its own cancellation. Each
+// admission replaces the channel, so re-arm by calling again after every
+// wake.
+func (f *Feed) Notify() <-chan struct{} {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.notify
+}
+
+// Close wakes all waiting readers; the feed remains readable (drained
+// rings still serve) but Closed reports true so streamers can finish.
+func (f *Feed) Close() {
+	f.mu.Lock()
+	if !f.closed {
+		f.closed = true
+		close(f.notify)
+		f.notify = make(chan struct{})
+	}
+	f.mu.Unlock()
+}
+
+// Closed reports whether Close was called.
+func (f *Feed) Closed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
+}
+
+// Stats snapshots the feed's counters.
+func (f *Feed) Stats() Stats {
+	f.mu.Lock()
+	pending := len(f.pending)
+	f.mu.Unlock()
+	return Stats{
+		Drawn:     f.next.Load(),
+		Published: f.published.Load(),
+		Cancelled: f.cancelled.Load(),
+		Entries:   f.entries.Load(),
+		Compacted: f.compacted.Load(),
+		Pending:   pending,
+	}
+}

@@ -61,6 +61,13 @@ type Tx struct {
 
 	rngState uint64     // xorshift state for RunRetry backoff jitter
 	cm       contention // adaptive backoff state (backoff.go); owner-only
+
+	// Commit-order ticketing (ticket.go): nil ticketer elides it all.
+	ticketer     CommitTicketer
+	ticket       uint64 // drawn for the open transaction
+	ticketDrawn  bool
+	lastTicket   uint64 // ticket of the last committed transaction
+	lastTicketOK bool
 }
 
 // rpBin is the ebr.Pool that receives a retired publishedReads once no
@@ -231,6 +238,12 @@ func (tx *Tx) Begin() {
 	tx.allocUndo = tx.allocUndo[:0]
 	tx.inSpec = false
 	tx.active = true
+	if tx.ticketer != nil {
+		// Each transaction's ticket must be consumed (published) before
+		// the owner opens the next one; a read-only transaction clears it
+		// so a stale ticket is never republished.
+		tx.lastTicketOK = false
+	}
 	bump(&tx.desc.shard.Begins)
 	for _, f := range tx.beginHooks {
 		f(tx)
@@ -294,6 +307,11 @@ func (tx *Tx) End() error {
 	if old != nil && tx.pooled {
 		tx.pr.RetireInto(&tx.rpBin, old)
 	}
+	// Draw the commit ticket while still InPrep: the InPrep→InProg CAS
+	// below is the first step from which a helper can drive this
+	// transaction to Committed, so the draw is strictly pre-visibility
+	// (see ticket.go for the full ordering argument).
+	tx.drawTicket()
 	if !d.stsCAS(packStatus(tx.serial, StatusInPrep), StatusInPrep, StatusInProg) {
 		return tx.settle()
 	}
@@ -358,10 +376,17 @@ func (tx *Tx) endReadOnly() error {
 func (tx *Tx) endSingleWrite() error {
 	d := tx.desc
 	word := packStatus(tx.serial, StatusInPrep)
-	if tx.ValidateReads() && d.stsCAS(word, StatusInPrep, StatusCommitted) {
-		tx.writes[0].uninstall(tx, true)
-		bump(&d.shard.FastPathCommits)
-		return tx.finish(true)
+	if tx.ValidateReads() {
+		// Draw the commit ticket after validation, before the terminal
+		// CAS: this is the fast path's last pre-visibility instant (see
+		// ticket.go). A draw whose CAS then loses to a helper's abort is
+		// cancelled by settle's finish(false).
+		tx.drawTicket()
+		if d.stsCAS(word, StatusInPrep, StatusCommitted) {
+			tx.writes[0].uninstall(tx, true)
+			bump(&d.shard.FastPathCommits)
+			return tx.finish(true)
+		}
 	}
 	// Validation failed, or a helper's eager-contention-management abort
 	// won the status race; settle resolves whatever state the descriptor
@@ -442,6 +467,7 @@ func (tx *Tx) settle() error {
 // transaction committed.
 func (tx *Tx) finish(committed bool) error {
 	tx.settleBoost(committed)
+	tx.settleTicket(committed)
 	tx.active = false
 	tx.inSpec = false
 	if committed {

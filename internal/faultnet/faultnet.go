@@ -52,6 +52,8 @@ type Faults struct {
 type Stats struct {
 	Accepted uint64 // connections accepted
 	Resets   uint64 // connections the proxy killed with RST
+	Cuts     uint64 // connections severed by CutConnections/Heal (each leg counted)
+	Heals    uint64 // times Heal cleared the fault plan
 }
 
 // Proxy is one listening fault-injecting proxy. Create with New; all
@@ -69,6 +71,8 @@ type Proxy struct {
 
 	accepted atomic.Uint64
 	resets   atomic.Uint64
+	cuts     atomic.Uint64
+	heals    atomic.Uint64
 	wg       sync.WaitGroup
 }
 
@@ -105,8 +109,9 @@ func (p *Proxy) Set(f Faults) { p.faults.Store(&f) }
 func (p *Proxy) ResetNextResponses(n int) { p.respReset.Store(int64(n)) }
 
 // CutConnections resets every live connection at once — the view a
-// client has of a server being SIGKILLed.
-func (p *Proxy) CutConnections() {
+// client has of a server being SIGKILLed. It returns how many
+// connections (client and upstream legs counted separately) were cut.
+func (p *Proxy) CutConnections() int {
 	p.mu.Lock()
 	conns := make([]net.Conn, 0, len(p.conns))
 	for c := range p.conns {
@@ -116,11 +121,30 @@ func (p *Proxy) CutConnections() {
 	for _, c := range conns {
 		p.rst(c)
 	}
+	p.cuts.Add(uint64(len(conns)))
+	return len(conns)
+}
+
+// Heal ends a fault episode: the standing plan is cleared and every
+// connection still stalled under it is cut. Resuming half-dead flows
+// would hand bytes to clients that already gave up mid-request, so the
+// proxy RSTs them instead — both ends see a clean error and reconnect,
+// which is what a healed partition looks like to a pooled HTTP client.
+// Connections accepted after Heal are serviced normally.
+func (p *Proxy) Heal() {
+	p.Set(Faults{})
+	p.heals.Add(1)
+	p.CutConnections()
 }
 
 // Stats snapshots the proxy's counters.
 func (p *Proxy) Stats() Stats {
-	return Stats{Accepted: p.accepted.Load(), Resets: p.resets.Load()}
+	return Stats{
+		Accepted: p.accepted.Load(),
+		Resets:   p.resets.Load(),
+		Cuts:     p.cuts.Load(),
+		Heals:    p.heals.Load(),
+	}
 }
 
 // Close stops accepting, kills all connections, and waits for pumps to

@@ -169,3 +169,50 @@ func TestCutConnections(t *testing.T) {
 		t.Fatalf("post-cut roundtrip = %q, %v", got, err)
 	}
 }
+
+// TestPartitionHealCutsInFlight pins Heal's contract, the harness's
+// partition-recovery primitive: connections in flight when the
+// partition heals are CUT (their clients already gave up; resuming
+// them would deliver answers nobody is waiting for), brand-new
+// connections are serviced normally immediately after Heal, and Stats
+// counts both phases — the cut legs and the post-heal accepts.
+func TestPartitionHealCutsInFlight(t *testing.T) {
+	p := newProxy(t)
+	c := dialProxy(t, p)
+	if got, err := roundTrip(c, "before", 2*time.Second); err != nil || got != "before\n" {
+		t.Fatalf("pre-partition roundtrip = %q, %v", got, err)
+	}
+	pre := p.Stats()
+
+	p.Set(Faults{Partition: true})
+	// The write vanishes into the hole: nothing comes back.
+	if got, err := roundTrip(c, "held", 60*time.Millisecond); err == nil {
+		t.Fatalf("read %q through a partition", got)
+	}
+
+	p.Heal()
+
+	// Phase 1: the in-flight connection was cut, not resumed. The read
+	// fails fast with a reset/EOF instead of hanging to its deadline.
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if got, err := bufio.NewReader(c).ReadString('\n'); err == nil {
+		t.Fatalf("stalled connection resumed after Heal: read %q, want cut", got)
+	}
+
+	// Phase 2: a fresh connection is serviced normally.
+	c2 := dialProxy(t, p)
+	if got, err := roundTrip(c2, "after", 2*time.Second); err != nil || got != "after\n" {
+		t.Fatalf("post-heal roundtrip = %q, %v", got, err)
+	}
+
+	st := p.Stats()
+	if st.Heals != pre.Heals+1 {
+		t.Errorf("Heals = %d, want %d", st.Heals, pre.Heals+1)
+	}
+	if st.Cuts <= pre.Cuts {
+		t.Errorf("Cuts = %d, want > %d (in-flight legs severed)", st.Cuts, pre.Cuts)
+	}
+	if st.Accepted <= pre.Accepted {
+		t.Errorf("Accepted = %d, want > %d (post-heal connection counted)", st.Accepted, pre.Accepted)
+	}
+}

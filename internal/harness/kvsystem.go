@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"medley/internal/cdc"
 	"medley/internal/core"
 	"medley/internal/ebr"
 	"medley/internal/kv"
@@ -303,6 +304,14 @@ type kvWorker struct {
 
 	kops []kv.Op // translation scratch, reused across transactions
 
+	// Change-feed tap (SetChangeFeed): committed batches publish their
+	// writes under the transaction's commit ticket. pub and feedRes are
+	// publication scratch (feedRes captures OpAdd post-values when the
+	// caller discards results).
+	feed    *cdc.Feed
+	pub     []cdc.Write
+	feedRes []kv.Result
+
 	// Group scratch, reused across DoGroup/ExecGroup calls: per-member
 	// translated op slices, the Batch headers over them, and the
 	// ApplyGroup flatten buffers.
@@ -376,6 +385,12 @@ func (s *KVSystem) Quiesce() {
 	}
 }
 
+// SupportsChangeFeed reports whether this system's executors can publish
+// a commit-ordered change feed: the store must run real transactions
+// (baselines executing outside any commit protocol have no commit order
+// to tap).
+func (s *KVSystem) SupportsChangeFeed() bool { return !s.notx && s.mgr != nil }
+
 // NewExecutor implements the backend seam of the network service layer
 // (internal/service): a per-goroutine kv.Executor running batch requests
 // as atomic transactions over the same store, transaction registration and
@@ -428,6 +443,46 @@ func (w *kvWorker) DoGroup(opss [][]Op) {
 	w.ExecGroup(batches, nil)
 }
 
+// SetChangeFeed attaches a change feed to this executor: every committed
+// batch with writes draws a commit ticket (core ticket.go) and publishes
+// its writes' absolute post-states to f. It reports false — and attaches
+// nothing — for workers executing outside transactions (no commit order
+// exists to tap). The service layer attaches feeds through this seam on
+// each worker executor.
+func (w *kvWorker) SetChangeFeed(f *cdc.Feed) bool {
+	if w.tx == nil {
+		return false
+	}
+	w.feed = f
+	w.tx.SetCommitTicketer(f)
+	return true
+}
+
+// publishBatch publishes a just-committed batch's writes under its
+// commit ticket, in op order. No ticket means no descriptor cell was
+// installed (every write was a no-op, e.g. deletes of absent keys):
+// nothing visible changed, nothing to replicate.
+func (w *kvWorker) publishBatch(ops []kv.Op, res []kv.Result) {
+	t, ok := w.tx.CommittedTicket()
+	if !ok {
+		return
+	}
+	w.pub = w.pub[:0]
+	for i := range ops {
+		switch ops[i].Kind {
+		case kv.OpPut:
+			w.pub = append(w.pub, cdc.Write{Key: ops[i].Key, Val: ops[i].Val})
+		case kv.OpDelete:
+			w.pub = append(w.pub, cdc.Write{Key: ops[i].Key, Del: true})
+		case kv.OpAdd:
+			// Absolute post-value, not the delta: replay must be
+			// idempotent (see package cdc).
+			w.pub = append(w.pub, cdc.Write{Key: ops[i].Key, Val: res[i].Val})
+		}
+	}
+	w.feed.Publish(t, w.pub)
+}
+
 // scanIn reports whether ops carries an OpScan (which must execute alone:
 // scans are hoisted out of the transaction, see ExecBatch).
 func scanIn(ops []kv.Op) bool {
@@ -452,7 +507,14 @@ func (w *kvWorker) ExecGroup(batches []kv.Batch, errs []error) {
 			errs[i] = nil
 		}
 	}
-	if w.tx == nil {
+	if w.tx == nil || w.feed != nil {
+		// No transaction: nothing to merge. With a change feed attached,
+		// merging is skipped too: a merged group commits under ONE ticket,
+		// but the merged attempt's individual fallback would re-commit each
+		// member under its own ticket with no way to tell afterwards which
+		// happened — and an unpublished committed ticket stalls the feed's
+		// contiguity drain forever. Leaders trade group-commit batching for
+		// a sound feed; DESIGN.md documents the trade.
 		for i := range batches {
 			_ = w.ExecBatch(batches[i].Ops, batches[i].Res)
 		}
@@ -508,15 +570,27 @@ func (w *kvWorker) ExecBatch(ops []kv.Op, res []kv.Result) error {
 		kv.Apply(nil, w.m, ops, res)
 		return nil
 	}
-	keyed, scans := false, false
+	keyed, scans, writes := false, false, false
 	for i := range ops {
-		if ops[i].Kind == kv.OpScan {
+		switch ops[i].Kind {
+		case kv.OpScan:
 			scans = true
-		} else {
+		case kv.OpGet:
 			keyed = true
+		default:
+			keyed, writes = true, true
 		}
 	}
 	if keyed {
+		tap := w.feed != nil && writes
+		if tap && res == nil {
+			// The feed needs OpAdd post-values even when the caller
+			// discards results; capture into worker-owned scratch.
+			if cap(w.feedRes) < len(ops) {
+				w.feedRes = make([]kv.Result, len(ops))
+			}
+			res = w.feedRes[:len(ops)]
+		}
 		if w.h != nil {
 			w.h.Enter()
 		}
@@ -536,6 +610,9 @@ func (w *kvWorker) ExecBatch(ops []kv.Op, res []kv.Result) error {
 			}
 			return nil
 		})
+		if tap {
+			w.publishBatch(ops, res)
+		}
 		if w.h != nil {
 			w.h.Exit()
 		}

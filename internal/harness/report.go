@@ -169,6 +169,28 @@ type ServiceRecord struct {
 	TaintedKeys  int     `json:"tainted_keys,omitempty"`
 }
 
+// ReplicaRecord is the replication digest of a replica-chaos record: the
+// fault schedule that ran (kill+promote cycles or partition episodes),
+// how the driver followed the leadership, what asynchronous replication
+// lost at promotion (enumerated, not hidden), and the classified
+// divergence diff of the final caught-up replica against the journaled
+// model. Present only on records produced by the replica chaos runner.
+type ReplicaRecord struct {
+	Failovers        int    `json:"failovers,omitempty"`
+	Partitions       int    `json:"partitions,omitempty"`
+	DriverFailovers  uint64 `json:"driver_failovers,omitempty"`
+	DriverRecoveries uint64 `json:"driver_recoveries,omitempty"`
+	StaleRejections  uint64 `json:"stale_rejections,omitempty"`
+	LostWrites       int    `json:"lost_writes"`
+	MaxReplayLag     uint64 `json:"max_replay_lag"`
+	ModelEntries     int    `json:"model_entries"`
+	MissingKeys      uint64 `json:"missing_keys"`
+	StaleKeys        uint64 `json:"stale_keys"`
+	MismatchedKeys   uint64 `json:"mismatched_keys"`
+	LeakedKeys       uint64 `json:"leaked_keys"`
+	Violations       uint64 `json:"divergence_violations"`
+}
+
 // Record is one (system, scenario, phase, thread count) measurement.
 type Record struct {
 	System    string         `json:"system"`
@@ -202,6 +224,8 @@ type Record struct {
 	FinalCheck *FinalCheckRecord `json:"final_check,omitempty"`
 	// Service is present on open-loop records (AddOpenLoop).
 	Service *ServiceRecord `json:"service,omitempty"`
+	// Replica is present only on replica-chaos records.
+	Replica *ReplicaRecord `json:"replica,omitempty"`
 }
 
 // ReportConfig echoes the run parameters into the report so a stored

@@ -120,6 +120,15 @@ type Scenario struct {
 	// Dist and first phase's Mix shape the workload; the fault plan and
 	// kill schedule are keyed by scenario name in the bench driver.
 	ServiceChaos bool
+
+	// ReplicaChaos marks scenarios that run the replication chaos
+	// harness (internal/service RunReplicaChaos): a leader and a
+	// follower replaying its commit-ordered feed, with either leader
+	// kill + promotion cycles or replication-path partitions mid-run,
+	// and a divergence check classifying every replica/model difference.
+	// The fault plan (cycle count, staleness bounds, rates) is keyed by
+	// scenario name in the bench driver, like ServiceChaos.
+	ReplicaChaos bool
 }
 
 // HasCrash reports whether the scenario contains a crash phase. Crash
@@ -473,6 +482,22 @@ var builtin = map[string]Scenario{
 		ServiceChaos: true,
 		Phases: onePhase(Mix{
 			Ratio: Ratio{Get: 4, Insert: 1, Remove: 1}, TxMin: 1, TxMax: 6, Mixed: 1,
+		}),
+	},
+	"chaos-replica-failover": {
+		Description:  "replica chaos: 3 leader kill + follower promotion cycles mid-traffic, each dead address rebound by a fresh snapshot-bootstrapped follower; acked writes lost at promotion are enumerated from the dead feed and tainted, everything else must match the final replica exactly (zero divergence), availability budgeted at 0.99",
+		Dist:         Dist{Kind: DistUniform},
+		ReplicaChaos: true,
+		Phases: onePhase(Mix{
+			Ratio: Ratio{Get: 8, Insert: 2, Remove: 1}, TxMin: 1, TxMax: 4, Mixed: 1,
+		}),
+	},
+	"chaos-replica-lag": {
+		Description:  "replica chaos: the replication path is partitioned twice mid-run; replay lag must build past the staleness bound, lagging follower reads must be rejected (409, driver falls back to the leader), and post-heal catch-up must converge with zero lost writes and zero divergence",
+		Dist:         Dist{Kind: DistUniform},
+		ReplicaChaos: true,
+		Phases: onePhase(Mix{
+			Ratio: Ratio{Get: 12, Insert: 2, Remove: 1}, TxMin: 1, TxMax: 4, Mixed: 1,
 		}),
 	},
 	"load-mixed-drain": {

@@ -10,8 +10,9 @@ import (
 // schemaReport builds a report exercising the full JSON surface: an
 // ordinary phase record plus, when full, every optional block — a crash
 // record with the recovery block, the fastpath, telemetry, kind,
-// consistency and final-check blocks on the run records, and a chaos
-// record carrying the service fault-disposition fields.
+// consistency and final-check blocks on the run records, a chaos
+// record carrying the service fault-disposition fields, and a
+// replica-chaos record carrying the replication block.
 func schemaReport(full bool) *Report {
 	rep := NewReport("crash-recover-uniform", []int{2}, time.Second, 1<<10, 1<<8, 42)
 	res := sampleResult()
@@ -65,6 +66,24 @@ func schemaReport(full bool) *Report {
 			},
 			Recovery: &RecoveryRecord{Recoverable: true,
 				RecoveryNs: int64(time.Millisecond), RecoveredEntries: 10, ModelEntries: 10},
+		})
+		rep.Results = append(rep.Results, Record{
+			System: "medley-hash@2", Scenario: "chaos-replica-failover", Phase: "replica-chaos",
+			Threads: 8, Shards: 1, Txns: 900,
+			ElapsedNs: int64(time.Second), TxnPerSec: 900,
+			Service: &ServiceRecord{
+				Driver: "http", OfferedTxns: 1000, CompletedTxns: 900,
+				ErrorTxns: 20, ExpiredTxns: 20, InDoubtTxns: 5, RetriedTxns: 30,
+				DowntimeNs:   int64(100 * time.Millisecond),
+				Availability: 0.97, TaintedKeys: 4, Goodput: 900,
+			},
+			Replica: &ReplicaRecord{
+				Failovers: 3, Partitions: 2,
+				DriverFailovers: 3, DriverRecoveries: 1, StaleRejections: 7,
+				LostWrites: 4, MaxReplayLag: 20, ModelEntries: 100,
+				MissingKeys: 1, StaleKeys: 1, MismatchedKeys: 1, LeakedKeys: 1,
+				Violations: 4,
+			},
 		})
 	}
 	return rep

@@ -247,6 +247,11 @@ func DefaultSystems(sc Scenario) []string {
 		// backend; POneFile persists eagerly at every commit, so an acked
 		// batch is durable by construction — the strongest gate.
 		return []string{"ponefile-hash"}
+	case sc.ReplicaChaos:
+		// Replication chaos needs a snapshot-capable backend (follower
+		// bootstrap and the divergence diff); durability is the replica's
+		// job here, not the store's, so the transient flagship serves.
+		return []string{"medley-hash@2"}
 	case sc.HasCrash():
 		return []string{"txmontage-hash", "ponefile-hash", "medley-hash"}
 	case sc.Name == "chaos-hot-key":

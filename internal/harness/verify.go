@@ -186,6 +186,7 @@ func PartitionKey(k uint64, tid, senders int, keyRange uint64) uint64 {
 // the engine's per-worker journals.
 type WireJournal struct {
 	model map[uint64]modelVal
+	hist  map[uint64][]uint64 // every acked put value per key, in order
 	taint map[uint64]struct{}
 }
 
@@ -193,6 +194,7 @@ type WireJournal struct {
 func NewWireJournal() *WireJournal {
 	return &WireJournal{
 		model: make(map[uint64]modelVal),
+		hist:  make(map[uint64][]uint64),
 		taint: make(map[uint64]struct{}),
 	}
 }
@@ -202,12 +204,16 @@ func NewWireJournal() *WireJournal {
 // modelable from the client side; an acked OpAdd is tainted instead —
 // its final value depends on how many times it ran, which is exactly
 // what a client cannot count (chaos workloads avoid adds for this
-// reason).
+// reason). Put values are additionally kept as a per-key history, which
+// is what lets the replica verifier tell a stale value (an older acked
+// write — replication lost the suffix) from a mismatched one (a value
+// no client ever acked — corruption).
 func (j *WireJournal) Commit(ops []kv.Op) {
 	for _, op := range ops {
 		switch op.Kind {
 		case kv.OpPut:
 			j.model[op.Key] = modelVal{val: op.Val, present: true}
+			j.hist[op.Key] = append(j.hist[op.Key], op.Val)
 		case kv.OpDelete:
 			j.model[op.Key] = modelVal{}
 		case kv.OpAdd:
@@ -259,6 +265,116 @@ func VerifyWire(journals []*WireJournal, snap func(fn func(key, val uint64) bool
 	fc := FinalCheckResult{Checked: true}
 	fc.ModelEntries, fc.Missing, fc.Mismatched, fc.Leaked = diffCounts(model, got)
 	return fc, len(taint)
+}
+
+// ----------------------------------------------- replica divergence check
+//
+// The replica verifier is VerifyWire pointed at a follower instead of a
+// recovered leader, with one refinement: per-key acked-value histories
+// let it CLASSIFY a divergence instead of just counting it. A replica
+// holding an older acked value lost a replay suffix (stale); a value no
+// client ever acked is corruption (mismatched); a key the model has that
+// the replica lacks vanished in flight (missing); a key the replica has
+// that the model deleted — or never wrote — leaked. Reordered delivery
+// is not distinguishable from staleness by state alone, so the follower's
+// own seq-regression counter rides along in the result (filled by the
+// caller from replica.Stats).
+
+// ReplicaCheckResult is the outcome of one replica divergence check.
+type ReplicaCheckResult struct {
+	Checked      bool
+	ModelEntries int
+	Missing      uint64 // model has the key, replica does not
+	Stale        uint64 // replica holds an older acked value
+	Mismatched   uint64 // replica holds a value no client acked
+	Leaked       uint64 // replica holds a key deleted or never written
+	Reordered    uint64 // follower-observed seq regressions (from replica.Stats)
+}
+
+// Violations is the total divergence count. Reordered entries are not
+// added — every reordered entry that mattered already shows up as a
+// stale or missing key, and one skipped during transient mangling that
+// later re-converged is not a divergence.
+func (r ReplicaCheckResult) Violations() uint64 {
+	return r.Missing + r.Stale + r.Mismatched + r.Leaked
+}
+
+// VerifyReplicaWire merges the senders' journals and diffs a quiesced,
+// caught-up replica snapshot against them, classifying each divergent
+// key. Tainted keys (in-doubt outcomes, lost-at-promotion suffixes) are
+// excluded from both sides; the count of exclusions is returned so
+// reports show what ambiguity cost.
+func VerifyReplicaWire(journals []*WireJournal, snap func(fn func(key, val uint64) bool)) (ReplicaCheckResult, int) {
+	model := make(map[uint64]modelVal)
+	hist := make(map[uint64][]uint64)
+	taint := make(map[uint64]struct{})
+	for _, j := range journals {
+		// Partitioned writes: per key exactly one SENDER journal wrote, so
+		// plain assignment merges the models exactly. Histories append: a
+		// preload journal and the key's sender both hold acked values, and
+		// staleness classification needs every one of them.
+		for k, v := range j.model {
+			model[k] = v
+		}
+		for k, h := range j.hist {
+			hist[k] = append(hist[k], h...)
+		}
+		for k := range j.taint {
+			taint[k] = struct{}{}
+		}
+	}
+	for k := range taint {
+		delete(model, k)
+		delete(hist, k)
+	}
+	got := make(map[uint64]uint64, len(model))
+	snap(func(k, v uint64) bool {
+		if _, bad := taint[k]; !bad {
+			got[k] = v
+		}
+		return true
+	})
+
+	acked := func(k, v uint64) bool {
+		for _, h := range hist[k] {
+			if h == v {
+				return true
+			}
+		}
+		return false
+	}
+	rc := ReplicaCheckResult{Checked: true}
+	for k, e := range model {
+		gv, ok := got[k]
+		if e.present {
+			rc.ModelEntries++
+			switch {
+			case !ok:
+				rc.Missing++
+			case gv == e.val:
+			case acked(k, gv):
+				rc.Stale++
+			default:
+				rc.Mismatched++
+			}
+			continue
+		}
+		// Deleted on the leader: a surviving older acked value means the
+		// delete has not replicated (stale); anything else leaked.
+		if ok {
+			if acked(k, gv) {
+				rc.Stale++
+			} else {
+				rc.Leaked++
+			}
+		}
+	}
+	for k := range got {
+		if _, ok := model[k]; !ok {
+			rc.Leaked++
+		}
+	}
+	return rc, len(taint)
 }
 
 // runFinalCheck diffs the live state against the model at the end of a

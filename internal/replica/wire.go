@@ -1,0 +1,53 @@
+package replica
+
+import "medley/internal/cdc"
+
+// This file is the replication wire protocol shared by the leader's HTTP
+// surface (internal/service server.go) and the follower (this package).
+//
+//	GET /v1/watch?shard=S&from=F — chunked application/x-ndjson stream of
+//	    WatchChunk lines: entry chunks while the follower is behind,
+//	    heartbeats (hb, head) while it is caught up, a compacted marker
+//	    when the cursor fell off the leader's ring mid-stream. A cursor
+//	    already compacted at connect time is answered 410 Gone.
+//	GET /v1/snapshot?shard=S — one SnapshotResponse: the shard's live
+//	    keys plus the feed position replay must resume from. The leader
+//	    reads the feed head BEFORE scanning state, so every committed
+//	    write the scan might miss has seq > head and is replayed; entries
+//	    the scan caught twice converge because feed values are absolute.
+//	POST /v1/promote — flip a follower into a leader (see service.Node).
+
+// WatchChunk is one line of a watch stream.
+type WatchChunk struct {
+	// Entries is a contiguous run of feed entries (empty on heartbeats).
+	Entries []cdc.Entry `json:"entries,omitempty"`
+	// Head is the shard's feed head at send time — the follower's
+	// staleness reference.
+	Head uint64 `json:"head"`
+	// Hb marks a heartbeat line: no entries, the stream is caught up.
+	Hb bool `json:"hb,omitempty"`
+	// Compacted marks the terminal line of a stream whose cursor fell off
+	// the leader's bounded ring: re-bootstrap from a snapshot.
+	Compacted bool `json:"compacted,omitempty"`
+}
+
+// SnapshotResponse is the body of GET /v1/snapshot: a fuzzy snapshot of
+// one feed shard plus the replay cursor (overflow-to-snapshot protocol).
+type SnapshotResponse struct {
+	Shard   int          `json:"shard"`
+	Shards  int          `json:"shards"` // feed shard count, for config validation
+	FromSeq uint64       `json:"from_seq"`
+	Entries []SnapshotKV `json:"entries"`
+}
+
+// SnapshotKV is one live key in a snapshot.
+type SnapshotKV struct {
+	Key uint64 `json:"key"`
+	Val uint64 `json:"val"`
+}
+
+// PromoteResponse is the body of POST /v1/promote.
+type PromoteResponse struct {
+	Role     string `json:"role"`
+	Promoted bool   `json:"promoted"` // false when the node already led
+}

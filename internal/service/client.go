@@ -30,7 +30,7 @@ import (
 // sessions opens after consecutive transport errors — failing fast
 // until a healthz probe confirms the server is back.
 type HTTPDriver struct {
-	base   string
+	baseV  atomic.Value // string: current leader base URL (failover swaps it)
 	cfg    HTTPDriverConfig
 	client *http.Client
 	system string
@@ -40,10 +40,20 @@ type HTTPDriver struct {
 	idBase  string        // per-driver prefix making request IDs unique
 	idSeq   atomic.Uint64 // per-driver counter completing each ID
 
-	retries atomic.Uint64 // attempts beyond the first, all sessions
-	inDoubt atomic.Uint64 // requests whose execution is unknown
-	expired atomic.Uint64 // requests that expired client- or server-side
+	foMu  sync.Mutex    // serializes failover probing
+	rrSeq atomic.Uint64 // round-robins read requests over replicas
+
+	retries    atomic.Uint64 // attempts beyond the first, all sessions
+	inDoubt    atomic.Uint64 // requests whose execution is unknown
+	expired    atomic.Uint64 // requests that expired client- or server-side
+	raWaits    atomic.Uint64 // Retry-After drain hints honored
+	staleReads atomic.Uint64 // replica reads refused as stale (fell back to leader)
+	failovers  atomic.Uint64 // leader base swaps after failover probes
+	recoveries atomic.Uint64 // failover sweeps resolved by the current base leading again
 }
+
+// baseURL is the current leader base (failover may have swapped it).
+func (d *HTTPDriver) baseURL() string { return d.baseV.Load().(string) }
 
 // HTTPDriverConfig tunes the driver's fault-tolerance machinery. The
 // zero value means: no deadline, 3 retries per request, 2ms..250ms
@@ -73,6 +83,20 @@ type HTTPDriverConfig struct {
 	BreakerCooldown time.Duration
 	// StartTimeout bounds Start's healthz polling.
 	StartTimeout time.Duration
+	// RetryAfterBudget caps the cumulative Retry-After wait honored per
+	// request (default 1s). Under a sustained 429 storm the client keeps
+	// pacing itself by the server's drain hints until the budget is
+	// spent, then reports the shed — graceful degradation instead of
+	// giving up on the second hint. Negative disables honoring hints.
+	RetryAfterBudget time.Duration
+	// Replicas lists follower base URLs. Read-only batches route to
+	// replicas round-robin; a replica that answers 409 (stale), 503 (not
+	// leader), or dies on the wire falls the same request back to the
+	// leader. Replicas are also failover candidates: once the leader is
+	// unreachable through all retries, the driver probes every known
+	// endpoint's /healthz and adopts whichever now reports itself
+	// leader.
+	Replicas []string
 }
 
 func (c HTTPDriverConfig) withDefaults() HTTPDriverConfig {
@@ -97,15 +121,23 @@ func (c HTTPDriverConfig) withDefaults() HTTPDriverConfig {
 	if c.StartTimeout <= 0 {
 		c.StartTimeout = 5 * time.Second
 	}
+	if c.RetryAfterBudget == 0 {
+		c.RetryAfterBudget = time.Second
+	}
 	return c
 }
 
 // HTTPDriverStats is a snapshot of the driver's fault counters.
 type HTTPDriverStats struct {
-	Retries      uint64 // attempts beyond the first
-	InDoubt      uint64 // requests whose execution is unknown
-	Expired      uint64 // requests that ran out of deadline
-	BreakerOpens uint64 // closed→open transitions
+	Retries         uint64 // attempts beyond the first
+	InDoubt         uint64 // requests whose execution is unknown
+	Expired         uint64 // requests that ran out of deadline
+	BreakerOpens    uint64 // closed→open transitions
+	BreakerOpen     bool   // circuit currently open (failing fast)
+	RetryAfterWaits uint64 // 429 drain hints honored
+	StaleReads      uint64 // replica reads refused, fell back to leader
+	Failovers       uint64 // leader base swaps after failover probes
+	Recoveries      uint64 // sweeps resolved by the current base leading again
 }
 
 // NewHTTPDriver targets a running medleyd at base (e.g.
@@ -118,8 +150,7 @@ func NewHTTPDriver(base string) *HTTPDriver {
 func NewHTTPDriverConfig(base string, cfg HTTPDriverConfig) *HTTPDriver {
 	cfg = cfg.withDefaults()
 	d := &HTTPDriver{
-		base: base,
-		cfg:  cfg,
+		cfg: cfg,
 		client: &http.Client{
 			Timeout: 30 * time.Second,
 			Transport: &http.Transport{
@@ -131,6 +162,7 @@ func NewHTTPDriverConfig(base string, cfg HTTPDriverConfig) *HTTPDriver {
 		},
 		idBase: fmt.Sprintf("%08x", rand.Uint32()),
 	}
+	d.baseV.Store(base)
 	if cfg.BreakerThreshold > 0 {
 		d.breaker = &breaker{
 			threshold: cfg.BreakerThreshold,
@@ -158,20 +190,47 @@ func (d *HTTPDriver) ShardCount() int {
 // Stats snapshots the driver's fault counters across all sessions.
 func (d *HTTPDriver) Stats() HTTPDriverStats {
 	s := HTTPDriverStats{
-		Retries: d.retries.Load(),
-		InDoubt: d.inDoubt.Load(),
-		Expired: d.expired.Load(),
+		Retries:         d.retries.Load(),
+		InDoubt:         d.inDoubt.Load(),
+		Expired:         d.expired.Load(),
+		RetryAfterWaits: d.raWaits.Load(),
+		StaleReads:      d.staleReads.Load(),
+		Failovers:       d.failovers.Load(),
+		Recoveries:      d.recoveries.Load(),
 	}
 	if d.breaker != nil {
 		s.BreakerOpens = d.breaker.opens.Load()
+		s.BreakerOpen = d.breaker.isOpen()
 	}
 	return s
 }
 
-// healthz runs one liveness probe, recording the server identity on
-// success.
+// MetricsSnapshot implements harness.MetricsSnapshotter so reports and
+// tooling can merge the client-side fault counters (previously internal)
+// alongside the server's svc_* set, drv_-prefixed.
+func (d *HTTPDriver) MetricsSnapshot() []harness.Metric {
+	st := d.Stats()
+	open := uint64(0)
+	if st.BreakerOpen {
+		open = 1
+	}
+	return []harness.Metric{
+		{Name: "drv_breaker_open", Value: open},
+		{Name: "drv_breaker_opens", Value: st.BreakerOpens},
+		{Name: "drv_expired", Value: st.Expired},
+		{Name: "drv_failover_recoveries", Value: st.Recoveries},
+		{Name: "drv_failovers", Value: st.Failovers},
+		{Name: "drv_in_doubt", Value: st.InDoubt},
+		{Name: "drv_retries", Value: st.Retries},
+		{Name: "drv_retry_after_waits", Value: st.RetryAfterWaits},
+		{Name: "drv_stale_reads", Value: st.StaleReads},
+	}
+}
+
+// healthz runs one liveness probe against the current leader, recording
+// the server identity on success.
 func (d *HTTPDriver) healthz() bool {
-	resp, err := d.client.Get(d.base + "/healthz")
+	resp, err := d.client.Get(d.baseURL() + "/healthz")
 	if err != nil {
 		return false
 	}
@@ -185,6 +244,57 @@ func (d *HTTPDriver) healthz() bool {
 	return true
 }
 
+// failover sweeps every known endpoint's /healthz for one now claiming
+// leadership and swaps the driver's base to it. It reports whether a
+// live leader was confirmed (current base recovering counts; only an
+// actual swap increments the failover counter). Serialized so
+// concurrent sessions discovering a dead leader share one sweep.
+func (d *HTTPDriver) failover() bool {
+	if len(d.cfg.Replicas) == 0 {
+		return false
+	}
+	d.foMu.Lock()
+	defer d.foMu.Unlock()
+	cur := d.baseURL()
+	eps := make([]string, 0, 1+len(d.cfg.Replicas))
+	eps = append(eps, cur)
+	eps = append(eps, d.cfg.Replicas...)
+	for _, ep := range eps {
+		resp, err := d.client.Get(ep + "/healthz")
+		if err != nil {
+			continue
+		}
+		var h healthResponse
+		derr := json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if derr != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		// A role-less answer is a standalone (pre-replication) server:
+		// it leads by definition. Followers are skipped — they may be
+		// promoted any moment, but routing writes at them now would only
+		// bounce off the not-leader gate.
+		if h.Role != "" && h.Role != RoleLeader {
+			continue
+		}
+		d.system, d.shards = h.System, h.Shards
+		if ep != cur {
+			d.baseV.Store(ep)
+			d.failovers.Add(1)
+		} else {
+			// The current base answers as leader again — either it
+			// recovered, or a promoted node rebound its address before
+			// this sweep ran. Leadership is confirmed without a swap.
+			d.recoveries.Add(1)
+		}
+		if b := d.breaker; b != nil {
+			b.reset()
+		}
+		return true
+	}
+	return false
+}
+
 // Start implements harness.Driver: polls /healthz until the server
 // answers (it may still be starting), failing with the last probe error
 // once cfg.StartTimeout is spent — a server that never comes up is a
@@ -196,11 +306,11 @@ func (d *HTTPDriver) Start() error {
 		if attempt > 0 {
 			if time.Now().After(deadline) {
 				return fmt.Errorf("service: %s unreachable after %v: %w",
-					d.base, d.cfg.StartTimeout, lastErr)
+					d.baseURL(), d.cfg.StartTimeout, lastErr)
 			}
 			time.Sleep(100 * time.Millisecond)
 		}
-		resp, err := d.client.Get(d.base + "/healthz")
+		resp, err := d.client.Get(d.baseURL() + "/healthz")
 		if err != nil {
 			lastErr = err
 			continue
@@ -333,12 +443,18 @@ func (s *httpSession) backoff(n int) time.Duration {
 // Outcome classification, in the order the loop settles it:
 //
 //   - 200 → nil (definitive; a dedup replay is indistinguishable by design)
-//   - 429 → harness.ErrOverload after honoring Retry-After once
+//   - 429 → harness.ErrOverload once cumulative honored Retry-After waits
+//     exceed RetryAfterBudget (hints pace the sender, they are not retries)
 //   - 504 → harness.ErrExpired (server never executed it)
 //   - client-side deadline spent → harness.ErrExpired
-//   - 4xx → permanent error, no retry
+//   - 4xx → permanent error, no retry (except 409 staleness, retryable)
 //   - transport error, 503 → retry with backoff while attempts and budget
-//     last, then the last error
+//     last; if the leader stays transport-dead and Replicas are known, one
+//     failover probe may swap the base and restart the attempt allowance
+//
+// Read-only batches route to a configured replica first; any replica
+// failure (staleness 409, not-leader 503, transport) falls the same
+// request back to the leader without burning a retry.
 //
 // Any terminal error after a transport-errored attempt is wrapped so
 // IsInDoubt reports true: the dead attempt may have executed. Only a
@@ -369,16 +485,49 @@ func (s *httpSession) Do(ops []kv.Op, res []kv.Result) error {
 		return err
 	}
 
+	// Read-only batches may route to a replica; target "" means the
+	// current leader (resolved per attempt, so failover swaps apply).
+	target := ""
+	if reps := s.d.cfg.Replicas; len(reps) > 0 {
+		readOnly := true
+		for i := range ops {
+			if ops[i].Kind != kv.OpGet && ops[i].Kind != kv.OpScan {
+				readOnly = false
+				break
+			}
+		}
+		if readOnly {
+			target = reps[int(s.d.rrSeq.Add(1)%uint64(len(reps)))]
+		}
+	}
+
+	var raUsed time.Duration // cumulative honored Retry-After waits
+	failedOver := false
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			if attempt > s.d.cfg.MaxRetries ||
 				(s.retryBudget > 0 && s.retryUsed >= s.retryBudget) {
-				return fail(lastErr)
+				// Out of attempts against this leader. If it looks gone —
+				// transport-dead, breaker open, or answering 503 (which is
+				// what a follower REBOUND ON THE OLD LEADER'S ADDRESS says
+				// to writes) — and other endpoints are known, one failover
+				// sweep may find a promoted leader; adopting it restarts
+				// the attempt allowance — at most once per request.
+				if !failedOver &&
+					(errors.Is(lastErr, errTransport) || errors.Is(lastErr, ErrCircuitOpen) ||
+						errors.Is(lastErr, errRetryable)) &&
+					s.d.failover() {
+					failedOver = true
+					attempt = 0
+				} else {
+					return fail(lastErr)
+				}
+			} else {
+				s.retryUsed++
+				s.d.retries.Add(1)
+				time.Sleep(s.backoff(attempt - 1))
 			}
-			s.retryUsed++
-			s.d.retries.Add(1)
-			time.Sleep(s.backoff(attempt - 1))
 		}
 		if !deadline.IsZero() {
 			remaining := time.Until(deadline)
@@ -391,7 +540,8 @@ func (s *httpSession) Do(ops []kv.Op, res []kv.Result) error {
 				req.DeadlineMs = 1
 			}
 		}
-		if b := s.d.breaker; b != nil && !b.allow() {
+		// The breaker tracks the leader only; replica attempts bypass it.
+		if b := s.d.breaker; b != nil && target == "" && !b.allow() {
 			lastErr = ErrCircuitOpen
 			continue
 		}
@@ -399,7 +549,20 @@ func (s *httpSession) Do(ops []kv.Op, res []kv.Result) error {
 		if err := json.NewEncoder(&s.buf).Encode(req); err != nil {
 			return err
 		}
-		wait, err := s.post(s.buf.Bytes(), res)
+		wait, err := s.post(target, s.buf.Bytes(), res)
+		if target != "" && err != nil {
+			// The replica refused (stale, not leader) or died: fall the
+			// same request back to the leader without burning a retry.
+			// Reads have no effects, so a dead replica attempt raises no
+			// doubt.
+			if errors.Is(err, errStale) || errors.Is(err, errRetryable) {
+				s.d.staleReads.Add(1)
+			}
+			target = ""
+			lastErr = err
+			attempt--
+			continue
+		}
 		switch {
 		case err == nil:
 			// Definitive: executed (a dedup replay of a dead attempt is
@@ -412,19 +575,31 @@ func (s *httpSession) Do(ops []kv.Op, res []kv.Result) error {
 			lastErr = err
 			continue
 		case errors.Is(err, harness.ErrOverload):
-			// The server shed this attempt at admission. Honor the drain
-			// hint once (pre-existing 429 behavior), then report the shed
-			// rather than burning the retry budget: sheds are backpressure
-			// working, not faults. Doubt from an earlier dead attempt is
-			// NOT cleared: a shed answers for this attempt only (after a
-			// restart the dedup window is empty, so it says nothing about
-			// whether the original executed).
-			if wait > 0 && attempt == 0 {
+			// The server shed this attempt at admission. Honor drain
+			// hints until their cumulative wait exhausts RetryAfterBudget,
+			// then report the shed: sheds are backpressure working, not
+			// faults, so honored waits pace the sender without counting
+			// as retries. The budget cap means a sustained storm degrades
+			// into reported sheds rather than stalling the sender
+			// forever. Doubt from an earlier dead attempt is NOT cleared:
+			// a shed answers for this attempt only (after a restart the
+			// dedup window is empty, so it says nothing about whether the
+			// original executed).
+			if wait > 0 && s.d.cfg.RetryAfterBudget > 0 &&
+				raUsed+wait <= s.d.cfg.RetryAfterBudget {
+				raUsed += wait
+				s.d.raWaits.Add(1)
 				time.Sleep(wait)
 				lastErr = err
+				attempt-- // server-paced waits are not retries
 				continue
 			}
 			return fail(err)
+		case errors.Is(err, errStale):
+			// 409 from the leader itself (a freshly promoted follower
+			// still settling): definitive not-executed, worth retrying.
+			lastErr = err
+			continue
 		case errors.Is(err, harness.ErrExpired):
 			// 504: the server guarantees this attempt never executed.
 			s.d.expired.Add(1)
@@ -443,17 +618,26 @@ func (s *httpSession) Do(ops []kv.Op, res []kv.Result) error {
 }
 
 // errTransport tags errors where no server answer arrived; errRetryable
-// tags definitive not-executed answers worth retrying (503).
+// tags definitive not-executed answers worth retrying (503); errStale
+// tags 409 answers (a replica behind its staleness bound, or a node
+// still settling a role change).
 var (
 	errTransport = errors.New("service: transport error")
 	errRetryable = errors.New("service: transient server error")
+	errStale     = errors.New("service: replica not fresh")
 )
 
-// post runs one POST /v1/batch attempt. A 429 returns harness.ErrOverload
-// along with the server's Retry-After hint (0 when absent or unusable).
-func (s *httpSession) post(payload []byte, res []kv.Result) (time.Duration, error) {
-	resp, err := s.d.client.Post(s.d.base+"/v1/batch", "application/json", bytes.NewReader(payload))
-	if b := s.d.breaker; b != nil {
+// post runs one POST /v1/batch attempt against target ("" = current
+// leader). A 429 returns harness.ErrOverload along with the server's
+// Retry-After hint (0 when absent or unusable). Only leader attempts
+// feed the circuit breaker — a dead replica must not fail-fast writes.
+func (s *httpSession) post(target string, payload []byte, res []kv.Result) (time.Duration, error) {
+	leaderward := target == ""
+	if leaderward {
+		target = s.d.baseURL()
+	}
+	resp, err := s.d.client.Post(target+"/v1/batch", "application/json", bytes.NewReader(payload))
+	if b := s.d.breaker; b != nil && leaderward {
 		b.observe(err == nil)
 	}
 	if err != nil {
@@ -465,6 +649,9 @@ func (s *httpSession) post(payload []byte, res []kv.Result) (time.Duration, erro
 	case http.StatusTooManyRequests:
 		_, _ = io.Copy(io.Discard, resp.Body)
 		return retryAfterDelay(resp.Header.Get("Retry-After")), harness.ErrOverload
+	case http.StatusConflict:
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return retryAfterDelay(resp.Header.Get("Retry-After")), errStale
 	case http.StatusGatewayTimeout:
 		_, _ = io.Copy(io.Discard, resp.Body)
 		return 0, harness.ErrExpired
@@ -558,6 +745,22 @@ func (b *breaker) allow() bool {
 		return true
 	}
 	return false
+}
+
+// isOpen reports whether the circuit is currently failing fast.
+func (b *breaker) isOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}
+
+// reset force-closes the breaker — failover adopted a new leader, so
+// the consecutive-failure history belongs to the dead one.
+func (b *breaker) reset() {
+	b.mu.Lock()
+	b.open = false
+	b.downconsec = 0
+	b.mu.Unlock()
 }
 
 // observe records one network attempt's fate (ok = any HTTP answer

@@ -2,6 +2,7 @@ package service
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"medley/internal/kv"
@@ -43,6 +44,13 @@ type dedupWindow struct {
 	m    map[string]*dedupEntry
 	ring []*dedupEntry
 	head int // next eviction slot once the ring is full
+
+	// Lifecycle counters, exported as svc_dedup_* in GET /metrics.
+	claims    atomic.Uint64 // fresh IDs that entered the window
+	hits      atomic.Uint64 // claims answered by a prior entry (settled or in flight)
+	abandons  atomic.Uint64 // claims released unexecuted (shed/expired/closed)
+	evictions atomic.Uint64 // entries pushed out by the FIFO bound
+	completes atomic.Uint64 // claims settled with an executed outcome
 }
 
 func newDedupWindow(n int) *dedupWindow {
@@ -63,6 +71,7 @@ func (w *dedupWindow) claim(id string) (mine, prior *dedupEntry) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if e, ok := w.m[id]; ok {
+		w.hits.Add(1)
 		return nil, e
 	}
 	e := &dedupEntry{id: id, done: make(chan struct{})}
@@ -74,11 +83,13 @@ func (w *dedupWindow) claim(id string) (mine, prior *dedupEntry) {
 		// mapping if it still points at the evicted entry.
 		if cur, ok := w.m[old.id]; ok && cur == old {
 			delete(w.m, old.id)
+			w.evictions.Add(1)
 		}
 		w.ring[w.head] = e
 		w.head = (w.head + 1) % w.cap
 	}
 	w.m[id] = e
+	w.claims.Add(1)
 	return e, nil
 }
 
@@ -92,6 +103,7 @@ func (w *dedupWindow) complete(e *dedupEntry, res []kv.Result, err error) {
 	e.err = err
 	e.executed = true
 	close(e.done)
+	w.completes.Add(1)
 }
 
 // abandon settles e for a request that was never executed (shed, expired,
@@ -105,6 +117,7 @@ func (w *dedupWindow) abandon(e *dedupEntry, err error) {
 	w.mu.Unlock()
 	e.err = err
 	close(e.done)
+	w.abandons.Add(1)
 }
 
 // await parks on a prior claim of the same ID and returns its outcome,

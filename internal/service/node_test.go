@@ -1,0 +1,299 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"medley/internal/cdc"
+	"medley/internal/kv"
+)
+
+// startNode builds a node over a fresh in-memory medley system and serves
+// it; cleanup closes both.
+func startNode(t *testing.T, cfg NodeConfig) (*Node, *httptest.Server) {
+	t.Helper()
+	cfg.Backend = kvBackend(t, "medley-hash@2")
+	if cfg.Service.Tick == 0 {
+		cfg.Service.Tick = 200 * time.Microsecond
+	}
+	if cfg.Service.Workers == 0 {
+		cfg.Service.Workers = 2
+	}
+	if cfg.FeedShards == 0 {
+		cfg.FeedShards = 2
+	}
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	ts := httptest.NewServer(n.Handler())
+	// Node before server: closing the service closes the feed, ending any
+	// watch streams the graceful server Close would otherwise wait on.
+	t.Cleanup(func() { n.Close(); ts.Close() })
+	return n, ts
+}
+
+func postNodeBatch(t *testing.T, url string, req BatchRequest) (*http.Response, BatchResponse, ErrorResponse) {
+	t.Helper()
+	b, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/batch", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	var ok BatchResponse
+	var bad ErrorResponse
+	if resp.StatusCode == http.StatusOK {
+		_ = json.NewDecoder(resp.Body).Decode(&ok)
+	} else {
+		_ = json.NewDecoder(resp.Body).Decode(&bad)
+	}
+	return resp, ok, bad
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestNodeFollowerReplaysAndServesReads(t *testing.T) {
+	leader, lts := startNode(t, NodeConfig{})
+	_ = leader
+
+	// Preload some writes before the follower exists: bootstrap coverage.
+	for i := 0; i < 50; i++ {
+		resp, _, _ := postNodeBatch(t, lts.URL, BatchRequest{Ops: []WireOp{
+			{Op: "put", Key: uint64(i), Val: uint64(i * 10)},
+		}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("preload write %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	follower, fts := startNode(t, NodeConfig{Follow: lts.URL, FeedShards: 2})
+	waitFor(t, 5*time.Second, "follower ready", func() bool {
+		return follower.Follower().Ready()
+	})
+
+	// Live writes after bootstrap: stream coverage.
+	for i := 50; i < 80; i++ {
+		postNodeBatch(t, lts.URL, BatchRequest{Ops: []WireOp{
+			{Op: "put", Key: uint64(i), Val: uint64(i * 10)},
+		}})
+	}
+	postNodeBatch(t, lts.URL, BatchRequest{Ops: []WireOp{{Op: "delete", Key: 7}}})
+
+	waitFor(t, 5*time.Second, "follower caught up", func() bool {
+		return follower.Follower().Lag() == 0 && follower.Follower().Stats().Applied >= 30
+	})
+	// One more settle beat: lag counts feed entries, the last apply may
+	// still be completing its Submit.
+	time.Sleep(20 * time.Millisecond)
+
+	// Reads on the follower observe the replayed state.
+	resp, ok, _ := postNodeBatch(t, fts.URL, BatchRequest{Ops: []WireOp{
+		{Op: "get", Key: 60},
+		{Op: "get", Key: 7},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower read status %d", resp.StatusCode)
+	}
+	if len(ok.Results) != 2 || !ok.Results[0].Ok || ok.Results[0].Val != 600 {
+		t.Fatalf("follower read key 60 = %+v, want 600", ok.Results)
+	}
+	if ok.Results[1].Ok {
+		t.Fatalf("follower still has deleted key 7: %+v", ok.Results[1])
+	}
+
+	// Writes on the follower are refused with a retryable not-leader error.
+	resp, _, bad := postNodeBatch(t, fts.URL, BatchRequest{Ops: []WireOp{
+		{Op: "put", Key: 1, Val: 1},
+	}})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("follower write status = %d, want 503", resp.StatusCode)
+	}
+	if bad.Error == "" {
+		t.Fatal("follower write rejection carried no error body")
+	}
+
+	// Roles over healthz.
+	var h healthResponse
+	hr, err := http.Get(fts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	_ = json.NewDecoder(hr.Body).Decode(&h)
+	hr.Body.Close()
+	if h.Role != RoleFollower || h.FeedShards != 2 {
+		t.Fatalf("follower healthz = %+v", h)
+	}
+}
+
+func TestNodePromoteServesWrites(t *testing.T) {
+	leader, lts := startNode(t, NodeConfig{})
+	for i := 0; i < 20; i++ {
+		postNodeBatch(t, lts.URL, BatchRequest{Ops: []WireOp{
+			{Op: "put", Key: uint64(i), Val: uint64(i + 1)},
+		}})
+	}
+	follower, fts := startNode(t, NodeConfig{Follow: lts.URL})
+	waitFor(t, 5*time.Second, "follower caught up", func() bool {
+		return follower.Follower().Ready() && follower.Follower().Lag() == 0
+	})
+	time.Sleep(20 * time.Millisecond)
+
+	// Kill the leader, promote over HTTP. Node first: closing the
+	// service closes the feed, which terminates the follower's watch
+	// stream — httptest's graceful Close waits on active connections.
+	leader.Close()
+	lts.Close()
+	resp, err := http.Post(fts.URL+"/v1/promote", "application/json", nil)
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	var pr struct {
+		Role     string `json:"role"`
+		Promoted bool   `json:"promoted"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&pr)
+	resp.Body.Close()
+	if pr.Role != RoleLeader || !pr.Promoted {
+		t.Fatalf("promote response = %+v", pr)
+	}
+	if !follower.Promoted() {
+		t.Fatal("node does not report promoted")
+	}
+
+	// The promoted node serves writes and retains the replayed state.
+	wresp, ok, _ := postNodeBatch(t, fts.URL, BatchRequest{Ops: []WireOp{
+		{Op: "put", Key: 100, Val: 1000},
+		{Op: "get", Key: 5},
+	}})
+	if wresp.StatusCode != http.StatusOK {
+		t.Fatalf("promoted write status %d", wresp.StatusCode)
+	}
+	if !ok.Results[1].Ok || ok.Results[1].Val != 6 {
+		t.Fatalf("promoted node lost replayed key 5: %+v", ok.Results[1])
+	}
+
+	// Its own feed carries both the replayed and the new writes — a
+	// promoted leader is followable.
+	heads := follower.Feed().Heads()
+	var total uint64
+	for _, h := range heads {
+		total += h
+	}
+	if total < 21 {
+		t.Fatalf("promoted feed heads %v, want replayed+new entries", heads)
+	}
+
+	// Second promote is a no-op.
+	resp2, err := http.Post(fts.URL+"/v1/promote", "application/json", nil)
+	if err != nil {
+		t.Fatalf("promote 2: %v", err)
+	}
+	_ = json.NewDecoder(resp2.Body).Decode(&pr)
+	resp2.Body.Close()
+	if pr.Promoted {
+		t.Fatal("second promote reported a flip")
+	}
+}
+
+func TestNodeStaleReadsRejected(t *testing.T) {
+	// MaxLag 1 and a mangle hook that swallows every entry: lag grows,
+	// reads must 409 with Retry-After.
+	leader, lts := startNode(t, NodeConfig{})
+	_ = leader
+	follower, fts := startNode(t, NodeConfig{
+		Follow: lts.URL,
+		MaxLag: 1,
+		Mangle: func(shard int, entries []cdc.Entry) []cdc.Entry { return nil },
+	})
+	waitFor(t, 5*time.Second, "follower ready", func() bool {
+		return follower.Follower().Ready()
+	})
+	for i := 0; i < 30; i++ {
+		postNodeBatch(t, lts.URL, BatchRequest{Ops: []WireOp{
+			{Op: "put", Key: uint64(i), Val: 1},
+		}})
+	}
+	waitFor(t, 5*time.Second, "lag to build", func() bool {
+		return follower.Follower().Lag() > 1
+	})
+	resp, _, bad := postNodeBatch(t, fts.URL, BatchRequest{Ops: []WireOp{{Op: "get", Key: 1}}})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale read status = %d, want 409", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("stale rejection carried no Retry-After")
+	}
+	if bad.Error == "" {
+		t.Fatal("stale rejection carried no error body")
+	}
+}
+
+func TestNodeWatchCompactedGone(t *testing.T) {
+	// A cursor below the ring floor answers 410 at connect time.
+	n, ts := startNode(t, NodeConfig{FeedRing: 4, FeedShards: 1})
+	for i := 0; i < 40; i++ {
+		postNodeBatch(t, ts.URL, BatchRequest{Ops: []WireOp{
+			{Op: "put", Key: uint64(i), Val: 1},
+		}})
+	}
+	waitFor(t, 2*time.Second, "feed entries", func() bool { return n.Feed().Head(0) > 8 })
+	resp, err := http.Get(ts.URL + "/v1/watch?shard=0&from=1")
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("compacted watch status = %d, want 410", resp.StatusCode)
+	}
+}
+
+func TestNodeFollowerResyncsAfterCompaction(t *testing.T) {
+	// Tiny ring + follower that cannot keep up bootstraps again and still
+	// converges (overflow-to-snapshot end to end).
+	leader, lts := startNode(t, NodeConfig{FeedRing: 8, FeedShards: 1})
+	_ = leader
+	follower, _ := startNode(t, NodeConfig{Follow: lts.URL, FeedShards: 1, FeedRing: 8})
+	waitFor(t, 5*time.Second, "follower ready", func() bool {
+		return follower.Follower().Ready()
+	})
+	// Outrun the ring: submit one big burst as separate one-op batches.
+	for i := 0; i < 400; i++ {
+		postNodeBatch(t, lts.URL, BatchRequest{Ops: []WireOp{
+			{Op: "put", Key: uint64(i % 32), Val: uint64(i)},
+		}})
+	}
+	waitFor(t, 10*time.Second, "follower converged", func() bool {
+		return follower.Follower().Ready() && follower.Follower().Lag() == 0
+	})
+	time.Sleep(30 * time.Millisecond)
+	// Spot-check convergence through the service pipelines.
+	lres := make([]kv.Result, 1)
+	fres := make([]kv.Result, 1)
+	for k := uint64(0); k < 32; k++ {
+		ops := []kv.Op{{Kind: kv.OpGet, Key: k}}
+		if err := leader.Service().Submit(ops, lres); err != nil {
+			t.Fatalf("leader get: %v", err)
+		}
+		if err := follower.Service().Submit(ops, fres); err != nil {
+			t.Fatalf("follower get: %v", err)
+		}
+		if lres[0] != fres[0] {
+			t.Fatalf("key %d diverged: leader %+v follower %+v", k, lres[0], fres[0])
+		}
+	}
+}

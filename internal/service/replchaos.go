@@ -1,0 +1,628 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"medley/internal/cdc"
+	"medley/internal/faultnet"
+	"medley/internal/harness"
+	"medley/internal/kv"
+)
+
+// This file is the replication chaos runner, the measured half of the
+// replication claim. Two in-process medleyd nodes — a leader and a
+// follower replaying its feed — sit behind real TCP listeners; a fleet
+// of journaling senders drives them through an HTTPDriver configured
+// with replica read routing and leader failover. Two fault modes:
+//
+//   - Failover (Failovers > 0): the leader is killed mid-traffic the way
+//     a SIGKILL looks from outside (every connection reset, watch
+//     streams included), the follower is promoted, and a FRESH follower
+//     (empty backend, snapshot bootstrap) starts on the dead leader's
+//     address following the new leader. Acked writes the follower had
+//     not replayed at promotion are lost by design in an asynchronous
+//     protocol; the runner enumerates them from the dead leader's feed
+//     suffix and taints those keys in the journal model, so the final
+//     divergence check measures the loss instead of hiding it — and
+//     everything OUTSIDE the taint set must still match exactly.
+//
+//   - Lag (Partitions > 0): a faultnet proxy sits on the follower's
+//     replication path. Partition episodes stall the feed, replay lag
+//     builds past MaxLag, and follower reads must be rejected as stale
+//     (the driver falls back to the leader and counts the rejection);
+//     each Heal cuts the stalled stream and the follower reconnects and
+//     catches up. No data is ever lost in this mode — the final check
+//     demands zero divergence with zero tainted keys.
+//
+// Verification extends the PR 2/PR 9 journal machinery: senders journal
+// definitive write acks per partitioned key class, in-doubt outcomes
+// taint, and harness.VerifyReplicaWire diffs the FOLLOWER's state
+// against the merged committed model, classifying missing/stale/
+// mismatched/leaked keys.
+
+// ReplicaChaosConfig parameterizes one replication chaos run. Exactly
+// one of Failovers or Partitions must be positive.
+type ReplicaChaosConfig struct {
+	// System is a benchmark-registry spec; it must resolve to a
+	// snapshot-capable backend (snapshots serve both the follower
+	// bootstrap and the final divergence check).
+	System     string
+	SystemOpts harness.SystemOpts
+
+	// Service is each node's pipeline config (applied to every
+	// incarnation; the dedup window dies with an incarnation).
+	Service Config
+
+	// Client tunes the sender-side HTTPDriver. Replicas is filled in by
+	// the runner with both node addresses.
+	Client HTTPDriverConfig
+
+	// FeedShards/FeedRing/MaxLag/MaxSilence are the nodes' replication
+	// knobs (see NodeConfig). The failover mode needs FeedRing to cover
+	// the run's write volume so promotion-time loss stays enumerable; the
+	// lag mode needs MaxSilence below PartitionDur or the partition is
+	// invisible to the read gate (a cut feed freezes the follower's lag).
+	FeedShards int
+	FeedRing   int
+	MaxLag     uint64
+	MaxSilence time.Duration
+
+	// Failovers is how many leader kill + promote + fresh-follower
+	// cycles land mid-run, spread evenly across Duration.
+	Failovers int
+
+	// Partitions is how many feed-partition episodes land mid-run, each
+	// holding PartitionDur before healing.
+	Partitions   int
+	PartitionDur time.Duration
+
+	// Senders, Rate, Duration shape the open-loop workload.
+	Senders  int
+	Rate     float64
+	Duration time.Duration
+
+	KeyRange uint64
+	Preload  int
+	Seed     int64
+	Mix      harness.Mix
+	Dist     harness.Dist
+}
+
+// ReplicaChaosResult is the outcome of one replication chaos run.
+type ReplicaChaosResult struct {
+	System  string
+	Senders int
+	Elapsed time.Duration
+
+	Completed uint64
+	Shed      uint64
+	Errors    uint64
+	Expired   uint64
+	InDoubt   uint64
+
+	Retries         uint64
+	DriverFailovers uint64 // leader base swaps the driver performed
+	// DriverRecoveries counts failover sweeps resolved by the current
+	// base answering as leader again — what a kill looks like to the
+	// driver when the promoted node rebinds the dead leader's address
+	// before the sweep runs. Swaps + recoveries together measure how
+	// often the driver had to re-confirm the leadership.
+	DriverRecoveries uint64
+	StaleRejections  uint64 // follower reads refused for lag, fell back
+
+	Failovers  int // kill+promote cycles performed
+	Partitions int // partition episodes performed
+
+	// LostWrites counts feed entries acked by a killed leader that its
+	// follower had not replayed at promotion — the asynchronous
+	// replication loss, enumerated and tainted rather than hidden.
+	LostWrites int
+
+	MaxReplayLag uint64 // highest true replay lag sampled (leader head − follower cursor)
+	DowntimeNs   int64  // wall time from each kill to the fresh follower serving
+
+	Goodput      float64 // completed / elapsed, txn/s
+	Availability float64 // completed / (completed + errors + expired + in-doubt)
+
+	// Verify diffs the final follower's caught-up state against the
+	// merged journal model (lost-suffix keys tainted out).
+	Verify  harness.ReplicaCheckResult
+	Tainted int
+}
+
+// Violations is the replica divergence total (reordered excluded; see
+// ReplicaCheckResult.Violations).
+func (r ReplicaChaosResult) Violations() uint64 { return r.Verify.Violations() }
+
+// replNode hosts one node incarnation behind a real listener. The
+// backend is fresh per incarnation — a killed leader's state dies with
+// it, and its replacement bootstraps over the wire like any follower.
+type replNode struct {
+	cfg  *ReplicaChaosConfig
+	addr string
+	ln   net.Listener
+	srv  *http.Server
+	node *Node
+}
+
+// url is the node's client-facing base.
+func (rn *replNode) url() string { return "http://" + rn.addr }
+
+// startReplNode builds a fresh system + node and serves it on addr
+// (":0" for first bind; rebinding a dead node's address retries
+// briefly). follow "" starts a leader.
+func startReplNode(cfg *ReplicaChaosConfig, addr, follow string) (*replNode, error) {
+	sys, err := harness.NewSystem(cfg.System, cfg.SystemOpts)
+	if err != nil {
+		return nil, fmt.Errorf("replchaos: %w", err)
+	}
+	be, ok := sys.(Backend)
+	if !ok {
+		return nil, fmt.Errorf("replchaos: system %q has no batch executor", cfg.System)
+	}
+	if _, ok := be.(harness.Snapshotter); !ok {
+		return nil, fmt.Errorf("replchaos: system %q cannot snapshot (needed for bootstrap and verification)", cfg.System)
+	}
+	n, err := NewNode(NodeConfig{
+		Backend:    be,
+		Service:    cfg.Service,
+		FeedShards: cfg.FeedShards,
+		FeedRing:   cfg.FeedRing,
+		Follow:     follow,
+		MaxLag:     cfg.MaxLag,
+		MaxSilence: cfg.MaxSilence,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("replchaos: %w", err)
+	}
+	rn := &replNode{cfg: cfg, addr: addr, node: n}
+	var ln net.Listener
+	for i := 0; i < 100; i++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		n.Close()
+		return nil, fmt.Errorf("replchaos: bind %s: %w", addr, err)
+	}
+	rn.ln = ln
+	rn.addr = ln.Addr().String()
+	rn.srv = &http.Server{Handler: n.Handler()}
+	go func(srv *http.Server, ln net.Listener) { _ = srv.Serve(ln) }(rn.srv, ln)
+	return rn, nil
+}
+
+// kill tears the incarnation down hard: srv.Close resets every live
+// connection (clients and watch streams alike), then the node drains —
+// every write it acked reaches its feed before the feed is read for the
+// lost-suffix accounting.
+func (rn *replNode) kill() {
+	_ = rn.srv.Close()
+	rn.node.Close()
+}
+
+// lostSuffix enumerates the feed entries of a killed-and-drained leader
+// that follower fol never applied: per shard, everything past the
+// follower's replay cursor up to the leader's head. The feed's rings
+// stay readable after Close precisely for this accounting.
+func lostSuffix(dead *Node, fol *Node) ([]kv.Op, int, error) {
+	var ops []kv.Op
+	lost := 0
+	buf := make([]cdc.Entry, 0, 512)
+	feed := dead.Feed()
+	for shard := 0; shard < feed.ShardCount(); shard++ {
+		from := fol.Follower().Applied(shard) + 1
+		head := feed.Head(shard)
+		for from <= head {
+			var err error
+			buf, err = feed.ReadFrom(shard, from, buf[:0])
+			if err != nil {
+				return nil, 0, fmt.Errorf("replchaos: lost-suffix shard %d from %d: %w (FeedRing too small for the run's write volume)", shard, from, err)
+			}
+			if len(buf) == 0 {
+				break
+			}
+			for _, e := range buf {
+				ops = append(ops, kv.Op{Kind: kv.OpPut, Key: e.Key})
+				lost++
+			}
+			from = buf[len(buf)-1].Seq + 1
+		}
+	}
+	return ops, lost, nil
+}
+
+// RunReplicaChaos executes one replication chaos run. Sequence: leader +
+// follower up → preload (journaled) → senders offer load while the
+// fault schedule runs → stop → wait for the follower to catch up →
+// VerifyReplicaWire against the follower's state.
+func RunReplicaChaos(cfg ReplicaChaosConfig) (ReplicaChaosResult, error) {
+	if (cfg.Failovers > 0) == (cfg.Partitions > 0) {
+		return ReplicaChaosResult{}, fmt.Errorf("replchaos: exactly one of Failovers (%d) or Partitions (%d) must be positive", cfg.Failovers, cfg.Partitions)
+	}
+	if cfg.Senders <= 0 {
+		cfg.Senders = 8
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 2000
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 3 * time.Second
+	}
+	if cfg.KeyRange == 0 {
+		cfg.KeyRange = 1 << 16
+	}
+	if cfg.KeyRange < uint64(cfg.Senders) {
+		return ReplicaChaosResult{}, fmt.Errorf("replchaos: key range %d < %d senders", cfg.KeyRange, cfg.Senders)
+	}
+	if cfg.PartitionDur <= 0 {
+		cfg.PartitionDur = 300 * time.Millisecond
+	}
+
+	leader, err := startReplNode(&cfg, "127.0.0.1:0", "")
+	if err != nil {
+		return ReplicaChaosResult{}, err
+	}
+	// In lag mode the follower replays through a fault proxy; in
+	// failover mode it connects directly.
+	var proxy *faultnet.Proxy
+	followPath := leader.url()
+	if cfg.Partitions > 0 {
+		proxy, err = faultnet.New("127.0.0.1:0", leader.addr)
+		if err != nil {
+			leader.kill()
+			return ReplicaChaosResult{}, err
+		}
+		defer proxy.Close()
+		followPath = "http://" + proxy.Addr()
+	}
+	follower, err := startReplNode(&cfg, "127.0.0.1:0", followPath)
+	if err != nil {
+		leader.kill()
+		return ReplicaChaosResult{}, err
+	}
+
+	// topo tracks the live pair across failovers for the senders' driver
+	// (static: the two ADDRESSES are stable, roles rotate between them)
+	// and the lag sampler (dynamic: which node is currently follower).
+	var topoMu sync.Mutex
+	curLeader, curFollower := leader, follower
+
+	cfg.Client.Replicas = []string{leader.url(), follower.url()}
+	driver := NewHTTPDriverConfig(leader.url(), cfg.Client)
+	if err := driver.Start(); err != nil {
+		leader.kill()
+		follower.kill()
+		return ReplicaChaosResult{}, fmt.Errorf("replchaos: %w", err)
+	}
+	defer driver.Close()
+
+	killBoth := func() {
+		topoMu.Lock()
+		a, b := curLeader, curFollower
+		topoMu.Unlock()
+		a.kill()
+		b.kill()
+	}
+
+	// Wait for the follower's bootstrap before offering load, bounded.
+	bootDeadline := time.Now().Add(10 * time.Second)
+	for !follower.node.Follower().Ready() {
+		if time.Now().After(bootDeadline) {
+			killBoth()
+			return ReplicaChaosResult{}, fmt.Errorf("replchaos: follower never bootstrapped")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Preload through the wire, journaled, keys partitioned round-robin
+	// into sender residue classes (the journal merge stays exact).
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := harness.NewWireJournal()
+	taint := harness.NewWireJournal() // promotion-time lost keys land here
+	if cfg.Preload > 0 {
+		sess, err := driver.NewSession()
+		if err != nil {
+			killBoth()
+			return ReplicaChaosResult{}, err
+		}
+		ops := make([]kv.Op, 0, preloadChunk)
+		flush := func() error {
+			if len(ops) == 0 {
+				return nil
+			}
+			for {
+				err := sess.Do(ops, nil)
+				switch {
+				case err == nil:
+					base.Commit(ops)
+				case IsInDoubt(err):
+					base.Taint(ops)
+				case err == harness.ErrOverload:
+					time.Sleep(time.Millisecond)
+					continue
+				default:
+					return err
+				}
+				ops = ops[:0]
+				return nil
+			}
+		}
+		for i := 0; i < cfg.Preload; i++ {
+			k := uint64(rng.Int63n(int64(cfg.KeyRange)))
+			k = harness.PartitionKey(k, i%cfg.Senders, cfg.Senders, cfg.KeyRange)
+			ops = append(ops, kv.Op{Kind: kv.OpPut, Key: k, Val: k})
+			if len(ops) == preloadChunk {
+				if err := flush(); err != nil {
+					killBoth()
+					return ReplicaChaosResult{}, fmt.Errorf("replchaos: preload: %w", err)
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			killBoth()
+			return ReplicaChaosResult{}, fmt.Errorf("replchaos: preload: %w", err)
+		}
+		_ = sess.Close()
+	}
+
+	// Lag sampler: tracks the highest TRUE replay lag — the live leader's
+	// feed heads minus the live follower's cursors. The follower's own
+	// Lag() cannot see a partition (its known heads freeze with the
+	// feed), but the runner holds both nodes, so it measures what an
+	// outside observer would. Skipped while the follower bootstraps (its
+	// cursors are not yet anchored in the leader's sequence space).
+	var maxLagSeen uint64
+	var lagMu sync.Mutex
+	samplerStop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(2 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-samplerStop:
+				return
+			case <-t.C:
+				topoMu.Lock()
+				l, f := curLeader, curFollower
+				topoMu.Unlock()
+				fol := f.node.Follower()
+				if fol == nil || !fol.Ready() {
+					continue
+				}
+				feed := l.node.Feed()
+				var lag uint64
+				for s := 0; s < feed.ShardCount(); s++ {
+					if h, a := feed.Head(s), fol.Applied(s); h > a && h-a > lag {
+						lag = h - a
+					}
+				}
+				lagMu.Lock()
+				if lag > maxLagSeen {
+					maxLagSeen = lag
+				}
+				lagMu.Unlock()
+			}
+		}
+	}()
+
+	// Sender fleet, identical discipline to RunChaos: paced open-loop,
+	// writes partitioned per sender, definitive acks journaled, in-doubt
+	// outcomes tainted.
+	stop := make(chan struct{})
+	senders := make([]*chaosSender, cfg.Senders)
+	var wg sync.WaitGroup
+	interval := float64(time.Second) * float64(cfg.Senders) / cfg.Rate
+	for i := 0; i < cfg.Senders; i++ {
+		seed := cfg.Seed + int64(i)*7919 + 1
+		s := &chaosSender{
+			r:       rand.New(rand.NewSource(seed)),
+			journal: harness.NewWireJournal(),
+		}
+		senders[i] = s
+		sess, err := driver.NewSession()
+		if err != nil {
+			close(stop)
+			close(samplerStop)
+			killBoth()
+			return ReplicaChaosResult{}, err
+		}
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			defer sess.Close()
+			gen := harness.NewTxGen(cfg.Dist, cfg.KeyRange, cfg.Mix, seed^0x5DEECE66D)
+			var kops []kv.Op
+			next := time.Now()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				next = next.Add(time.Duration(s.r.ExpFloat64() * interval))
+				if wait := time.Until(next); wait > 0 {
+					time.Sleep(wait)
+				}
+				ops := gen.Next()
+				for j := range ops {
+					if ops[j].Kind != harness.OpGet {
+						ops[j].Key = harness.PartitionKey(ops[j].Key, tid, cfg.Senders, cfg.KeyRange)
+					}
+				}
+				kops = harness.KvOps(kops, ops)
+				startReq := time.Now()
+				err := sess.Do(kops, nil)
+				switch {
+				case err == nil:
+					s.completed++
+					s.journal.Commit(kops)
+					s.record(time.Since(startReq))
+				case IsInDoubt(err):
+					s.indoubt++
+					s.journal.Taint(kops)
+				case err == harness.ErrOverload:
+					s.shed++
+				case err == harness.ErrExpired:
+					s.expired++
+				default:
+					s.errors++
+				}
+			}
+		}(i)
+	}
+
+	res := ReplicaChaosResult{System: cfg.System, Senders: cfg.Senders}
+	start := time.Now()
+	events := cfg.Failovers + cfg.Partitions
+	runErr := func() error {
+		for i := 0; i < events; i++ {
+			at := start.Add(cfg.Duration * time.Duration(i+1) / time.Duration(events+1))
+			if wait := time.Until(at); wait > 0 {
+				time.Sleep(wait)
+			}
+			if cfg.Partitions > 0 {
+				// Lag episode: stall the replication path, hold, heal.
+				// The follower's stalled stream is cut by Heal and it
+				// reconnects from its cursor.
+				proxy.Set(faultnet.Faults{Partition: true})
+				time.Sleep(cfg.PartitionDur)
+				proxy.Heal()
+				res.Partitions++
+				continue
+			}
+			// Failover cycle: kill the leader, promote the follower,
+			// account the unreplicated suffix, start a fresh follower on
+			// the dead address following the new leader. Promotion happens
+			// the instant the connections die — a real SIGKILL does not
+			// wait for the victim to drain; the drain here only exists so
+			// the dead feed holds every acked write for the lost-suffix
+			// accounting, and it must not stretch the unavailability
+			// window.
+			killStart := time.Now()
+			topoMu.Lock()
+			dead, heir := curLeader, curFollower
+			topoMu.Unlock()
+			_ = dead.srv.Close()
+			heir.node.Promote()
+			dead.node.Close()
+			lostOps, lost, err := lostSuffix(dead.node, heir.node)
+			if err != nil {
+				return err
+			}
+			if lost > 0 {
+				taint.Taint(lostOps)
+				res.LostWrites += lost
+			}
+			fresh, err := startReplNode(&cfg, dead.addr, heir.url())
+			if err != nil {
+				return err
+			}
+			topoMu.Lock()
+			curLeader, curFollower = heir, fresh
+			topoMu.Unlock()
+			res.DowntimeNs += int64(time.Since(killStart))
+			res.Failovers++
+		}
+		if wait := time.Until(start.Add(cfg.Duration)); wait > 0 {
+			time.Sleep(wait)
+		}
+		return nil
+	}()
+	close(stop)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if runErr != nil {
+		close(samplerStop)
+		killBoth()
+		return res, runErr
+	}
+
+	// Let the final follower catch up (replication is asynchronous; the
+	// divergence check targets the caught-up replica). The check compares
+	// the LEADER's true feed heads against the follower's cursors — the
+	// follower's own Lag() reads zero whenever its known head is stale
+	// (e.g. between the last admission and the next heartbeat), which
+	// would hand the verifier a replica missing the run's final writes.
+	// Applied cursors advance only after the batch is applied locally, so
+	// cursor == head means the state is complete.
+	topoMu.Lock()
+	finalLeader, finalFollower := curLeader, curFollower
+	topoMu.Unlock()
+	caughtUp := func() bool {
+		fol := finalFollower.node.Follower()
+		if !fol.Ready() {
+			return false
+		}
+		feed := finalLeader.node.Feed()
+		for s := 0; s < feed.ShardCount(); s++ {
+			if fol.Applied(s) < feed.Head(s) {
+				return false
+			}
+		}
+		return true
+	}
+	catchDeadline := time.Now().Add(15 * time.Second)
+	for !caughtUp() {
+		if time.Now().After(catchDeadline) {
+			close(samplerStop)
+			killBoth()
+			return res, fmt.Errorf("replchaos: follower never caught up (lag %d)",
+				finalFollower.node.Follower().Lag())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(samplerStop)
+
+	journals := make([]*harness.WireJournal, 0, cfg.Senders+2)
+	journals = append(journals, base, taint)
+	for _, s := range senders {
+		res.Completed += s.completed
+		res.Shed += s.shed
+		res.Errors += s.errors
+		res.Expired += s.expired
+		res.InDoubt += s.indoubt
+		journals = append(journals, s.journal)
+	}
+	st := driver.Stats()
+	res.Retries = st.Retries
+	res.DriverFailovers = st.Failovers
+	res.DriverRecoveries = st.Recoveries
+	res.StaleRejections = st.StaleReads
+	lagMu.Lock()
+	res.MaxReplayLag = maxLagSeen
+	lagMu.Unlock()
+
+	snap := finalFollower.node.Service().Backend().(harness.Snapshotter)
+	res.Verify, res.Tainted = harness.VerifyReplicaWire(journals, snap.StateSnapshot)
+	res.Verify.Reordered = finalFollower.node.Follower().Stats().Reordered
+
+	if res.Elapsed > 0 {
+		res.Goodput = float64(res.Completed) / res.Elapsed.Seconds()
+	}
+	if answered := res.Completed + res.Errors + res.Expired + res.InDoubt; answered > 0 {
+		res.Availability = float64(res.Completed) / float64(answered)
+	}
+
+	finalLeader.kill()
+	finalFollower.kill()
+	return res, nil
+}
+
+// replicaSystemName trims a registry spec to its system family for
+// report labeling (e.g. "medley-hash@4" → "medley-hash").
+func replicaSystemName(spec string) string {
+	if i := strings.IndexByte(spec, '@'); i >= 0 {
+		return spec[:i]
+	}
+	return spec
+}

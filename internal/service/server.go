@@ -6,31 +6,49 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
+	"medley/internal/cdc"
 	"medley/internal/harness"
 	"medley/internal/kv"
+	"medley/internal/replica"
 )
 
 // This file is medleyd's HTTP surface:
 //
-//	POST /v1/batch — execute one atomic transaction (wire.go)
-//	GET  /metrics  — counter/gauge snapshot of the whole stack
-//	GET  /healthz  — liveness + system identity
+//	POST /v1/batch    — execute one atomic transaction (wire.go)
+//	GET  /metrics     — counter/gauge snapshot of the whole stack
+//	GET  /healthz     — liveness + system identity + replication role
+//	GET  /v1/watch    — chunked change-feed stream (replication enabled)
+//	GET  /v1/snapshot — fuzzy state snapshot of one feed shard
+//	POST /v1/promote  — flip a follower node into a leader (Node only)
 //
 // Handlers are thin: decode, Submit, encode. Admission control lives in
 // the Service (Submit sheds with ErrShed → 429), not in the handler, so
-// in-process and HTTP callers are throttled identically.
+// in-process and HTTP callers are throttled identically. Replication
+// gating (follower nodes rejecting writes and over-lag reads) lives in
+// Node, threaded through here the same way.
 
 // maxBodyBytes bounds a request body; a batch of MaxOpsPerBatch ops fits
 // comfortably.
 const maxBodyBytes = 1 << 20
 
+// watchChunkCap bounds one watch stream chunk; it stays under the
+// follower's apply-batch limit so a chunk replays as one transaction.
+const watchChunkCap = 256
+
+// watchHeartbeat paces heartbeat lines on an idle watch stream: often
+// enough that followers track the leader head (and liveness) closely.
+const watchHeartbeat = 100 * time.Millisecond
+
 // healthResponse is the body of GET /healthz.
 type healthResponse struct {
-	System string `json:"system"`
-	Shards int    `json:"shards"`
+	System     string `json:"system"`
+	Shards     int    `json:"shards"`
+	Role       string `json:"role,omitempty"`
+	FeedShards int    `json:"feed_shards,omitempty"`
 }
 
 // metricsResponse is the body of GET /metrics: cumulative counters since
@@ -40,8 +58,13 @@ type metricsResponse struct {
 	Gauges   []harness.Gauge  `json:"gauges"`
 }
 
-// Handler serves the service API.
-func Handler(s *Service) http.Handler {
+// Handler serves the service API of a standalone (always-leader) node.
+// Replicated deployments serve Node.Handler instead, which adds the
+// follower gating and the promote endpoint on top of the same mux.
+func Handler(s *Service) http.Handler { return handler(s, nil) }
+
+// handler builds the mux; n is nil for standalone services.
+func handler(s *Service, n *Node) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req BatchRequest
@@ -68,6 +91,16 @@ func Handler(s *Service) http.Handler {
 		if err := validateOps(d.ops); err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
+		}
+		if n != nil {
+			if code, msg, retry := n.gateBatch(d.ops); code != 0 {
+				if retry > 0 {
+					w.Header().Set("Retry-After",
+						strconv.FormatFloat(retry.Seconds(), 'f', 3, 64))
+				}
+				writeError(w, code, msg)
+				return
+			}
 		}
 		ctx := r.Context()
 		if req.DeadlineMs > 0 {
@@ -98,8 +131,13 @@ func Handler(s *Service) http.Handler {
 		}
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		counters := s.MetricsSnapshot()
+		if n != nil {
+			counters = append(counters, n.replMetrics()...)
+			sort.Slice(counters, func(i, j int) bool { return counters[i].Name < counters[j].Name })
+		}
 		writeJSON(w, http.StatusOK, metricsResponse{
-			Counters: s.MetricsSnapshot(),
+			Counters: counters,
 			Gauges:   s.Gauges(),
 		})
 	})
@@ -108,9 +146,136 @@ func Handler(s *Service) http.Handler {
 		if sc, ok := s.Backend().(harness.ShardCounter); ok {
 			shards = sc.ShardCount()
 		}
-		writeJSON(w, http.StatusOK, healthResponse{System: s.Backend().Name(), Shards: shards})
+		h := healthResponse{System: s.Backend().Name(), Shards: shards, Role: RoleLeader}
+		if n != nil {
+			h.Role = n.Role()
+		}
+		if s.cfg.Feed != nil {
+			h.FeedShards = s.cfg.Feed.ShardCount()
+		}
+		writeJSON(w, http.StatusOK, h)
 	})
+	if s.cfg.Feed != nil {
+		mux.HandleFunc("GET /v1/watch", func(w http.ResponseWriter, r *http.Request) {
+			serveWatch(s.cfg.Feed, w, r)
+		})
+		mux.HandleFunc("GET /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+			serveSnapshot(s, w, r)
+		})
+	}
+	if n != nil {
+		mux.HandleFunc("POST /v1/promote", func(w http.ResponseWriter, r *http.Request) {
+			promoted := n.Promote()
+			writeJSON(w, http.StatusOK, replica.PromoteResponse{Role: n.Role(), Promoted: promoted})
+		})
+	}
 	return mux
+}
+
+// feedShard parses and bounds the shard query parameter.
+func feedShard(feed *cdc.Feed, r *http.Request) (int, error) {
+	shard, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil {
+		return 0, fmt.Errorf("bad shard: %v", err)
+	}
+	if shard < 0 || shard >= feed.ShardCount() {
+		return 0, fmt.Errorf("shard %d out of range [0,%d)", shard, feed.ShardCount())
+	}
+	return shard, nil
+}
+
+// serveWatch streams one feed shard from a cursor as chunked ndjson:
+// entry chunks while behind, heartbeats while caught up, a compacted
+// marker (or 410 upfront) when the cursor fell off the ring.
+func serveWatch(feed *cdc.Feed, w http.ResponseWriter, r *http.Request) {
+	shard, err := feedShard(feed, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	from, _ := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+
+	buf := make([]cdc.Entry, watchChunkCap)
+	enc := json.NewEncoder(w)
+	started := false
+	hb := time.NewTicker(watchHeartbeat)
+	defer hb.Stop()
+	for {
+		got, rerr := feed.ReadFrom(shard, from, buf)
+		if rerr != nil { // ErrCompacted
+			if !started {
+				writeError(w, http.StatusGone, rerr.Error())
+				return
+			}
+			_ = enc.Encode(replica.WatchChunk{Compacted: true, Head: feed.Head(shard)})
+			fl.Flush()
+			return
+		}
+		if !started {
+			started = true
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+		}
+		if len(got) > 0 {
+			if err := enc.Encode(replica.WatchChunk{Entries: got, Head: feed.Head(shard)}); err != nil {
+				return
+			}
+			fl.Flush()
+			from = got[len(got)-1].Seq + 1
+			continue
+		}
+		// Caught up: heartbeat, then wait for an admission, the heartbeat
+		// tick, client departure, or feed close.
+		if err := enc.Encode(replica.WatchChunk{Hb: true, Head: feed.Head(shard)}); err != nil {
+			return
+		}
+		fl.Flush()
+		if feed.Closed() {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-feed.Notify():
+		case <-hb.C:
+		}
+	}
+}
+
+// serveSnapshot answers one shard's fuzzy snapshot. The feed head is
+// read BEFORE the state scan: every committed write the scan might miss
+// has a feed seq above the returned anchor, so snapshot + replay from
+// from_seq converges (feed values are absolute).
+func serveSnapshot(s *Service, w http.ResponseWriter, r *http.Request) {
+	feed := s.cfg.Feed
+	snap, ok := s.be.(harness.Snapshotter)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "backend cannot snapshot state")
+		return
+	}
+	shard, err := feedShard(feed, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := replica.SnapshotResponse{
+		Shard:   shard,
+		Shards:  feed.ShardCount(),
+		FromSeq: feed.Head(shard) + 1,
+		Entries: []replica.SnapshotKV{},
+	}
+	snap.StateSnapshot(func(key, val uint64) bool {
+		if feed.ShardOf(key) == shard {
+			resp.Entries = append(resp.Entries, replica.SnapshotKV{Key: key, Val: val})
+		}
+		return true
+	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

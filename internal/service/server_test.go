@@ -212,9 +212,10 @@ func TestShedCarriesRetryAfter(t *testing.T) {
 }
 
 // TestHTTPDriverHonorsRetryAfter pins the client half: a 429 with a
-// Retry-After hint is retried exactly once after the advertised wait, a
-// persistent 429 still classifies as harness.ErrOverload after that one
-// retry, and a 429 without the hint sheds immediately.
+// Retry-After hint is retried after the advertised wait, a persistent
+// 429 keeps getting honored until the cumulative waits exhaust
+// RetryAfterBudget and then classifies as harness.ErrOverload, and a
+// 429 without the hint sheds immediately.
 func TestHTTPDriverHonorsRetryAfter(t *testing.T) {
 	var attempts atomic.Int64
 	shed := func(w http.ResponseWriter, hint string) {
@@ -238,7 +239,11 @@ func TestHTTPDriverHonorsRetryAfter(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	sess := &httpSession{d: NewHTTPDriver(ts.URL)}
+	// Budget of 25ms with 10ms hints: two honored waits fit, the third
+	// (cumulative 30ms) would not.
+	sess := &httpSession{d: NewHTTPDriverConfig(ts.URL, HTTPDriverConfig{
+		RetryAfterBudget: 25 * time.Millisecond,
+	})}
 	ops := []kv.Op{{Kind: kv.OpGet, Key: 7}}
 
 	res := make([]kv.Result, 1)
@@ -257,11 +262,18 @@ func TestHTTPDriverHonorsRetryAfter(t *testing.T) {
 	}
 
 	mode, _ = "always", attempts.Swap(0)
+	start = time.Now()
 	if err := sess.Do(ops, nil); err != harness.ErrOverload {
 		t.Fatalf("persistent 429: err = %v, want harness.ErrOverload", err)
 	}
-	if got := attempts.Load(); got != 2 {
-		t.Errorf("persistent 429: %d attempts, want 2 (honored once)", got)
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("persistent 429: %d attempts, want 3 (two 10ms waits fit the 25ms budget)", got)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("persistent 429 shed after %v, want >= 20ms of honored waits", elapsed)
+	}
+	if got := sess.d.Stats().RetryAfterWaits; got != 3 {
+		t.Errorf("RetryAfterWaits = %d, want 3 (one recovery + two storm waits)", got)
 	}
 
 	mode, _ = "bare", attempts.Swap(0)

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"medley/internal/cdc"
 	"medley/internal/harness"
 	"medley/internal/kv"
 )
@@ -80,6 +81,19 @@ type Config struct {
 	// inside the window returns the original results instead of
 	// re-executing. 0 disables deduplication (retries re-execute).
 	DedupWindow int
+	// Feed, when non-nil, is attached to every worker executor: each
+	// committed write batch publishes its absolute post-states to the
+	// feed in commit-ticket order, and the HTTP layer serves it through
+	// GET /v1/watch and GET /v1/snapshot. Attaching a feed disables
+	// group-commit merging at the executor (per-member commits keep the
+	// ticket space dense; see kvWorker.ExecGroup). nil = no replication.
+	Feed *cdc.Feed
+}
+
+// feedAttacher is the executor seam a feed attaches through;
+// *harness.kvWorker implements it.
+type feedAttacher interface {
+	SetChangeFeed(*cdc.Feed) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -369,6 +383,11 @@ drain:
 func (s *Service) worker(ch chan chunk) {
 	defer s.workWG.Done()
 	ex := s.be.NewExecutor()
+	if s.cfg.Feed != nil {
+		if fa, ok := ex.(feedAttacher); ok {
+			fa.SetChangeFeed(s.cfg.Feed)
+		}
+	}
 	gx, canGroup := ex.(kv.GroupExecutor)
 	var batches []kv.Batch
 	var errs []error
@@ -453,6 +472,10 @@ func (s *Service) Close() {
 	if s.stopBE != nil {
 		s.stopBE()
 	}
+	if s.cfg.Feed != nil {
+		// Wake watch streamers so their handlers can return.
+		s.cfg.Feed.Close()
+	}
 }
 
 // MetricsSnapshot exports the pipeline counters, prefixed svc_, merged
@@ -470,6 +493,15 @@ func (s *Service) MetricsSnapshot() []harness.Metric {
 		{Name: "svc_batches", Value: s.batches.Load()},
 		{Name: "svc_batched_txns", Value: s.batched.Load()},
 		{Name: "svc_grouped_txns", Value: s.grouped.Load()},
+	}
+	if w := s.window; w != nil {
+		out = append(out,
+			harness.Metric{Name: "svc_dedup_claims", Value: w.claims.Load()},
+			harness.Metric{Name: "svc_dedup_window_hits", Value: w.hits.Load()},
+			harness.Metric{Name: "svc_dedup_abandons", Value: w.abandons.Load()},
+			harness.Metric{Name: "svc_dedup_evictions", Value: w.evictions.Load()},
+			harness.Metric{Name: "svc_dedup_completes", Value: w.completes.Load()},
+		)
 	}
 	if ms, ok := s.be.(harness.MetricsSnapshotter); ok {
 		out = append(out, ms.MetricsSnapshot()...)

@@ -1,10 +1,12 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -320,5 +322,92 @@ func TestGaugesDeriveRatios(t *testing.T) {
 	}
 	if !found {
 		t.Error("svc_executed counter missing or wrong")
+	}
+}
+
+// TestMetricsMergeDedupCounters pins the dedup window's lifecycle
+// counters in the merged /metrics export: claims, window hits, abandons,
+// evictions and completes ride alongside the existing svc_* counters,
+// and the merged list stays name-sorted (the wire contract since the
+// backend merge landed).
+func TestMetricsMergeDedupCounters(t *testing.T) {
+	s := New(&fakeBackend{}, Config{Tick: 200 * time.Microsecond, DedupWindow: 1})
+	defer s.Close()
+
+	// claim+complete, then a same-ID retry (window hit).
+	ctx := context.Background()
+	if err := s.SubmitCtx(ctx, "rq-1", oneOp(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitCtx(ctx, "rq-1", oneOp(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	// A second ID evicts the first from the size-1 window.
+	if err := s.SubmitCtx(ctx, "rq-2", oneOp(2), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon: a claim released without executing (the shed path).
+	mine, prior := s.window.claim("rq-3")
+	if mine == nil || prior != nil {
+		t.Fatalf("claim rq-3: mine=%v prior=%v", mine, prior)
+	}
+	s.window.abandon(mine, ErrShed)
+
+	want := map[string]uint64{
+		"svc_dedup_claims":      3, // rq-1, rq-2, rq-3
+		"svc_dedup_window_hits": 1, // the rq-1 retry
+		"svc_dedup_completes":   2, // rq-1, rq-2 executed
+		"svc_dedup_abandons":    1, // rq-3
+		"svc_dedup_evictions":   2, // rq-1 pushed out by rq-2, rq-2 by rq-3
+	}
+	got := map[string]uint64{}
+	ms := s.MetricsSnapshot()
+	for _, m := range ms {
+		got[m.Name] = m.Value
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %d, want %d", name, got[name], v)
+		}
+	}
+	// The service-level hit counter (retries answered) agrees.
+	if got["svc_dedup_hits"] != 1 {
+		t.Errorf("svc_dedup_hits = %d, want 1", got["svc_dedup_hits"])
+	}
+	if !sort.SliceIsSorted(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name }) {
+		t.Error("merged metrics not name-sorted")
+	}
+}
+
+// TestDriverMetricsSnapshotExportsBreakerState pins the client-side
+// export: breaker state and fault counters, previously reachable only
+// through HTTPDriverStats, surface through the same Metric shape the
+// server merges.
+func TestDriverMetricsSnapshotExportsBreakerState(t *testing.T) {
+	d := NewHTTPDriver("http://127.0.0.1:0")
+	got := map[string]uint64{}
+	for _, m := range d.MetricsSnapshot() {
+		got[m.Name] = m.Value
+	}
+	for _, name := range []string{
+		"drv_breaker_open", "drv_breaker_opens", "drv_retries",
+		"drv_in_doubt", "drv_expired", "drv_retry_after_waits",
+		"drv_stale_reads", "drv_failovers",
+	} {
+		if _, ok := got[name]; !ok {
+			t.Errorf("driver metric %s missing", name)
+		}
+	}
+	if got["drv_breaker_open"] != 0 {
+		t.Error("fresh driver reports an open breaker")
+	}
+	// Trip the breaker against a dead endpoint and watch the state flip.
+	d.breaker.threshold = 2
+	sess := &httpSession{d: d}
+	_ = sess.Do(oneOp(1), nil)
+	for _, m := range d.MetricsSnapshot() {
+		if m.Name == "drv_breaker_open" && m.Value != 1 {
+			t.Error("breaker state not exported after consecutive transport failures")
+		}
 	}
 }
